@@ -1,0 +1,27 @@
+# Development targets for the Eyeball-ASes reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples experiments lint clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+experiments:
+	$(PYTHON) -m repro.cli all
+
+clean:
+	rm -rf .pytest_cache benchmarks/results .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

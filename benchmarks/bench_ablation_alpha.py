@@ -1,0 +1,69 @@
+"""Ablation A1 — the peak-selection threshold alpha (paper Section 4).
+
+The paper sets alpha = 0.01 "to conservatively select peaks with a
+density of at least two orders of magnitude below Dmax" and notes that
+small alphas admit spurious peaks created by residual geo error.  This
+ablation sweeps alpha on a well-sampled target AS and reports how many
+peaks survive selection and how precise they are against the AS's true
+customer PoPs.
+"""
+
+import pytest
+
+from repro.core.bandwidth import CITY_BANDWIDTH_KM
+from repro.experiments.report import render_table
+from repro.validation.matching import match_pop_sets
+
+ALPHAS = (0.001, 0.005, 0.01, 0.05, 0.2)
+
+
+def _subject_asn(scenario):
+    """Largest multi-city target AS."""
+    return max(
+        (
+            asn
+            for asn in scenario.eyeball_target_asns()
+            if len(scenario.ecosystem.node(asn).customer_pops) >= 3
+        ),
+        key=lambda a: len(scenario.dataset.ases[a]),
+    )
+
+
+def sweep_alpha(scenario):
+    asn = _subject_asn(scenario)
+    footprint = scenario.geo_footprint(asn, CITY_BANDWIDTH_KM)
+    truth = [
+        (p.lat, p.lon) for p in scenario.ecosystem.node(asn).customer_pops
+    ]
+    rows = []
+    for alpha in ALPHAS:
+        peaks = [(p.lat, p.lon) for p in footprint.peaks_above(alpha)]
+        result = match_pop_sets(peaks, truth)
+        rows.append(
+            (alpha, len(peaks), round(result.precision, 3),
+             round(result.recall, 3))
+        )
+    return asn, rows
+
+
+def test_bench_ablation_alpha(benchmark, default_scenario, archive):
+    asn, rows = benchmark.pedantic(
+        sweep_alpha, args=(default_scenario,), rounds=1, iterations=1
+    )
+    archive(
+        "ablation_alpha",
+        render_table(
+            ("alpha", "selected peaks", "precision", "recall"),
+            rows,
+            title=f"Ablation A1: alpha sweep on AS{asn} (BW=40km)",
+        ),
+    )
+    peak_counts = [row[1] for row in rows]
+    precisions = [row[2] for row in rows]
+    # More permissive alpha admits more peaks...
+    assert peak_counts == sorted(peak_counts, reverse=True)
+    # ...and the strictest alpha is at least as precise as the loosest.
+    assert precisions[-1] >= precisions[0]
+    # The paper's alpha keeps the bulk of true PoPs discoverable.
+    paper_row = rows[ALPHAS.index(0.01)]
+    assert paper_row[3] >= 0.5

@@ -1,0 +1,102 @@
+"""Ablation A5 — fixed application-driven bandwidth vs statistical rules.
+
+The paper pins the bandwidth at 40 km from *application* constraints
+(city radius + geo-error floor) and notes the choice "simplifies the
+comparison of geo-footprints across different eyeball ASes".  This
+ablation runs Scott's rule per AS instead and shows what the fixed
+choice buys:
+
+* Scott's bandwidth tracks each AS's spread and sample count, so it
+  varies widely across ASes — footprints stop being comparable and the
+  resolution is no longer anchored to the city scale or the geo-error
+  floor;
+* averaged over ASes, the fixed 40 km bandwidth recovers at least as
+  many true PoPs — the statistical optimum for density estimation is
+  not the application optimum for PoP discovery.
+"""
+
+import numpy as np
+
+from repro.core.bandwidth import CITY_BANDWIDTH_KM, data_driven_bandwidth_km
+from repro.core.botev import botev_bandwidth_km
+from repro.experiments.report import render_table
+from repro.validation.matching import match_pop_sets
+
+
+def evaluate(scenario):
+    rows = []
+    scott_bandwidths = []
+    for asn in scenario.eyeball_target_asns():
+        target = scenario.dataset.ases[asn]
+        if len(target) < 800:
+            continue
+        node = scenario.ecosystem.node(asn)
+        if len(node.customer_pops) < 2:
+            continue
+        scott = data_driven_bandwidth_km(target.group.lat, target.group.lon)
+        isj = botev_bandwidth_km(target.group.lat, target.group.lon)
+        truth = [(p.lat, p.lon) for p in node.customer_pops]
+        fixed_pops = scenario.peak_locations(asn, CITY_BANDWIDTH_KM)
+        scott_pops = scenario.peak_locations(asn, max(scott, 1.0))
+        isj_pops = scenario.peak_locations(asn, max(isj, 1.0))
+        fixed = match_pop_sets(fixed_pops, truth)
+        scott_match = match_pop_sets(scott_pops, truth)
+        isj_match = match_pop_sets(isj_pops, truth)
+        rows.append(
+            (
+                asn,
+                len(target),
+                round(scott, 1),
+                round(isj, 1),
+                round(fixed.recall, 2),
+                round(scott_match.recall, 2),
+                round(isj_match.recall, 2),
+                round(fixed.precision, 2),
+                round(isj_match.precision, 2),
+            )
+        )
+        scott_bandwidths.append(scott)
+        if len(rows) >= 8:
+            break
+    return rows, scott_bandwidths
+
+
+def test_bench_ablation_bandwidth_rule(benchmark, default_scenario, archive):
+    rows, scott_bandwidths = benchmark.pedantic(
+        evaluate, args=(default_scenario,), rounds=1, iterations=1
+    )
+    archive(
+        "ablation_bandwidth_rule",
+        render_table(
+            (
+                "ASN",
+                "peers",
+                "Scott BW(km)",
+                "ISJ BW(km)",
+                "recall@40km",
+                "recall@Scott",
+                "recall@ISJ",
+                "precision@40km",
+                "precision@ISJ",
+            ),
+            rows,
+            title="Ablation A5: fixed 40 km vs Scott's rule vs "
+                  "Botev diffusion (ISJ)",
+        ),
+    )
+    assert rows
+    # Scott's choice is AS-dependent: it spreads well beyond any single
+    # comparable setting (footprints at different resolutions).
+    assert max(scott_bandwidths) / min(scott_bandwidths) > 1.5
+    # Neither statistical rule buys PoP-recovery accuracy over the
+    # paper's fixed application scale.
+    fixed_recall = float(np.mean([row[4] for row in rows]))
+    scott_recall = float(np.mean([row[5] for row in rows]))
+    isj_recall = float(np.mean([row[6] for row in rows]))
+    assert fixed_recall >= scott_recall - 0.05
+    # ISJ resolves clusters (high recall) but at city-sub scales it
+    # splinters zip-level structure: precision drops below the fixed
+    # bandwidth's.
+    fixed_precision = float(np.mean([row[7] for row in rows]))
+    isj_precision = float(np.mean([row[8] for row in rows]))
+    assert isj_precision <= fixed_precision + 0.05

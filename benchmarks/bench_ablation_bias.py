@@ -1,0 +1,100 @@
+"""Ablation A4 — sampling bias (paper Section 4.3).
+
+Reproduces the paper's two bias regimes on one AS and verifies their
+predicted signatures:
+
+* **mild bias** (a city's penetration scaled down but nonzero): the
+  city stays in the PoP-level footprint with a distorted density value;
+* **significant bias** (zero samples from a city): the PoP there is not
+  discovered at all.
+"""
+
+from repro.core.bandwidth import CITY_BANDWIDTH_KM
+from repro.core.footprint import estimate_geo_footprint
+from repro.core.pop import extract_pop_footprint
+from repro.crawl.bias import SamplingBias, compare_footprints
+from repro.crawl.crawler import run_crawl
+from repro.experiments.report import render_table
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.geo.gazetteer import Gazetteer
+
+
+def _footprint_shares(scenario, sample, asn, gazetteer):
+    """City -> peak density of the AS's PoP footprint under a sample."""
+    import numpy as np
+
+    peers = np.flatnonzero(sample.true_asn == asn)
+    indices = sample.user_index[peers]
+    lats = sample.population.true_lat[indices]
+    lons = sample.population.true_lon[indices]
+    footprint = estimate_geo_footprint(
+        lats, lons, bandwidth_km=CITY_BANDWIDTH_KM
+    )
+    pops = extract_pop_footprint(footprint, gazetteer)
+    return {p.city.key: p.density for p in pops.pops}
+
+
+def run_bias_study():
+    scenario = build_scenario(ScenarioConfig.small())
+    gazetteer = Gazetteer(scenario.world)
+    node = max(
+        (n for n in scenario.ecosystem.eyeballs
+         if len(n.customer_pops) >= 3),
+        key=lambda n: n.user_count,
+    )
+    # Bias the SECOND-heaviest city so Dmax stays put.
+    ranked = sorted(node.customer_pops, key=lambda p: -p.customer_weight)
+    victim = ranked[1].city_key
+
+    samples = {
+        "unbiased": run_crawl(scenario.ecosystem, scenario.population,
+                              scenario.config.crawl),
+        "mild": run_crawl(
+            scenario.ecosystem, scenario.population, scenario.config.crawl,
+            bias=SamplingBias.mild(node.asn, [victim], factor=0.3),
+        ),
+        "significant": run_crawl(
+            scenario.ecosystem, scenario.population, scenario.config.crawl,
+            bias=SamplingBias.significant(node.asn, [victim]),
+        ),
+    }
+    shares = {
+        name: _footprint_shares(scenario, sample, node.asn, gazetteer)
+        for name, sample in samples.items()
+    }
+    reports = {
+        name: compare_footprints(node.asn, shares["unbiased"], shares[name])
+        for name in ("mild", "significant")
+    }
+    return node.asn, victim, shares, reports
+
+
+def test_bench_ablation_bias(benchmark, archive):
+    asn, victim, shares, reports = benchmark.pedantic(
+        run_bias_study, rounds=1, iterations=1
+    )
+    rows = []
+    for name in ("unbiased", "mild", "significant"):
+        total = sum(shares[name].values())
+        share = shares[name].get(victim, 0.0) / total if total else 0.0
+        rows.append(
+            (name, len(shares[name]), victim in shares[name],
+             round(share, 3))
+        )
+    archive(
+        "ablation_bias",
+        render_table(
+            ("regime", "PoPs found", "victim city found", "victim share"),
+            rows,
+            title=f"Ablation A4: sampling bias on AS{asn} "
+                  f"(victim city {victim})",
+        ),
+    )
+    mild = reports["mild"].impact_of(victim)
+    significant = reports["significant"].impact_of(victim)
+    # Paper regime 1: mild bias keeps the PoP but distorts its density.
+    assert mild.discovered
+    assert mild.biased_share < mild.unbiased_share
+    # Paper regime 2: significant bias loses the PoP entirely.
+    assert not significant.discovered
+    assert victim in reports["significant"].lost_cities

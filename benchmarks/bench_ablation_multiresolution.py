@@ -1,0 +1,66 @@
+"""Ablation A6 — bandwidth as a multi-resolution dial (paper Section 3.1).
+
+"Increasing the bandwidth leads to aggregation over a larger
+geographical region ... the bandwidth of the kernel function can be
+viewed as a tuning parameter that offers a multi-resolution view of an
+eyeball AS's geo-footprint" — with two effects the paper calls out:
+coarser resolution (fewer, larger footprint partitions) and smoothed
+peaks (harder to distinguish).
+
+This ablation sweeps the bandwidth on one country-level AS and records
+partition count, footprint area, selected-peak count and maximum
+density — each must move monotonically in the direction the paper
+describes.
+"""
+
+from repro.experiments.report import render_table
+
+BANDWIDTHS_KM = (10.0, 20.0, 40.0, 80.0, 160.0)
+
+
+def sweep(scenario):
+    asn = max(
+        (
+            a
+            for a in scenario.eyeball_target_asns()
+            if len(scenario.ecosystem.node(a).customer_pops) >= 5
+        ),
+        key=lambda a: len(scenario.dataset.ases[a]),
+    )
+    rows = []
+    for bandwidth in BANDWIDTHS_KM:
+        footprint = scenario.geo_footprint(asn, bandwidth)
+        rows.append(
+            (
+                int(bandwidth),
+                footprint.partition_count,
+                int(footprint.area_km2),
+                len(footprint.peaks_above(0.01)),
+                f"{footprint.max_density:.2e}",
+            )
+        )
+    return asn, rows
+
+
+def test_bench_ablation_multiresolution(benchmark, default_scenario, archive):
+    asn, rows = benchmark.pedantic(
+        sweep, args=(default_scenario,), rounds=1, iterations=1
+    )
+    archive(
+        "ablation_multiresolution",
+        render_table(
+            ("BW(km)", "partitions", "area(km^2)", "selected peaks", "Dmax"),
+            rows,
+            title=f"Ablation A6: multi-resolution sweep on AS{asn}",
+        ),
+    )
+    partitions = [row[1] for row in rows]
+    areas = [row[2] for row in rows]
+    peaks = [row[3] for row in rows]
+    # Coarser bandwidth: fewer partitions, more covered area, fewer
+    # distinguishable peaks — Section 3.1's two effects.
+    assert partitions == sorted(partitions, reverse=True)
+    assert areas == sorted(areas)
+    assert peaks == sorted(peaks, reverse=True)
+    assert partitions[-1] <= 2
+    assert peaks[0] > 2 * peaks[-1]

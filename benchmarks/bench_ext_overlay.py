@@ -1,0 +1,74 @@
+"""Extension E5 — observation-model robustness (Bernoulli vs graph walk).
+
+The paper's crawls are graph walks over P2P overlays, not independent
+coin flips per user.  This benchmark re-runs the Table 1 profile with
+the overlay (BFS neighbour-exchange) observation model and checks that
+the paper's regional shape — Gnutella-heavy NA, Kad-heavy EU/AS — and
+the per-AS coverage survive the structural bias a real crawler has.
+"""
+
+from repro.crawl.overlay import OverlayConfig, run_overlay_crawl
+from repro.experiments.report import render_table
+from repro.pipeline.dataset import PipelineConfig, build_target_dataset
+from repro.pipeline.profile import profile_dataset
+
+
+def evaluate(scenario):
+    sample = run_overlay_crawl(
+        scenario.ecosystem, scenario.population, OverlayConfig(seed=17)
+    )
+    dataset = build_target_dataset(
+        sample,
+        scenario.primary_db,
+        scenario.secondary_db,
+        scenario.ecosystem.routing_table,
+        PipelineConfig(min_peers_per_as=1000),
+    )
+    return sample, dataset, profile_dataset(dataset)
+
+
+def test_bench_ext_overlay(benchmark, default_scenario, archive):
+    sample, dataset, profile = benchmark.pedantic(
+        evaluate, args=(default_scenario,), rounds=1, iterations=1
+    )
+    bernoulli_profile = profile_dataset(default_scenario.dataset)
+    rows = []
+    for region in ("NA", "EU", "AS"):
+        overlay_row = profile.row(region)
+        bernoulli_row = bernoulli_profile.row(region)
+        rows.append(
+            (
+                region,
+                bernoulli_row.peers_total(),
+                overlay_row.peers_total(),
+                bernoulli_row.ases_total(),
+                overlay_row.ases_total(),
+                profile.dominant_app(region),
+            )
+        )
+    archive(
+        "ext_overlay",
+        render_table(
+            (
+                "region",
+                "peers (Bernoulli)",
+                "peers (overlay)",
+                "ASes (Bernoulli)",
+                "ASes (overlay)",
+                "dominant app (overlay)",
+            ),
+            rows,
+            title=f"Extension E5: overlay-crawl robustness "
+                  f"({len(sample)} peers crawled, "
+                  f"{len(dataset)} target ASes)",
+        ),
+    )
+    # The paper's regional application pattern survives the structural
+    # observation model.
+    assert profile.dominant_app("NA") == "Gnutella"
+    assert profile.dominant_app("EU") == "Kad"
+    assert profile.dominant_app("AS") == "Kad"
+    # A well-connected overlay (mean degree ~8) reaches nearly every
+    # adopter despite unresponsive peers, so the conditioned dataset
+    # stays comparable to the Bernoulli model's.
+    assert len(dataset) >= 0.5 * len(default_scenario.dataset)

@@ -1,0 +1,53 @@
+"""Extension E4 — what upstream richness buys: failure resilience.
+
+Section 6 observes rich upstream connectivity at the edge and offers
+qualitative explanations.  This benchmark quantifies one: for every
+eyeball AS, fail each provider link and check whether the AS still
+reaches the tier-1 core by a valley-free path.  Multihomed eyeballs
+survive; single-homed ones go dark — and the RAI configuration (five
+providers) survives every single failure.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.section6 import run_section6
+from repro.net.italy import AS_RAI
+from repro.net.resilience import analyze_resilience, survey_resilience
+
+
+def evaluate(scenario):
+    survey = survey_resilience(scenario.ecosystem)
+    rai_ecosystem = run_section6(scale=0.004).ecosystem
+    rai = analyze_resilience(rai_ecosystem, AS_RAI)
+    return survey, rai
+
+
+def test_bench_ext_resilience(benchmark, default_scenario, archive):
+    survey, rai = benchmark.pedantic(
+        evaluate, args=(default_scenario,), rounds=1, iterations=1
+    )
+    rows = [
+        (
+            code,
+            round(survey.mean_providers_by_continent[code], 2),
+            round(survival, 3),
+        )
+        for code, survival in survey.survival_by_continent.items()
+    ]
+    archive(
+        "ext_resilience",
+        render_table(
+            ("region", "mean providers", "single-failure survival"),
+            rows,
+            title="Extension E4: single-provider-failure survival of "
+                  f"eyeball ASes (RAI: {rai.provider_count} providers, "
+                  f"survives any single failure = "
+                  f"{rai.survives_any_single_failure})",
+        ),
+    )
+    # RAI's five upstreams make it immune to any single provider loss.
+    assert rai.provider_count == 5
+    assert rai.survives_any_single_failure
+    # Across the ecosystem, most eyeballs are multihomed and survive.
+    for code, survival in survey.survival_by_continent.items():
+        assert survival > 0.4, code
+        assert survey.mean_providers_by_continent[code] >= 1.5

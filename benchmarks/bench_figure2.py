@@ -1,0 +1,44 @@
+"""Benchmark F2 — regenerate Figure 2 (validation against published PoP
+lists) at kernel bandwidths 10/40/80 km.
+
+Figure 2(a): per-AS CDF of the fraction of ground-truth PoPs matched
+(recall) — smaller bandwidths match more.  Figure 2(b): per-AS CDF of
+the fraction of discovered PoPs confirmed (precision) — the perfect-
+match fraction grows with bandwidth (paper: 5% / 41% / 60% at
+10/40/80 km).
+"""
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+
+#: Shared across bench_figure2 and bench_section5 (session cache).
+_CACHE = {}
+
+
+def figure2_result(scenario):
+    key = id(scenario)
+    if key not in _CACHE:
+        _CACHE[key] = run_figure2(scenario)
+    return _CACHE[key]
+
+
+def test_bench_figure2(benchmark, default_scenario, archive):
+    result = benchmark.pedantic(
+        figure2_result, args=(default_scenario,), rounds=1, iterations=1
+    )
+    checks = result.shape_checks()
+    archive(
+        "figure2",
+        result.render()
+        + "\nshape checks: "
+        + ", ".join(f"{k}={v}" for k, v in checks.items()),
+    )
+    assert all(checks.values()), checks
+    # The paper's perfect-precision ordering must hold strictly.
+    perfect = {
+        bandwidth: report.perfect_precision_fraction()
+        for bandwidth, report in result.reports.items()
+    }
+    assert perfect[10.0] < perfect[40.0] <= perfect[80.0]
+    assert perfect[10.0] == pytest.approx(0.05, abs=0.15)

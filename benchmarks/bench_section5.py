@@ -1,0 +1,32 @@
+"""Benchmark S5 — regenerate the Section 5 scalar comparisons.
+
+S5a: mean identified PoPs per AS at 10/40/80 km (paper: 31.9/13.6/7.3)
+against the published-list mean (paper: 43.7).  S5b: the DIMES
+traceroute baseline (paper: KDE 7.14 vs DIMES 1.54 PoPs/AS, KDE a clear
+superset for 80% of common ASes).
+"""
+
+from bench_figure2 import figure2_result
+from repro.experiments.section5 import run_section5
+
+
+def test_bench_section5(benchmark, default_scenario, archive):
+    figure2 = figure2_result(default_scenario)
+    result = benchmark.pedantic(
+        run_section5,
+        args=(default_scenario,),
+        kwargs={"figure2": figure2},
+        rounds=1,
+        iterations=1,
+    )
+    checks = result.shape_checks()
+    archive(
+        "section5",
+        result.render()
+        + "\nshape checks: "
+        + ", ".join(f"{k}={v}" for k, v in checks.items()),
+    )
+    assert all(checks.values()), checks
+    # Direction and rough magnitude of the DIMES gap.
+    assert result.comparison.kde_mean_pops > 2 * result.comparison.dimes_mean_pops
+    assert result.comparison.dimes_mean_pops < 3.0

@@ -1,0 +1,23 @@
+"""Benchmark S6 — regenerate the Section 6 case study (AS8234, RAI).
+
+Checks every fact of the paper's case study against the reproduced
+analysis: five upstream providers (two with global reach), remote
+peering at the Milan IXP with GARR/ASDASD/ITGate, absence from the
+local Rome IXP, and two peers unreachable at any local IXP.
+"""
+
+from repro.experiments.section6 import run_section6
+
+
+def test_bench_section6(benchmark, archive):
+    result = benchmark.pedantic(
+        run_section6, kwargs={"scale": 0.01}, rounds=1, iterations=1
+    )
+    checks = result.shape_checks()
+    archive(
+        "section6",
+        result.render()
+        + "\nshape checks: "
+        + ", ".join(f"{k}={v}" for k, v in checks.items()),
+    )
+    assert all(checks.values()), checks

@@ -1,0 +1,22 @@
+"""Benchmark T1 — regenerate Table 1 (profile of the target eyeball ASes).
+
+Prints the measured region/application/level matrix next to the paper's
+row values and asserts the paper's qualitative shape (Gnutella-heavy NA,
+Kad-heavy EU/AS, state-heavy NA, country-heavy EU).
+"""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(benchmark, default_scenario, archive):
+    result = benchmark.pedantic(
+        run_table1, args=(default_scenario,), rounds=1, iterations=1
+    )
+    checks = result.shape_checks()
+    archive(
+        "table1",
+        result.render()
+        + "\nshape checks: "
+        + ", ".join(f"{k}={v}" for k, v in checks.items()),
+    )
+    assert all(checks.values()), checks

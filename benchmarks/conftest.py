@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+The paper-shaped default scenario is built once per benchmark session.
+Each benchmark renders its table/figure next to the paper's numbers and
+archives it under ``benchmarks/results/`` so EXPERIMENTS.md can cite the
+exact output.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, cached_scenario
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def default_scenario():
+    return cached_scenario(ScenarioConfig.default())
+
+
+@pytest.fixture(scope="session")
+def archive():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return write

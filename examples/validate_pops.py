@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Figure 2 walkthrough: validating inferred PoPs against published lists.
+
+Builds a scenario, synthesises the "PoP pages" the paper scraped from
+ISP web sites (including their defects: infrastructure-only PoPs, metro
+duplicates, stale entries), then matches KDE-discovered PoP locations
+against them at three kernel bandwidths — showing the paper's central
+trade-off: small bandwidths find more PoPs (higher recall), large
+bandwidths find more reliable ones (higher precision).
+
+Run:  python examples/validate_pops.py
+"""
+
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.validation.reference import ReferenceConfig
+
+
+def main() -> None:
+    print("Building scenario and reference dataset...")
+    scenario = build_scenario(ScenarioConfig.small())
+    result = run_figure2(
+        scenario, reference_config=ReferenceConfig(as_count=18)
+    )
+    print(result.render())
+
+    print("\nReading the table:")
+    for bandwidth in sorted(result.reports):
+        report = result.reports[bandwidth]
+        print(
+            f"  BW={bandwidth:>4.0f} km -> {report.mean_inferred_pops():5.2f} "
+            f"PoPs/AS, recall {report.recalls().mean():5.1%}, "
+            f"perfect-precision ASes {report.perfect_precision_fraction():5.1%}"
+        )
+    print(
+        "\nShape vs paper: recall falls and the perfect-precision share "
+        "rises as bandwidth grows\n(paper: 5% / 41% / 60% perfect matches "
+        "at 10 / 40 / 80 km)."
+    )
+    checks = result.shape_checks()
+    print("Shape checks:", ", ".join(f"{k}={v}" for k, v in checks.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of "Eyeball ASes: From Geography to
+Connectivity" (Rasti, Magharei, Rejaie, Willinger; ACM IMC 2010).
+
+The library infers the geographic footprint and likely PoP locations of
+eyeball ASes from the geo-locations of their end-users via kernel
+density estimation, and studies the implications for AS-level
+connectivity at the edge of the Internet.
+
+Package map
+-----------
+
+``repro.geo``
+    Spherical math, region hierarchy, synthetic worlds, gazetteers.
+``repro.net``
+    IPv4 primitives, AS ecosystem generation, IXPs, relationships,
+    valley-free BGP, PoP-level traceroute simulation.
+``repro.geodb``
+    Two independently-erroneous synthetic IP-geolocation databases.
+``repro.crawl``
+    P2P application models, user-population synthesis, crawl simulator.
+``repro.pipeline``
+    The paper's Section 2 conditioning pipeline (map, filter, group,
+    classify) producing the target dataset.
+``repro.core``
+    The primary contribution: KDE geo-footprints (Section 3) and
+    PoP-level footprints (Section 4).
+``repro.validation``
+    Section 5 validation: reference-list matching, CDFs, the DIMES
+    traceroute baseline.
+``repro.connectivity``
+    Section 6: CAIDA/IXP datasets and the edge-connectivity case study.
+``repro.experiments``
+    One driver per table/figure, plus end-to-end scenario assembly.
+
+Quickstart
+----------
+
+>>> from repro.experiments import ScenarioConfig, build_scenario
+>>> scenario = build_scenario(ScenarioConfig.small())
+>>> asn = scenario.eyeball_target_asns()[0]
+>>> footprint = scenario.pop_footprint(asn, bandwidth_km=40.0)
+>>> footprint.as_density_list()  # doctest: +SKIP
+[('EU00-S00-C00', 0.31), ...]
+"""
+
+from . import connectivity, core, crawl, datasets, experiments, geo, geodb, net
+from . import pipeline, validation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "connectivity",
+    "core",
+    "crawl",
+    "datasets",
+    "experiments",
+    "geo",
+    "geodb",
+    "net",
+    "pipeline",
+    "validation",
+]

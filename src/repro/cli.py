@@ -1,0 +1,188 @@
+"""Command-line interface: regenerate any of the paper's artefacts.
+
+::
+
+    repro-eyeball table1   [--preset small|default]
+    repro-eyeball figure1  [--scale 0.01]
+    repro-eyeball figure2  [--preset small|default] [--reference-ases 45]
+    repro-eyeball section5 [--preset small|default]
+    repro-eyeball section6 [--scale 0.01]
+    repro-eyeball all      [--preset small]
+
+Each subcommand prints the same rendered table/figure the benchmark
+harness archives, with the paper's numbers alongside.  ``--preset
+small`` (the default) runs in seconds; ``--preset default`` is the
+paper-shaped scenario the benchmarks use (a couple of minutes for
+figure2/section5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.figure1 import run_figure1
+from .experiments.figure2 import run_figure2
+from .experiments.scenario import ScenarioConfig, cached_scenario
+from .experiments.section5 import run_section5
+from .experiments.section6 import run_section6
+from .experiments.table1 import run_table1
+from .validation.reference import ReferenceConfig
+
+
+def _scenario(args):
+    config = (
+        ScenarioConfig.default(seed=args.seed)
+        if args.preset == "default"
+        else ScenarioConfig.small(seed=args.seed)
+    )
+    return cached_scenario(config)
+
+
+def _reference_config(args) -> ReferenceConfig:
+    count = args.reference_ases
+    if count is None:
+        count = 45 if args.preset == "default" else 18
+    return ReferenceConfig(as_count=count)
+
+
+def _emit(args, text: str, checks=None) -> int:
+    print(text)
+    if checks is not None:
+        print(
+            "shape checks: "
+            + ", ".join(f"{name}={passed}" for name, passed in checks.items())
+        )
+        if not all(checks.values()):
+            print(
+                "WARNING: some shape checks failed (the small preset may "
+                "be too small for every property; try --preset default)",
+                file=sys.stderr,
+            )
+            return 1 if args.strict else 0
+    return 0
+
+
+def cmd_table1(args) -> int:
+    result = run_table1(_scenario(args))
+    return _emit(args, result.render(), result.shape_checks())
+
+
+def cmd_figure1(args) -> int:
+    result = run_figure1(scale=args.scale, seed=args.seed)
+    return _emit(args, result.render(), result.shape_checks())
+
+
+def cmd_figure2(args) -> int:
+    result = run_figure2(_scenario(args), reference_config=_reference_config(args))
+    return _emit(args, result.render(), result.shape_checks())
+
+
+def cmd_section5(args) -> int:
+    result = run_section5(
+        _scenario(args), reference_config=_reference_config(args)
+    )
+    return _emit(args, result.render(), result.shape_checks())
+
+
+def cmd_section6(args) -> int:
+    result = run_section6(scale=args.scale, seed=args.seed)
+    return _emit(args, result.render(), result.shape_checks())
+
+
+def cmd_survey(args) -> int:
+    """Peering + resilience surveys over the scenario's eyeball ASes."""
+    from .connectivity.metrics import survey_edge_connectivity
+    from .net.resilience import survey_resilience
+
+    scenario = _scenario(args)
+    peering = survey_edge_connectivity(scenario.ecosystem)
+    resilience = survey_resilience(scenario.ecosystem)
+    lines = ["Edge-connectivity survey:"]
+    lines.append(
+        f"{'region':<8}{'ASes':>6}{'providers':>11}{'multihomed':>12}"
+        f"{'peering':>9}{'remote':>8}{'survival':>10}"
+    )
+    for code in sorted(peering.by_continent):
+        profile = peering.continent(code)
+        survival = resilience.survival_by_continent.get(code, 0.0)
+        lines.append(
+            f"{code:<8}{profile.as_count:>6}"
+            f"{profile.mean_providers:>11.2f}"
+            f"{profile.multihomed_fraction:>12.1%}"
+            f"{profile.peering_fraction:>9.1%}"
+            f"{profile.remote_peering_fraction:>8.1%}"
+            f"{survival:>10.1%}"
+        )
+    lines.append(
+        f"most peering-active: {peering.most_active_peering_continent()}"
+        f"  (paper: Europe)"
+    )
+    return _emit(args, "\n".join(lines))
+
+
+def cmd_all(args) -> int:
+    status = 0
+    for command in (cmd_table1, cmd_figure1, cmd_figure2, cmd_section5,
+                    cmd_section6, cmd_survey):
+        status |= command(args)
+        print()
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eyeball",
+        description="Regenerate the tables and figures of 'Eyeball ASes: "
+                    "From Geography to Connectivity' (IMC 2010).",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=("small", "default"),
+        default="small",
+        help="scenario size for table1/figure2/section5 (default: small)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=5, help="master seed (default: 5)"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when a shape check fails",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.01,
+        help="user-count scale for the Italian case studies (default: 0.01)",
+    )
+    parser.add_argument(
+        "--reference-ases",
+        type=int,
+        default=None,
+        help="reference-dataset size for figure2/section5 "
+             "(default: 45 on the default preset, 18 on small)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, handler in (
+        ("table1", cmd_table1),
+        ("figure1", cmd_figure1),
+        ("figure2", cmd_figure2),
+        ("section5", cmd_section5),
+        ("section6", cmd_section6),
+        ("survey", cmd_survey),
+        ("all", cmd_all),
+    ):
+        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        sub.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Section 6 connectivity: CAIDA/IXP datasets and the edge case study."""
+
+from .caida import from_caida_lines, to_caida_lines
+from .casestudy import (
+    EdgeConnectivityReport,
+    IXPPresence,
+    LOCAL_IXP_RADIUS_KM,
+    ProviderInfo,
+    analyze_edge_connectivity,
+)
+from .ixp_detection import (
+    DetectedIXPs,
+    DetectionAccuracy,
+    compare_detection,
+    detect_ixps,
+    lan_table_from_fabric,
+)
+from .ixpmap import (
+    from_dataset_lines,
+    membership_matrix,
+    to_membership_lines,
+    to_peering_lines,
+)
+from .metrics import (
+    ConnectivitySurvey,
+    ContinentConnectivity,
+    provider_count_distribution,
+    survey_edge_connectivity,
+)
+
+__all__ = [
+    "ConnectivitySurvey",
+    "ContinentConnectivity",
+    "DetectedIXPs",
+    "DetectionAccuracy",
+    "EdgeConnectivityReport",
+    "IXPPresence",
+    "LOCAL_IXP_RADIUS_KM",
+    "ProviderInfo",
+    "analyze_edge_connectivity",
+    "compare_detection",
+    "detect_ixps",
+    "lan_table_from_fabric",
+    "from_caida_lines",
+    "from_dataset_lines",
+    "membership_matrix",
+    "provider_count_distribution",
+    "survey_edge_connectivity",
+    "to_caida_lines",
+    "to_membership_lines",
+    "to_peering_lines",
+]

@@ -1,0 +1,52 @@
+"""CAIDA-format AS-relationship dataset (paper Section 6).
+
+"For customer-provider relationships, we rely on the CAIDA AS
+relationships data set."  The CAIDA serialisation is
+``<provider>|<customer>|-1`` for transit edges and ``<as1>|<as2>|0``
+for peerings, with ``#`` comments — this module reads and writes that
+format so a relationship graph can round-trip through the same files a
+consumer of the real dataset would use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..net.relationships import Relationship, RelationshipGraph, RelationshipType
+
+_P2C = -1
+_P2P = 0
+
+
+def to_caida_lines(graph: RelationshipGraph) -> List[str]:
+    """Serialise a relationship graph in CAIDA as-rel format."""
+    lines = ["# <provider-as>|<customer-as>|-1", "# <peer-as>|<peer-as>|0"]
+    for rel in graph:
+        if rel.rel_type is RelationshipType.CUSTOMER_PROVIDER:
+            # rel.a is the customer; CAIDA puts the provider first.
+            lines.append(f"{rel.b}|{rel.a}|{_P2C}")
+        else:
+            lines.append(f"{rel.a}|{rel.b}|{_P2P}")
+    return lines
+
+
+def from_caida_lines(lines: Iterable[str]) -> RelationshipGraph:
+    """Parse CAIDA as-rel lines into a relationship graph."""
+    graph = RelationshipGraph()
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|")
+        if len(parts) != 3:
+            raise ValueError(f"malformed CAIDA line: {raw!r}")
+        first, second, code = (int(p) for p in parts)
+        if code == _P2C:
+            graph.add(
+                Relationship(second, first, RelationshipType.CUSTOMER_PROVIDER)
+            )
+        elif code == _P2P:
+            graph.add(Relationship(first, second, RelationshipType.PEER))
+        else:
+            raise ValueError(f"unknown relationship code {code} in {raw!r}")
+    return graph

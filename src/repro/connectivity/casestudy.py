@@ -1,0 +1,176 @@
+"""Edge-connectivity case study (paper Section 6).
+
+Given an eyeball AS's PoP locations (ground truth or KDE-inferred) and
+the best-effort connectivity datasets, this module answers the
+questions the paper's RAI case study walks through:
+
+* Who are the upstream providers, and what is their geographic reach?
+* Which IXPs is the AS a member of — and are they *local* (co-located
+  with one of its PoPs) or *remote* (like RAI peering at Milan's MIX
+  from Rome)?
+* Which local IXPs did the AS skip (RAI is absent from Rome's NaMEX)?
+* Which of its public peers could it NOT have reached at a local IXP —
+  the economic signal that remote peering was worth paying for?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..geo.coords import haversine_km
+from ..net.asn import ASNode
+from ..net.ecosystem import ASEcosystem
+from ..net.ixp import IXP
+
+#: An IXP is "local" when within this distance of one of the AS's PoPs
+#: (one metro radius, consistent with the paper's 40 km city scale).
+LOCAL_IXP_RADIUS_KM = 50.0
+
+LatLon = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ProviderInfo:
+    """One upstream provider of the studied AS."""
+
+    asn: int
+    name: str
+    country_count: int  # countries holding its PoPs
+
+    @property
+    def has_global_reach(self) -> bool:
+        """Multi-country footprint (the paper's Easynet/Colt contrast
+        with Italy-wide Infostrada/Fastweb)."""
+        return self.country_count > 1
+
+
+@dataclass(frozen=True)
+class IXPPresence:
+    """The studied AS's presence (or conspicuous absence) at one IXP."""
+
+    ixp_name: str
+    city_name: str
+    is_member: bool
+    is_local: bool
+    distance_km: float  # to the nearest AS PoP
+    peers: Tuple[int, ...]  # ASNs peered with there (empty if not member)
+
+
+@dataclass
+class EdgeConnectivityReport:
+    """Everything the Section 6 case study reports for one AS."""
+
+    asn: int
+    name: str
+    pop_locations: Tuple[LatLon, ...]
+    providers: Tuple[ProviderInfo, ...]
+    presences: Tuple[IXPPresence, ...]
+    #: Peers reached only via remote IXPs that are NOT members of any of
+    #: the AS's local IXPs — the paper's "forgo a cheaper local
+    #: solution" evidence.
+    remote_only_peers: Tuple[int, ...]
+
+    @property
+    def provider_count(self) -> int:
+        return len(self.providers)
+
+    @property
+    def global_providers(self) -> List[ProviderInfo]:
+        return [p for p in self.providers if p.has_global_reach]
+
+    @property
+    def memberships(self) -> List[IXPPresence]:
+        return [p for p in self.presences if p.is_member]
+
+    @property
+    def remote_memberships(self) -> List[IXPPresence]:
+        return [p for p in self.presences if p.is_member and not p.is_local]
+
+    @property
+    def skipped_local_ixps(self) -> List[IXPPresence]:
+        """Local IXPs the AS chose not to join."""
+        return [p for p in self.presences if p.is_local and not p.is_member]
+
+    @property
+    def peer_count(self) -> int:
+        return len({peer for p in self.memberships for peer in p.peers})
+
+
+def _provider_reach(node: ASNode) -> int:
+    countries = {pop.city_key.split("/")[0] for pop in node.pops}
+    return max(len(countries), 1)
+
+
+def _nearest_pop_distance(ixp: IXP, pop_locations: Sequence[LatLon]) -> float:
+    if not pop_locations:
+        return float("inf")
+    return min(
+        float(haversine_km(ixp.lat, ixp.lon, lat, lon)) for lat, lon in pop_locations
+    )
+
+
+def analyze_edge_connectivity(
+    ecosystem: ASEcosystem,
+    asn: int,
+    pop_locations: Optional[Sequence[LatLon]] = None,
+    local_radius_km: float = LOCAL_IXP_RADIUS_KM,
+) -> EdgeConnectivityReport:
+    """Run the Section 6 analysis for one AS.
+
+    ``pop_locations`` defaults to the AS's ground-truth PoPs; pass the
+    KDE-inferred coordinates to run the analysis exactly as the paper
+    does (geo-footprint first, connectivity joined on top).
+    """
+    if local_radius_km <= 0:
+        raise ValueError("local radius must be positive")
+    node = ecosystem.node(asn)
+    if pop_locations is None:
+        pop_locations = [(p.lat, p.lon) for p in node.pops]
+    pop_locations = tuple((float(a), float(b)) for a, b in pop_locations)
+
+    providers = tuple(
+        ProviderInfo(
+            asn=p,
+            name=ecosystem.node(p).name,
+            country_count=_provider_reach(ecosystem.node(p)),
+        )
+        for p in sorted(ecosystem.graph.providers_of(asn))
+    )
+
+    peers_by_ixp = ecosystem.fabric.peers_of(asn)
+    presences: List[IXPPresence] = []
+    for name in sorted(ecosystem.fabric.ixps):
+        ixp = ecosystem.fabric.ixps[name]
+        distance = _nearest_pop_distance(ixp, pop_locations)
+        presences.append(
+            IXPPresence(
+                ixp_name=ixp.name,
+                city_name=ixp.city_name,
+                is_member=ixp.has_member(asn),
+                is_local=distance <= local_radius_km,
+                distance_km=distance,
+                peers=tuple(sorted(peers_by_ixp.get(ixp.name, ()))),
+            )
+        )
+
+    local_member_sets = [
+        ecosystem.fabric.ixps[p.ixp_name].members
+        for p in presences
+        if p.is_local
+    ]
+    remote_only: List[int] = []
+    for presence in presences:
+        if not presence.is_member or presence.is_local:
+            continue
+        for peer in presence.peers:
+            if not any(peer in members for members in local_member_sets):
+                remote_only.append(peer)
+    return EdgeConnectivityReport(
+        asn=asn,
+        name=node.name,
+        pop_locations=pop_locations,
+        providers=providers,
+        presences=tuple(presences),
+        remote_only_peers=tuple(sorted(set(remote_only))),
+    )

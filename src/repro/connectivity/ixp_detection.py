@@ -1,0 +1,115 @@
+"""Traceroute-based IXP detection (Augustin, Krishnamurthy, Willinger —
+"IXPs: Mapped?", the source of the paper's Section 6 peering dataset).
+
+The detection recipe: collect traceroutes, flag hops whose address
+falls inside a known IXP peering-LAN prefix, and read the crossing off
+the path — the hop *before* the LAN address belongs to the sending
+member, the LAN address itself to the receiving member's router port.
+Each crossing witnesses two memberships and one public peering.
+
+Like the real technique, coverage is bounded by where traffic actually
+flows: peerings never exercised by a vantage-to-target path stay
+invisible, so recall grows with vantage diversity while precision stays
+near perfect — the benchmark quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Set, Tuple
+
+from ..net.ip import PrefixTable
+from ..net.ixp import IXPFabric
+from ..net.traceroute import Traceroute
+
+
+def lan_table_from_fabric(fabric: IXPFabric) -> PrefixTable[str]:
+    """The detector's input: the public list of IXP peering-LAN
+    prefixes (name by prefix), as published by PeeringDB/PCH-style
+    registries."""
+    table: PrefixTable[str] = PrefixTable()
+    for name, prefix in fabric.lan_prefixes().items():
+        table.insert(prefix, name)
+    return table
+
+
+@dataclass
+class DetectedIXPs:
+    """Memberships and peerings inferred from traceroutes."""
+
+    memberships: Dict[str, Set[int]] = field(default_factory=dict)
+    peerings: Set[Tuple[str, int, int]] = field(default_factory=set)
+    crossings_seen: int = 0
+
+    def add_crossing(self, ixp_name: str, sender: int, receiver: int) -> None:
+        self.memberships.setdefault(ixp_name, set()).update((sender, receiver))
+        self.peerings.add((ixp_name, min(sender, receiver), max(sender, receiver)))
+        self.crossings_seen += 1
+
+    def membership_pairs(self) -> Set[Tuple[str, int]]:
+        return {
+            (name, asn)
+            for name, members in self.memberships.items()
+            for asn in members
+        }
+
+
+def detect_ixps(
+    traces: Iterable[Traceroute], lan_table: PrefixTable[str]
+) -> DetectedIXPs:
+    """Run the detection over a trace collection.
+
+    Only the hop addresses and the LAN prefix list are consulted — no
+    ground-truth fabric state."""
+    detected = DetectedIXPs()
+    for trace in traces:
+        previous_asn = None
+        for hop in trace.hops:
+            if (
+                previous_asn is not None
+                and hop.lan_address is not None
+            ):
+                ixp_name = lan_table.lookup(hop.lan_address)
+                if ixp_name is not None and previous_asn != hop.asn:
+                    detected.add_crossing(ixp_name, previous_asn, hop.asn)
+            previous_asn = hop.asn
+    return detected
+
+
+@dataclass(frozen=True)
+class DetectionAccuracy:
+    """Detected vs ground-truth fabric."""
+
+    membership_precision: float
+    membership_recall: float
+    peering_precision: float
+    peering_recall: float
+    crossings_seen: int
+
+
+def compare_detection(
+    detected: DetectedIXPs, fabric: IXPFabric
+) -> DetectionAccuracy:
+    """Score a detection run against the true fabric."""
+    true_memberships = {
+        (name, asn)
+        for name, ixp in fabric.ixps.items()
+        for asn in ixp.members
+    }
+    true_peerings = set(fabric.peerings)
+    found_memberships = detected.membership_pairs()
+    found_peerings = detected.peerings
+
+    def precision(found: set, truth: set) -> float:
+        return len(found & truth) / len(found) if found else 1.0
+
+    def recall(found: set, truth: set) -> float:
+        return len(found & truth) / len(truth) if truth else 1.0
+
+    return DetectionAccuracy(
+        membership_precision=precision(found_memberships, true_memberships),
+        membership_recall=recall(found_memberships, true_memberships),
+        peering_precision=precision(found_peerings, true_peerings),
+        peering_recall=recall(found_peerings, true_peerings),
+        crossings_seen=detected.crossings_seen,
+    )

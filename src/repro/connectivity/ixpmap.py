@@ -1,0 +1,82 @@
+"""IXP-mapping dataset (paper Section 6).
+
+"For peer-to-peer relationships at IXPs, we consult the dataset
+produced by the IXP mapping project [Augustin et al.]."  That dataset
+is two tables: IXP memberships and per-IXP peering pairs.  This module
+serialises an :class:`~repro.net.ixp.IXPFabric` into (and parses it
+back from) that form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..net.ixp import IXP, IXPFabric
+
+
+def to_membership_lines(fabric: IXPFabric) -> List[str]:
+    """``ixp|city|country|lat|lon|asn`` rows, one per membership."""
+    lines = ["# <ixp>|<city>|<country>|<lat>|<lon>|<member-asn>"]
+    for name in sorted(fabric.ixps):
+        ixp = fabric.ixps[name]
+        for asn in sorted(ixp.members):
+            lines.append(
+                f"{ixp.name}|{ixp.city_name}|{ixp.country_code}"
+                f"|{ixp.lat:.4f}|{ixp.lon:.4f}|{asn}"
+            )
+    return lines
+
+
+def to_peering_lines(fabric: IXPFabric) -> List[str]:
+    """``ixp|asn1|asn2`` rows, one per public peering session."""
+    lines = ["# <ixp>|<asn>|<asn>"]
+    for ixp_name, a, b in sorted(fabric.peerings):
+        lines.append(f"{ixp_name}|{a}|{b}")
+    return lines
+
+
+def from_dataset_lines(
+    membership_lines: Iterable[str],
+    peering_lines: Iterable[str],
+    city_keys: dict = None,
+) -> IXPFabric:
+    """Rebuild a fabric from its two serialised tables.
+
+    ``city_keys`` optionally maps IXP name -> city key; unknown IXPs
+    get a key derived from the serialised city/country columns.
+    """
+    fabric = IXPFabric()
+    for raw in membership_lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, city, country, lat, lon, asn = line.split("|")
+        if name not in fabric.ixps:
+            key = (city_keys or {}).get(name, f"{country}/?/{city}")
+            fabric.add_ixp(
+                IXP(
+                    name=name,
+                    city_key=key,
+                    city_name=city,
+                    country_code=country,
+                    lat=float(lat),
+                    lon=float(lon),
+                )
+            )
+        fabric.ixps[name].add_member(int(asn))
+    for raw in peering_lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, a, b = line.split("|")
+        fabric.add_peering(name, int(a), int(b))
+    return fabric
+
+
+def membership_matrix(fabric: IXPFabric) -> List[Tuple[str, int]]:
+    """All (ixp name, member asn) pairs, sorted."""
+    pairs: List[Tuple[str, int]] = []
+    for name in sorted(fabric.ixps):
+        for asn in sorted(fabric.ixps[name].members):
+            pairs.append((name, asn))
+    return pairs

@@ -1,0 +1,93 @@
+"""Aggregate edge-connectivity metrics.
+
+Section 6's qualitative claim — "the world of peering relationships at
+the 'edge' of the network is highly diverse and complex.  For example,
+even simple eyeball ASes tend to peer very actively at local and remote
+IXPs, especially in Europe, and also maintain rich upstream
+connectivity" — quantified over every eyeball AS of an ecosystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..net.asn import ASType
+from ..net.ecosystem import ASEcosystem
+from .casestudy import LOCAL_IXP_RADIUS_KM, analyze_edge_connectivity
+
+
+@dataclass(frozen=True)
+class ContinentConnectivity:
+    """Edge-connectivity profile of one continent's eyeball ASes."""
+
+    continent: str
+    as_count: int
+    mean_providers: float
+    multihomed_fraction: float  # >= 2 providers
+    peering_fraction: float  # member of >= 1 IXP
+    remote_peering_fraction: float  # member of >= 1 remote IXP
+    mean_ixp_peers: float
+
+
+@dataclass
+class ConnectivitySurvey:
+    """Per-continent connectivity profiles plus the global view."""
+
+    by_continent: Dict[str, ContinentConnectivity]
+
+    def continent(self, code: str) -> ContinentConnectivity:
+        return self.by_continent[code]
+
+    def most_active_peering_continent(self) -> str:
+        """Continent whose eyeballs peer most (paper: Europe)."""
+        return max(
+            self.by_continent.values(),
+            key=lambda c: (c.peering_fraction, c.continent),
+        ).continent
+
+
+def survey_edge_connectivity(
+    ecosystem: ASEcosystem, local_radius_km: float = LOCAL_IXP_RADIUS_KM
+) -> ConnectivitySurvey:
+    """Analyze every eyeball AS and aggregate per continent."""
+    buckets: Dict[str, List] = {}
+    for node in ecosystem.as_nodes.values():
+        if node.as_type is not ASType.EYEBALL:
+            continue
+        report = analyze_edge_connectivity(
+            ecosystem, node.asn, local_radius_km=local_radius_km
+        )
+        buckets.setdefault(node.continent_code, []).append(report)
+
+    by_continent: Dict[str, ContinentConnectivity] = {}
+    for continent, reports in sorted(buckets.items()):
+        providers = np.array([r.provider_count for r in reports], dtype=float)
+        peering = np.array([len(r.memberships) > 0 for r in reports], dtype=float)
+        remote = np.array(
+            [len(r.remote_memberships) > 0 for r in reports], dtype=float
+        )
+        peers = np.array([r.peer_count for r in reports], dtype=float)
+        by_continent[continent] = ContinentConnectivity(
+            continent=continent,
+            as_count=len(reports),
+            mean_providers=float(providers.mean()),
+            multihomed_fraction=float((providers >= 2).mean()),
+            peering_fraction=float(peering.mean()),
+            remote_peering_fraction=float(remote.mean()),
+            mean_ixp_peers=float(peers.mean()),
+        )
+    return ConnectivitySurvey(by_continent=by_continent)
+
+
+def provider_count_distribution(ecosystem: ASEcosystem) -> Dict[int, int]:
+    """Histogram of upstream-provider counts over eyeball ASes."""
+    histogram: Dict[int, int] = {}
+    for node in ecosystem.as_nodes.values():
+        if node.as_type is not ASType.EYEBALL:
+            continue
+        count = len(ecosystem.graph.providers_of(node.asn))
+        histogram[count] = histogram.get(count, 0) + 1
+    return dict(sorted(histogram.items()))

@@ -1,0 +1,69 @@
+"""The paper's primary contribution: KDE geo-footprints and PoP inference."""
+
+from .bandwidth import (
+    AVERAGE_CITY_RADIUS_KM,
+    BandwidthChoice,
+    CITY_BANDWIDTH_KM,
+    COUNTRY_BANDWIDTH_KM,
+    FIGURE1_BANDWIDTHS_KM,
+    FIGURE2_BANDWIDTHS_KM,
+    REGION_BANDWIDTH_KM,
+    choose_bandwidth,
+    data_driven_bandwidth_km,
+    error_floor_km,
+    fixed_bandwidth_is_valid,
+)
+from .botev import botev_bandwidth_km, isj_bandwidth_1d
+from .contours import Contour, ContourRegion, extract_contour, footprint_contour
+from .fusion import FusedPoP, FusedPoPSet, PoPProvenance, fuse_pop_sets
+from .footprint import GeoFootprint, estimate_geo_footprint
+from .grid import DensityGrid
+from .kde import compute_kde, kde_at_points
+from .multiscale import (
+    RefinedPoP,
+    RefinedPoPSet,
+    RefinementConfig,
+    refine_pops,
+)
+from .peaks import Peak, find_peaks, highest_peak
+from .pop import DEFAULT_ALPHA, PoPEstimate, PoPFootprint, extract_pop_footprint
+
+__all__ = [
+    "AVERAGE_CITY_RADIUS_KM",
+    "BandwidthChoice",
+    "CITY_BANDWIDTH_KM",
+    "COUNTRY_BANDWIDTH_KM",
+    "Contour",
+    "ContourRegion",
+    "FusedPoP",
+    "FusedPoPSet",
+    "PoPProvenance",
+    "RefinedPoP",
+    "RefinedPoPSet",
+    "RefinementConfig",
+    "DEFAULT_ALPHA",
+    "DensityGrid",
+    "FIGURE1_BANDWIDTHS_KM",
+    "FIGURE2_BANDWIDTHS_KM",
+    "GeoFootprint",
+    "Peak",
+    "PoPEstimate",
+    "PoPFootprint",
+    "REGION_BANDWIDTH_KM",
+    "choose_bandwidth",
+    "compute_kde",
+    "botev_bandwidth_km",
+    "data_driven_bandwidth_km",
+    "isj_bandwidth_1d",
+    "fuse_pop_sets",
+    "refine_pops",
+    "error_floor_km",
+    "estimate_geo_footprint",
+    "extract_contour",
+    "extract_pop_footprint",
+    "find_peaks",
+    "fixed_bandwidth_is_valid",
+    "footprint_contour",
+    "highest_peak",
+    "kde_at_points",
+]

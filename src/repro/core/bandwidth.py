@@ -1,0 +1,127 @@
+"""Kernel-bandwidth policy (paper Section 3.1).
+
+The bandwidth must satisfy two lower bounds simultaneously:
+
+1. **resolution** — "the bandwidth should be larger than the average
+   radius of a city which is around 30-35km.  We set the bandwidth ...
+   to 40km to achieve aggregation over a slightly larger region and
+   avoid multiple peaks over a single city";
+2. **geo error** — "we could set the bandwidth for each AS to the 90th
+   percentile of geo error across all peers in that AS".
+
+The paper chooses the fixed 40 km city-level bandwidth and instead
+*removes* ASes whose p90 geo error exceeds 80 km; both policies are
+implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Average city radius per the paper (km).
+AVERAGE_CITY_RADIUS_KM = 32.5
+
+#: The paper's chosen city-level kernel bandwidth (km).
+CITY_BANDWIDTH_KM = 40.0
+
+#: Bandwidths Figure 1 sweeps.
+FIGURE1_BANDWIDTHS_KM = (20.0, 40.0, 60.0)
+
+#: Bandwidths Figure 2 sweeps.
+FIGURE2_BANDWIDTHS_KM = (10.0, 40.0, 80.0)
+
+#: Coarser resolutions for multi-resolution views (region/country).
+REGION_BANDWIDTH_KM = 80.0
+COUNTRY_BANDWIDTH_KM = 160.0
+
+
+@dataclass(frozen=True)
+class BandwidthChoice:
+    """A bandwidth decision with its two lower bounds recorded."""
+
+    bandwidth_km: float
+    resolution_floor_km: float
+    error_floor_km: float
+
+    @property
+    def limited_by_error(self) -> bool:
+        """True when geo error, not the target resolution, set the value."""
+        return self.error_floor_km > self.resolution_floor_km
+
+
+def error_floor_km(error_km: np.ndarray, percentile: float = 90.0) -> float:
+    """The geo-error lower bound: the p-th error percentile of the AS."""
+    error_km = np.asarray(error_km, dtype=float)
+    if error_km.size == 0:
+        return 0.0
+    if not 0 < percentile <= 100:
+        raise ValueError("percentile out of range")
+    return float(np.percentile(error_km, percentile))
+
+
+def choose_bandwidth(
+    error_km: np.ndarray,
+    resolution_km: float = CITY_BANDWIDTH_KM,
+    percentile: float = 90.0,
+) -> BandwidthChoice:
+    """Per-AS adaptive bandwidth: max of the two lower bounds.
+
+    This is the AS-dependent alternative the paper describes before
+    opting for the fixed-bandwidth + error-gate policy.
+    """
+    if resolution_km <= 0:
+        raise ValueError("resolution floor must be positive")
+    floor = error_floor_km(error_km, percentile)
+    return BandwidthChoice(
+        bandwidth_km=max(resolution_km, floor),
+        resolution_floor_km=resolution_km,
+        error_floor_km=floor,
+    )
+
+
+def data_driven_bandwidth_km(lats, lons, rule: str = "scott") -> float:
+    """Classical data-driven bandwidth selection, for comparison.
+
+    Scott's rule for a d-dimensional KDE is ``h = sigma * n**(-1/(d+4))``;
+    Silverman's multiplies by ``(4/(d+2))**(1/(d+4))``, which equals 1 at
+    d=2 — so the two rules coincide for geographic data and both are
+    offered mainly so the ablation can show *why* the paper pins the
+    bandwidth instead: statistical rules track sampling noise, not the
+    40 km city scale or the geo-error floor the application cares about,
+    and with millions of samples they collapse towards zero.
+
+    ``sigma`` is the geometric mean of the per-axis standard deviations
+    on the local km plane.
+    """
+    from ..geo.projection import LocalProjection
+
+    lats = np.asarray(lats, dtype=float)
+    lons = np.asarray(lons, dtype=float)
+    if lats.size < 2:
+        raise ValueError("bandwidth selection needs at least two samples")
+    if rule not in ("scott", "silverman"):
+        raise ValueError(f"unknown bandwidth rule {rule!r}")
+    projection = LocalProjection.for_points(lats, lons)
+    x, y = projection.forward(lats, lons)
+    sigma_x = float(np.std(x))
+    sigma_y = float(np.std(y))
+    if sigma_x == 0.0 and sigma_y == 0.0:
+        raise ValueError("degenerate sample: all points identical")
+    sigma = float(np.sqrt(max(sigma_x, 1e-9) * max(sigma_y, 1e-9)))
+    factor = 1.0  # both rules: (4/(d+2))**(1/(d+4)) == 1 for d == 2
+    return factor * sigma * lats.size ** (-1.0 / 6.0)
+
+
+def fixed_bandwidth_is_valid(
+    error_km: np.ndarray,
+    bandwidth_km: float = CITY_BANDWIDTH_KM,
+    gate_km: float = 80.0,
+    percentile: float = 90.0,
+) -> bool:
+    """The paper's policy: a fixed bandwidth is valid for an AS iff the
+    AS passed the p90-geo-error gate."""
+    if bandwidth_km <= 0 or gate_km <= 0:
+        raise ValueError("bandwidth and gate must be positive")
+    return error_floor_km(error_km, percentile) <= gate_km

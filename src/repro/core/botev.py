@@ -1,0 +1,124 @@
+"""Improved Sheather-Jones (diffusion) bandwidth selection.
+
+The paper's KDE reference is Botev, Grotowski & Kroese, *Kernel Density
+Estimation via Diffusion* (Annals of Statistics, 2010).  Its practical
+core is the ISJ plug-in rule: estimate the functionals
+``||f^(s)||^2`` from the data's cosine transform and solve the
+fixed-point equation
+
+    t = xi * gamma^[l](t)
+
+whose root is the optimal (squared, scaled) bandwidth.  Unlike
+Silverman/Scott rules it makes no Gaussian reference assumption, so it
+does not oversmooth multimodal data — which user densities across a
+country emphatically are.
+
+This module implements the 1-D selector from scratch (DCT + fixed
+point) and applies it to geographic data per projected axis, combining
+the axes by geometric mean.  It exists for the bandwidth ablation: even
+the best statistical selector answers a different question ("minimise
+MISE") than the paper's 40 km rule ("resolve cities, absorb geo
+error").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import optimize
+from scipy.fft import dct
+
+from ..geo.projection import LocalProjection
+
+#: Number of grid bins for the DCT (power of two, per Botev's reference
+#: implementation).
+GRID_SIZE = 2**12
+
+#: Highest derivative functional used to seed the plug-in recursion.
+_PLUGIN_DEPTH = 7
+
+
+def _fixed_point(t: float, n: int, i_squared: np.ndarray, a2: np.ndarray) -> float:
+    """Botev's ``t - xi * gamma^[l](t)`` whose root is t*."""
+    # ||f^(l)||^2 estimate at time t.
+    f = 2.0 * np.pi ** (2 * _PLUGIN_DEPTH) * float(
+        np.sum(
+            i_squared**_PLUGIN_DEPTH
+            * a2
+            * np.exp(-i_squared * np.pi**2 * t)
+        )
+    )
+    for s in range(_PLUGIN_DEPTH - 1, 1, -1):
+        # (2s-1)!! / sqrt(2 pi)
+        k0 = float(np.prod(np.arange(1, 2 * s, 2))) / np.sqrt(2.0 * np.pi)
+        const = (1.0 + 0.5 ** (s + 0.5)) / 3.0
+        time = (2.0 * const * k0 / (n * f)) ** (2.0 / (3.0 + 2.0 * s))
+        f = 2.0 * np.pi ** (2 * s) * float(
+            np.sum(i_squared**s * a2 * np.exp(-i_squared * np.pi**2 * time))
+        )
+    return t - (2.0 * n * np.sqrt(np.pi) * f) ** (-0.4)
+
+
+def isj_bandwidth_1d(samples: np.ndarray) -> float:
+    """ISJ bandwidth for a 1-D sample, in the sample's units."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size < 4:
+        raise ValueError("ISJ needs at least four samples")
+    lo = float(samples.min())
+    hi = float(samples.max())
+    span = hi - lo
+    if span <= 0:
+        raise ValueError("degenerate sample: zero spread")
+    # Pad the range ~10% so boundary bins do not clip the density.
+    lo -= span * 0.05
+    hi += span * 0.05
+    span = hi - lo
+
+    hist, _ = np.histogram(samples, bins=GRID_SIZE, range=(lo, hi))
+    n = int(np.sum(hist > 0))  # distinct occupied bins ~ effective n
+    n = max(n, 50)
+    weights = hist / samples.size
+    transformed = dct(weights, norm=None)
+    # Squared DCT coefficients, skipping the DC term.
+    a2 = (transformed[1:] / 2.0) ** 2
+    i_squared = np.arange(1, GRID_SIZE, dtype=float) ** 2
+
+    # Find the root of the fixed-point equation; scan brackets upward
+    # like the reference implementation.
+    t_star: Optional[float] = None
+    for guess in range(1, 8):
+        bracket = 0.1 * guess**2 / n
+        try:
+            t_star = float(
+                optimize.brentq(
+                    _fixed_point, 0.0, bracket, args=(n, i_squared, a2)
+                )
+            )
+            break
+        except ValueError:
+            continue
+    if t_star is None or t_star <= 0:
+        # Fall back to the Gaussian-reference rule on the scaled data.
+        t_star = (
+            float(np.std(samples / span)) * (4.0 / (3.0 * samples.size)) ** 0.4
+        ) ** 2
+    return float(np.sqrt(t_star) * span)
+
+
+def botev_bandwidth_km(lats, lons) -> float:
+    """Diffusion (ISJ) bandwidth for geographic samples, in km.
+
+    The 1-D selector runs independently on the local east and north
+    axes; the geometric mean gives the isotropic bandwidth the rest of
+    the library expects.
+    """
+    lats = np.asarray(lats, dtype=float)
+    lons = np.asarray(lons, dtype=float)
+    if lats.size < 4:
+        raise ValueError("ISJ needs at least four samples")
+    projection = LocalProjection.for_points(lats, lons)
+    x, y = projection.forward(lats, lons)
+    h_x = isj_bandwidth_1d(np.asarray(x))
+    h_y = isj_bandwidth_1d(np.asarray(y))
+    return float(np.sqrt(h_x * h_y))

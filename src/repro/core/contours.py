@@ -1,0 +1,117 @@
+"""Density contours and footprint regions (paper Section 3).
+
+"The largest contour of the aggregate density represents the
+geo-footprint of the AS at certain levels of resolution and may consist
+of one or multiple partitions."
+
+A contour at level L is the super-level set {density >= L}; its
+connected components are the footprint's partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from .grid import DensityGrid
+
+
+@dataclass(frozen=True)
+class ContourRegion:
+    """One connected partition of a super-level set."""
+
+    mask: np.ndarray  # boolean, grid-shaped
+    area_km2: float
+    mass: float  # probability mass inside
+    centroid_latlon: Tuple[float, float]
+
+    def __post_init__(self) -> None:
+        if self.area_km2 < 0 or not 0 <= self.mass <= 1.0 + 1e-9:
+            raise ValueError("invalid contour region metrics")
+
+
+@dataclass(frozen=True)
+class Contour:
+    """A full super-level set at one density level."""
+
+    level: float
+    regions: Tuple[ContourRegion, ...]
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.regions)
+
+    @property
+    def total_area_km2(self) -> float:
+        return sum(r.area_km2 for r in self.regions)
+
+    @property
+    def total_mass(self) -> float:
+        return sum(r.mass for r in self.regions)
+
+    @property
+    def largest_region(self) -> ContourRegion:
+        if not self.regions:
+            raise ValueError("empty contour has no largest region")
+        return max(self.regions, key=lambda r: r.area_km2)
+
+    def contains_latlon(self, grid: DensityGrid, lat: float, lon: float) -> bool:
+        """Whether a point falls inside any partition."""
+        x, y = grid.projection.forward(lat, lon)
+        try:
+            ix, iy = grid.cell_of(float(x), float(y))
+        except IndexError:
+            return False
+        return any(bool(r.mask[iy, ix]) for r in self.regions)
+
+
+def extract_contour(grid: DensityGrid, level: float) -> Contour:
+    """Super-level set {density >= level} split into partitions.
+
+    Components are ordered by descending area.  ``level`` must be
+    positive — the zero set would be the whole grid.
+    """
+    if level <= 0:
+        raise ValueError("contour level must be positive")
+    mask = grid.values >= level
+    labels, count = ndimage.label(mask)
+    regions: List[ContourRegion] = []
+    cell_area = grid.cell_area_km2
+    for label in range(1, count + 1):
+        region_mask = labels == label
+        mass = float(grid.values[region_mask].sum() * cell_area)
+        ys, xs = np.nonzero(region_mask)
+        # Mass-weighted centroid of the partition.
+        weights = grid.values[ys, xs]
+        wsum = float(weights.sum())
+        cx = float((xs * weights).sum() / wsum)
+        cy = float((ys * weights).sum() / wsum)
+        x = grid.x_min + (cx + 0.5) * grid.cell_km
+        y = grid.y_min + (cy + 0.5) * grid.cell_km
+        lat, lon = grid.projection.inverse(x, y)
+        regions.append(
+            ContourRegion(
+                mask=region_mask,
+                area_km2=float(region_mask.sum() * cell_area),
+                mass=min(mass, 1.0),
+                centroid_latlon=(float(lat), float(lon)),
+            )
+        )
+    regions.sort(key=lambda r: -r.area_km2)
+    return Contour(level=level, regions=tuple(regions))
+
+
+def footprint_contour(
+    grid: DensityGrid, relative_level: float = 0.01
+) -> Contour:
+    """The geo-footprint contour: level set at a fraction of the peak
+    density (the paper's "largest contour")."""
+    if not 0 < relative_level < 1:
+        raise ValueError("relative level must be in (0, 1)")
+    peak = grid.max_density()
+    if peak <= 0:
+        raise ValueError("cannot contour an all-zero density")
+    return extract_contour(grid, relative_level * peak)

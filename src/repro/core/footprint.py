@@ -1,0 +1,86 @@
+"""Geo-footprint estimation (paper Section 3, end-to-end).
+
+Bundles the KDE density, the footprint contour and the density peaks of
+one AS into a :class:`GeoFootprint`, the object Section 4 turns into a
+PoP-level footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .contours import Contour, footprint_contour
+from .grid import DensityGrid
+from .kde import compute_kde
+from .peaks import Peak, find_peaks
+
+
+@dataclass
+class GeoFootprint:
+    """The estimated geographic footprint of one AS."""
+
+    bandwidth_km: float
+    sample_count: int
+    grid: DensityGrid
+    contour: Contour
+    peaks: Tuple[Peak, ...]
+
+    @property
+    def max_density(self) -> float:
+        return self.grid.max_density()
+
+    @property
+    def partition_count(self) -> int:
+        """Number of disjoint regions in the footprint contour."""
+        return self.contour.partition_count
+
+    @property
+    def area_km2(self) -> float:
+        return self.contour.total_area_km2
+
+    def peaks_above(self, alpha: float) -> List[Peak]:
+        """Peaks with density > alpha * Dmax (Section 4.1's selection)."""
+        if not 0 < alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        threshold = alpha * self.max_density
+        return [p for p in self.peaks if p.density > threshold]
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """Whether a point lies inside the footprint contour."""
+        return self.contour.contains_latlon(self.grid, lat, lon)
+
+
+def estimate_geo_footprint(
+    lats: np.ndarray,
+    lons: np.ndarray,
+    bandwidth_km: float,
+    contour_level: float = 0.01,
+    cell_km: Optional[float] = None,
+    weights: Optional[np.ndarray] = None,
+    method: str = "fft",
+) -> GeoFootprint:
+    """Estimate an AS's geo-footprint from its peer locations.
+
+    ``contour_level`` is the footprint contour level as a fraction of
+    the maximum density.
+    """
+    grid = compute_kde(
+        lats,
+        lons,
+        bandwidth_km=bandwidth_km,
+        cell_km=cell_km,
+        weights=weights,
+        method=method,
+    )
+    contour = footprint_contour(grid, relative_level=contour_level)
+    peaks = tuple(find_peaks(grid))
+    return GeoFootprint(
+        bandwidth_km=bandwidth_km,
+        sample_count=int(np.asarray(lats).size),
+        grid=grid,
+        contour=contour,
+        peaks=peaks,
+    )

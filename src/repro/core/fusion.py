@@ -1,0 +1,116 @@
+"""Fusing edge-based and traceroute-based PoP inference (paper
+Conclusion).
+
+"It also suggests a possible fusion of the two approaches whereby the
+former is augmented with tracerouting capabilities from the 'edge' and
+the latter is empowered with performing targeted tracerouting towards
+the edge of the Internet.  Such a combined approach holds the promise
+to unearth much of what has remained invisible."
+
+The two methods have complementary blind spots:
+
+* user-density KDE cannot see *infrastructure-only* PoPs (no customers
+  there — the paper's first Section 5 mismatch cause);
+* traceroute cannot see PoPs off the transit paths of its few vantage
+  points (why DIMES reports 1.54 PoPs/AS against KDE's 7.14).
+
+Fusion takes the union at city scale, tracking the provenance of every
+fused PoP so downstream consumers know how each location was witnessed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..geo.coords import haversine_km
+
+LatLon = Tuple[float, float]
+
+
+class PoPProvenance(enum.Enum):
+    """How a fused PoP was witnessed."""
+
+    BOTH = "both"
+    EDGE_ONLY = "edge-only"  # user density saw it, traceroute did not
+    TRACEROUTE_ONLY = "traceroute-only"  # the reverse
+
+
+@dataclass(frozen=True)
+class FusedPoP:
+    """One PoP in the fused set."""
+
+    lat: float
+    lon: float
+    provenance: PoPProvenance
+
+
+@dataclass
+class FusedPoPSet:
+    """The fused PoP set of one AS."""
+
+    pops: Tuple[FusedPoP, ...]
+    merge_radius_km: float
+
+    def __len__(self) -> int:
+        return len(self.pops)
+
+    def coordinates(self) -> List[LatLon]:
+        return [(p.lat, p.lon) for p in self.pops]
+
+    def count(self, provenance: PoPProvenance) -> int:
+        return sum(1 for p in self.pops if p.provenance is provenance)
+
+    @property
+    def corroborated_fraction(self) -> float:
+        """Fraction of fused PoPs both methods witnessed."""
+        if not self.pops:
+            return 0.0
+        return self.count(PoPProvenance.BOTH) / len(self.pops)
+
+
+def fuse_pop_sets(
+    edge_pops: Sequence[LatLon],
+    traceroute_pops: Sequence[LatLon],
+    merge_radius_km: float = 40.0,
+) -> FusedPoPSet:
+    """Fuse the two PoP location sets at city scale.
+
+    Edge PoPs within ``merge_radius_km`` of a traceroute PoP are marked
+    corroborated (BOTH); leftovers on either side keep their provenance.
+    Traceroute-only locations are deduplicated against the edge set
+    and among themselves.
+    """
+    if merge_radius_km <= 0:
+        raise ValueError("merge radius must be positive")
+
+    def covered(point: LatLon, others: Sequence[LatLon]) -> bool:
+        return any(
+            float(haversine_km(point[0], point[1], lat, lon)) <= merge_radius_km
+            for lat, lon in others
+        )
+
+    fused: List[FusedPoP] = []
+    for lat, lon in edge_pops:
+        provenance = (
+            PoPProvenance.BOTH
+            if covered((lat, lon), traceroute_pops)
+            else PoPProvenance.EDGE_ONLY
+        )
+        fused.append(FusedPoP(lat=float(lat), lon=float(lon),
+                              provenance=provenance))
+    accepted_traceroute: List[LatLon] = []
+    for lat, lon in traceroute_pops:
+        if covered((lat, lon), edge_pops):
+            continue  # already represented by a BOTH edge PoP
+        if covered((lat, lon), accepted_traceroute):
+            continue  # duplicate traceroute witness of the same place
+        accepted_traceroute.append((float(lat), float(lon)))
+        fused.append(
+            FusedPoP(
+                lat=float(lat), lon=float(lon),
+                provenance=PoPProvenance.TRACEROUTE_ONLY,
+            )
+        )
+    return FusedPoPSet(pops=tuple(fused), merge_radius_km=merge_radius_km)

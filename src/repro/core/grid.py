@@ -1,0 +1,99 @@
+"""Raster density grids on a local kilometre plane.
+
+The KDE of an AS's user density is evaluated on a regular grid in the
+AS's :class:`~repro.geo.projection.LocalProjection`.  ``values[iy, ix]``
+is the density (probability mass per km²) at the centre of cell
+``(ix, iy)``; the grid carries enough geometry to map any cell back to
+latitude/longitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..geo.projection import LocalProjection
+
+
+@dataclass
+class DensityGrid:
+    """A regular raster of density values over a projected region."""
+
+    projection: LocalProjection
+    x_min: float  # km, west edge of the first column of cells
+    y_min: float  # km, south edge of the first row of cells
+    cell_km: float
+    values: np.ndarray  # shape (ny, nx), density per km^2
+
+    def __post_init__(self) -> None:
+        if self.cell_km <= 0:
+            raise ValueError("cell size must be positive")
+        if self.values.ndim != 2:
+            raise ValueError("values must be a 2-D array")
+        if not np.all(np.isfinite(self.values)):
+            raise ValueError("density values must be finite")
+        if np.any(self.values < 0):
+            raise ValueError("density values cannot be negative")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.values.shape  # (ny, nx)
+
+    @property
+    def nx(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def ny(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def cell_area_km2(self) -> float:
+        return self.cell_km * self.cell_km
+
+    def x_centers(self) -> np.ndarray:
+        return self.x_min + (np.arange(self.nx) + 0.5) * self.cell_km
+
+    def y_centers(self) -> np.ndarray:
+        return self.y_min + (np.arange(self.ny) + 0.5) * self.cell_km
+
+    def cell_center(self, ix: int, iy: int) -> Tuple[float, float]:
+        """Projected (x, y) km of a cell centre."""
+        if not (0 <= ix < self.nx and 0 <= iy < self.ny):
+            raise IndexError("cell outside grid")
+        return (
+            self.x_min + (ix + 0.5) * self.cell_km,
+            self.y_min + (iy + 0.5) * self.cell_km,
+        )
+
+    def cell_latlon(self, ix: int, iy: int) -> Tuple[float, float]:
+        """Geographic coordinates of a cell centre."""
+        x, y = self.cell_center(ix, iy)
+        lat, lon = self.projection.inverse(x, y)
+        return float(lat), float(lon)
+
+    def cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        """Cell (ix, iy) containing a projected point."""
+        ix = int(np.floor((x - self.x_min) / self.cell_km))
+        iy = int(np.floor((y - self.y_min) / self.cell_km))
+        if not (0 <= ix < self.nx and 0 <= iy < self.ny):
+            raise IndexError("point outside grid")
+        return ix, iy
+
+    def value_at(self, x: float, y: float) -> float:
+        """Density at the cell containing a projected point."""
+        ix, iy = self.cell_of(x, y)
+        return float(self.values[iy, ix])
+
+    def value_at_latlon(self, lat: float, lon: float) -> float:
+        x, y = self.projection.forward(lat, lon)
+        return self.value_at(float(x), float(y))
+
+    def total_mass(self) -> float:
+        """Integral of the density over the grid (~1 for a full KDE)."""
+        return float(self.values.sum() * self.cell_area_km2)
+
+    def max_density(self) -> float:
+        return float(self.values.max()) if self.values.size else 0.0

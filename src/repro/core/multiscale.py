@@ -1,0 +1,182 @@
+"""Multi-bandwidth PoP refinement (paper Section 5, future work).
+
+The paper's second mismatch cause: "some eyeball ASes have a few PoPs
+within a relatively short distance.  Using the KDE approach especially
+with moderate to large bandwidth does not distinguish these PoPs.  As
+part of our future work, we plan to use different kernel bandwidth and
+determine these PoPs based on the relative distance and user density of
+associated peaks with different bandwidths."
+
+This module implements that plan.  A coarse-bandwidth footprint gives
+the reliable PoP *set* (Figure 2(b): large bandwidths are precise); a
+fine-bandwidth footprint is then consulted *locally*: every coarse peak
+is replaced by the fine peaks that fall inside its coarse-bandwidth
+disc, provided they are mutually separated and individually dense
+enough.  Fine structure far from any coarse peak is ignored — that is
+exactly the spurious-cluster noise the coarse pass exists to suppress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.coords import haversine_km
+from .footprint import GeoFootprint, estimate_geo_footprint
+from .peaks import Peak
+
+
+@dataclass(frozen=True)
+class RefinementConfig:
+    """Knobs of the multi-scale refinement."""
+
+    coarse_bandwidth_km: float = 40.0
+    fine_bandwidth_km: float = 15.0
+    #: Fine peaks below this fraction of the fine Dmax are noise.
+    fine_alpha: float = 0.02
+    #: Minimum separation between refined PoPs (distinct facilities).
+    min_separation_km: float = 20.0
+    #: Fine peaks are attributed to a coarse peak within this many
+    #: coarse bandwidths.  Two Gaussians of bandwidth h merge into one
+    #: coarse peak up to ~2h separation (more when their weights differ),
+    #: so the catchment must reach past 2h.
+    search_radius_factor: float = 2.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fine_bandwidth_km < self.coarse_bandwidth_km:
+            raise ValueError("fine bandwidth must be below the coarse one")
+        if not 0 < self.fine_alpha < 1:
+            raise ValueError("fine alpha must be in (0, 1)")
+        if self.min_separation_km <= 0:
+            raise ValueError("separation must be positive")
+        if self.search_radius_factor < 1.0:
+            raise ValueError("search radius factor must be at least 1")
+
+    @property
+    def search_radius_km(self) -> float:
+        return self.search_radius_factor * self.coarse_bandwidth_km
+
+
+@dataclass(frozen=True)
+class RefinedPoP:
+    """One refined PoP: a fine-scale peak attributed to a coarse peak."""
+
+    lat: float
+    lon: float
+    density: float  # fine-bandwidth density
+    coarse_peak_index: int  # which coarse PoP it refines
+    split: bool  # True when its coarse peak produced >1 refined PoP
+
+
+@dataclass
+class RefinedPoPSet:
+    """Output of :func:`refine_pops`."""
+
+    config: RefinementConfig
+    coarse_peaks: Tuple[Peak, ...]
+    pops: Tuple[RefinedPoP, ...]
+
+    def __len__(self) -> int:
+        return len(self.pops)
+
+    @property
+    def split_count(self) -> int:
+        """How many coarse peaks were resolved into multiple PoPs."""
+        indices = [p.coarse_peak_index for p in self.pops if p.split]
+        return len(set(indices))
+
+    def coordinates(self) -> List[Tuple[float, float]]:
+        return [(p.lat, p.lon) for p in self.pops]
+
+    def pops_of_coarse_peak(self, index: int) -> List[RefinedPoP]:
+        return [p for p in self.pops if p.coarse_peak_index == index]
+
+
+def _select_separated(
+    candidates: Sequence[Peak], min_separation_km: float
+) -> List[Peak]:
+    """Greedy densest-first selection with a separation constraint."""
+    chosen: List[Peak] = []
+    for peak in sorted(candidates, key=lambda p: (-p.density, p.iy, p.ix)):
+        if all(
+            float(haversine_km(peak.lat, peak.lon, other.lat, other.lon))
+            >= min_separation_km
+            for other in chosen
+        ):
+            chosen.append(peak)
+    return chosen
+
+
+def refine_pops(
+    lats: np.ndarray,
+    lons: np.ndarray,
+    config: RefinementConfig = RefinementConfig(),
+    coarse_alpha: float = 0.01,
+    coarse: Optional[GeoFootprint] = None,
+    fine: Optional[GeoFootprint] = None,
+) -> RefinedPoPSet:
+    """Split close-by PoPs that a single coarse bandwidth merges.
+
+    ``coarse``/``fine`` allow reusing precomputed footprints; otherwise
+    both are estimated from the samples.
+    """
+    if coarse is None:
+        coarse = estimate_geo_footprint(
+            lats, lons, bandwidth_km=config.coarse_bandwidth_km
+        )
+    if fine is None:
+        fine = estimate_geo_footprint(
+            lats, lons, bandwidth_km=config.fine_bandwidth_km
+        )
+    coarse_peaks = tuple(coarse.peaks_above(coarse_alpha))
+    fine_threshold = config.fine_alpha * fine.max_density
+    fine_peaks = [p for p in fine.peaks if p.density > fine_threshold]
+
+    refined: List[RefinedPoP] = []
+    for index, anchor in enumerate(coarse_peaks):
+        local = [
+            p
+            for p in fine_peaks
+            if float(haversine_km(anchor.lat, anchor.lon, p.lat, p.lon))
+            <= config.search_radius_km
+        ]
+        selected = _select_separated(local, config.min_separation_km)
+        if not selected:
+            # No resolvable fine structure: keep the coarse peak itself.
+            refined.append(
+                RefinedPoP(
+                    lat=anchor.lat,
+                    lon=anchor.lon,
+                    density=anchor.density,
+                    coarse_peak_index=index,
+                    split=False,
+                )
+            )
+            continue
+        split = len(selected) > 1
+        for peak in selected:
+            refined.append(
+                RefinedPoP(
+                    lat=peak.lat,
+                    lon=peak.lon,
+                    density=peak.density,
+                    coarse_peak_index=index,
+                    split=split,
+                )
+            )
+    # A fine peak inside two overlapping coarse discs would be emitted
+    # twice; keep the densest instance per location.
+    deduped: List[RefinedPoP] = []
+    for pop in sorted(refined, key=lambda p: -p.density):
+        if all(
+            float(haversine_km(pop.lat, pop.lon, kept.lat, kept.lon))
+            >= config.min_separation_km
+            for kept in deduped
+        ):
+            deduped.append(pop)
+    deduped.sort(key=lambda p: (p.coarse_peak_index, -p.density))
+    return RefinedPoPSet(
+        config=config, coarse_peaks=coarse_peaks, pops=tuple(deduped)
+    )

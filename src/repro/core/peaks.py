@@ -1,0 +1,103 @@
+"""Local-maxima detection on density grids (paper Section 4.1).
+
+"We identify the geo-coordinates of all the local maxima D(i) (i.e.,
+peaks) in the estimated density function."
+
+A peak is a grid cell at least as dense as all eight neighbours and
+strictly denser than at least one of them; flat plateaus (equal-valued
+neighbouring maxima, common with quantised inputs) are merged into one
+peak at their densest-region centroid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+from scipy import ndimage
+
+from .grid import DensityGrid
+
+
+@dataclass(frozen=True)
+class Peak:
+    """One local maximum of a density grid."""
+
+    ix: int
+    iy: int
+    x_km: float
+    y_km: float
+    lat: float
+    lon: float
+    density: float
+
+    def __post_init__(self) -> None:
+        if self.density < 0:
+            raise ValueError("peak density cannot be negative")
+
+
+def find_peaks(grid: DensityGrid, min_density: float = 0.0) -> List[Peak]:
+    """All local maxima of the grid, densest first.
+
+    ``min_density`` discards cells below an absolute floor before the
+    neighbourhood test (zero keeps everything positive).
+    """
+    values = grid.values
+    if values.size == 0:
+        return []
+    # -inf padding lets boundary cells be maxima; edge-replicated padding
+    # keeps the strictness test honest there (a constant grid must not
+    # sprout peaks along its border).
+    padded = np.pad(values, 1, mode="constant", constant_values=-np.inf)
+    padded_edge = np.pad(values, 1, mode="edge")
+    neighbourhood = np.full_like(values, -np.inf)
+    strictly_above_one = np.zeros(values.shape, dtype=bool)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            if dx == 0 and dy == 0:
+                continue
+            window = (slice(1 + dy, 1 + dy + values.shape[0]),
+                      slice(1 + dx, 1 + dx + values.shape[1]))
+            neighbourhood = np.maximum(neighbourhood, padded[window])
+            strictly_above_one |= values > padded_edge[window]
+    candidate = (values >= neighbourhood) & strictly_above_one
+    candidate &= values > max(min_density, 0.0)
+
+    # Merge plateau maxima: connected candidate cells of ~equal density
+    # collapse to one peak at their centroid cell.
+    labels, count = ndimage.label(candidate)
+    peaks: List[Peak] = []
+    for label in range(1, count + 1):
+        ys, xs = np.nonzero(labels == label)
+        density = float(values[ys, xs].max())
+        iy = int(np.round(ys.mean()))
+        ix = int(np.round(xs.mean()))
+        # The centroid of a concave plateau can fall outside it; snap to
+        # the densest member cell in that case.
+        if labels[iy, ix] != label:
+            best = int(np.argmax(values[ys, xs]))
+            iy, ix = int(ys[best]), int(xs[best])
+        x, y = grid.cell_center(ix, iy)
+        lat, lon = grid.cell_latlon(ix, iy)
+        peaks.append(
+            Peak(ix=ix, iy=iy, x_km=x, y_km=y, lat=lat, lon=lon, density=density)
+        )
+    peaks.sort(key=lambda p: (-p.density, p.iy, p.ix))
+    return peaks
+
+
+def highest_peak(grid: DensityGrid) -> Peak:
+    """The global density maximum as a :class:`Peak`.
+
+    Unlike :func:`find_peaks` this never returns empty for a non-trivial
+    grid (even a constant grid has a well-defined argmax cell).
+    """
+    values = grid.values
+    iy, ix = np.unravel_index(int(np.argmax(values)), values.shape)
+    x, y = grid.cell_center(int(ix), int(iy))
+    lat, lon = grid.cell_latlon(int(ix), int(iy))
+    return Peak(
+        ix=int(ix), iy=int(iy), x_km=x, y_km=y, lat=lat, lon=lon,
+        density=float(values[iy, ix]),
+    )

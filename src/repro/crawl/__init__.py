@@ -1,0 +1,52 @@
+"""P2P measurement substrate: applications, populations, crawler."""
+
+from .apps import P2PApp, default_apps
+from .bias import (
+    BiasImpactReport,
+    CityBiasImpact,
+    SamplingBias,
+    compare_footprints,
+)
+from .campaign import CampaignConfig, CrawlCampaign, run_campaign
+from .crawler import CrawlConfig, PeerSample, crawl_union_size, run_crawl
+from .overlay import OverlayConfig, run_overlay_crawl
+from .protocols import (
+    BitTorrentProtocol,
+    GnutellaProtocol,
+    KadProtocol,
+    ProtocolCrawlConfig,
+    run_protocol_crawl,
+)
+from .population import (
+    AddressBlock,
+    PopulationConfig,
+    UserPopulation,
+    generate_population,
+)
+
+__all__ = [
+    "AddressBlock",
+    "BiasImpactReport",
+    "CityBiasImpact",
+    "SamplingBias",
+    "compare_footprints",
+    "CampaignConfig",
+    "CrawlCampaign",
+    "CrawlConfig",
+    "P2PApp",
+    "PeerSample",
+    "PopulationConfig",
+    "UserPopulation",
+    "crawl_union_size",
+    "default_apps",
+    "BitTorrentProtocol",
+    "GnutellaProtocol",
+    "KadProtocol",
+    "OverlayConfig",
+    "ProtocolCrawlConfig",
+    "generate_population",
+    "run_campaign",
+    "run_overlay_crawl",
+    "run_protocol_crawl",
+    "run_crawl",
+]

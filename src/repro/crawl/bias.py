@@ -1,0 +1,150 @@
+"""Sampling-bias modelling and analysis (paper Section 4.3).
+
+The paper distinguishes two bias regimes and defers their study to
+future work:
+
+1. **Mild bias** — a city's sampled-peer share is noticeable
+   (``D_A(C) > alpha * max(D_A)``) but disproportional to the AS's true
+   customer base there: "the derived PoP-level footprint of the AS
+   includes city C as a PoP but the density value associated with C is
+   inaccurate."
+2. **Significant bias** — a negligible (or zero) fraction of samples
+   from a PoP location: "our approach does not discover that PoP
+   location."
+
+This module injects both regimes into a crawl (per-(AS, city)
+penetration multipliers) and quantifies their effect by comparing the
+biased PoP-level footprint against the unbiased one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .population import UserPopulation
+
+
+@dataclass(frozen=True)
+class SamplingBias:
+    """Per-(AS, city) penetration multipliers.
+
+    A multiplier of 0 is the paper's *significant* bias (the location is
+    never sampled); values in (0, 1) model *mild* bias; values above 1
+    model over-representation.  Unlisted (AS, city) pairs are unbiased.
+    """
+
+    multipliers: Mapping[Tuple[int, str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key, value in self.multipliers.items():
+            if value < 0:
+                raise ValueError(f"negative multiplier for {key}")
+
+    def multiplier(self, asn: int, city_key: str) -> float:
+        return self.multipliers.get((asn, city_key), 1.0)
+
+    def per_user(self, population: UserPopulation) -> np.ndarray:
+        """Multiplier for every user in a population (vectorised)."""
+        block_multiplier = np.array(
+            [
+                self.multiplier(block.asn, block.city_key)
+                for block in population.blocks
+            ],
+            dtype=float,
+        )
+        return block_multiplier[population.user_block]
+
+    @classmethod
+    def significant(cls, asn: int, city_keys) -> "SamplingBias":
+        """Zero out sampling for an AS at the given cities."""
+        return cls({(asn, key): 0.0 for key in city_keys})
+
+    @classmethod
+    def mild(cls, asn: int, city_keys, factor: float = 0.25) -> "SamplingBias":
+        """Under-sample an AS at the given cities by ``factor``."""
+        if not 0 < factor < 1:
+            raise ValueError("mild bias factor must be in (0, 1)")
+        return cls({(asn, key): factor for key in city_keys})
+
+
+@dataclass(frozen=True)
+class CityBiasImpact:
+    """How one city's inferred PoP changed under bias."""
+
+    city_key: str
+    unbiased_share: float  # relative density without bias
+    biased_share: float  # relative density with bias (0 if undiscovered)
+    discovered: bool
+
+    @property
+    def share_distortion(self) -> float:
+        """Relative error of the biased density share."""
+        if self.unbiased_share == 0:
+            return 0.0
+        return abs(self.biased_share - self.unbiased_share) / self.unbiased_share
+
+
+@dataclass
+class BiasImpactReport:
+    """Comparison of biased vs unbiased PoP-level footprints of one AS."""
+
+    asn: int
+    impacts: Tuple[CityBiasImpact, ...]
+
+    def impact_of(self, city_key: str) -> Optional[CityBiasImpact]:
+        for impact in self.impacts:
+            if impact.city_key == city_key:
+                return impact
+        return None
+
+    @property
+    def lost_cities(self) -> List[str]:
+        """Cities present without bias but undiscovered under bias —
+        the paper's significant-bias outcome."""
+        return [i.city_key for i in self.impacts if not i.discovered]
+
+    @property
+    def distorted_cities(self) -> List[str]:
+        """Cities still discovered but with a density share off by more
+        than 25% — the paper's mild-bias outcome."""
+        return [
+            i.city_key
+            for i in self.impacts
+            if i.discovered and i.share_distortion > 0.25
+        ]
+
+
+def compare_footprints(
+    asn: int,
+    unbiased: Mapping[str, float],
+    biased: Mapping[str, float],
+) -> BiasImpactReport:
+    """Build a :class:`BiasImpactReport` from two city->density maps.
+
+    Both maps are normalised internally, so callers can pass raw peak
+    densities.
+    """
+
+    def normalise(shares: Mapping[str, float]) -> Dict[str, float]:
+        total = sum(shares.values())
+        if total <= 0:
+            return {key: 0.0 for key in shares}
+        return {key: value / total for key, value in shares.items()}
+
+    unbiased_norm = normalise(unbiased)
+    biased_norm = normalise(biased)
+    impacts = []
+    for city_key in sorted(unbiased_norm):
+        biased_share = biased_norm.get(city_key, 0.0)
+        impacts.append(
+            CityBiasImpact(
+                city_key=city_key,
+                unbiased_share=unbiased_norm[city_key],
+                biased_share=biased_share,
+                discovered=city_key in biased_norm,
+            )
+        )
+    return BiasImpactReport(asn=asn, impacts=tuple(impacts))

@@ -1,0 +1,138 @@
+"""P2P crawl simulation.
+
+Simulates the paper's six-month crawl of Kad, BitTorrent and Gnutella:
+each synthetic user independently runs each application with the app's
+per-AS rate, and the crawl observes those users (observation probability
+is folded into the rate).  The result is the paper's raw input — a set
+of unique IP addresses per application, with the union forming the
+initial peer dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..net.ecosystem import ASEcosystem
+from .apps import P2PApp, default_apps
+from .population import UserPopulation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .bias import SamplingBias
+
+
+@dataclass
+class PeerSample:
+    """Crawl output: which users were seen, and by which application.
+
+    ``user_index`` indexes into the originating
+    :class:`~repro.crawl.population.UserPopulation`; ``membership`` is a
+    boolean matrix of shape ``(n_peers, n_apps)``.  A peer appears once
+    regardless of how many applications it was seen in (the paper's
+    "unique IP addresses").
+    """
+
+    population: UserPopulation
+    app_names: Tuple[str, ...]
+    user_index: np.ndarray
+    membership: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.membership.shape != (self.user_index.size, len(self.app_names)):
+            raise ValueError("membership matrix shape mismatch")
+
+    def __len__(self) -> int:
+        return int(self.user_index.size)
+
+    @property
+    def ips(self) -> np.ndarray:
+        """Observed IP addresses (unique)."""
+        return self.population.user_ips[self.user_index]
+
+    @property
+    def true_asn(self) -> np.ndarray:
+        """Ground-truth AS per peer (oracle view, for validation only)."""
+        return self.population.user_asn[self.user_index]
+
+    def count_by_app(self) -> Dict[str, int]:
+        """Peers seen per application (a peer may count towards several
+        applications — Table 1's per-source columns)."""
+        return {
+            name: int(self.membership[:, i].sum())
+            for i, name in enumerate(self.app_names)
+        }
+
+    def peers_in_app(self, app_name: str) -> np.ndarray:
+        """Population indices of the peers seen in one application."""
+        column = self.app_names.index(app_name)
+        return self.user_index[self.membership[:, column]]
+
+
+@dataclass(frozen=True)
+class CrawlConfig:
+    """Crawl parameters."""
+
+    seed: int = 11
+    apps: Tuple[P2PApp, ...] = ()
+
+    def resolved_apps(self) -> Tuple[P2PApp, ...]:
+        return self.apps if self.apps else default_apps()
+
+
+def run_crawl(
+    ecosystem: ASEcosystem,
+    population: UserPopulation,
+    config: CrawlConfig = CrawlConfig(),
+    bias: Optional["SamplingBias"] = None,
+) -> PeerSample:
+    """Crawl the population and return the observed peer sample.
+
+    ``bias`` optionally applies per-(AS, city) penetration multipliers
+    (see :mod:`repro.crawl.bias` — the paper's Section 4.3 regimes).
+    """
+    apps = config.resolved_apps()
+    rng = np.random.default_rng(config.seed)
+    n_users = len(population)
+    user_asn = population.user_asn
+    membership = np.zeros((n_users, len(apps)), dtype=bool)
+    bias_multiplier = bias.per_user(population) if bias is not None else None
+
+    asns = np.unique(user_asn)
+    for app_column, app in enumerate(apps):
+        draws = rng.random(n_users)
+        for asn in asns:
+            node = ecosystem.as_nodes[int(asn)]
+            rate = app.rate_for_as(int(asn), node.continent_code, config.seed)
+            if rate <= 0.0:
+                continue
+            mask = user_asn == asn
+            if bias_multiplier is None:
+                membership[mask, app_column] = draws[mask] < rate
+            else:
+                membership[mask, app_column] = draws[mask] < np.minimum(
+                    rate * bias_multiplier[mask], 1.0
+                )
+
+    seen = membership.any(axis=1)
+    user_index = np.flatnonzero(seen)
+    return PeerSample(
+        population=population,
+        app_names=tuple(app.name for app in apps),
+        user_index=user_index,
+        membership=membership[user_index],
+    )
+
+
+def crawl_union_size(samples: Sequence[PeerSample]) -> int:
+    """Unique peers across several crawl snapshots of one population."""
+    if not samples:
+        return 0
+    population = samples[0].population
+    union: np.ndarray = np.zeros(len(population), dtype=bool)
+    for sample in samples:
+        if sample.population is not population:
+            raise ValueError("samples must share a population")
+        union[sample.user_index] = True
+    return int(union.sum())

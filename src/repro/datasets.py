@@ -1,0 +1,205 @@
+"""Dataset release and ingestion.
+
+Measurement papers live and die by released datasets.  This module
+writes a scenario's inputs in the formats their real-world counterparts
+use — a Routeviews-style prefix table, a CAIDA-format as-rel file, the
+IXP-mapping membership/peering tables plus peering-LAN list, and a
+peer-level CSV — and loads them back into the library's native types,
+so the whole Section 2-6 analysis can run from files alone.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, List, Union
+
+import numpy as np
+
+from .connectivity.caida import from_caida_lines, to_caida_lines
+from .connectivity.ixpmap import (
+    from_dataset_lines,
+    to_membership_lines,
+    to_peering_lines,
+)
+from .net.bgp import RoutingTable
+from .net.ip import Prefix, int_to_ip, ip_to_int
+from .net.ixp import IXPFabric
+from .net.relationships import RelationshipGraph
+from .pipeline.mapping import MappedPeers
+
+PathLike = Union[str, pathlib.Path]
+
+ROUTEVIEWS_FILE = "routeviews.txt"
+AS_REL_FILE = "as-rel.txt"
+IXP_MEMBERS_FILE = "ixp-memberships.txt"
+IXP_PEERINGS_FILE = "ixp-peerings.txt"
+IXP_LANS_FILE = "ixp-lans.txt"
+PEERS_FILE = "peers.csv"
+
+_PEER_COLUMNS = (
+    "ip", "lat", "lon", "error_km", "city", "state", "country", "continent",
+)
+
+
+def save_peers_csv(mapped: MappedPeers, path: PathLike) -> None:
+    """Write mapped peers (plus per-app flags) as CSV."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(_PEER_COLUMNS) + list(mapped.app_names))
+        for i in range(len(mapped)):
+            row = [
+                int_to_ip(int(mapped.ips[i])),
+                f"{mapped.lat[i]:.6f}",
+                f"{mapped.lon[i]:.6f}",
+                f"{mapped.error_km[i]:.3f}",
+                mapped.city[i],
+                mapped.state[i],
+                mapped.country[i],
+                mapped.continent[i],
+            ]
+            row.extend(int(x) for x in mapped.membership[i])
+            writer.writerow(row)
+
+
+def load_peers_csv(path: PathLike) -> MappedPeers:
+    """Read a peers CSV back into :class:`MappedPeers`.
+
+    ``user_index`` is synthesised (row numbers): a released dataset has
+    no link back to the generating population.
+    """
+    path = pathlib.Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if tuple(header[: len(_PEER_COLUMNS)]) != _PEER_COLUMNS:
+            raise ValueError(f"{path}: unexpected peers.csv header")
+        app_names = tuple(header[len(_PEER_COLUMNS):])
+        rows = list(reader)
+    n = len(rows)
+    ips = np.empty(n, dtype=np.int64)
+    lat = np.empty(n, dtype=float)
+    lon = np.empty(n, dtype=float)
+    error = np.empty(n, dtype=float)
+    city = np.empty(n, dtype=object)
+    state = np.empty(n, dtype=object)
+    country = np.empty(n, dtype=object)
+    continent = np.empty(n, dtype=object)
+    membership = np.zeros((n, len(app_names)), dtype=bool)
+    for i, row in enumerate(rows):
+        ips[i] = ip_to_int(row[0])
+        lat[i] = float(row[1])
+        lon[i] = float(row[2])
+        error[i] = float(row[3])
+        city[i], state[i], country[i], continent[i] = row[4:8]
+        for j in range(len(app_names)):
+            membership[i, j] = row[8 + j] == "1"
+    return MappedPeers(
+        app_names=app_names,
+        user_index=np.arange(n, dtype=np.int64),
+        ips=ips,
+        lat=lat,
+        lon=lon,
+        error_km=error,
+        city=city,
+        state=state,
+        country=country,
+        continent=continent,
+        membership=membership,
+    )
+
+
+def save_ixp_lans(fabric: IXPFabric, path: PathLike) -> None:
+    """Write the published peering-LAN list (``ixp|prefix`` rows)."""
+    lines = ["# <ixp>|<peering-lan-prefix>"]
+    for name in sorted(fabric.lan_prefixes()):
+        lines.append(f"{name}|{fabric.lan_prefixes()[name]}")
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_ixp_lans(path: PathLike) -> Dict[str, Prefix]:
+    lans: Dict[str, Prefix] = {}
+    for raw in pathlib.Path(path).read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, prefix_text = line.split("|")
+        lans[name] = Prefix.parse(prefix_text)
+    return lans
+
+
+def save_measurement_release(scenario, directory: PathLike) -> List[pathlib.Path]:
+    """Write a scenario's full dataset release into ``directory``.
+
+    Returns the written paths.  The peer CSV holds the *conditioned*
+    target-dataset peers (what the paper would release), concatenated
+    over target ASes.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[pathlib.Path] = []
+
+    def write_lines(name: str, lines: List[str]) -> None:
+        path = directory / name
+        path.write_text("\n".join(lines) + "\n")
+        written.append(path)
+
+    write_lines(ROUTEVIEWS_FILE, scenario.ecosystem.routing_table.to_lines())
+    write_lines(AS_REL_FILE, to_caida_lines(scenario.ecosystem.graph))
+    write_lines(IXP_MEMBERS_FILE, to_membership_lines(scenario.ecosystem.fabric))
+    write_lines(IXP_PEERINGS_FILE, to_peering_lines(scenario.ecosystem.fabric))
+    lans_path = directory / IXP_LANS_FILE
+    save_ixp_lans(scenario.ecosystem.fabric, lans_path)
+    written.append(lans_path)
+
+    # Concatenate the target dataset's per-AS peer columns.
+    groups = [t.group.peers for t in scenario.dataset.ases.values()]
+    if not groups:
+        # Header-only peers file keeps an empty release loadable.
+        peers_path = directory / PEERS_FILE
+        peers_path.write_text(
+            ",".join(list(_PEER_COLUMNS) + list(scenario.dataset.app_names))
+            + "\n"
+        )
+        written.append(peers_path)
+    else:
+        merged = MappedPeers(
+            app_names=groups[0].app_names,
+            user_index=np.concatenate([g.user_index for g in groups]),
+            ips=np.concatenate([g.ips for g in groups]),
+            lat=np.concatenate([g.lat for g in groups]),
+            lon=np.concatenate([g.lon for g in groups]),
+            error_km=np.concatenate([g.error_km for g in groups]),
+            city=np.concatenate([g.city for g in groups]),
+            state=np.concatenate([g.state for g in groups]),
+            country=np.concatenate([g.country for g in groups]),
+            continent=np.concatenate([g.continent for g in groups]),
+            membership=np.concatenate([g.membership for g in groups]),
+        )
+        peers_path = directory / PEERS_FILE
+        save_peers_csv(merged, peers_path)
+        written.append(peers_path)
+    return written
+
+
+def load_measurement_release(directory: PathLike):
+    """Load a release back: (routing table, as-rel graph, IXP fabric,
+    peering LANs, mapped peers)."""
+    directory = pathlib.Path(directory)
+    routing_table = RoutingTable.from_lines(
+        (directory / ROUTEVIEWS_FILE).read_text().splitlines()
+    )
+    graph: RelationshipGraph = from_caida_lines(
+        (directory / AS_REL_FILE).read_text().splitlines()
+    )
+    fabric = from_dataset_lines(
+        (directory / IXP_MEMBERS_FILE).read_text().splitlines(),
+        (directory / IXP_PEERINGS_FILE).read_text().splitlines(),
+    )
+    lans = load_ixp_lans(directory / IXP_LANS_FILE)
+    for name, prefix in lans.items():
+        if name in fabric.ixps:
+            fabric.ixps[name].peering_lan = prefix
+    peers = load_peers_csv(directory / PEERS_FILE)
+    return routing_table, graph, fabric, lans, peers

@@ -1,0 +1,55 @@
+"""Per-table/figure experiment drivers (see DESIGN.md experiment index)."""
+
+from .figure1 import Figure1Result, Figure1Slice, PAPER_POP_LIST, run_figure1
+from .figure2 import (
+    Figure2Result,
+    PAPER_PERFECT_PRECISION,
+    reference_for_scenario,
+    run_figure2,
+)
+from .report import render_cdf, render_kv, render_table
+from .scenario import Scenario, ScenarioConfig, build_scenario, cached_scenario
+from .section5 import (
+    PAPER_DIMES,
+    PAPER_POPS_PER_AS,
+    PAPER_REFERENCE_POPS_PER_AS,
+    Section5Result,
+    run_section5,
+)
+from .section6 import (
+    PAPER_RAI_MIX_PEERS,
+    PAPER_RAI_PROVIDERS,
+    Section6Result,
+    run_section6,
+)
+from .table1 import PAPER_TABLE1, Table1Result, run_table1
+
+__all__ = [
+    "Figure1Result",
+    "Figure1Slice",
+    "Figure2Result",
+    "PAPER_DIMES",
+    "PAPER_PERFECT_PRECISION",
+    "PAPER_POPS_PER_AS",
+    "PAPER_POP_LIST",
+    "PAPER_RAI_MIX_PEERS",
+    "PAPER_RAI_PROVIDERS",
+    "PAPER_REFERENCE_POPS_PER_AS",
+    "PAPER_TABLE1",
+    "Scenario",
+    "ScenarioConfig",
+    "Section5Result",
+    "Section6Result",
+    "Table1Result",
+    "build_scenario",
+    "cached_scenario",
+    "reference_for_scenario",
+    "render_cdf",
+    "render_kv",
+    "render_table",
+    "run_figure1",
+    "run_figure2",
+    "run_section5",
+    "run_section6",
+    "run_table1",
+]

@@ -1,0 +1,63 @@
+"""Plain-text rendering for experiment outputs.
+
+Every experiment driver renders its table/figure as fixed-width text so
+the benchmark harness can print the same rows the paper reports next to
+the paper's own numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table with a header rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}".rstrip("0").rstrip(".") if cell == cell else "nan"
+    return str(cell)
+
+
+def render_cdf(
+    values: np.ndarray, label: str, points: Sequence[float] = (0, 20, 40, 60, 80, 100)
+) -> str:
+    """CDF summary at fixed x positions (percent scale), mirroring how
+    Figure 2's curves read."""
+    values = np.asarray(values, dtype=float) * 100.0
+    parts = [label]
+    for point in points:
+        if values.size:
+            fraction = float(np.mean(values <= point)) * 100.0
+        else:
+            fraction = 0.0
+        parts.append(f"P(x<={point:>3.0f}%)={fraction:5.1f}%")
+    return "  ".join(parts)
+
+
+def render_kv(pairs: Iterable[Sequence[object]], title: str = "") -> str:
+    """Key/value block."""
+    lines = [title] if title else []
+    for key, value in pairs:
+        lines.append(f"  {key}: {_fmt(value)}")
+    return "\n".join(lines)

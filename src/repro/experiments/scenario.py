@@ -1,0 +1,226 @@
+"""End-to-end scenario assembly.
+
+A :class:`Scenario` bundles everything the paper's evaluation needs —
+world, ecosystem, user population, the two geo databases, the crawl
+sample and the conditioned target dataset — built deterministically
+from one :class:`ScenarioConfig`.  The experiment drivers (Table 1,
+Figures 1-2, Sections 5-6) all start from a scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.footprint import GeoFootprint, estimate_geo_footprint
+from ..core.pop import DEFAULT_ALPHA, PoPFootprint, extract_pop_footprint
+from ..crawl.crawler import CrawlConfig, PeerSample, run_crawl
+from ..crawl.population import PopulationConfig, UserPopulation, generate_population
+from ..geo.gazetteer import Gazetteer
+from ..geo.world import World, WorldConfig, generate_world
+from ..geodb.database import GeoDatabase
+from ..geodb.error import (
+    GeoErrorModel,
+    default_primary_model,
+    default_secondary_model,
+)
+from ..geodb.synth import build_database
+from ..net.ecosystem import ASEcosystem, EcosystemConfig, generate_ecosystem
+from ..pipeline.dataset import (
+    PipelineConfig,
+    TargetDataset,
+    build_target_dataset,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """All knobs of an end-to-end run, with two standard presets."""
+
+    name: str = "default"
+    world: WorldConfig = field(default_factory=WorldConfig)
+    ecosystem: EcosystemConfig = field(default_factory=EcosystemConfig)
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    crawl: CrawlConfig = field(default_factory=CrawlConfig)
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    primary_model: GeoErrorModel = field(default_factory=default_primary_model)
+    secondary_model: GeoErrorModel = field(default_factory=default_secondary_model)
+
+    @classmethod
+    def small(cls, seed: int = 5) -> "ScenarioConfig":
+        """A seconds-scale scenario for tests."""
+        return cls(
+            name="small",
+            world=WorldConfig(
+                seed=seed,
+                countries_per_continent=2,
+                states_per_country=2,
+                cities_per_state=3,
+            ),
+            ecosystem=EcosystemConfig(
+                seed=seed + 1,
+                eyeballs_per_country=4,
+                tier2_per_continent=3,
+                user_base_range=(1_200, 6_000),
+            ),
+            population=PopulationConfig(seed=seed + 2),
+            crawl=CrawlConfig(seed=seed + 3),
+            pipeline=PipelineConfig(min_peers_per_as=250),
+        )
+
+    @classmethod
+    def default(cls, seed: int = 5) -> "ScenarioConfig":
+        """The paper-shaped scenario used by benchmarks and examples."""
+        return cls(
+            name="default",
+            world=WorldConfig(seed=seed),
+            ecosystem=EcosystemConfig(
+                seed=seed + 1,
+                eyeballs_per_country=8,
+                user_base_range=(2_000, 25_000),
+            ),
+            population=PopulationConfig(seed=seed + 2),
+            crawl=CrawlConfig(seed=seed + 3),
+            pipeline=PipelineConfig(min_peers_per_as=1000),
+        )
+
+
+@dataclass
+class Scenario:
+    """A fully-built end-to-end run."""
+
+    config: ScenarioConfig
+    world: World
+    gazetteer: Gazetteer
+    ecosystem: ASEcosystem
+    population: UserPopulation
+    primary_db: GeoDatabase
+    secondary_db: GeoDatabase
+    sample: PeerSample
+    dataset: TargetDataset
+
+    def peer_locations(self, asn: int) -> np.ndarray:
+        """Mapped (lat, lon) columns of one target AS's peers."""
+        target = self.dataset.ases[asn]
+        return np.column_stack([target.group.lat, target.group.lon])
+
+    def geo_footprint(
+        self,
+        asn: int,
+        bandwidth_km: float,
+        cell_km: Optional[float] = None,
+        method: str = "fft",
+    ) -> GeoFootprint:
+        """KDE geo-footprint of one target AS from its *mapped* peers —
+        the paper's pipeline, error and all."""
+        target = self.dataset.ases[asn]
+        return estimate_geo_footprint(
+            target.group.lat,
+            target.group.lon,
+            bandwidth_km=bandwidth_km,
+            cell_km=cell_km,
+            method=method,
+        )
+
+    def pop_footprint(
+        self,
+        asn: int,
+        bandwidth_km: float,
+        alpha: float = DEFAULT_ALPHA,
+        cell_km: Optional[float] = None,
+    ) -> PoPFootprint:
+        """PoP-level footprint of one target AS."""
+        footprint = self.geo_footprint(asn, bandwidth_km, cell_km=cell_km)
+        return extract_pop_footprint(footprint, self.gazetteer, alpha=alpha, asn=asn)
+
+    def pop_footprints(
+        self,
+        asns: Sequence[int],
+        bandwidth_km: float,
+        alpha: float = DEFAULT_ALPHA,
+    ) -> Dict[int, PoPFootprint]:
+        """PoP footprints for many ASes at one bandwidth."""
+        return {
+            asn: self.pop_footprint(asn, bandwidth_km, alpha=alpha) for asn in asns
+        }
+
+    def peak_locations(
+        self,
+        asn: int,
+        bandwidth_km: float,
+        alpha: float = DEFAULT_ALPHA,
+        cell_km: Optional[float] = None,
+    ) -> List[tuple]:
+        """(lat, lon) of the alpha-selected density peaks of one AS —
+        the facility-level PoP locations Section 5's counting and
+        40 km matching operate on."""
+        footprint = self.geo_footprint(asn, bandwidth_km, cell_km=cell_km)
+        return [(p.lat, p.lon) for p in footprint.peaks_above(alpha)]
+
+    def peak_location_sets(
+        self,
+        asns: Sequence[int],
+        bandwidth_km: float,
+        alpha: float = DEFAULT_ALPHA,
+    ) -> Dict[int, List[tuple]]:
+        """Peak-level PoP location sets for many ASes."""
+        return {
+            asn: self.peak_locations(asn, bandwidth_km, alpha=alpha) for asn in asns
+        }
+
+    def eyeball_target_asns(self) -> List[int]:
+        """Target-dataset ASNs that are ground-truth eyeball/content ASes
+        with at least one customer PoP."""
+        result = []
+        for asn in sorted(self.dataset.ases):
+            node = self.ecosystem.as_nodes.get(asn)
+            if node is not None and node.customer_pops:
+                result.append(asn)
+        return result
+
+
+def build_scenario(config: ScenarioConfig = ScenarioConfig.default()) -> Scenario:
+    """Build a scenario end to end.  Deterministic in the config."""
+    world = generate_world(config.world)
+    ecosystem = generate_ecosystem(world, config.ecosystem)
+    population = generate_population(ecosystem, config.population)
+    primary = build_database(
+        "GeoIP-City", population.blocks, world, config.primary_model
+    )
+    secondary = build_database(
+        "IP2Location-DB15", population.blocks, world, config.secondary_model
+    )
+    sample = run_crawl(ecosystem, population, config.crawl)
+    dataset = build_target_dataset(
+        sample, primary, secondary, ecosystem.routing_table, config.pipeline
+    )
+    return Scenario(
+        config=config,
+        world=world,
+        gazetteer=Gazetteer(world),
+        ecosystem=ecosystem,
+        population=population,
+        primary_db=primary,
+        secondary_db=secondary,
+        sample=sample,
+        dataset=dataset,
+    )
+
+
+_SCENARIO_CACHE: Dict[str, Scenario] = {}
+
+
+def cached_scenario(config: ScenarioConfig) -> Scenario:
+    """Build-once scenario cache keyed by config name + seeds.
+
+    Experiment drivers and benchmarks share scenarios through this to
+    avoid rebuilding the same multi-second pipeline repeatedly.
+    """
+    key = repr(config)
+    scenario = _SCENARIO_CACHE.get(key)
+    if scenario is None:
+        scenario = build_scenario(config)
+        _SCENARIO_CACHE[key] = scenario
+    return scenario

@@ -1,0 +1,138 @@
+"""Experiment S6 — the Section 6 case study: AS8234 (RAI).
+
+The paper's punchline: a "simple" city-level eyeball AS in Rome turns
+out to have
+
+* **five upstream providers** — Infostrada and Fastweb (Italy-wide),
+  Easynet and Colt (global reach), and BT-Italia (the legacy ISP);
+* **remote public peering** at the Milan IXP (MIX) with GARR, ASDASD
+  and ITGate, despite being absent from the local Rome IXP (NaMEX);
+* peers (ASDASD, ITGate) that are *not* members of NaMEX — so the
+  remote arrangement buys connectivity a local one could not.
+
+This driver rebuilds the analysis on the hand-built Italian ecosystem,
+inferring RAI's PoP location from its users with the KDE method first
+(the paper's order of operations) and then joining the connectivity
+datasets on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..connectivity.casestudy import (
+    EdgeConnectivityReport,
+    analyze_edge_connectivity,
+)
+from ..connectivity.metrics import ConnectivitySurvey, survey_edge_connectivity
+from ..core.bandwidth import CITY_BANDWIDTH_KM
+from ..core.footprint import estimate_geo_footprint
+from ..core.pop import extract_pop_footprint
+from ..crawl.population import PopulationConfig, generate_population
+from ..geo.gazetteer import Gazetteer
+from ..net.ecosystem import ASEcosystem
+from ..net.italy import (
+    AS_ASDASD,
+    AS_BT_ITALIA,
+    AS_COLT,
+    AS_EASYNET,
+    AS_FASTWEB,
+    AS_GARR,
+    AS_INFOSTRADA,
+    AS_ITGATE,
+    AS_RAI,
+    italy_ecosystem,
+)
+from .report import render_kv
+
+#: The paper's ground truth for RAI.
+PAPER_RAI_PROVIDERS: Tuple[int, ...] = (
+    AS_INFOSTRADA,
+    AS_FASTWEB,
+    AS_EASYNET,
+    AS_COLT,
+    AS_BT_ITALIA,
+)
+PAPER_RAI_MIX_PEERS: Tuple[int, ...] = (AS_GARR, AS_ASDASD, AS_ITGATE)
+
+
+@dataclass
+class Section6Result:
+    """The reproduced case study."""
+
+    ecosystem: ASEcosystem
+    report: EdgeConnectivityReport
+    inferred_pop_city: Optional[str]
+    survey: ConnectivitySurvey
+
+    def shape_checks(self) -> Dict[str, bool]:
+        report = self.report
+        provider_asns = {p.asn for p in report.providers}
+        mix = next(p for p in report.presences if p.ixp_name == "MIX")
+        namex = next(p for p in report.presences if p.ixp_name == "NaMEX")
+        return {
+            "pop_inferred_in_rome": self.inferred_pop_city == "Rome",
+            "five_upstream_providers": report.provider_count == 5,
+            "providers_match_paper": provider_asns == set(PAPER_RAI_PROVIDERS),
+            "two_global_reach_providers": len(report.global_providers) == 2,
+            "member_of_remote_mix": mix.is_member and not mix.is_local,
+            "absent_from_local_namex": namex.is_local and not namex.is_member,
+            "peers_at_mix_match_paper": set(mix.peers) == set(PAPER_RAI_MIX_PEERS),
+            "some_peers_unreachable_locally": (
+                set(report.remote_only_peers) == {AS_ASDASD, AS_ITGATE}
+            ),
+        }
+
+    def render(self) -> str:
+        report = self.report
+        provider_rows = [
+            f"AS{p.asn} {p.name}" + (" [global reach]" if p.has_global_reach else "")
+            for p in report.providers
+        ]
+        mix = next(p for p in report.presences if p.ixp_name == "MIX")
+        namex = next(p for p in report.presences if p.ixp_name == "NaMEX")
+        pairs = [
+            ("case-study AS", f"AS{report.asn} ({report.name})"),
+            ("inferred PoP city (KDE)", self.inferred_pop_city),
+            ("upstream providers", "; ".join(provider_rows)),
+            ("MIX membership", f"member={mix.is_member} local={mix.is_local} "
+                               f"distance={mix.distance_km:.0f}km peers={list(mix.peers)}"),
+            ("NaMEX membership", f"member={namex.is_member} local={namex.is_local} "
+                                 f"distance={namex.distance_km:.0f}km"),
+            ("peers unreachable at local IXPs", list(report.remote_only_peers)),
+            ("most peering-active continent", self.survey.most_active_peering_continent()),
+        ]
+        return render_kv(pairs, title="Section 6: RAI case study")
+
+
+def run_section6(scale: float = 0.01, seed: int = 2009) -> Section6Result:
+    """Reproduce the RAI case study end to end."""
+    ecosystem = italy_ecosystem(scale=scale, seed=seed)
+    population = generate_population(ecosystem, PopulationConfig(seed=seed))
+    gazetteer = Gazetteer(ecosystem.world)
+
+    # Step 1 (paper order): infer RAI's PoP location from its users.
+    indices = population.users_of_as(AS_RAI)
+    footprint = estimate_geo_footprint(
+        population.true_lat[indices],
+        population.true_lon[indices],
+        bandwidth_km=CITY_BANDWIDTH_KM,
+    )
+    pops = extract_pop_footprint(footprint, gazetteer, asn=AS_RAI)
+    inferred_city = pops.city_names()[0] if len(pops) else None
+    pop_locations: Optional[List[Tuple[float, float]]] = (
+        pops.coordinates() if len(pops) else None
+    )
+
+    # Step 2: join the connectivity datasets on the inferred location.
+    report = analyze_edge_connectivity(
+        ecosystem, AS_RAI, pop_locations=pop_locations
+    )
+    survey = survey_edge_connectivity(ecosystem)
+    return Section6Result(
+        ecosystem=ecosystem,
+        report=report,
+        inferred_pop_city=inferred_city,
+        survey=survey,
+    )

@@ -1,0 +1,99 @@
+"""Experiment T1 — Table 1: profile of the target eyeball ASes.
+
+Paper values (IMC'10, Table 1):
+
+    Region  Kad(k)  Gnu(k)  BT(k)   City  State  Country
+    NA      1218    8984    1761    36    162    129
+    EU      18004   2519    2529    60    76     292
+    AS      17865   1606    1016    117   35     134
+
+The reproduction targets the *shape*: Gnutella dominates NA while Kad
+dominates EU and AS; NA is state-heavy, EU country-heavy, and AS has
+the most city-level ASes of the three regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..pipeline.profile import DatasetProfile, profile_dataset
+from .report import render_table
+from .scenario import Scenario
+
+#: The paper's Table 1, for side-by-side printing.
+PAPER_TABLE1: Dict[str, Dict[str, int]] = {
+    "NA": {"Kad": 1218, "Gnutella": 8984, "BitTorrent": 1761,
+           "city": 36, "state": 162, "country": 129},
+    "EU": {"Kad": 18004, "Gnutella": 2519, "BitTorrent": 2529,
+           "city": 60, "state": 76, "country": 292},
+    "AS": {"Kad": 17865, "Gnutella": 1606, "BitTorrent": 1016,
+           "city": 117, "state": 35, "country": 134},
+}
+
+
+@dataclass
+class Table1Result:
+    """Measured profile plus the paper's reference values."""
+
+    profile: DatasetProfile
+    paper: Dict[str, Dict[str, int]]
+
+    def shape_checks(self) -> Dict[str, bool]:
+        """The qualitative properties the paper's table exhibits."""
+        profile = self.profile
+        def level_count(region: str, level: str) -> int:
+            return profile.row(region).ases_by_level[level]
+        return {
+            "gnutella_dominates_na": profile.dominant_app("NA") == "Gnutella",
+            "kad_dominates_eu": profile.dominant_app("EU") == "Kad",
+            "kad_dominates_as": profile.dominant_app("AS") == "Kad",
+            "na_state_heavy": (
+                level_count("NA", "state") >= level_count("EU", "state")
+                and level_count("NA", "state") >= level_count("AS", "state")
+            ),
+            "eu_country_heavy": profile.dominant_level("EU").label == "country",
+            "as_most_city_level": (
+                level_count("AS", "city") >= level_count("NA", "city")
+                and level_count("AS", "city") >= level_count("EU", "city")
+            ),
+        }
+
+    def render(self) -> str:
+        headers = (
+            "Region", "Kad", "Gnu", "BT", "City", "State", "Country", "source",
+        )
+        rows = []
+        for row in self.profile.rows:
+            rows.append(
+                (
+                    row.region,
+                    row.peers_by_app.get("Kad", 0),
+                    row.peers_by_app.get("Gnutella", 0),
+                    row.peers_by_app.get("BitTorrent", 0),
+                    row.ases_by_level["city"],
+                    row.ases_by_level["state"],
+                    row.ases_by_level["country"],
+                    "measured",
+                )
+            )
+            paper = self.paper[row.region]
+            rows.append(
+                (
+                    row.region,
+                    f"{paper['Kad']}k",
+                    f"{paper['Gnutella']}k",
+                    f"{paper['BitTorrent']}k",
+                    paper["city"],
+                    paper["state"],
+                    paper["country"],
+                    "paper",
+                )
+            )
+        return render_table(headers, rows, title="Table 1: target-AS profile")
+
+
+def run_table1(scenario: Scenario) -> Table1Result:
+    """Compute Table 1 from a scenario's target dataset."""
+    profile = profile_dataset(scenario.dataset)
+    return Table1Result(profile=profile, paper=PAPER_TABLE1)

@@ -1,0 +1,54 @@
+"""Geographic substrate: spherical math, regions, worlds, gazetteers."""
+
+from .coords import (
+    EARTH_RADIUS_KM,
+    KM_PER_DEGREE,
+    destination_point,
+    haversine_km,
+    initial_bearing_deg,
+    jitter_around,
+    normalize_longitude,
+    offset_km,
+    pairwise_distance_km,
+    validate_latlon,
+)
+from .gazetteer import Gazetteer
+from .projection import LocalProjection
+from .regions import City, Continent, Country, Location, RegionLevel, State
+from .world import (
+    DEFAULT_CONTINENTS,
+    World,
+    WorldConfig,
+    generate_world,
+    world_from_cities,
+)
+from .zipgrid import ZipGrid
+from .builtin import italy_world
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "KM_PER_DEGREE",
+    "City",
+    "Continent",
+    "Country",
+    "DEFAULT_CONTINENTS",
+    "Gazetteer",
+    "LocalProjection",
+    "Location",
+    "RegionLevel",
+    "State",
+    "World",
+    "WorldConfig",
+    "ZipGrid",
+    "destination_point",
+    "generate_world",
+    "haversine_km",
+    "initial_bearing_deg",
+    "italy_world",
+    "jitter_around",
+    "normalize_longitude",
+    "offset_km",
+    "pairwise_distance_km",
+    "validate_latlon",
+    "world_from_cities",
+]

@@ -1,0 +1,188 @@
+"""Built-in Italy-like world for the Figure 1 / Section 6 case study.
+
+The paper's running example is Italian: Figure 1 shows the KDE density
+of AS3269 (Telecom Italia) over Italy, Section 4.2 lists its PoP-level
+footprint over fourteen Italian cities, and Section 6's case study is
+AS8234 (RAI) in Rome.  To reproduce those artefacts faithfully we embed
+a small hand-curated gazetteer of those cities with approximate real
+coordinates and populations.
+
+Coordinates are approximate city centres; populations are metropolitan-
+scale figures chosen so population *rank* matches reality — the only
+property the method consumes (the loose peak mapping picks the most
+populated city in a disc).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .regions import City, Continent, Country, State
+from .world import World, WorldConfig, world_from_cities
+
+#: name -> (state code, lat, lon, population, zip count).  The fourteen
+#: cities of the paper's AS3269 PoP list plus a few extra major cities
+#: (Genoa, Bologna, Verona, Messina) so peak-to-city mapping has
+#: realistic competition.
+ITALY_CITY_TABLE: Dict[str, Tuple[str, float, float, int, int]] = {
+    "Milan": ("IT-LOM", 45.4642, 9.1900, 3_140_000, 12),
+    "Rome": ("IT-LAZ", 41.9028, 12.4964, 2_870_000, 12),
+    "Naples": ("IT-CAM", 40.8518, 14.2681, 2_180_000, 10),
+    "Turin": ("IT-PIE", 45.0703, 7.6869, 1_700_000, 10),
+    "Palermo": ("IT-SIC", 38.1157, 13.3615, 1_050_000, 8),
+    "Florence": ("IT-TOS", 43.7696, 11.2558, 980_000, 8),
+    "Genoa": ("IT-LIG", 44.4056, 8.9463, 820_000, 8),
+    "Bologna": ("IT-EMR", 44.4949, 11.3426, 790_000, 8),
+    "Bari": ("IT-PUG", 41.1171, 16.8719, 750_000, 7),
+    "Catania": ("IT-SIC", 37.5079, 15.0830, 700_000, 7),
+    "Venice": ("IT-VEN", 45.4408, 12.3155, 630_000, 6),
+    "Verona": ("IT-VEN", 45.4384, 10.9916, 450_000, 6),
+    "Messina": ("IT-SIC", 38.1938, 15.5540, 230_000, 4),
+    "Pescara": ("IT-ABR", 42.4618, 14.2161, 320_000, 4),
+    "Ancona": ("IT-MAR", 43.6158, 13.5189, 270_000, 4),
+    "Catanzaro": ("IT-CAL", 38.9098, 16.5877, 180_000, 3),
+    "Cagliari": ("IT-SAR", 39.2238, 9.1217, 330_000, 4),
+    "Sassari": ("IT-SAR", 40.7259, 8.5557, 125_000, 3),
+}
+
+#: state code -> (name, approximate centre lat/lon).
+ITALY_STATE_TABLE: Dict[str, Tuple[str, float, float]] = {
+    "IT-LOM": ("Lombardy", 45.60, 9.80),
+    "IT-LAZ": ("Lazio", 41.90, 12.70),
+    "IT-CAM": ("Campania", 40.85, 14.60),
+    "IT-PIE": ("Piedmont", 45.05, 7.90),
+    "IT-SIC": ("Sicily", 37.75, 14.20),
+    "IT-TOS": ("Tuscany", 43.55, 11.10),
+    "IT-LIG": ("Liguria", 44.35, 8.90),
+    "IT-EMR": ("Emilia-Romagna", 44.55, 11.20),
+    "IT-PUG": ("Apulia", 41.00, 16.60),
+    "IT-VEN": ("Veneto", 45.55, 11.80),
+    "IT-ABR": ("Abruzzo", 42.30, 13.90),
+    "IT-MAR": ("Marche", 43.40, 13.20),
+    "IT-CAL": ("Calabria", 38.90, 16.50),
+    "IT-SAR": ("Sardinia", 39.95, 9.00),
+}
+
+EUROPE = Continent(
+    code="EU", name="Europe", lat_range=(36.0, 60.0), lon_range=(-10.0, 32.0)
+)
+
+ITALY = Country(
+    code="IT",
+    name="Italy",
+    continent_code="EU",
+    center_lat=42.5,
+    center_lon=12.5,
+    radius_km=600.0,
+)
+
+
+def italy_cities() -> List[City]:
+    """The built-in Italian cities as :class:`~repro.geo.regions.City`."""
+    cities = []
+    for name, (state_code, lat, lon, population, zips) in ITALY_CITY_TABLE.items():
+        cities.append(
+            City(
+                name=name,
+                country_code="IT",
+                state_code=state_code,
+                lat=lat,
+                lon=lon,
+                population=population,
+                radius_km=15.0,
+                zip_count=zips,
+            )
+        )
+    return cities
+
+
+def italy_states() -> List[State]:
+    return [
+        State(
+            code=code,
+            name=name,
+            country_code="IT",
+            center_lat=lat,
+            center_lon=lon,
+            radius_km=90.0,
+        )
+        for code, (name, lat, lon) in ITALY_STATE_TABLE.items()
+    ]
+
+
+def italy_world(seed: int = 2009) -> World:
+    """The built-in Italy-like :class:`~repro.geo.world.World`.
+
+    ``seed`` is recorded in the config for downstream components (zip
+    layout is keyed by city name and therefore unaffected by it).
+    """
+    return world_from_cities(
+        continents=[EUROPE],
+        countries=[ITALY],
+        states=italy_states(),
+        cities=italy_cities(),
+        config=WorldConfig(seed=seed),
+    )
+
+
+#: Extra European capitals, each modelled as its own one-state country.
+#: They exist so providers "with global reach" (the paper's Easynet and
+#: Colt) can hold PoPs outside Italy: code -> (city, lat, lon, population).
+FOREIGN_CITY_TABLE: Dict[str, Tuple[str, float, float, int]] = {
+    "GB": ("London", 51.5074, -0.1278, 9_000_000),
+    "DE": ("Frankfurt", 50.1109, 8.6821, 760_000),
+    "FR": ("Paris", 48.8566, 2.3522, 11_000_000),
+    "NL": ("Amsterdam", 52.3702, 4.8952, 1_150_000),
+}
+
+
+def europe_world(seed: int = 2009) -> World:
+    """Italy plus four foreign European capitals (one-city countries).
+
+    Used by the Section 6 case study, where two of the case AS's
+    upstream providers must have multi-country ("global") reach.
+    """
+    countries = [ITALY]
+    states = italy_states()
+    cities = italy_cities()
+    for code, (name, lat, lon, population) in FOREIGN_CITY_TABLE.items():
+        state_code = f"{code}-CAP"
+        countries.append(
+            Country(
+                code=code,
+                name=name,
+                continent_code="EU",
+                center_lat=lat,
+                center_lon=lon,
+                radius_km=250.0,
+            )
+        )
+        states.append(
+            State(
+                code=state_code,
+                name=f"{name} Region",
+                country_code=code,
+                center_lat=lat,
+                center_lon=lon,
+                radius_km=80.0,
+            )
+        )
+        cities.append(
+            City(
+                name=name,
+                country_code=code,
+                state_code=state_code,
+                lat=lat,
+                lon=lon,
+                population=population,
+                radius_km=20.0,
+                zip_count=10,
+            )
+        )
+    return world_from_cities(
+        continents=[EUROPE],
+        countries=countries,
+        states=states,
+        cities=cities,
+        config=WorldConfig(seed=seed),
+    )

@@ -1,0 +1,151 @@
+"""Spatial queries over a :class:`~repro.geo.world.World`.
+
+Two queries drive the paper's method:
+
+* "the most populated city within a circular region around a density
+  peak" (Section 4.2, loose peak-to-city mapping), and
+* resolving an arbitrary point to its enclosing city/state/country/
+  continent (needed by the synthetic geo databases and by the AS
+  classification step).
+
+Small worlds are served by vectorised brute force; past
+:data:`KDTREE_THRESHOLD` cities a 3-D KD-tree over unit-sphere vectors
+takes over (great-circle and chord distances are monotonically related,
+so tree results are exact after the radius conversion).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+from scipy import spatial
+
+from .coords import EARTH_RADIUS_KM, haversine_km
+from .regions import City, Location
+from .world import World
+
+#: Brute force below this city count (tree setup isn't worth it).
+KDTREE_THRESHOLD = 300
+
+
+def _unit_vectors(lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+    lat = np.radians(lats)
+    lon = np.radians(lons)
+    return np.column_stack(
+        (np.cos(lat) * np.cos(lon), np.cos(lat) * np.sin(lon), np.sin(lat))
+    )
+
+
+def _chord_from_arc(distance_km: float) -> float:
+    """Chord length (on the unit sphere) subtending a great-circle arc."""
+    angle = min(distance_km / EARTH_RADIUS_KM, np.pi)
+    return 2.0 * np.sin(angle / 2.0)
+
+
+class Gazetteer:
+    """Read-only spatial index over a world's cities."""
+
+    def __init__(self, world: World, use_kdtree: Optional[bool] = None) -> None:
+        self.world = world
+        self._cities = list(world.cities)
+        if not self._cities:
+            raise ValueError("gazetteer needs at least one city")
+        self._lats = np.array([c.lat for c in self._cities], dtype=float)
+        self._lons = np.array([c.lon for c in self._cities], dtype=float)
+        self._populations = np.array(
+            [c.population for c in self._cities], dtype=float
+        )
+        if use_kdtree is None:
+            use_kdtree = len(self._cities) >= KDTREE_THRESHOLD
+        self._tree: Optional[spatial.cKDTree] = None
+        if use_kdtree:
+            self._tree = spatial.cKDTree(_unit_vectors(self._lats, self._lons))
+
+    def __len__(self) -> int:
+        return len(self._cities)
+
+    @property
+    def uses_kdtree(self) -> bool:
+        return self._tree is not None
+
+    def distances_km(self, lat: float, lon: float) -> np.ndarray:
+        """Distance from a point to every city."""
+        return haversine_km(lat, lon, self._lats, self._lons)
+
+    def _indices_within(self, lat: float, lon: float, radius_km: float) -> np.ndarray:
+        """City indices within the radius, nearest first."""
+        if self._tree is not None:
+            point = _unit_vectors(np.array([lat]), np.array([lon]))[0]
+            hits = self._tree.query_ball_point(
+                point, _chord_from_arc(radius_km) + 1e-12
+            )
+            indices = np.asarray(sorted(hits), dtype=np.int64)
+            if indices.size == 0:
+                return indices
+            distances = haversine_km(
+                lat, lon, self._lats[indices], self._lons[indices]
+            )
+            keep = distances <= radius_km + 1e-9
+            indices = indices[keep]
+            distances = distances[keep]
+            return indices[np.argsort(distances, kind="stable")]
+        distances = self.distances_km(lat, lon)
+        inside = np.flatnonzero(distances <= radius_km)
+        return inside[np.argsort(distances[inside], kind="stable")]
+
+    def cities_within(self, lat: float, lon: float, radius_km: float) -> List[City]:
+        """All cities within ``radius_km`` of a point, nearest first."""
+        return [self._cities[i] for i in self._indices_within(lat, lon, radius_km)]
+
+    def most_populated_within(
+        self, lat: float, lon: float, radius_km: float
+    ) -> Optional[City]:
+        """Most populated city within ``radius_km``, or ``None``.
+
+        This is the paper's loose peak-to-city mapping rule: "map the
+        peak to the city with the largest population in that circular
+        region.  Otherwise, we report 'no city'."
+        """
+        indices = self._indices_within(lat, lon, radius_km)
+        if indices.size == 0:
+            return None
+        best = indices[int(np.argmax(self._populations[indices]))]
+        return self._cities[int(best)]
+
+    def nearest_city(self, lat: float, lon: float) -> City:
+        """City nearest to a point (regardless of distance)."""
+        if self._tree is not None:
+            point = _unit_vectors(np.array([lat]), np.array([lon]))[0]
+            _, index = self._tree.query(point)
+            return self._cities[int(index)]
+        return self._cities[int(np.argmin(self.distances_km(lat, lon)))]
+
+    def locate(self, lat: float, lon: float) -> Location:
+        """Resolve a point to a full :class:`Location` record.
+
+        The point is attributed to its nearest city's administrative
+        hierarchy; the record keeps the point's own coordinates.
+        """
+        city = self.nearest_city(lat, lon)
+        country = self.world.countries[city.country_code]
+        return Location(
+            city=city.name,
+            state=city.state_code,
+            country=city.country_code,
+            continent=country.continent_code,
+            lat=float(lat),
+            lon=float(lon),
+        )
+
+    def location_for_city(self, city: City, lat: float, lon: float) -> Location:
+        """Location record for a point with a known home city."""
+        country = self.world.countries[city.country_code]
+        return Location(
+            city=city.name,
+            state=city.state_code,
+            country=city.country_code,
+            continent=country.continent_code,
+            lat=float(lat),
+            lon=float(lon),
+        )

@@ -1,0 +1,142 @@
+"""Administrative region hierarchy: continent / country / state / city.
+
+The paper classifies every eyeball AS by the smallest region class —
+city, state, country, continent, or global — that contains more than 95%
+of its sampled peers (Section 2), and maps density peaks to the most
+populated nearby city (Section 4.2).  These dataclasses carry exactly
+the attributes those two operations need: a name, a place in the
+hierarchy, coordinates and a population.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class RegionLevel(enum.IntEnum):
+    """Region classes ordered from most to least specific.
+
+    The integer ordering matters: AS classification picks the *smallest*
+    (lowest-valued) level whose containment exceeds the threshold.
+    """
+
+    CITY = 1
+    STATE = 2
+    COUNTRY = 3
+    CONTINENT = 4
+    GLOBAL = 5
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Continent:
+    """A continent, modelled as a lat/lon bounding box."""
+
+    code: str  # e.g. "EU"
+    name: str
+    lat_range: Tuple[float, float]
+    lon_range: Tuple[float, float]
+
+    def __post_init__(self) -> None:
+        lat_lo, lat_hi = self.lat_range
+        lon_lo, lon_hi = self.lon_range
+        if not lat_lo < lat_hi:
+            raise ValueError(f"continent {self.code}: empty latitude range")
+        if not lon_lo < lon_hi:
+            raise ValueError(f"continent {self.code}: empty longitude range")
+
+    def contains(self, lat: float, lon: float) -> bool:
+        lat_lo, lat_hi = self.lat_range
+        lon_lo, lon_hi = self.lon_range
+        return lat_lo <= lat <= lat_hi and lon_lo <= lon <= lon_hi
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country: a named circular-ish territory inside a continent."""
+
+    code: str  # e.g. "IT"
+    name: str
+    continent_code: str
+    center_lat: float
+    center_lon: float
+    radius_km: float
+
+    def __post_init__(self) -> None:
+        if self.radius_km <= 0:
+            raise ValueError(f"country {self.code}: radius must be positive")
+
+
+@dataclass(frozen=True)
+class State:
+    """A first-level administrative division of a country."""
+
+    code: str  # e.g. "IT-25"
+    name: str
+    country_code: str
+    center_lat: float
+    center_lon: float
+    radius_km: float
+
+
+@dataclass(frozen=True)
+class City:
+    """A populated place — the atom of the PoP-level footprint.
+
+    ``population`` drives both synthetic-user placement (users live in
+    cities proportionally to population) and the paper's "loose" peak
+    mapping (a peak maps to the most populated city within one kernel
+    bandwidth).
+    """
+
+    name: str
+    country_code: str
+    state_code: str
+    lat: float
+    lon: float
+    population: int
+    radius_km: float = 15.0
+    zip_count: int = field(default=1)
+
+    def __post_init__(self) -> None:
+        if self.population < 0:
+            raise ValueError(f"city {self.name}: negative population")
+        if self.radius_km <= 0:
+            raise ValueError(f"city {self.name}: radius must be positive")
+        if self.zip_count < 1:
+            raise ValueError(f"city {self.name}: needs at least one zip code")
+
+    @property
+    def key(self) -> str:
+        """Globally unique city key (city names repeat across countries)."""
+        return f"{self.country_code}/{self.state_code}/{self.name}"
+
+
+@dataclass(frozen=True)
+class Location:
+    """A fully-resolved geographic record, mirroring the paper's geo-DB
+    row format ``(city, state, country, longitude, latitude)``."""
+
+    city: str
+    state: str
+    country: str
+    continent: str
+    lat: float
+    lon: float
+
+    def region_name(self, level: RegionLevel) -> Optional[str]:
+        """Name of this location's region at ``level`` (None for GLOBAL)."""
+        if level is RegionLevel.CITY:
+            return f"{self.country}/{self.state}/{self.city}"
+        if level is RegionLevel.STATE:
+            return f"{self.country}/{self.state}"
+        if level is RegionLevel.COUNTRY:
+            return self.country
+        if level is RegionLevel.CONTINENT:
+            return self.continent
+        return None

@@ -1,0 +1,273 @@
+"""Deterministic synthetic world generation.
+
+The paper's pipeline runs over real geography (cities with populations,
+states, countries, continents).  Offline we synthesise an equivalent
+world: continents are lat/lon boxes, countries are discs placed inside
+them, states are discs inside countries, and cities are points inside
+states with Zipf-distributed populations.  All placement is driven by a
+single seed, so a ``WorldConfig`` describes a world bit-for-bit.
+
+The geometry respects the spatial scales the paper's thresholds assume:
+cities are tens of km apart (so a 40 km kernel bandwidth yields roughly
+one peak per major city) and states/countries are hundreds to thousands
+of km across (so the 95% containment classification is meaningful).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .coords import haversine_km, offset_km
+from .regions import City, Continent, Country, State
+
+#: Continent boxes loosely shaped after the paper's three study regions
+#: (North America, Europe, Asia).  Latitudes stay below 60° to keep the
+#: equirectangular projection well-behaved.
+DEFAULT_CONTINENTS: Tuple[Continent, ...] = (
+    Continent(code="NA", name="North America", lat_range=(25.0, 52.0), lon_range=(-125.0, -68.0)),
+    Continent(code="EU", name="Europe", lat_range=(36.0, 60.0), lon_range=(-10.0, 32.0)),
+    Continent(code="AS", name="Asia", lat_range=(8.0, 48.0), lon_range=(60.0, 140.0)),
+)
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Parameters of the synthetic world generator."""
+
+    seed: int = 2009  # the paper's measurement year
+    continents: Tuple[Continent, ...] = DEFAULT_CONTINENTS
+    countries_per_continent: int = 6
+    states_per_country: int = 4
+    cities_per_state: int = 5
+    country_radius_km: Tuple[float, float] = (350.0, 800.0)
+    state_radius_fraction: float = 0.45
+    min_city_separation_km: float = 60.0
+    largest_city_population: int = 3_000_000
+    population_zipf_exponent: float = 1.0
+    zips_per_city_range: Tuple[int, int] = (3, 12)
+
+    def __post_init__(self) -> None:
+        if self.countries_per_continent < 1:
+            raise ValueError("need at least one country per continent")
+        if self.states_per_country < 1:
+            raise ValueError("need at least one state per country")
+        if self.cities_per_state < 1:
+            raise ValueError("need at least one city per state")
+        lo, hi = self.country_radius_km
+        if not 0 < lo <= hi:
+            raise ValueError("invalid country radius range")
+        if not 0 < self.state_radius_fraction <= 1:
+            raise ValueError("state radius fraction must be in (0, 1]")
+        if self.min_city_separation_km <= 0:
+            raise ValueError("city separation must be positive")
+
+
+@dataclass
+class World:
+    """A fully-generated synthetic world."""
+
+    config: WorldConfig
+    continents: Dict[str, Continent]
+    countries: Dict[str, Country]
+    states: Dict[str, State]
+    cities: List[City]
+    _cities_by_country: Dict[str, List[City]] = field(default_factory=dict, repr=False)
+    _cities_by_state: Dict[str, List[City]] = field(default_factory=dict, repr=False)
+    _city_by_key: Dict[str, City] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for city in self.cities:
+            self._cities_by_country.setdefault(city.country_code, []).append(city)
+            self._cities_by_state.setdefault(city.state_code, []).append(city)
+            self._city_by_key[city.key] = city
+
+    def cities_in_country(self, country_code: str) -> List[City]:
+        return list(self._cities_by_country.get(country_code, []))
+
+    def cities_in_state(self, state_code: str) -> List[City]:
+        return list(self._cities_by_state.get(state_code, []))
+
+    def city(self, key: str) -> City:
+        return self._city_by_key[key]
+
+    def countries_in_continent(self, continent_code: str) -> List[Country]:
+        return [c for c in self.countries.values() if c.continent_code == continent_code]
+
+    def continent_of_country(self, country_code: str) -> Continent:
+        return self.continents[self.countries[country_code].continent_code]
+
+    @property
+    def total_population(self) -> int:
+        return sum(city.population for city in self.cities)
+
+
+def _place_separated(
+    rng: np.random.Generator,
+    count: int,
+    sample_point,
+    min_separation_km: float,
+    max_tries: int = 200,
+) -> List[Tuple[float, float]]:
+    """Place ``count`` points with pairwise separation, best effort.
+
+    ``sample_point`` draws one candidate ``(lat, lon)``.  After
+    ``max_tries`` rejections the candidate is accepted anyway so
+    generation always terminates; dense configurations degrade gracefully
+    instead of failing.
+    """
+    placed: List[Tuple[float, float]] = []
+    for _ in range(count):
+        candidate = sample_point()
+        for _ in range(max_tries):
+            if all(
+                haversine_km(candidate[0], candidate[1], lat, lon) >= min_separation_km
+                for lat, lon in placed
+            ):
+                break
+            candidate = sample_point()
+        placed.append(candidate)
+    return placed
+
+
+def _sample_in_disc(
+    rng: np.random.Generator, center_lat: float, center_lon: float, radius_km: float
+) -> Tuple[float, float]:
+    """Uniform sample inside a disc on the local km plane."""
+    r = float(np.sqrt(rng.random()) * radius_km)
+    theta = float(rng.random() * 2.0 * np.pi)
+    lat, lon = offset_km(center_lat, center_lon, r * np.cos(theta), r * np.sin(theta))
+    return float(lat), float(lon)
+
+
+def _zipf_populations(
+    rng: np.random.Generator, count: int, largest: int, exponent: float
+) -> List[int]:
+    """Zipf-ranked city populations with mild multiplicative noise."""
+    ranks = np.arange(1, count + 1, dtype=float)
+    base = largest / ranks**exponent
+    noise = rng.lognormal(mean=0.0, sigma=0.15, size=count)
+    populations = np.maximum((base * noise).astype(int), 1_000)
+    # Re-sort so rank order is preserved despite the noise.
+    return sorted((int(p) for p in populations), reverse=True)
+
+
+def generate_world(config: WorldConfig = WorldConfig()) -> World:
+    """Generate a :class:`World` from a :class:`WorldConfig`.
+
+    Deterministic: the same config (including seed) yields the same world.
+    """
+    rng = np.random.default_rng(config.seed)
+    continents = {c.code: c for c in config.continents}
+    countries: Dict[str, Country] = {}
+    states: Dict[str, State] = {}
+    cities: List[City] = []
+
+    for continent in config.continents:
+        lat_lo, lat_hi = continent.lat_range
+        lon_lo, lon_hi = continent.lon_range
+        # Keep country discs inside the box: margin of the max radius
+        # expressed in degrees at the box's least favourable latitude.
+        max_radius = config.country_radius_km[1]
+        lat_margin = max_radius / 111.0
+        worst_cos = np.cos(np.radians(max(abs(lat_lo), abs(lat_hi))))
+        lon_margin = max_radius / (111.0 * max(worst_cos, 0.2))
+
+        def sample_country_center() -> Tuple[float, float]:
+            lat = float(rng.uniform(lat_lo + lat_margin, lat_hi - lat_margin))
+            lon = float(rng.uniform(lon_lo + lon_margin, lon_hi - lon_margin))
+            return lat, lon
+
+        country_centers = _place_separated(
+            rng,
+            config.countries_per_continent,
+            sample_country_center,
+            min_separation_km=1.2 * config.country_radius_km[1],
+        )
+        for ci, (clat, clon) in enumerate(country_centers):
+            country_code = f"{continent.code}{ci:02d}"
+            radius = float(rng.uniform(*config.country_radius_km))
+            countries[country_code] = Country(
+                code=country_code,
+                name=f"Country {country_code}",
+                continent_code=continent.code,
+                center_lat=clat,
+                center_lon=clon,
+                radius_km=radius,
+            )
+            state_radius = radius * config.state_radius_fraction
+            state_centers = _place_separated(
+                rng,
+                config.states_per_country,
+                lambda: _sample_in_disc(rng, clat, clon, radius - state_radius),
+                min_separation_km=1.1 * state_radius,
+            )
+            for si, (slat, slon) in enumerate(state_centers):
+                state_code = f"{country_code}-S{si:02d}"
+                states[state_code] = State(
+                    code=state_code,
+                    name=f"State {state_code}",
+                    country_code=country_code,
+                    center_lat=slat,
+                    center_lon=slon,
+                    radius_km=state_radius,
+                )
+                populations = _zipf_populations(
+                    rng,
+                    config.cities_per_state,
+                    config.largest_city_population,
+                    config.population_zipf_exponent,
+                )
+                city_points = _place_separated(
+                    rng,
+                    config.cities_per_state,
+                    lambda: _sample_in_disc(rng, slat, slon, state_radius),
+                    min_separation_km=config.min_city_separation_km,
+                )
+                for xi, ((xlat, xlon), population) in enumerate(
+                    zip(city_points, populations)
+                ):
+                    zip_lo, zip_hi = config.zips_per_city_range
+                    cities.append(
+                        City(
+                            name=f"{state_code}-C{xi:02d}",
+                            country_code=country_code,
+                            state_code=state_code,
+                            lat=xlat,
+                            lon=xlon,
+                            population=population,
+                            radius_km=float(rng.uniform(8.0, 20.0)),
+                            zip_count=int(rng.integers(zip_lo, zip_hi + 1)),
+                        )
+                    )
+
+    return World(
+        config=config,
+        continents=continents,
+        countries=countries,
+        states=states,
+        cities=cities,
+    )
+
+
+def world_from_cities(
+    continents: Sequence[Continent],
+    countries: Sequence[Country],
+    states: Sequence[State],
+    cities: Sequence[City],
+    config: WorldConfig = WorldConfig(),
+) -> World:
+    """Assemble a :class:`World` from explicit components.
+
+    Used by :mod:`repro.geo.builtin` to build the hand-curated Italy-like
+    world for the Figure 1 / Section 6 case study.
+    """
+    return World(
+        config=config,
+        continents={c.code: c for c in continents},
+        countries={c.code: c for c in countries},
+        states={s.code: s for s in states},
+        cities=list(cities),
+    )

@@ -1,0 +1,22 @@
+"""IP-geolocation substrate: records, databases, error models, builders."""
+
+from .compare import DatabaseAgreement, compare_databases
+from .database import GeoDatabase, paired_lookup
+from .error import GeoErrorModel, default_primary_model, default_secondary_model
+from .records import GeoRecord
+from .serialize import load_geodb_csv, save_geodb_csv
+from .synth import build_database
+
+__all__ = [
+    "DatabaseAgreement",
+    "GeoDatabase",
+    "GeoErrorModel",
+    "GeoRecord",
+    "build_database",
+    "compare_databases",
+    "load_geodb_csv",
+    "save_geodb_csv",
+    "default_primary_model",
+    "default_secondary_model",
+    "paired_lookup",
+]

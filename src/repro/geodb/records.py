@@ -1,0 +1,37 @@
+"""Geo-database row format.
+
+Both commercial databases the paper uses "map any IP address to a
+geo-location record with the following format (city, state, country,
+longitude, latitude)" at zip-code resolution (Section 2).  This module
+defines that record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo.coords import haversine_km
+
+
+@dataclass(frozen=True)
+class GeoRecord:
+    """One geolocation answer: administrative names plus coordinates."""
+
+    city: str
+    state: str
+    country: str
+    continent: str
+    lat: float
+    lon: float
+
+    @property
+    def city_key(self) -> str:
+        return f"{self.country}/{self.state}/{self.city}"
+
+    def distance_km(self, other: "GeoRecord") -> float:
+        """Great-circle distance to another record's coordinates.
+
+        This is the paper's *geo error* when ``self`` and ``other`` come
+        from the two independent databases for the same IP.
+        """
+        return float(haversine_km(self.lat, self.lon, other.lat, other.lon))

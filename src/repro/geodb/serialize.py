@@ -1,0 +1,92 @@
+"""MaxMind-legacy-style CSV serialisation of geo databases.
+
+The commercial databases the paper pairs ship as two CSV tables: a
+*blocks* file mapping address ranges to location ids, and a *locations*
+file mapping ids to (country, region, city, latitude, longitude).  This
+module writes a :class:`~repro.geodb.database.GeoDatabase` in that
+shape and reads it back — ranges are re-expanded into prefixes with the
+standard minimal-cover algorithm.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, Tuple, Union
+
+from ..net.ip import range_to_prefixes
+from .database import GeoDatabase
+from .records import GeoRecord
+
+PathLike = Union[str, pathlib.Path]
+
+_BLOCK_HEADER = ("start_ip_num", "end_ip_num", "loc_id")
+_LOCATION_HEADER = (
+    "loc_id", "country", "region", "city", "continent", "latitude", "longitude",
+)
+
+#: loc_id 0 marks a block without city-level resolution.
+_MISSING_LOC = 0
+
+
+def save_geodb_csv(
+    database: GeoDatabase, blocks_path: PathLike, locations_path: PathLike
+) -> None:
+    """Write the database as (blocks.csv, locations.csv)."""
+    locations: Dict[Tuple, int] = {}
+    with pathlib.Path(blocks_path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_BLOCK_HEADER)
+        for prefix, record in database.blocks():
+            if record is None:
+                loc_id = _MISSING_LOC
+            else:
+                key = (
+                    record.country, record.state, record.city,
+                    record.continent, record.lat, record.lon,
+                )
+                loc_id = locations.setdefault(key, len(locations) + 1)
+            writer.writerow([prefix.first, prefix.last, loc_id])
+    with pathlib.Path(locations_path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_LOCATION_HEADER)
+        for key, loc_id in sorted(locations.items(), key=lambda kv: kv[1]):
+            country, state, city, continent, lat, lon = key
+            writer.writerow(
+                [loc_id, country, state, city, continent,
+                 f"{lat:.6f}", f"{lon:.6f}"]
+            )
+
+
+def load_geodb_csv(
+    name: str, blocks_path: PathLike, locations_path: PathLike
+) -> GeoDatabase:
+    """Read a (blocks.csv, locations.csv) pair back into a database.
+
+    Ranges need not be prefix-aligned: each is expanded into its minimal
+    prefix cover, so third-party range data loads too.
+    """
+    locations: Dict[int, GeoRecord] = {}
+    with pathlib.Path(locations_path).open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = tuple(next(reader))
+        if header != _LOCATION_HEADER:
+            raise ValueError(f"{locations_path}: unexpected locations header")
+        for row in reader:
+            loc_id = int(row[0])
+            locations[loc_id] = GeoRecord(
+                country=row[1], state=row[2], city=row[3], continent=row[4],
+                lat=float(row[5]), lon=float(row[6]),
+            )
+    database = GeoDatabase(name)
+    with pathlib.Path(blocks_path).open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = tuple(next(reader))
+        if header != _BLOCK_HEADER:
+            raise ValueError(f"{blocks_path}: unexpected blocks header")
+        for row in reader:
+            start, end, loc_id = int(row[0]), int(row[1]), int(row[2])
+            record = None if loc_id == _MISSING_LOC else locations[loc_id]
+            for prefix in range_to_prefixes(start, end):
+                database.add_block(prefix, record)
+    return database

@@ -1,0 +1,119 @@
+"""Synthetic geo-database construction.
+
+Builds a :class:`~repro.geodb.database.GeoDatabase` over the address
+blocks of a synthetic user population by pushing each block's ground
+truth through a :class:`~repro.geodb.error.GeoErrorModel`.  Two builds
+with differently-seeded models give the two "independent sources" whose
+disagreement the paper uses as its per-IP geo-error estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Protocol
+
+import numpy as np
+
+from ..geo.coords import destination_point, jitter_around
+from ..geo.regions import City
+from ..geo.world import World
+from ..geo.zipgrid import ZipGrid
+from ..net.ip import Prefix
+from .database import GeoDatabase
+from .error import GeoErrorModel
+from .records import GeoRecord
+
+
+class BlockInfo(Protocol):
+    """What a geo-database build needs to know about an address block."""
+
+    prefix: Prefix
+    city_key: str
+    zip_lat: float
+    zip_lon: float
+
+
+def _record_for_city(
+    world: World, city: City, lat: float, lon: float
+) -> GeoRecord:
+    country = world.countries[city.country_code]
+    return GeoRecord(
+        city=city.name,
+        state=city.state_code,
+        country=city.country_code,
+        continent=country.continent_code,
+        lat=float(lat),
+        lon=float(lon),
+    )
+
+
+def _wrong_city(
+    world: World, true_city: City, rng: np.random.Generator
+) -> City:
+    """Population-weighted wrong-city draw within the same country,
+    falling back to the whole world for single-city countries."""
+    candidates = [
+        c for c in world.cities_in_country(true_city.country_code)
+        if c.key != true_city.key
+    ]
+    if not candidates:
+        candidates = [c for c in world.cities if c.key != true_city.key]
+    if not candidates:
+        return true_city
+    weights = np.array([c.population for c in candidates], dtype=float)
+    weights /= weights.sum()
+    return candidates[int(rng.choice(len(candidates), p=weights))]
+
+
+def build_database(
+    name: str,
+    blocks: Iterable[BlockInfo],
+    world: World,
+    model: GeoErrorModel,
+    zipgrid: Optional[ZipGrid] = None,
+) -> GeoDatabase:
+    """Build one synthetic geo database over ``blocks``.
+
+    Deterministic given (blocks, model): every block's outcome is drawn
+    from a seed derived from the model seed and the block address.
+    """
+    zipgrid = zipgrid or ZipGrid()
+    database = GeoDatabase(name)
+    city_by_key = {c.key: c for c in world.cities}
+    for block in blocks:
+        true_city = city_by_key[block.city_key]
+        rng = model.rng_for_block(block.prefix.network)
+        draw = rng.random()
+        if draw < model.p_missing:
+            database.add_block(block.prefix, None)
+            continue
+        if draw < model.p_missing + model.p_city_miss:
+            reported_city = _wrong_city(world, true_city, rng)
+            lat, lon = jitter_around(
+                reported_city.lat, reported_city.lon, model.centroid_jitter_km, rng
+            )
+            record = _record_for_city(world, reported_city, float(lat), float(lon))
+            database.add_block(block.prefix, record)
+            continue
+        if draw < model.p_missing + model.p_city_miss + model.p_region_shift:
+            # Right city name, displaced coordinates: the mid-range error
+            # that survives the paper's 80-100 km filter.
+            lo, hi = model.region_shift_km_range
+            distance = float(rng.uniform(lo, hi))
+            bearing = float(rng.uniform(0.0, 360.0))
+            lat, lon = destination_point(
+                block.zip_lat, block.zip_lon, bearing, distance
+            )
+            record = _record_for_city(world, true_city, float(lat), float(lon))
+            database.add_block(block.prefix, record)
+            continue
+        # Correct city — possibly the wrong zip centroid within it.
+        if rng.random() < model.p_zip_shuffle and true_city.zip_count > 1:
+            zlats, zlons = zipgrid.centroids(true_city)
+            idx = int(rng.integers(zlats.size))
+            base_lat, base_lon = float(zlats[idx]), float(zlons[idx])
+        else:
+            base_lat, base_lon = block.zip_lat, block.zip_lon
+        lat, lon = jitter_around(base_lat, base_lon, model.centroid_jitter_km, rng)
+        record = _record_for_city(world, true_city, float(lat), float(lon))
+        database.add_block(block.prefix, record)
+    return database

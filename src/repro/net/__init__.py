@@ -1,0 +1,76 @@
+"""Network substrate: IPs, ASes, PoPs, IXPs, relationships, BGP, traceroute."""
+
+from .asn import ASNode, ASTier, ASType
+from .bgp import BGPRouting, RouteEntry, RouteKind, RoutingTable
+from .ecosystem import (
+    ASEcosystem,
+    DEFAULT_EYEBALL_PEERING_PROB,
+    DEFAULT_IXPS_PER_CONTINENT,
+    DEFAULT_LEVEL_MIX,
+    EcosystemConfig,
+    generate_ecosystem,
+)
+from .ip import (
+    MAX_IPV4,
+    aggregate_prefixes,
+    Prefix,
+    PrefixAllocator,
+    PrefixTable,
+    int_to_ip,
+    ip_to_int,
+    prefix_length_for_hosts,
+    range_to_prefixes,
+)
+from .italy import italy_ecosystem
+from .ixp import IXP, IXPFabric
+from .pops import PoP, PoPRole
+from .relationships import Relationship, RelationshipGraph, RelationshipType
+from .resilience import (
+    ProviderFailure,
+    ResilienceReport,
+    ResilienceSurvey,
+    analyze_resilience,
+    survey_resilience,
+)
+from .traceroute import Traceroute, TracerouteHop, TracerouteSimulator
+
+__all__ = [
+    "ASEcosystem",
+    "ASNode",
+    "ASTier",
+    "ASType",
+    "BGPRouting",
+    "DEFAULT_EYEBALL_PEERING_PROB",
+    "DEFAULT_IXPS_PER_CONTINENT",
+    "DEFAULT_LEVEL_MIX",
+    "EcosystemConfig",
+    "IXP",
+    "IXPFabric",
+    "MAX_IPV4",
+    "PoP",
+    "PoPRole",
+    "Prefix",
+    "PrefixAllocator",
+    "PrefixTable",
+    "ProviderFailure",
+    "ResilienceReport",
+    "ResilienceSurvey",
+    "Relationship",
+    "RelationshipGraph",
+    "RelationshipType",
+    "RouteEntry",
+    "RouteKind",
+    "RoutingTable",
+    "Traceroute",
+    "TracerouteHop",
+    "TracerouteSimulator",
+    "aggregate_prefixes",
+    "analyze_resilience",
+    "generate_ecosystem",
+    "int_to_ip",
+    "ip_to_int",
+    "italy_ecosystem",
+    "prefix_length_for_hosts",
+    "range_to_prefixes",
+    "survey_resilience",
+]

@@ -1,0 +1,86 @@
+"""Autonomous System records.
+
+An AS here is a *network with structure*, not a graph node: it has a
+business type, a tier, a home region and a set of PoPs — exactly the
+framing the paper argues for in its introduction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .pops import PoP
+
+
+class ASType(enum.Enum):
+    """Business role of an AS."""
+
+    EYEBALL = "eyeball"  # sells connectivity to end users
+    TRANSIT = "transit"  # sells transit to other ASes
+    CONTENT = "content"  # hosts content / enterprise (e.g. the RAI case)
+
+
+class ASTier(enum.IntEnum):
+    """Coarse position in the transit hierarchy."""
+
+    TIER1 = 1
+    TIER2 = 2
+    EDGE = 3
+
+
+@dataclass
+class ASNode:
+    """One Autonomous System.
+
+    ``pops`` carries the *ground-truth* PoPs — what the inference
+    pipeline tries to recover from user locations alone.  Customer PoPs
+    have positive ``customer_weight``; infrastructure-only PoPs (used to
+    reach providers/peers, paper Section 5's first mismatch cause) have
+    weight zero.
+    """
+
+    asn: int
+    name: str
+    as_type: ASType
+    tier: ASTier
+    country_code: str
+    continent_code: str
+    pops: List[PoP] = field(default_factory=list)
+    user_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError("ASN must be positive")
+        if self.user_count < 0:
+            raise ValueError("user count cannot be negative")
+
+    @property
+    def customer_pops(self) -> List[PoP]:
+        """PoPs that actually serve end users."""
+        return [p for p in self.pops if p.customer_weight > 0]
+
+    @property
+    def infrastructure_pops(self) -> List[PoP]:
+        """PoPs with no local customers (interconnection-only)."""
+        return [p for p in self.pops if p.customer_weight == 0]
+
+    @property
+    def is_eyeball(self) -> bool:
+        return self.as_type is ASType.EYEBALL
+
+    def normalized_weights(self) -> List[float]:
+        """Customer weights of ``customer_pops`` normalised to sum to 1."""
+        pops = self.customer_pops
+        total = sum(p.customer_weight for p in pops)
+        if total <= 0:
+            return []
+        return [p.customer_weight / total for p in pops]
+
+    def pop_at_city(self, city_key: str) -> Optional[PoP]:
+        """This AS's PoP in a given city, if any."""
+        for pop in self.pops:
+            if pop.city_key == city_key:
+                return pop
+        return None

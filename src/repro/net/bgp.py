@@ -1,0 +1,216 @@
+"""BGP substrate: a Routeviews-style RIB and valley-free AS paths.
+
+Two paper-facing features live here:
+
+* :class:`RoutingTable` — prefix → origin-AS mapping with longest-prefix
+  match, standing in for the archived Routeviews tables the paper uses
+  to group peers by AS (Section 2).
+* :class:`BGPRouting` — Gao-Rexford valley-free path computation over a
+  :class:`~repro.net.relationships.RelationshipGraph`, used by the
+  traceroute simulator that feeds the DIMES baseline (Section 5) and by
+  the Section 6 case-study checks.
+
+Route selection follows standard policy: routes learned from customers
+are preferred over routes from peers, which beat routes from providers;
+ties break on AS-path length, then on lowest next-hop ASN (so paths are
+deterministic).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .ip import Prefix, PrefixTable
+from .relationships import RelationshipGraph
+
+
+class RouteKind(enum.IntEnum):
+    """How a route was learned; lower value = more preferred."""
+
+    CUSTOMER = 0
+    PEER = 1
+    PROVIDER = 2
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """Best route of one AS towards the current destination."""
+
+    kind: RouteKind
+    length: int  # AS-path hop count to the destination
+    next_hop: int  # -1 for the destination itself
+
+    def better_than(self, other: Optional["RouteEntry"]) -> bool:
+        if other is None:
+            return True
+        return (self.kind, self.length, self.next_hop) < (
+            other.kind,
+            other.length,
+            other.next_hop,
+        )
+
+
+class RoutingTable:
+    """Prefix-to-origin-AS table (the synthetic Routeviews archive)."""
+
+    def __init__(self) -> None:
+        self._table: PrefixTable[int] = PrefixTable()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def announce(self, prefix: Prefix, origin_asn: int) -> None:
+        """Record an origination.  Re-announcing an existing prefix with
+        a different origin raises (MOAS conflicts are out of scope)."""
+        existing = self._table.lookup_exact(prefix)
+        if existing is not None and existing != origin_asn:
+            raise ValueError(f"{prefix} already originated by AS{existing}")
+        self._table.insert(prefix, origin_asn)
+
+    def origin_of(self, address: int) -> Optional[int]:
+        """Longest-prefix-match origin AS for an address."""
+        return self._table.lookup(address)
+
+    def origin_block(self, address: int) -> Optional[Tuple[Prefix, int]]:
+        """The matched prefix and its origin AS, or ``None``."""
+        return self._table.lookup_entry(address)
+
+    def entries(self) -> List[Tuple[Prefix, int]]:
+        return list(self._table.items())
+
+    def to_lines(self) -> List[str]:
+        """Serialise as ``prefix|origin`` lines (Routeviews-flavoured)."""
+        return [f"{prefix}|{asn}" for prefix, asn in self.entries()]
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "RoutingTable":
+        table = cls()
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            prefix_text, asn_text = line.split("|")
+            table.announce(Prefix.parse(prefix_text), int(asn_text))
+        return table
+
+
+class BGPRouting:
+    """Valley-free routing over a relationship graph.
+
+    Per-destination routing tables are computed on demand and cached;
+    each computation is O(E log V).
+    """
+
+    def __init__(self, graph: RelationshipGraph) -> None:
+        self.graph = graph
+        self._cache: Dict[int, Dict[int, RouteEntry]] = {}
+
+    def routes_to(self, dst: int) -> Dict[int, RouteEntry]:
+        """Best route of every AS that can reach ``dst``."""
+        cached = self._cache.get(dst)
+        if cached is not None:
+            return cached
+        tables = self._compute(dst)
+        self._cache[dst] = tables
+        return tables
+
+    def _compute(self, dst: int) -> Dict[int, RouteEntry]:
+        graph = self.graph
+        best: Dict[int, Dict[RouteKind, RouteEntry]] = {}
+
+        def record(asn: int, entry: RouteEntry) -> bool:
+            slots = best.setdefault(asn, {})
+            current = slots.get(entry.kind)
+            if current is None or entry.better_than(current):
+                slots[entry.kind] = entry
+                return True
+            return False
+
+        # Stage 1 — customer routes: the destination's route climbs the
+        # provider hierarchy; every AS on the way learned it from a
+        # customer.  Uniform edge weights, so a heap-ordered BFS gives
+        # shortest paths with deterministic tie-breaking.
+        origin = RouteEntry(kind=RouteKind.CUSTOMER, length=0, next_hop=-1)
+        best[dst] = {RouteKind.CUSTOMER: origin}
+        heap: List[Tuple[int, int, int]] = [(0, dst, -1)]
+        while heap:
+            length, asn, _ = heapq.heappop(heap)
+            current = best[asn][RouteKind.CUSTOMER]
+            if length > current.length:
+                continue
+            for provider in sorted(graph.providers_of(asn)):
+                entry = RouteEntry(RouteKind.CUSTOMER, length + 1, asn)
+                if record(provider, entry):
+                    heapq.heappush(heap, (entry.length, provider, asn))
+
+        # Stage 2 — peer routes: one lateral step.  Only customer routes
+        # may be exported to peers (valley-free condition).
+        customer_holders = [
+            (slots[RouteKind.CUSTOMER].length, asn)
+            for asn, slots in best.items()
+            if RouteKind.CUSTOMER in slots
+        ]
+        for length, asn in sorted(customer_holders):
+            for peer in sorted(graph.peers_of(asn)):
+                record(peer, RouteEntry(RouteKind.PEER, length + 1, asn))
+
+        # Stage 3 — provider routes: providers export their best route
+        # (of any kind) to customers, and these propagate downward
+        # arbitrarily deep.  Dijkstra over provider->customer edges,
+        # seeded with every AS's best customer/peer route.
+        def local_best(asn: int) -> Optional[RouteEntry]:
+            slots = best.get(asn)
+            if not slots:
+                return None
+            return min(slots.values(), key=lambda e: (e.kind, e.length, e.next_hop))
+
+        seed: List[Tuple[int, int]] = []
+        for asn, slots in best.items():
+            entry = local_best(asn)
+            if entry is not None:
+                seed.append((entry.length, asn))
+        heap2: List[Tuple[int, int]] = sorted(seed)
+        heapq.heapify(heap2)
+        while heap2:
+            length, asn = heapq.heappop(heap2)
+            entry = local_best(asn)
+            if entry is None or length > entry.length:
+                continue
+            for customer in sorted(graph.customers_of(asn)):
+                candidate = RouteEntry(RouteKind.PROVIDER, length + 1, asn)
+                before = local_best(customer)
+                if record(customer, candidate):
+                    after = local_best(customer)
+                    if before is None or (after is not None and after.better_than(before)):
+                        heapq.heappush(heap2, (after.length, customer))
+
+        return {
+            asn: min(slots.values(), key=lambda e: (e.kind, e.length, e.next_hop))
+            for asn, slots in best.items()
+        }
+
+    def path(self, src: int, dst: int) -> Optional[List[int]]:
+        """Valley-free AS path from ``src`` to ``dst`` (inclusive).
+
+        Returns ``None`` when no policy-compliant path exists.
+        """
+        if src == dst:
+            return [src]
+        tables = self.routes_to(dst)
+        entry = tables.get(src)
+        if entry is None:
+            return None
+        path = [src]
+        current = entry
+        guard = 0
+        while current.next_hop != -1:
+            guard += 1
+            if guard > 64:
+                raise RuntimeError("routing loop detected (bug)")
+            nxt = current.next_hop
+            path.append(nxt)
+            current = tables[nxt]
+        return path

@@ -1,0 +1,488 @@
+"""Synthetic AS ecosystem generation.
+
+Builds, from a :class:`~repro.geo.world.World`, everything the paper's
+measurement pipeline runs against:
+
+* eyeball/transit/content ASes with ground-truth PoPs and customer
+  weights (what the KDE pipeline tries to recover),
+* customer-provider and peering relationships (the CAIDA-style "best
+  effort ground truth" of Section 6),
+* IXPs with memberships and public peerings (the IXP-mapping dataset),
+* prefix allocations and a Routeviews-style routing table (for grouping
+  peers by AS).
+
+The generator is deterministic in its config seed.  Level mixes and
+peering propensities are per-continent so the reproduction shows the
+paper's regional contrasts (Table 1's level mix; Section 6's "eyeball
+ASes peer very actively ... especially in Europe").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.gazetteer import Gazetteer
+from ..geo.regions import City
+from ..geo.world import World
+from .asn import ASNode, ASTier, ASType
+from .bgp import RoutingTable
+from .ip import Prefix, PrefixAllocator
+from .ixp import IXP, IXPFabric
+from .pops import PoP, PoPRole
+from .relationships import Relationship, RelationshipGraph, RelationshipType
+
+#: (city fraction, state fraction, country fraction) of eyeball ASes by
+#: continent, shaped after the row pattern of the paper's Table 1.
+DEFAULT_LEVEL_MIX: Mapping[str, Tuple[float, float, float]] = {
+    "NA": (0.11, 0.50, 0.39),
+    "EU": (0.14, 0.18, 0.68),
+    "AS": (0.41, 0.12, 0.47),
+}
+
+#: Probability that an eyeball AS joins (and peers at) some IXP, by
+#: continent — Europe peers most actively (paper Section 6).
+DEFAULT_EYEBALL_PEERING_PROB: Mapping[str, float] = {
+    "NA": 0.20,
+    "EU": 0.55,
+    "AS": 0.30,
+}
+
+#: IXP count by continent (Europe has the densest public-peering fabric).
+DEFAULT_IXPS_PER_CONTINENT: Mapping[str, int] = {"NA": 3, "EU": 6, "AS": 3}
+
+
+@dataclass(frozen=True)
+class EcosystemConfig:
+    """Knobs of the ecosystem generator."""
+
+    seed: int = 42
+    tier1_count: int = 4
+    tier2_per_continent: int = 5
+    eyeballs_per_country: int = 8
+    content_per_country: int = 1
+    user_base_range: Tuple[int, int] = (1_500, 120_000)
+    level_mix: Mapping[str, Tuple[float, float, float]] = field(
+        default_factory=lambda: dict(DEFAULT_LEVEL_MIX)
+    )
+    eyeball_peering_prob: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_EYEBALL_PEERING_PROB)
+    )
+    ixps_per_continent: Mapping[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_IXPS_PER_CONTINENT)
+    )
+    #: Probability an eyeball AS keeps an infrastructure-only PoP at a
+    #: major city it has no customers in (Section 5 mismatch cause #1).
+    infrastructure_pop_prob: float = 0.35
+    #: Probability that an IXP membership is *remote* — at an IXP city
+    #: where the AS has no PoP (the RAI-at-MIX pattern).
+    remote_peering_prob: float = 0.25
+    max_providers: int = 5
+    #: Exponent linking city population to customer weight.
+    weight_population_exponent: float = 0.9
+    address_pool: str = "16.0.0.0/4"
+    first_asn: int = 100
+
+    def __post_init__(self) -> None:
+        if self.tier1_count < 1:
+            raise ValueError("need at least one tier-1 AS")
+        if self.eyeballs_per_country < 1:
+            raise ValueError("need at least one eyeball AS per country")
+        lo, hi = self.user_base_range
+        if not 0 < lo <= hi:
+            raise ValueError("invalid user base range")
+        if not 1 <= self.max_providers <= 10:
+            raise ValueError("max_providers out of sane range")
+        for mix in self.level_mix.values():
+            if abs(sum(mix) - 1.0) > 1e-6:
+                raise ValueError("level mix fractions must sum to 1")
+
+
+@dataclass
+class ASEcosystem:
+    """A fully-generated AS ecosystem over a world."""
+
+    world: World
+    config: EcosystemConfig
+    as_nodes: Dict[int, ASNode]
+    graph: RelationshipGraph
+    fabric: IXPFabric
+    routing_table: RoutingTable
+    prefixes: Dict[int, List[Prefix]]
+
+    @property
+    def eyeballs(self) -> List[ASNode]:
+        return [a for a in self.as_nodes.values() if a.as_type is ASType.EYEBALL]
+
+    @property
+    def transits(self) -> List[ASNode]:
+        return [a for a in self.as_nodes.values() if a.as_type is ASType.TRANSIT]
+
+    def node(self, asn: int) -> ASNode:
+        return self.as_nodes[asn]
+
+    def prefixes_of(self, asn: int) -> List[Prefix]:
+        return list(self.prefixes.get(asn, ()))
+
+    def total_address_capacity(self, asn: int) -> int:
+        return sum(p.size for p in self.prefixes.get(asn, ()))
+
+
+class _Builder:
+    """Stateful single-use generator; :func:`generate_ecosystem` wraps it."""
+
+    def __init__(self, world: World, config: EcosystemConfig) -> None:
+        self.world = world
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.gazetteer = Gazetteer(world)
+        self.as_nodes: Dict[int, ASNode] = {}
+        self.graph = RelationshipGraph()
+        self.fabric = IXPFabric()
+        self.allocator = PrefixAllocator(Prefix.parse(config.address_pool))
+        self.routing_table = RoutingTable()
+        self.prefixes: Dict[int, List[Prefix]] = {}
+        self._next_asn = config.first_asn
+        self._tier1: List[int] = []
+        self._tier2_by_continent: Dict[str, List[int]] = {}
+
+    # -- helpers ---------------------------------------------------------
+
+    def _new_asn(self) -> int:
+        asn = self._next_asn
+        self._next_asn += 1
+        return asn
+
+    def _top_cities(self, cities: Sequence[City], count: int) -> List[City]:
+        return sorted(cities, key=lambda c: (-c.population, c.key))[:count]
+
+    def _infrastructure_pop(self, asn: int, city: City) -> PoP:
+        return PoP(
+            asn=asn,
+            city_key=city.key,
+            city_name=city.name,
+            lat=city.lat,
+            lon=city.lon,
+            customer_weight=0.0,
+            role=PoPRole.INFRASTRUCTURE,
+        )
+
+    def _customer_pop(self, asn: int, city: City, weight: float) -> PoP:
+        return PoP(
+            asn=asn,
+            city_key=city.key,
+            city_name=city.name,
+            lat=city.lat,
+            lon=city.lon,
+            customer_weight=weight,
+            role=PoPRole.CUSTOMER,
+        )
+
+    def _allocate(self, asn: int, host_count: int) -> None:
+        """Carve address space for an AS: 1-3 prefixes covering ~6x the
+        expected host count (over-provisioned so zip-group packing never
+        runs out of aligned blocks)."""
+        blocks = int(self.rng.integers(1, 4))
+        per_block = max(host_count * 6 // blocks, 8)
+        allocated: List[Prefix] = []
+        for _ in range(blocks):
+            prefix = self.allocator.allocate_for_hosts(per_block)
+            allocated.append(prefix)
+            self.routing_table.announce(prefix, asn)
+        self.prefixes[asn] = allocated
+
+    # -- stages ----------------------------------------------------------
+
+    def build_tier1(self) -> None:
+        """Global backbones: infrastructure PoPs in every continent."""
+        for i in range(self.config.tier1_count):
+            asn = self._new_asn()
+            pops = []
+            for continent in self.world.continents.values():
+                cities = [
+                    c
+                    for c in self.world.cities
+                    if self.world.countries[c.country_code].continent_code
+                    == continent.code
+                ]
+                for city in self._top_cities(cities, 2):
+                    pops.append(self._infrastructure_pop(asn, city))
+            home = self.world.cities[0]
+            node = ASNode(
+                asn=asn,
+                name=f"Tier1-{i}",
+                as_type=ASType.TRANSIT,
+                tier=ASTier.TIER1,
+                country_code=home.country_code,
+                continent_code=self.world.countries[home.country_code].continent_code,
+                pops=pops,
+            )
+            self.as_nodes[asn] = node
+            self._tier1.append(asn)
+            self._allocate(asn, 64)
+        # Tier-1 clique: settlement-free peering between all backbones.
+        for i, a in enumerate(self._tier1):
+            for b in self._tier1[i + 1 :]:
+                self.graph.add(Relationship(a, b, RelationshipType.PEER))
+
+    def build_tier2(self) -> None:
+        """Continental transit providers."""
+        for continent in self.world.continents.values():
+            cities = [
+                c
+                for c in self.world.cities
+                if self.world.countries[c.country_code].continent_code
+                == continent.code
+            ]
+            tier2_asns: List[int] = []
+            for i in range(self.config.tier2_per_continent):
+                asn = self._new_asn()
+                pop_cities = self._top_cities(cities, 6)
+                pops = [self._infrastructure_pop(asn, c) for c in pop_cities]
+                home = pop_cities[0]
+                node = ASNode(
+                    asn=asn,
+                    name=f"Transit-{continent.code}-{i}",
+                    as_type=ASType.TRANSIT,
+                    tier=ASTier.TIER2,
+                    country_code=home.country_code,
+                    continent_code=continent.code,
+                    pops=pops,
+                )
+                self.as_nodes[asn] = node
+                tier2_asns.append(asn)
+                self._allocate(asn, 32)
+                # Each tier-2 buys transit from two tier-1s.
+                uplinks = self.rng.choice(
+                    self._tier1, size=min(2, len(self._tier1)), replace=False
+                )
+                for upstream in sorted(int(u) for u in uplinks):
+                    self.graph.add(
+                        Relationship(asn, upstream, RelationshipType.CUSTOMER_PROVIDER)
+                    )
+            # Tier-2s in a continent peer pairwise with probability 1/2.
+            for i, a in enumerate(tier2_asns):
+                for b in tier2_asns[i + 1 :]:
+                    if self.rng.random() < 0.5:
+                        self.graph.add(Relationship(a, b, RelationshipType.PEER))
+            self._tier2_by_continent[continent.code] = tier2_asns
+
+    def build_ixps(self) -> None:
+        """IXPs at the biggest cities; transit ASes join their continent's.
+
+        Each IXP gets a /24 peering LAN out of the conventional exchange
+        address range, so traceroute-based IXP detection has prefixes to
+        key on.
+        """
+        lan_allocator = PrefixAllocator(Prefix.parse("198.32.0.0/16"))
+        for continent in self.world.continents.values():
+            cities = [
+                c
+                for c in self.world.cities
+                if self.world.countries[c.country_code].continent_code
+                == continent.code
+            ]
+            count = self.config.ixps_per_continent.get(continent.code, 2)
+            for city in self._top_cities(cities, count):
+                ixp = IXP(
+                    name=f"IXP-{city.name}",
+                    city_key=city.key,
+                    city_name=city.name,
+                    country_code=city.country_code,
+                    lat=city.lat,
+                    lon=city.lon,
+                    peering_lan=lan_allocator.allocate(24),
+                )
+                self.fabric.add_ixp(ixp)
+                for asn in self._tier2_by_continent[continent.code]:
+                    ixp.add_member(asn)
+
+    def _pick_level(self, continent_code: str) -> str:
+        mix = self.config.level_mix.get(continent_code, (0.2, 0.3, 0.5))
+        return str(self.rng.choice(["city", "state", "country"], p=list(mix)))
+
+    def _eyeball_footprint(
+        self, country_code: str, level: str
+    ) -> Tuple[List[City], str]:
+        """Choose the ground-truth service region and its cities."""
+        country_cities = self.world.cities_in_country(country_code)
+        if level == "city":
+            weights = np.array([c.population for c in country_cities], dtype=float)
+            idx = int(self.rng.choice(len(country_cities), p=weights / weights.sum()))
+            return [country_cities[idx]], level
+        if level == "state":
+            states = sorted({c.state_code for c in country_cities})
+            state = str(self.rng.choice(states))
+            return list(self.world.cities_in_state(state)), level
+        # country level: top cities plus a random tail.
+        ranked = self._top_cities(country_cities, len(country_cities))
+        core = max(3, int(0.6 * len(ranked)))
+        chosen = list(ranked[:core])
+        for city in ranked[core:]:
+            if self.rng.random() < 0.5:
+                chosen.append(city)
+        return chosen, level
+
+    def build_eyeballs(self) -> None:
+        log_lo, log_hi = np.log(self.config.user_base_range)
+        for country in sorted(self.world.countries.values(), key=lambda c: c.code):
+            continent_code = country.continent_code
+            for i in range(self.config.eyeballs_per_country):
+                asn = self._new_asn()
+                level = self._pick_level(continent_code)
+                cities, _ = self._eyeball_footprint(country.code, level)
+                exponent = self.config.weight_population_exponent
+                pops: List[PoP] = []
+                for city in cities:
+                    weight = float(
+                        city.population**exponent
+                        * self.rng.lognormal(mean=0.0, sigma=0.5)
+                    )
+                    pops.append(self._customer_pop(asn, city, weight))
+                # Occasional interconnection-only PoP away from customers
+                # (at the country's biggest city outside the footprint).
+                if self.rng.random() < self.config.infrastructure_pop_prob:
+                    covered = {c.key for c in cities}
+                    outside = [
+                        c
+                        for c in self.world.cities_in_country(country.code)
+                        if c.key not in covered
+                    ]
+                    if outside:
+                        pops.append(
+                            self._infrastructure_pop(asn, self._top_cities(outside, 1)[0])
+                        )
+                size_scale = {"city": 0.35, "state": 0.7, "country": 1.0}[level]
+                user_count = int(
+                    np.exp(self.rng.uniform(log_lo, log_hi)) * size_scale
+                )
+                user_count = max(user_count, self.config.user_base_range[0] // 2)
+                node = ASNode(
+                    asn=asn,
+                    name=f"Eyeball-{country.code}-{i}",
+                    as_type=ASType.EYEBALL,
+                    tier=ASTier.EDGE,
+                    country_code=country.code,
+                    continent_code=continent_code,
+                    pops=pops,
+                    user_count=user_count,
+                )
+                self.as_nodes[asn] = node
+                self._allocate(asn, user_count)
+                self._connect_eyeball(node)
+
+    def _connect_eyeball(self, node: ASNode) -> None:
+        """Providers + IXP memberships for one eyeball AS.
+
+        Upstream richness is deliberately heavy-tailed (1 to
+        ``max_providers`` providers) — Section 6's point is that even
+        simple eyeball ASes maintain surprisingly rich connectivity.
+        """
+        tier2s = self._tier2_by_continent[node.continent_code]
+        provider_count = 1 + int(
+            self.rng.binomial(self.config.max_providers - 1, 0.3)
+        )
+        provider_count = min(provider_count, len(tier2s) + len(self._tier1))
+        pool = list(tier2s)
+        chosen: List[int] = []
+        while len(chosen) < provider_count and pool:
+            pick = int(self.rng.choice(pool))
+            pool.remove(pick)
+            chosen.append(pick)
+        # A minority also buy from a global (tier-1) provider directly.
+        if len(chosen) < provider_count or self.rng.random() < 0.15:
+            extra = int(self.rng.choice(self._tier1))
+            if extra not in chosen:
+                chosen.append(extra)
+        for provider in sorted(chosen):
+            self.graph.add(
+                Relationship(node.asn, provider, RelationshipType.CUSTOMER_PROVIDER)
+            )
+        # Public peering at IXPs.
+        prob = self.config.eyeball_peering_prob.get(node.continent_code, 0.2)
+        if self.rng.random() >= prob:
+            return
+        continent_ixps = [
+            ixp
+            for ixp in self.fabric.ixps.values()
+            if self.world.countries[ixp.country_code].continent_code
+            == node.continent_code
+        ]
+        if not continent_ixps:
+            return
+        pop_cities = {p.city_key for p in node.pops}
+        local = [i for i in continent_ixps if i.city_key in pop_cities]
+        remote = [i for i in continent_ixps if i.city_key not in pop_cities]
+        if remote and (not local or self.rng.random() < self.config.remote_peering_prob):
+            candidates = remote
+        elif local:
+            candidates = local
+        else:
+            candidates = continent_ixps
+        ixp = candidates[int(self.rng.integers(len(candidates)))]
+        ixp.add_member(node.asn)
+        # Peer with a few existing members (other eyeballs/content/tier-2s).
+        others = sorted(m for m in ixp.members if m != node.asn)
+        if others:
+            k = min(len(others), 1 + int(self.rng.integers(3)))
+            picks = self.rng.choice(others, size=k, replace=False)
+            for other in sorted(int(p) for p in picks):
+                if not self.graph.has_pair(node.asn, other):
+                    self.graph.add(
+                        Relationship(
+                            node.asn, other, RelationshipType.PEER, via_ixp=ixp.name
+                        )
+                    )
+                    self.fabric.add_peering(ixp.name, node.asn, other)
+
+    def build_content(self) -> None:
+        """A few content/enterprise ASes (RAI-like): city-anchored, small."""
+        for country in sorted(self.world.countries.values(), key=lambda c: c.code):
+            cities = self.world.cities_in_country(country.code)
+            if not cities:
+                continue
+            for i in range(self.config.content_per_country):
+                asn = self._new_asn()
+                city = self._top_cities(cities, 3)[
+                    int(self.rng.integers(min(3, len(cities))))
+                ]
+                node = ASNode(
+                    asn=asn,
+                    name=f"Content-{country.code}-{i}",
+                    as_type=ASType.CONTENT,
+                    tier=ASTier.EDGE,
+                    country_code=country.code,
+                    continent_code=country.continent_code,
+                    pops=[self._customer_pop(asn, city, 1.0)],
+                    user_count=max(
+                        1000, int(self.rng.integers(1_000, 5_000))
+                    ),
+                )
+                self.as_nodes[asn] = node
+                self._allocate(asn, node.user_count)
+                self._connect_eyeball(node)
+
+    def build(self) -> ASEcosystem:
+        self.build_tier1()
+        self.build_tier2()
+        self.build_ixps()
+        self.build_eyeballs()
+        self.build_content()
+        return ASEcosystem(
+            world=self.world,
+            config=self.config,
+            as_nodes=self.as_nodes,
+            graph=self.graph,
+            fabric=self.fabric,
+            routing_table=self.routing_table,
+            prefixes=self.prefixes,
+        )
+
+
+def generate_ecosystem(
+    world: World, config: EcosystemConfig = EcosystemConfig()
+) -> ASEcosystem:
+    """Generate a deterministic :class:`ASEcosystem` over ``world``."""
+    return _Builder(world, config).build()

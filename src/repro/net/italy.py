@@ -1,0 +1,349 @@
+"""Hand-built Italian AS ecosystem for Figure 1 and the Section 6 case
+study.
+
+The paper's two concrete examples are both Italian:
+
+* **AS3269 (Telecom Italia)** — Figure 1 shows its KDE user density at
+  three bandwidths; Section 4.2 lists its PoP-level footprint across
+  fourteen cities with densities ``[Milan .130, Rome .122, …, Sassari
+  .001]``.  We encode exactly those fourteen cities with customer
+  weights proportional to the paper's densities, so the reproduced
+  footprint has the same membership and ordering.
+* **AS8234 (RAI)** — a Rome-only "simple" eyeball/content AS that turns
+  out to have five upstream providers (Infostrada, Fastweb, Easynet,
+  Colt, BT-Italia) and to peer *remotely* at the Milan IXP (MIX) with
+  GARR, ASDASD and ITGate, while being absent from the local Rome IXP
+  (NaMEX).  The relationship and IXP tables below encode that ground
+  truth verbatim.
+
+ASNs are the real ones where the paper names them.  User counts follow
+the paper (2.2M samples for AS3269, 1470K for Infostrada, 3000 for RAI)
+scaled by a ``scale`` factor so the full pipeline stays laptop-sized; a
+floor keeps every AS above the pipeline's 1000-peer threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..geo.builtin import europe_world
+from ..geo.regions import City
+from ..geo.world import World
+from .asn import ASNode, ASTier, ASType
+from .bgp import RoutingTable
+from .ecosystem import ASEcosystem, EcosystemConfig
+from .ip import Prefix, PrefixAllocator
+from .ixp import IXP, IXPFabric
+from .pops import PoP, PoPRole
+from .relationships import Relationship, RelationshipGraph, RelationshipType
+
+#: AS3269 PoP cities with the paper's reported user densities.
+TELECOM_ITALIA_FOOTPRINT: Dict[str, float] = {
+    "Milan": 0.130,
+    "Rome": 0.122,
+    "Florence": 0.061,
+    "Venice": 0.054,
+    "Naples": 0.051,
+    "Turin": 0.047,
+    "Ancona": 0.027,
+    "Catania": 0.027,
+    "Palermo": 0.026,
+    "Pescara": 0.017,
+    "Bari": 0.015,
+    "Catanzaro": 0.007,
+    "Cagliari": 0.005,
+    "Sassari": 0.001,
+}
+
+AS_TELECOM = 3269
+AS_RAI = 8234
+AS_INFOSTRADA = 1267
+AS_FASTWEB = 12874
+AS_EASYNET = 4589
+AS_COLT = 8220
+AS_BT_ITALIA = 8968
+AS_GARR = 137
+AS_ASDASD = 21034  # the paper names "ASDASD" without an ASN
+AS_ITGATE = 12779
+AS_TIER1_A = 3356
+AS_TIER1_B = 1239
+
+#: Paper-reported P2P user counts (unscaled).
+PAPER_USER_COUNTS: Dict[int, int] = {
+    AS_TELECOM: 2_200_000,
+    AS_INFOSTRADA: 1_470_000,
+    AS_RAI: 3_000,
+}
+
+#: Minimum users per AS after scaling, so every Italian AS survives the
+#: pipeline's >=1000-peer filter in full-pipeline runs.
+USER_FLOOR = 1_200
+
+
+def _city_index(world: World) -> Dict[str, City]:
+    return {c.name: c for c in world.cities}
+
+
+def _pop(asn: int, city: City, weight: float) -> PoP:
+    role = PoPRole.CUSTOMER if weight > 0 else PoPRole.INFRASTRUCTURE
+    return PoP(
+        asn=asn,
+        city_key=city.key,
+        city_name=city.name,
+        lat=city.lat,
+        lon=city.lon,
+        customer_weight=weight,
+        role=role,
+    )
+
+
+def _population_weights(cities: List[City]) -> List[Tuple[City, float]]:
+    total = float(sum(c.population for c in cities))
+    return [(c, c.population / total) for c in cities]
+
+
+def italy_ecosystem(scale: float = 0.01, seed: int = 2009) -> ASEcosystem:
+    """Build the Italian case-study ecosystem.
+
+    ``scale`` multiplies the paper's user counts (default 1%: Telecom
+    Italia gets 22k synthetic users instead of 2.2M) — the KDE density
+    *shape* is invariant to sample count well above a few thousand.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    world = europe_world(seed=seed)
+    cities = _city_index(world)
+    italian = [c for c in world.cities if c.country_code == "IT"]
+
+    nodes: Dict[int, ASNode] = {}
+    graph = RelationshipGraph()
+    fabric = IXPFabric()
+    allocator = PrefixAllocator(Prefix.parse("10.0.0.0/8"))
+    routing = RoutingTable()
+    prefixes: Dict[int, List[Prefix]] = {}
+
+    def users(asn: int, default: int = 50_000) -> int:
+        paper = PAPER_USER_COUNTS.get(asn, default)
+        return max(int(paper * scale), USER_FLOOR)
+
+    def register(node: ASNode) -> None:
+        nodes[node.asn] = node
+        host_count = max(node.user_count, 64)
+        prefix = allocator.allocate_for_hosts(host_count * 6)
+        prefixes[node.asn] = [prefix]
+        routing.announce(prefix, node.asn)
+
+    # --- eyeball ISPs ----------------------------------------------------
+    telecom_pops = [
+        _pop(AS_TELECOM, cities[name], weight)
+        for name, weight in TELECOM_ITALIA_FOOTPRINT.items()
+    ]
+    register(
+        ASNode(
+            asn=AS_TELECOM,
+            name="Telecom Italia",
+            as_type=ASType.EYEBALL,
+            tier=ASTier.EDGE,
+            country_code="IT",
+            continent_code="EU",
+            pops=telecom_pops,
+            user_count=users(AS_TELECOM),
+        )
+    )
+    infostrada_pops = [
+        _pop(AS_INFOSTRADA, city, weight)
+        for city, weight in _population_weights(italian)
+    ]
+    register(
+        ASNode(
+            asn=AS_INFOSTRADA,
+            name="Infostrada",
+            as_type=ASType.EYEBALL,
+            tier=ASTier.EDGE,
+            country_code="IT",
+            continent_code="EU",
+            pops=infostrada_pops,
+            user_count=users(AS_INFOSTRADA),
+        )
+    )
+    fastweb_cities = ["Milan", "Rome", "Turin", "Naples", "Bologna", "Genoa", "Bari"]
+    register(
+        ASNode(
+            asn=AS_FASTWEB,
+            name="Fastweb",
+            as_type=ASType.EYEBALL,
+            tier=ASTier.EDGE,
+            country_code="IT",
+            continent_code="EU",
+            pops=[
+                _pop(AS_FASTWEB, cities[n], cities[n].population / 1e6)
+                for n in fastweb_cities
+            ],
+            user_count=users(AS_FASTWEB, 600_000),
+        )
+    )
+    bt_cities = ["Milan", "Rome", "Florence", "Bologna", "Palermo"]
+    register(
+        ASNode(
+            asn=AS_BT_ITALIA,
+            name="BT Italia",
+            as_type=ASType.EYEBALL,
+            tier=ASTier.TIER2,
+            country_code="IT",
+            continent_code="EU",
+            pops=[
+                _pop(AS_BT_ITALIA, cities[n], cities[n].population / 1e6)
+                for n in bt_cities
+            ],
+            user_count=users(AS_BT_ITALIA, 300_000),
+        )
+    )
+
+    # --- transit with multi-country ("global") reach ----------------------
+    def transit(asn: int, name: str, pop_names: List[str], tier: ASTier) -> ASNode:
+        return ASNode(
+            asn=asn,
+            name=name,
+            as_type=ASType.TRANSIT,
+            tier=tier,
+            country_code="IT",
+            continent_code="EU",
+            pops=[_pop(asn, cities[n], 0.0) for n in pop_names],
+            user_count=0,
+        )
+
+    register(
+        transit(
+            AS_EASYNET,
+            "Easynet",
+            ["Milan", "Rome", "London", "Paris", "Amsterdam"],
+            ASTier.TIER2,
+        )
+    )
+    register(
+        transit(
+            AS_COLT,
+            "Colt",
+            ["Milan", "Rome", "London", "Frankfurt", "Paris"],
+            ASTier.TIER2,
+        )
+    )
+    register(
+        transit(AS_GARR, "GARR", ["Milan", "Rome", "Bologna", "Naples"], ASTier.TIER2)
+    )
+    register(
+        transit(AS_TIER1_A, "GlobalBackbone-A", ["London", "Frankfurt", "Milan"], ASTier.TIER1)
+    )
+    register(
+        transit(AS_TIER1_B, "GlobalBackbone-B", ["Paris", "Amsterdam", "Rome"], ASTier.TIER1)
+    )
+
+    # --- small edge networks ----------------------------------------------
+    register(
+        ASNode(
+            asn=AS_RAI,
+            name="RAI - Radiotelevisione Italiana",
+            as_type=ASType.CONTENT,
+            tier=ASTier.EDGE,
+            country_code="IT",
+            continent_code="EU",
+            pops=[_pop(AS_RAI, cities["Rome"], 1.0)],
+            user_count=users(AS_RAI),
+        )
+    )
+    register(
+        ASNode(
+            asn=AS_ASDASD,
+            name="ASDASD",
+            as_type=ASType.TRANSIT,
+            tier=ASTier.EDGE,
+            country_code="IT",
+            continent_code="EU",
+            pops=[_pop(AS_ASDASD, cities["Milan"], 0.0)],
+            user_count=0,
+        )
+    )
+    register(
+        ASNode(
+            asn=AS_ITGATE,
+            name="ITGate",
+            as_type=ASType.TRANSIT,
+            tier=ASTier.EDGE,
+            country_code="IT",
+            continent_code="EU",
+            pops=[_pop(AS_ITGATE, cities["Milan"], 0.0)],
+            user_count=0,
+        )
+    )
+
+    # --- relationships -----------------------------------------------------
+    c2p = RelationshipType.CUSTOMER_PROVIDER
+    p2p = RelationshipType.PEER
+    # RAI's five upstream providers (the paper's headline finding).
+    for provider in (AS_INFOSTRADA, AS_FASTWEB, AS_EASYNET, AS_COLT, AS_BT_ITALIA):
+        graph.add(Relationship(AS_RAI, provider, c2p))
+    # Italian ISPs buy transit from the global backbones.
+    for customer in (AS_TELECOM, AS_INFOSTRADA, AS_FASTWEB, AS_BT_ITALIA, AS_GARR):
+        graph.add(Relationship(customer, AS_TIER1_A, c2p))
+    for customer in (AS_INFOSTRADA, AS_FASTWEB, AS_EASYNET, AS_COLT):
+        graph.add(Relationship(customer, AS_TIER1_B, c2p))
+    graph.add(Relationship(AS_TELECOM, AS_EASYNET, c2p))
+    graph.add(Relationship(AS_ASDASD, AS_TELECOM, c2p))
+    graph.add(Relationship(AS_ITGATE, AS_FASTWEB, c2p))
+    graph.add(Relationship(AS_TIER1_A, AS_TIER1_B, p2p))
+
+    # --- IXPs ---------------------------------------------------------------
+    mix = IXP(
+        name="MIX",
+        city_key=cities["Milan"].key,
+        city_name="Milan",
+        country_code="IT",
+        lat=cities["Milan"].lat,
+        lon=cities["Milan"].lon,
+        peering_lan=Prefix.parse("198.32.0.0/24"),
+    )
+    namex = IXP(
+        name="NaMEX",
+        city_key=cities["Rome"].key,
+        city_name="Rome",
+        country_code="IT",
+        lat=cities["Rome"].lat,
+        lon=cities["Rome"].lon,
+        peering_lan=Prefix.parse("198.32.1.0/24"),
+    )
+    fabric.add_ixp(mix)
+    fabric.add_ixp(namex)
+    for member in (
+        AS_RAI,
+        AS_GARR,
+        AS_ASDASD,
+        AS_ITGATE,
+        AS_TELECOM,
+        AS_INFOSTRADA,
+        AS_FASTWEB,
+    ):
+        mix.add_member(member)
+    # NaMEX: GARR is present (like in the paper); RAI, ASDASD and ITGate
+    # are not members.
+    for member in (AS_GARR, AS_INFOSTRADA, AS_BT_ITALIA):
+        namex.add_member(member)
+
+    # RAI peers at MIX with GARR, ASDASD and ITGate (remote peering).
+    for peer in (AS_GARR, AS_ASDASD, AS_ITGATE):
+        graph.add(Relationship(AS_RAI, peer, p2p, via_ixp="MIX"))
+        fabric.add_peering("MIX", AS_RAI, peer)
+    # Some ordinary public peering among the big ISPs.
+    graph.add(Relationship(AS_TELECOM, AS_INFOSTRADA, p2p, via_ixp="MIX"))
+    fabric.add_peering("MIX", AS_TELECOM, AS_INFOSTRADA)
+    graph.add(Relationship(AS_FASTWEB, AS_GARR, p2p, via_ixp="MIX"))
+    fabric.add_peering("MIX", AS_FASTWEB, AS_GARR)
+
+    return ASEcosystem(
+        world=world,
+        config=EcosystemConfig(seed=seed),
+        as_nodes=nodes,
+        graph=graph,
+        fabric=fabric,
+        routing_table=routing,
+        prefixes=prefixes,
+    )

@@ -1,0 +1,127 @@
+"""Internet eXchange Points.
+
+Section 6 of the paper joins inferred PoP footprints against the IXP-
+mapping dataset of Augustin et al. to study where eyeball ASes peer —
+locally, or remotely like the RAI case (a Rome AS peering at the Milan
+IXP).  This module models IXPs as city-anchored facilities with member
+ASes and public-peering edges established across them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .ip import Prefix
+
+
+@dataclass
+class IXP:
+    """One exchange point, anchored at a city.
+
+    ``peering_lan`` is the IXP's shared subnet.  Every member router
+    holds one address on it; those addresses are what traceroute-based
+    IXP detection (Augustin et al., the paper's Section 6 dataset)
+    keys on — an IXP crossing shows up as a hop whose IP falls inside a
+    known peering-LAN prefix.
+    """
+
+    name: str
+    city_key: str
+    city_name: str
+    country_code: str
+    lat: float
+    lon: float
+    members: Set[int] = field(default_factory=set)
+    peering_lan: Optional[Prefix] = None
+
+    def add_member(self, asn: int) -> None:
+        if asn <= 0:
+            raise ValueError("ASN must be positive")
+        if (
+            self.peering_lan is not None
+            and asn not in self.members
+            and len(self.members) >= self.peering_lan.size - 2
+        ):
+            raise ValueError(f"{self.name}: peering LAN is full")
+        self.members.add(asn)
+
+    def has_member(self, asn: int) -> bool:
+        return asn in self.members
+
+    def port_address(self, asn: int) -> int:
+        """The member's address on the peering LAN.
+
+        Deterministic given the final membership: ports are assigned in
+        ASN order, skipping the network and broadcast addresses.
+        """
+        if self.peering_lan is None:
+            raise ValueError(f"{self.name} has no peering LAN")
+        if asn not in self.members:
+            raise ValueError(f"AS{asn} is not a member of {self.name}")
+        index = sorted(self.members).index(asn)
+        return self.peering_lan.nth(1 + index)
+
+
+@dataclass
+class IXPFabric:
+    """All IXPs of a world plus the peering matrix across them."""
+
+    ixps: Dict[str, IXP] = field(default_factory=dict)
+    #: (ixp name, min ASN, max ASN) triples — peering sessions.
+    peerings: Set[Tuple[str, int, int]] = field(default_factory=set)
+
+    def add_ixp(self, ixp: IXP) -> None:
+        if ixp.name in self.ixps:
+            raise ValueError(f"duplicate IXP {ixp.name}")
+        self.ixps[ixp.name] = ixp
+
+    def add_peering(self, ixp_name: str, asn_a: int, asn_b: int) -> None:
+        """Record a public peering session at an IXP.
+
+        Both ASes must already be members; the pair is stored unordered.
+        """
+        if asn_a == asn_b:
+            raise ValueError("an AS cannot peer with itself")
+        ixp = self.ixps[ixp_name]
+        for asn in (asn_a, asn_b):
+            if not ixp.has_member(asn):
+                raise ValueError(f"AS{asn} is not a member of {ixp_name}")
+        self.peerings.add((ixp_name, min(asn_a, asn_b), max(asn_a, asn_b)))
+
+    def memberships_of(self, asn: int) -> List[IXP]:
+        """IXPs the AS is a member of."""
+        return [ixp for ixp in self.ixps.values() if ixp.has_member(asn)]
+
+    def peers_of(self, asn: int) -> Dict[str, Set[int]]:
+        """IXP name -> set of ASNs the AS peers with there."""
+        result: Dict[str, Set[int]] = {}
+        for ixp_name, a, b in self.peerings:
+            if asn == a:
+                result.setdefault(ixp_name, set()).add(b)
+            elif asn == b:
+                result.setdefault(ixp_name, set()).add(a)
+        return result
+
+    def peer_pairs(self) -> Set[FrozenSet[int]]:
+        """All unordered AS pairs with at least one public peering."""
+        return {frozenset((a, b)) for _, a, b in self.peerings}
+
+    def ixps_in_country(self, country_code: str) -> List[IXP]:
+        return [i for i in self.ixps.values() if i.country_code == country_code]
+
+    def ixp_of_peering(self, asn_a: int, asn_b: int) -> Optional[IXP]:
+        """The IXP carrying a public peering between two ASes, if any."""
+        key = (min(asn_a, asn_b), max(asn_a, asn_b))
+        for ixp_name, a, b in self.peerings:
+            if (a, b) == key:
+                return self.ixps[ixp_name]
+        return None
+
+    def lan_prefixes(self) -> Dict[str, Prefix]:
+        """IXP name -> peering-LAN prefix, for IXPs that have one."""
+        return {
+            name: ixp.peering_lan
+            for name, ixp in self.ixps.items()
+            if ixp.peering_lan is not None
+        }

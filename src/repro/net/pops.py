@@ -1,0 +1,50 @@
+"""Points of Presence.
+
+A PoP is a physical facility of an AS in (or near) a city.  The paper
+infers PoP *locations* from user density; these objects are the ground
+truth the inference is validated against (Section 5) and the anchors at
+which ASes interconnect (Section 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PoPRole(enum.Enum):
+    """Why the PoP exists."""
+
+    CUSTOMER = "customer"  # aggregates end-user access lines
+    INFRASTRUCTURE = "infrastructure"  # interconnection-only (no users)
+
+
+@dataclass(frozen=True)
+class PoP:
+    """One Point of Presence of one AS.
+
+    ``customer_weight`` is the AS's relative customer mass homed at this
+    PoP (arbitrary positive scale, zero for infrastructure PoPs);
+    downstream code normalises per AS.
+    """
+
+    asn: int
+    city_key: str
+    city_name: str
+    lat: float
+    lon: float
+    customer_weight: float
+    role: PoPRole = PoPRole.CUSTOMER
+
+    def __post_init__(self) -> None:
+        if self.customer_weight < 0:
+            raise ValueError("customer weight cannot be negative")
+        if self.role is PoPRole.INFRASTRUCTURE and self.customer_weight != 0:
+            raise ValueError("infrastructure PoPs must have zero customer weight")
+        if self.role is PoPRole.CUSTOMER and self.customer_weight == 0:
+            raise ValueError("customer PoPs must have positive customer weight")
+
+    @property
+    def key(self) -> str:
+        """Unique PoP identifier."""
+        return f"AS{self.asn}@{self.city_key}"

@@ -1,0 +1,132 @@
+"""AS business relationships (customer-provider and peer-to-peer).
+
+This is the "best-effort ground truth for AS-level Internet
+connectivity" the paper's Section 6 consults (the CAIDA AS-relationship
+dataset plus the IXP-mapping dataset).  We keep the standard two
+relationship kinds and provide the adjacency views that the valley-free
+routing computation in :mod:`repro.net.bgp` needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+
+class RelationshipType(enum.Enum):
+    CUSTOMER_PROVIDER = "c2p"  # first AS buys transit from second
+    PEER = "p2p"
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """A directed business relationship between two ASes.
+
+    For ``CUSTOMER_PROVIDER``, ``a`` is the customer and ``b`` the
+    provider.  For ``PEER``, the pair is unordered (stored as given).
+    ``via_ixp`` names the IXP carrying a public peering, ``None`` for
+    private interconnects and all transit edges.
+    """
+
+    a: int
+    b: int
+    rel_type: RelationshipType
+    via_ixp: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("self relationships are not allowed")
+        if self.rel_type is RelationshipType.CUSTOMER_PROVIDER and self.via_ixp:
+            raise ValueError("transit relationships cannot be via an IXP")
+
+
+class RelationshipGraph:
+    """Indexable set of AS relationships."""
+
+    def __init__(self, relationships: Iterable[Relationship] = ()) -> None:
+        self._relationships: List[Relationship] = []
+        self._providers: Dict[int, Set[int]] = {}
+        self._customers: Dict[int, Set[int]] = {}
+        self._peers: Dict[int, Set[int]] = {}
+        self._pairs: Set[FrozenSet[int]] = set()
+        for rel in relationships:
+            self.add(rel)
+
+    def __len__(self) -> int:
+        return len(self._relationships)
+
+    def __iter__(self):
+        return iter(self._relationships)
+
+    def add(self, rel: Relationship) -> None:
+        """Add one relationship; duplicate AS pairs are rejected.
+
+        Real AS pairs can have per-region hybrid relationships, but the
+        public datasets the paper uses flatten each pair to one kind —
+        we enforce the same invariant.
+        """
+        pair = frozenset((rel.a, rel.b))
+        if pair in self._pairs:
+            raise ValueError(f"pair AS{rel.a}/AS{rel.b} already related")
+        self._pairs.add(pair)
+        self._relationships.append(rel)
+        if rel.rel_type is RelationshipType.CUSTOMER_PROVIDER:
+            self._providers.setdefault(rel.a, set()).add(rel.b)
+            self._customers.setdefault(rel.b, set()).add(rel.a)
+        else:
+            self._peers.setdefault(rel.a, set()).add(rel.b)
+            self._peers.setdefault(rel.b, set()).add(rel.a)
+
+    def has_pair(self, a: int, b: int) -> bool:
+        return frozenset((a, b)) in self._pairs
+
+    def providers_of(self, asn: int) -> Set[int]:
+        return set(self._providers.get(asn, ()))
+
+    def customers_of(self, asn: int) -> Set[int]:
+        return set(self._customers.get(asn, ()))
+
+    def peers_of(self, asn: int) -> Set[int]:
+        return set(self._peers.get(asn, ()))
+
+    def degree(self, asn: int) -> int:
+        return (
+            len(self._providers.get(asn, ()))
+            + len(self._customers.get(asn, ()))
+            + len(self._peers.get(asn, ()))
+        )
+
+    def all_asns(self) -> Set[int]:
+        asns: Set[int] = set()
+        for rel in self._relationships:
+            asns.add(rel.a)
+            asns.add(rel.b)
+        return asns
+
+    def relationship_of(self, a: int, b: int) -> Optional[Relationship]:
+        """The relationship covering the unordered pair, if any."""
+        if not self.has_pair(a, b):
+            return None
+        pair = frozenset((a, b))
+        for rel in self._relationships:
+            if frozenset((rel.a, rel.b)) == pair:
+                return rel
+        return None
+
+    def customer_cone_size(self, asn: int) -> int:
+        """Number of ASes reachable downstream through customer edges
+        (the AS itself included) — CAIDA's customer-cone metric."""
+        seen = {asn}
+        frontier = [asn]
+        while frontier:
+            current = frontier.pop()
+            for customer in self._customers.get(current, ()):
+                if customer not in seen:
+                    seen.add(customer)
+                    frontier.append(customer)
+        return len(seen)
+
+    def edges_as_tuples(self) -> List[Tuple[int, int, str]]:
+        """(a, b, kind) triples in insertion order, for serialisation."""
+        return [(r.a, r.b, r.rel_type.value) for r in self._relationships]

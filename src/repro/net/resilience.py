@@ -1,0 +1,156 @@
+"""Upstream-redundancy analysis.
+
+Section 6 finds that even "simple" eyeball ASes keep surprisingly many
+upstream providers and speculates about the reasons (separate
+residential/business transit, historical artifacts, strategic global
+reach).  One measurable reason is *resilience*: what happens to an
+eyeball AS's reachability when one of its providers fails?
+
+This module answers that by replaying the valley-free routing with each
+provider (or provider link) removed and checking whether the AS can
+still reach the core (any tier-1) and its public peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .asn import ASTier, ASType
+from .bgp import BGPRouting
+from .ecosystem import ASEcosystem
+from .relationships import RelationshipGraph
+
+
+def _graph_without_link(
+    graph: RelationshipGraph, a: int, b: int
+) -> RelationshipGraph:
+    """A copy of the graph with the (a, b) relationship removed."""
+    pruned = RelationshipGraph()
+    for relationship in graph:
+        if {relationship.a, relationship.b} == {a, b}:
+            continue
+        pruned.add(relationship)
+    return pruned
+
+
+@dataclass(frozen=True)
+class ProviderFailure:
+    """Outcome of failing one provider link of the studied AS."""
+
+    provider_asn: int
+    still_reaches_core: bool
+    alternative_path_length: int  # 0 when unreachable
+
+
+@dataclass
+class ResilienceReport:
+    """Single-link failure analysis for one AS."""
+
+    asn: int
+    core_asns: Tuple[int, ...]
+    baseline_path_length: int
+    failures: Tuple[ProviderFailure, ...]
+
+    @property
+    def provider_count(self) -> int:
+        return len(self.failures)
+
+    @property
+    def survives_any_single_failure(self) -> bool:
+        """True when no single provider is a point of failure."""
+        return all(f.still_reaches_core for f in self.failures)
+
+    @property
+    def single_points_of_failure(self) -> List[int]:
+        return [f.provider_asn for f in self.failures if not f.still_reaches_core]
+
+
+def _reaches_core(
+    graph: RelationshipGraph, asn: int, core_asns: Tuple[int, ...]
+) -> Tuple[bool, int]:
+    routing = BGPRouting(graph)
+    best = 0
+    for core in core_asns:
+        path = routing.path(asn, core)
+        if path is not None:
+            length = len(path) - 1
+            if best == 0 or length < best:
+                best = length
+    return best > 0, best
+
+
+def analyze_resilience(ecosystem: ASEcosystem, asn: int) -> ResilienceReport:
+    """Single-provider-failure analysis for one AS.
+
+    The "core" is the set of tier-1 ASes; reaching any of them by a
+    valley-free path counts as connected.
+    """
+    core = tuple(
+        sorted(
+            n.asn
+            for n in ecosystem.as_nodes.values()
+            if n.tier is ASTier.TIER1
+        )
+    )
+    if not core:
+        raise ValueError("ecosystem has no tier-1 core")
+    providers = sorted(ecosystem.graph.providers_of(asn))
+    _, baseline = _reaches_core(ecosystem.graph, asn, core)
+    failures = []
+    for provider in providers:
+        pruned = _graph_without_link(ecosystem.graph, asn, provider)
+        reachable, length = _reaches_core(pruned, asn, core)
+        failures.append(
+            ProviderFailure(
+                provider_asn=provider,
+                still_reaches_core=reachable,
+                alternative_path_length=length,
+            )
+        )
+    return ResilienceReport(
+        asn=asn,
+        core_asns=core,
+        baseline_path_length=baseline,
+        failures=tuple(failures),
+    )
+
+
+@dataclass(frozen=True)
+class ResilienceSurvey:
+    """Continent-level aggregate of single-failure survival."""
+
+    survival_by_continent: Dict[str, float]
+    mean_providers_by_continent: Dict[str, float]
+
+    def most_resilient_continent(self) -> str:
+        return max(
+            self.survival_by_continent,
+            key=lambda code: (self.survival_by_continent[code], code),
+        )
+
+
+def survey_resilience(ecosystem: ASEcosystem) -> ResilienceSurvey:
+    """Single-failure survival fraction of eyeball ASes per continent."""
+    survived: Dict[str, List[bool]] = {}
+    providers: Dict[str, List[int]] = {}
+    for node in ecosystem.as_nodes.values():
+        if node.as_type is not ASType.EYEBALL:
+            continue
+        report = analyze_resilience(ecosystem, node.asn)
+        survived.setdefault(node.continent_code, []).append(
+            report.survives_any_single_failure
+        )
+        providers.setdefault(node.continent_code, []).append(
+            report.provider_count
+        )
+    return ResilienceSurvey(
+        survival_by_continent={
+            code: sum(values) / len(values)
+            for code, values in sorted(survived.items())
+        },
+        mean_providers_by_continent={
+            code: sum(values) / len(values)
+            for code, values in sorted(providers.items())
+        },
+    )

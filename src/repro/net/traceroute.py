@@ -1,0 +1,187 @@
+"""PoP-level traceroute simulation.
+
+The paper compares its KDE-based PoP inference with the traceroute-based
+PoP dataset of the DIMES project (Section 5).  To reproduce that
+baseline we need traceroutes: this module computes the valley-free AS
+path between two ASes and expands it into PoP-level hops with a
+geographic-greedy interconnection model — a packet enters each AS at
+the PoP nearest to where it currently is (a standard approximation of
+hot-potato/nearest-exit routing at PoP granularity).
+
+The key *limitation* this reproduces is structural: a traceroute only
+reveals the PoPs that happen to sit on transit paths from the vantage
+points, which is why DIMES sees ~1.5 PoPs per eyeball AS where the
+user-density method sees ~7 (paper Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..geo.coords import haversine_km
+from .bgp import BGPRouting
+from .ecosystem import ASEcosystem
+from .pops import PoP
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """One observed (AS, PoP) hop.
+
+    When the packet entered this AS across an IXP's public peering
+    fabric, ``lan_address`` carries the responding router's address on
+    the IXP peering LAN and ``via_ixp`` the IXP's name — the signature
+    traceroute-based IXP detection looks for.
+    """
+
+    asn: int
+    pop: PoP
+    via_ixp: Optional[str] = None
+    lan_address: Optional[int] = None
+
+    @property
+    def lat(self) -> float:
+        return self.pop.lat
+
+    @property
+    def lon(self) -> float:
+        return self.pop.lon
+
+    @property
+    def crossed_ixp(self) -> bool:
+        return self.lan_address is not None
+
+
+@dataclass(frozen=True)
+class Traceroute:
+    """A completed PoP-level trace."""
+
+    src_asn: int
+    dst_asn: int
+    hops: Sequence[TracerouteHop]
+
+    @property
+    def as_path(self) -> List[int]:
+        path: List[int] = []
+        for hop in self.hops:
+            if not path or path[-1] != hop.asn:
+                path.append(hop.asn)
+        return path
+
+
+def _nearest_pop(pops: Sequence[PoP], lat: float, lon: float) -> PoP:
+    """PoP nearest a location; ties break on city key for determinism."""
+    return min(
+        pops, key=lambda p: (float(haversine_km(lat, lon, p.lat, p.lon)), p.city_key)
+    )
+
+
+class TracerouteSimulator:
+    """Simulate PoP-level traceroutes over an ecosystem."""
+
+    def __init__(self, ecosystem: ASEcosystem) -> None:
+        self.ecosystem = ecosystem
+        self.routing = BGPRouting(ecosystem.graph)
+
+    def _ixp_crossing(self, from_asn: int, to_asn: int):
+        """IXP name and LAN address when the edge is a public peering.
+
+        The responding interface is the *receiving* member's router port
+        on the peering LAN, as in real traceroutes across an IXP.
+        """
+        relationship = self.ecosystem.graph.relationship_of(from_asn, to_asn)
+        if relationship is None or relationship.via_ixp is None:
+            return None, None
+        ixp = self.ecosystem.fabric.ixps.get(relationship.via_ixp)
+        if ixp is None or ixp.peering_lan is None:
+            return relationship.via_ixp, None
+        return ixp.name, ixp.port_address(to_asn)
+
+    def vantage_pop(self, asn: int) -> PoP:
+        """Canonical vantage location inside an AS: its heaviest PoP
+        (first by weight, then city key) — where a measurement host
+        would plausibly sit."""
+        node = self.ecosystem.node(asn)
+        if not node.pops:
+            raise ValueError(f"AS{asn} has no PoPs")
+        return max(node.pops, key=lambda p: (p.customer_weight, p.city_key))
+
+    def trace(
+        self, src_asn: int, dst_asn: int, dst_pop: Optional[PoP] = None
+    ) -> Optional[Traceroute]:
+        """Trace from ``src_asn``'s vantage towards ``dst_asn``.
+
+        ``dst_pop`` is the destination user's serving PoP (the last
+        hop); defaults to the destination AS's heaviest PoP.  Returns
+        ``None`` when no valley-free path exists.
+        """
+        as_path = self.routing.path(src_asn, dst_asn)
+        if as_path is None:
+            return None
+        if dst_pop is not None and dst_pop.asn != dst_asn:
+            raise ValueError("dst_pop does not belong to the destination AS")
+        hops: List[TracerouteHop] = []
+        current = self.vantage_pop(src_asn)
+        hops.append(TracerouteHop(src_asn, current))
+        previous_asn = src_asn
+        for asn in as_path[1:]:
+            pops = self.ecosystem.node(asn).pops
+            if not pops:
+                continue
+            entry = _nearest_pop(pops, current.lat, current.lon)
+            via_ixp, lan_address = self._ixp_crossing(previous_asn, asn)
+            hops.append(
+                TracerouteHop(
+                    asn, entry, via_ixp=via_ixp, lan_address=lan_address
+                )
+            )
+            current = entry
+            previous_asn = asn
+        final = dst_pop or self.vantage_pop(dst_asn)
+        if hops[-1].asn != dst_asn or hops[-1].pop.key != final.key:
+            hops.append(TracerouteHop(dst_asn, final))
+        return Traceroute(src_asn=src_asn, dst_asn=dst_asn, hops=tuple(hops))
+
+    def campaign(
+        self,
+        vantage_asns: Sequence[int],
+        target_asns: Sequence[int],
+        targets_per_as: int = 1,
+        rng=None,
+    ) -> List[Traceroute]:
+        """A DIMES-style measurement campaign.
+
+        Each target AS gets ``targets_per_as`` destination addresses
+        drawn once (serving PoPs drawn by customer weight — users are
+        where customers are); every vantage then traces to those same
+        destinations.  This mirrors real campaigns, which probe a fixed
+        target list, and is what limits traceroute PoP visibility: only
+        entry PoPs and the serving PoPs of the few probed destinations
+        are ever observed.
+        """
+        import numpy as np
+
+        rng = rng if rng is not None else np.random.default_rng(0)
+        traces: List[Traceroute] = []
+        for dst in target_asns:
+            node = self.ecosystem.node(dst)
+            customer_pops = node.customer_pops or list(node.pops)
+            if not customer_pops:
+                continue
+            weights = np.array(
+                [max(p.customer_weight, 1e-9) for p in customer_pops], dtype=float
+            )
+            weights /= weights.sum()
+            destination_pops = [
+                customer_pops[int(rng.choice(len(customer_pops), p=weights))]
+                for _ in range(targets_per_as)
+            ]
+            for src in vantage_asns:
+                if src == dst:
+                    continue
+                for dst_pop in destination_pops:
+                    trace = self.trace(src, dst, dst_pop=dst_pop)
+                    if trace is not None:
+                        traces.append(trace)
+        return traces

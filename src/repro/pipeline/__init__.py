@@ -1,0 +1,53 @@
+"""Section 2 data-preparation pipeline: map, filter, group, classify."""
+
+from .classify import ASClassification, CONTAINMENT_THRESHOLD, classify_group
+from .dataset import (
+    PipelineConfig,
+    PipelineStats,
+    TargetAS,
+    TargetDataset,
+    build_target_dataset,
+)
+from .filtering import (
+    ERROR_PERCENTILE,
+    GEO_ERROR_GATE_KM,
+    METRO_DIAMETER_KM,
+    MIN_PEERS_PER_AS,
+    filter_error_percentile,
+    filter_geo_error,
+    filter_min_peers,
+)
+from .grouping import ASPeerGroup, GroupingStats, group_by_as
+from .mapping import MappedPeers, MappingStats, map_peers
+from .profile import DatasetProfile, RegionProfile, profile_dataset
+from .stats import DatasetStatistics, Distribution, summarize_dataset
+
+__all__ = [
+    "ASClassification",
+    "ASPeerGroup",
+    "CONTAINMENT_THRESHOLD",
+    "DatasetProfile",
+    "DatasetStatistics",
+    "Distribution",
+    "ERROR_PERCENTILE",
+    "GEO_ERROR_GATE_KM",
+    "GroupingStats",
+    "METRO_DIAMETER_KM",
+    "MIN_PEERS_PER_AS",
+    "MappedPeers",
+    "MappingStats",
+    "PipelineConfig",
+    "PipelineStats",
+    "RegionProfile",
+    "TargetAS",
+    "TargetDataset",
+    "build_target_dataset",
+    "classify_group",
+    "filter_error_percentile",
+    "filter_geo_error",
+    "filter_min_peers",
+    "group_by_as",
+    "map_peers",
+    "profile_dataset",
+    "summarize_dataset",
+]

@@ -1,0 +1,68 @@
+"""AS geographic-level classification (paper Section 2).
+
+"We can broadly classify all ASes in this target dataset into city-,
+state-, country-, continent-level, or global ASes by identifying the
+smallest geographical region that contains a large majority (>95%) of
+the associated peers."
+
+Region membership is taken from the primary geo database's
+administrative names, so classification sees exactly what the paper's
+pipeline saw — including database mistakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..geo.regions import RegionLevel
+from .grouping import ASPeerGroup
+
+CONTAINMENT_THRESHOLD = 0.95
+
+
+@dataclass(frozen=True)
+class ASClassification:
+    """An AS's level plus the region that earns it."""
+
+    level: RegionLevel
+    region_name: Optional[str]  # None for GLOBAL
+    containment: float  # fraction of peers inside the region
+
+
+def _majority(values: np.ndarray) -> Tuple[str, float]:
+    """Most frequent value and its frequency share."""
+    uniq, counts = np.unique(values.astype(str), return_counts=True)
+    best = int(np.argmax(counts))
+    return str(uniq[best]), float(counts[best] / values.size)
+
+
+def classify_group(
+    group: ASPeerGroup, threshold: float = CONTAINMENT_THRESHOLD
+) -> ASClassification:
+    """Classify one AS by the 95% smallest-enclosing-region rule."""
+    if len(group) == 0:
+        raise ValueError("cannot classify an AS with no peers")
+    if not 0.5 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0.5, 1]")
+    peers = group.peers
+    city_keys = np.array(
+        [f"{c}/{s}/{x}" for c, s, x in zip(peers.country, peers.state, peers.city)],
+        dtype=object,
+    )
+    state_keys = np.array(
+        [f"{c}/{s}" for c, s in zip(peers.country, peers.state)], dtype=object
+    )
+    levels = (
+        (RegionLevel.CITY, city_keys),
+        (RegionLevel.STATE, state_keys),
+        (RegionLevel.COUNTRY, peers.country),
+        (RegionLevel.CONTINENT, peers.continent),
+    )
+    for level, values in levels:
+        name, share = _majority(values)
+        if share > threshold:
+            return ASClassification(level=level, region_name=name, containment=share)
+    return ASClassification(level=RegionLevel.GLOBAL, region_name=None, containment=1.0)

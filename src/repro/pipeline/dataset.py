@@ -1,0 +1,146 @@
+"""The target dataset (paper Section 2, "Target Dataset").
+
+Runs the complete conditioning pipeline — map, error-filter, group,
+density-filter, error-percentile-filter, classify — and packages the
+result: one :class:`TargetAS` per surviving eyeball AS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..crawl.crawler import PeerSample
+from ..geo.regions import RegionLevel
+from ..geodb.database import GeoDatabase
+from ..net.bgp import RoutingTable
+from .classify import ASClassification, classify_group
+from .filtering import (
+    GEO_ERROR_GATE_KM,
+    ERROR_PERCENTILE,
+    METRO_DIAMETER_KM,
+    MIN_PEERS_PER_AS,
+    filter_error_percentile,
+    filter_geo_error,
+    filter_min_peers,
+)
+from .grouping import ASPeerGroup, group_by_as
+from .mapping import map_peers
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Thresholds of the conditioning pipeline (paper defaults)."""
+
+    max_geo_error_km: float = METRO_DIAMETER_KM
+    min_peers_per_as: int = MIN_PEERS_PER_AS
+    error_percentile: float = ERROR_PERCENTILE
+    error_percentile_max_km: float = GEO_ERROR_GATE_KM
+    containment_threshold: float = 0.95
+
+
+@dataclass
+class TargetAS:
+    """One eyeball AS of the target dataset."""
+
+    asn: int
+    group: ASPeerGroup
+    classification: ASClassification
+
+    def __len__(self) -> int:
+        return len(self.group)
+
+    @property
+    def level(self) -> RegionLevel:
+        return self.classification.level
+
+    @property
+    def continent(self) -> str:
+        return self.group.majority_continent()
+
+    def peer_count_by_app(self) -> Dict[str, int]:
+        peers = self.group.peers
+        return {
+            name: int(peers.membership[:, i].sum())
+            for i, name in enumerate(peers.app_names)
+        }
+
+
+@dataclass(frozen=True)
+class PipelineStats:
+    """How many peers/ASes each pipeline stage consumed."""
+
+    crawled_peers: int
+    dropped_missing_record: int
+    dropped_geo_error: int
+    grouped_peers: int
+    dropped_unrouted: int
+    ases_before_filters: int
+    ases_dropped_small: int
+    ases_dropped_error_percentile: int
+    target_ases: int
+    target_peers: int
+
+
+@dataclass
+class TargetDataset:
+    """The conditioned dataset the paper's Sections 3-6 operate on."""
+
+    ases: Dict[int, TargetAS]
+    stats: PipelineStats
+    app_names: Tuple[str, ...]
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+
+    def __len__(self) -> int:
+        return len(self.ases)
+
+    @property
+    def total_peers(self) -> int:
+        return sum(len(a) for a in self.ases.values())
+
+    def ases_at_level(self, level: RegionLevel) -> List[TargetAS]:
+        return [a for a in self.ases.values() if a.level is level]
+
+    def ases_in_continent(self, continent_code: str) -> List[TargetAS]:
+        return [a for a in self.ases.values() if a.continent == continent_code]
+
+    def get(self, asn: int) -> Optional[TargetAS]:
+        return self.ases.get(asn)
+
+
+def build_target_dataset(
+    sample: PeerSample,
+    primary: GeoDatabase,
+    secondary: GeoDatabase,
+    routing_table: RoutingTable,
+    config: PipelineConfig = PipelineConfig(),
+) -> TargetDataset:
+    """Run the full Section 2 pipeline over a crawl sample."""
+    mapped, mapping_stats = map_peers(sample, primary, secondary)
+    mapped, dropped_error = filter_geo_error(mapped, config.max_geo_error_km)
+    groups, grouping_stats = group_by_as(mapped, routing_table)
+    ases_before = len(groups)
+    groups, dropped_small = filter_min_peers(groups, config.min_peers_per_as)
+    groups, dropped_percentile = filter_error_percentile(
+        groups, config.error_percentile, config.error_percentile_max_km
+    )
+    ases: Dict[int, TargetAS] = {}
+    for asn in sorted(groups):
+        group = groups[asn]
+        classification = classify_group(group, config.containment_threshold)
+        ases[asn] = TargetAS(asn=asn, group=group, classification=classification)
+    stats = PipelineStats(
+        crawled_peers=mapping_stats.input_peers,
+        dropped_missing_record=mapping_stats.dropped_missing,
+        dropped_geo_error=dropped_error,
+        grouped_peers=grouping_stats.grouped_peers,
+        dropped_unrouted=grouping_stats.dropped_unrouted,
+        ases_before_filters=ases_before,
+        ases_dropped_small=dropped_small,
+        ases_dropped_error_percentile=dropped_percentile,
+        target_ases=len(ases),
+        target_peers=sum(len(a) for a in ases.values()),
+    )
+    return TargetDataset(
+        ases=ases, stats=stats, app_names=sample.app_names, config=config
+    )

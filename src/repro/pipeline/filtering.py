@@ -1,0 +1,75 @@
+"""Dataset conditioning filters (paper Sections 2 and 3.1).
+
+Three filters condition the raw mapped peers into the target dataset:
+
+* the per-peer geo-error cut ("we remove all IP addresses whose error is
+  larger than the diameter of typical metropolitan area, around 100km";
+  Section 3.1 sharpens the working value to 80 km),
+* the per-AS density floor ("we eliminate all ASes with less than 1000
+  peers"), and
+* the per-AS error-percentile gate ("we remove all the ASes whose 90th
+  percentile of geo error is larger than 80km"), which is what licenses
+  a *fixed* 40 km kernel bandwidth across all surviving ASes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .grouping import ASPeerGroup
+from .mapping import MappedPeers
+
+#: Paper constants.
+METRO_DIAMETER_KM = 100.0
+GEO_ERROR_GATE_KM = 80.0
+MIN_PEERS_PER_AS = 1000
+ERROR_PERCENTILE = 90.0
+
+
+@dataclass(frozen=True)
+class FilterStats:
+    """Peers/ASes removed by each conditioning step."""
+
+    peers_dropped_geo_error: int = 0
+    ases_dropped_small: int = 0
+    ases_dropped_error_percentile: int = 0
+
+
+def filter_geo_error(
+    mapped: MappedPeers, max_error_km: float = METRO_DIAMETER_KM
+) -> Tuple[MappedPeers, int]:
+    """Drop peers whose inter-database geo error exceeds the threshold."""
+    if max_error_km <= 0:
+        raise ValueError("error threshold must be positive")
+    keep = np.flatnonzero(mapped.error_km <= max_error_km)
+    dropped = len(mapped) - keep.size
+    return mapped.subset(keep), int(dropped)
+
+
+def filter_min_peers(
+    groups: Dict[int, ASPeerGroup], min_peers: int = MIN_PEERS_PER_AS
+) -> Tuple[Dict[int, ASPeerGroup], int]:
+    """Drop ASes with fewer than ``min_peers`` sampled peers."""
+    if min_peers < 1:
+        raise ValueError("minimum peer count must be at least 1")
+    kept = {asn: g for asn, g in groups.items() if len(g) >= min_peers}
+    return kept, len(groups) - len(kept)
+
+
+def filter_error_percentile(
+    groups: Dict[int, ASPeerGroup],
+    percentile: float = ERROR_PERCENTILE,
+    max_km: float = GEO_ERROR_GATE_KM,
+) -> Tuple[Dict[int, ASPeerGroup], int]:
+    """Drop ASes whose geo-error percentile exceeds ``max_km``."""
+    if not 0 < percentile <= 100:
+        raise ValueError("percentile out of range")
+    kept = {
+        asn: g
+        for asn, g in groups.items()
+        if g.error_percentile(percentile) <= max_km
+    }
+    return kept, len(groups) - len(kept)

@@ -1,0 +1,97 @@
+"""Grouping peers by AS (paper Section 2, step 3).
+
+Resolves each mapped peer's origin AS with a longest-prefix match
+against the Routeviews-style routing table, and partitions the peer
+columns per AS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..net.bgp import RoutingTable
+from .mapping import MappedPeers
+
+
+@dataclass
+class ASPeerGroup:
+    """All mapped peers of one AS."""
+
+    asn: int
+    peers: MappedPeers
+
+    def __len__(self) -> int:
+        return len(self.peers)
+
+    @property
+    def lat(self) -> np.ndarray:
+        return self.peers.lat
+
+    @property
+    def lon(self) -> np.ndarray:
+        return self.peers.lon
+
+    @property
+    def error_km(self) -> np.ndarray:
+        return self.peers.error_km
+
+    def error_percentile(self, percentile: float = 90.0) -> float:
+        """Geo-error percentile across the AS's peers (paper uses p90)."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.percentile(self.peers.error_km, percentile))
+
+    def majority_continent(self) -> str:
+        """Continent holding the most peers (used to bin ASes in Table 1)."""
+        values, counts = np.unique(
+            self.peers.continent.astype(str), return_counts=True
+        )
+        return str(values[int(np.argmax(counts))])
+
+
+@dataclass(frozen=True)
+class GroupingStats:
+    input_peers: int
+    grouped_peers: int
+    dropped_unrouted: int
+    as_count: int
+
+
+def group_by_as(
+    mapped: MappedPeers, routing_table: RoutingTable
+) -> Tuple[Dict[int, ASPeerGroup], GroupingStats]:
+    """Partition mapped peers by origin AS.
+
+    Peers whose address matches no announced prefix are dropped (they
+    would be invisible in BGP).
+    """
+    n = len(mapped)
+    asns = np.full(n, -1, dtype=np.int64)
+    last: Optional[Tuple[int, int, int]] = None  # (first, last, asn)
+    for i in range(n):
+        address = int(mapped.ips[i])
+        if last is not None and last[0] <= address <= last[1]:
+            asns[i] = last[2]
+            continue
+        entry = routing_table.origin_block(address)
+        if entry is None:
+            continue
+        prefix, origin = entry
+        asns[i] = origin
+        last = (prefix.first, prefix.last, origin)
+
+    routed = asns >= 0
+    groups: Dict[int, ASPeerGroup] = {}
+    for asn in np.unique(asns[routed]):
+        indices = np.flatnonzero(asns == asn)
+        groups[int(asn)] = ASPeerGroup(asn=int(asn), peers=mapped.subset(indices))
+    stats = GroupingStats(
+        input_peers=n,
+        grouped_peers=int(routed.sum()),
+        dropped_unrouted=int(n - routed.sum()),
+        as_count=len(groups),
+    )
+    return groups, stats

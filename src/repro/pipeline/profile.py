@@ -1,0 +1,86 @@
+"""Target-dataset profile (paper Table 1).
+
+Table 1 reports, for North America, Europe and Asia: thousands of peers
+per crawled application, and the number of target ASes at city, state
+and country level.  This module computes the same matrix from a
+:class:`~repro.pipeline.dataset.TargetDataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..geo.regions import RegionLevel
+from .dataset import TargetDataset
+
+PROFILE_LEVELS: Tuple[RegionLevel, ...] = (
+    RegionLevel.CITY,
+    RegionLevel.STATE,
+    RegionLevel.COUNTRY,
+)
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """One Table 1 row."""
+
+    region: str
+    peers_by_app: Dict[str, int]
+    ases_by_level: Dict[str, int]
+
+    def peers_total(self) -> int:
+        return sum(self.peers_by_app.values())
+
+    def ases_total(self) -> int:
+        return sum(self.ases_by_level.values())
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """The full Table 1: one row per continent."""
+
+    rows: Tuple[RegionProfile, ...]
+    app_names: Tuple[str, ...]
+
+    def row(self, region: str) -> RegionProfile:
+        for row in self.rows:
+            if row.region == region:
+                return row
+        raise KeyError(f"no profile row for region {region!r}")
+
+    def dominant_app(self, region: str) -> str:
+        """Application with the most peers in a region — the paper's
+        headline regional contrast (Gnutella in NA, Kad in EU/AS)."""
+        by_app = self.row(region).peers_by_app
+        return max(by_app, key=lambda name: (by_app[name], name))
+
+    def dominant_level(self, region: str) -> RegionLevel:
+        """Most common AS level in a region."""
+        by_level = self.row(region).ases_by_level
+        label = max(by_level, key=lambda name: (by_level[name], name))
+        return RegionLevel[label.upper()]
+
+
+def profile_dataset(
+    dataset: TargetDataset, regions: Sequence[str] = ("NA", "EU", "AS")
+) -> DatasetProfile:
+    """Compute the Table 1 profile of a target dataset."""
+    rows: List[RegionProfile] = []
+    for region in regions:
+        region_ases = dataset.ases_in_continent(region)
+        peers_by_app = {name: 0 for name in dataset.app_names}
+        ases_by_level = {level.label: 0 for level in PROFILE_LEVELS}
+        for target_as in region_ases:
+            for name, count in target_as.peer_count_by_app().items():
+                peers_by_app[name] += count
+            if target_as.level in PROFILE_LEVELS:
+                ases_by_level[target_as.level.label] += 1
+        rows.append(
+            RegionProfile(
+                region=region,
+                peers_by_app=peers_by_app,
+                ases_by_level=ases_by_level,
+            )
+        )
+    return DatasetProfile(rows=tuple(rows), app_names=dataset.app_names)

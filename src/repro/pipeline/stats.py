@@ -1,0 +1,98 @@
+"""Descriptive statistics of a target dataset.
+
+The paper conditions its dataset on two distributions — per-peer geo
+error and per-AS sample density — and reports per-app and per-level
+breakdowns.  This module computes those summaries so a run can be
+sanity-checked the way a measurement study would be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..geo.regions import RegionLevel
+from .dataset import TargetDataset
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Percentile summary of a sample."""
+
+    count: int
+    mean: float
+    p10: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, values: np.ndarray) -> "Distribution":
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=int(values.size),
+            mean=float(values.mean()),
+            p10=float(np.percentile(values, 10)),
+            p50=float(np.percentile(values, 50)),
+            p90=float(np.percentile(values, 90)),
+            p99=float(np.percentile(values, 99)),
+            max=float(values.max()),
+        )
+
+
+@dataclass
+class DatasetStatistics:
+    """All the summaries of one target dataset."""
+
+    geo_error_km: Distribution
+    peers_per_as: Distribution
+    level_histogram: Dict[str, int]
+    app_overlap: Dict[Tuple[str, str], int]
+    multi_app_fraction: float
+
+    def overlap(self, app_a: str, app_b: str) -> int:
+        key = (min(app_a, app_b), max(app_a, app_b))
+        return self.app_overlap.get(key, 0)
+
+
+def summarize_dataset(dataset: TargetDataset) -> DatasetStatistics:
+    """Compute the descriptive statistics of a target dataset."""
+    errors = []
+    counts = []
+    level_histogram = {level.label: 0 for level in RegionLevel}
+    memberships = []
+    for target in dataset.ases.values():
+        errors.append(target.group.error_km)
+        counts.append(len(target))
+        level_histogram[target.level.label] += 1
+        memberships.append(target.group.peers.membership)
+    if errors:
+        all_errors = np.concatenate(errors)
+        membership = np.concatenate(memberships)
+    else:
+        all_errors = np.empty(0)
+        membership = np.empty((0, len(dataset.app_names)), dtype=bool)
+
+    app_overlap: Dict[Tuple[str, str], int] = {}
+    names = dataset.app_names
+    for i, name_a in enumerate(names):
+        for name_b in names[i + 1:]:
+            key = (min(name_a, name_b), max(name_a, name_b))
+            app_overlap[key] = int(
+                (membership[:, i] & membership[:, names.index(name_b)]).sum()
+            )
+    multi = (
+        float((membership.sum(axis=1) >= 2).mean()) if membership.size else 0.0
+    )
+    return DatasetStatistics(
+        geo_error_km=Distribution.of(all_errors),
+        peers_per_as=Distribution.of(np.asarray(counts, dtype=float)),
+        level_histogram=level_histogram,
+        app_overlap=app_overlap,
+        multi_app_fraction=multi,
+    )

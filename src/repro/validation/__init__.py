@@ -1,0 +1,49 @@
+"""Section 5 validation: reference matching, CDFs, DIMES baseline."""
+
+from .dimes import (
+    DimesComparison,
+    DimesConfig,
+    DimesDataset,
+    compare_with_dimes,
+    run_dimes_campaign,
+)
+from .matching import (
+    MATCH_RADIUS_KM,
+    MatchResult,
+    ValidationReport,
+    cdf_at,
+    cdf_points,
+    match_pop_sets,
+    match_pop_sets_one_to_one,
+)
+from .stability import StabilityResult, mean_stability, split_half_stability
+from .reference import (
+    ReferenceConfig,
+    ReferenceDataset,
+    ReferencePoP,
+    build_reference_dataset,
+    select_reference_ases,
+)
+
+__all__ = [
+    "DimesComparison",
+    "DimesConfig",
+    "DimesDataset",
+    "MATCH_RADIUS_KM",
+    "MatchResult",
+    "ReferenceConfig",
+    "ReferenceDataset",
+    "ReferencePoP",
+    "StabilityResult",
+    "ValidationReport",
+    "build_reference_dataset",
+    "cdf_at",
+    "cdf_points",
+    "compare_with_dimes",
+    "match_pop_sets",
+    "match_pop_sets_one_to_one",
+    "mean_stability",
+    "run_dimes_campaign",
+    "select_reference_ases",
+    "split_half_stability",
+]

@@ -1,0 +1,170 @@
+"""Published-PoP reference dataset synthesis (paper Section 5).
+
+The paper hand-collected PoP lists from 45 ISPs' web pages and treats
+them as ground truth while cataloguing their defects: ISPs list
+interconnection-only PoPs their users never touch, enumerate several
+facilities per metro, count access points as PoPs, and leave stale
+entries online.  The reference lists here are synthesised from the
+ecosystem's true PoPs through exactly those defect processes, so the
+validation exercises the same mismatch structure Figure 2 measured:
+
+* infrastructure PoPs appear in the list but host no users (the method
+  cannot find them -> recall loss that smoothing cannot fix);
+* metro-duplicate facilities within a few tens of km (one KDE peak at
+  moderate bandwidth covers several of them);
+* access-point entries in secondary towns (reference lists are much
+  longer than PoP-level footprints — 43.7 vs 13.6 on average);
+* omissions/stale entries (a published list can also miss true PoPs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.coords import jitter_around
+from ..geo.regions import RegionLevel
+from ..net.ecosystem import ASEcosystem
+
+
+@dataclass(frozen=True)
+class ReferencePoP:
+    """One PoP entry scraped from an ISP's (synthetic) web page."""
+
+    lat: float
+    lon: float
+    label: str
+    kind: str  # "customer" | "infrastructure" | "metro-duplicate" | "access-point"
+
+
+@dataclass(frozen=True)
+class ReferenceConfig:
+    """Defect-process parameters of the reference synthesiser."""
+
+    seed: int = 23
+    #: Number of ASes to collect PoP pages for (paper: 45).
+    as_count: int = 45
+    #: Probability a true customer PoP appears in the published list.
+    p_listed: float = 0.92
+    #: Extra facilities listed per metro, drawn per customer PoP.
+    max_metro_duplicates: int = 3
+    #: Radius within which metro duplicates scatter (km).
+    metro_duplicate_radius_km: float = 25.0
+    #: Probability each *other* city in the AS's country gets listed as
+    #: an access point.
+    p_access_point: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in ("p_listed", "p_access_point"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be a probability")
+        if self.as_count < 1:
+            raise ValueError("need at least one AS")
+        if self.max_metro_duplicates < 0:
+            raise ValueError("duplicate count cannot be negative")
+
+
+@dataclass
+class ReferenceDataset:
+    """Published PoP lists for the selected ASes."""
+
+    pops: Dict[int, Tuple[ReferencePoP, ...]]
+    config: ReferenceConfig
+
+    def __len__(self) -> int:
+        return len(self.pops)
+
+    def coordinates_of(self, asn: int) -> List[Tuple[float, float]]:
+        return [(p.lat, p.lon) for p in self.pops[asn]]
+
+    def mean_pops_per_as(self) -> float:
+        if not self.pops:
+            return 0.0
+        return float(np.mean([len(v) for v in self.pops.values()]))
+
+
+def select_reference_ases(
+    ecosystem: ASEcosystem,
+    candidate_asns: Sequence[int],
+    levels: Optional[Dict[int, RegionLevel]] = None,
+    config: ReferenceConfig = ReferenceConfig(),
+) -> List[int]:
+    """Pick the ASes whose PoP pages "exist" online.
+
+    The paper found pages for state- and country-level ASes; when
+    ``levels`` is provided, city-level ASes are excluded accordingly.
+    Selection is deterministic in the config seed.
+    """
+    eligible = []
+    for asn in candidate_asns:
+        if asn not in ecosystem.as_nodes:
+            continue
+        if levels is not None and levels.get(asn) is RegionLevel.CITY:
+            continue
+        if not ecosystem.as_nodes[asn].customer_pops:
+            continue
+        eligible.append(asn)
+    eligible.sort()
+    rng = np.random.default_rng(config.seed)
+    if len(eligible) <= config.as_count:
+        return eligible
+    picks = rng.choice(eligible, size=config.as_count, replace=False)
+    return sorted(int(a) for a in picks)
+
+
+def build_reference_dataset(
+    ecosystem: ASEcosystem,
+    asns: Sequence[int],
+    config: ReferenceConfig = ReferenceConfig(),
+) -> ReferenceDataset:
+    """Synthesise published PoP lists for ``asns``."""
+    rng = np.random.default_rng(config.seed + 1)
+    pops: Dict[int, Tuple[ReferencePoP, ...]] = {}
+    for asn in asns:
+        node = ecosystem.as_nodes[asn]
+        entries: List[ReferencePoP] = []
+        covered_cities = set()
+        for pop in node.customer_pops:
+            covered_cities.add(pop.city_key)
+            if rng.random() >= config.p_listed:
+                continue  # stale page: this PoP is missing
+            entries.append(
+                ReferencePoP(
+                    lat=pop.lat, lon=pop.lon, label=pop.city_name, kind="customer"
+                )
+            )
+            duplicates = int(rng.integers(0, config.max_metro_duplicates + 1))
+            for d in range(duplicates):
+                lat, lon = jitter_around(
+                    pop.lat, pop.lon, config.metro_duplicate_radius_km / 2.0, rng
+                )
+                entries.append(
+                    ReferencePoP(
+                        lat=float(lat),
+                        lon=float(lon),
+                        label=f"{pop.city_name}-{d + 2}",
+                        kind="metro-duplicate",
+                    )
+                )
+        for pop in node.infrastructure_pops:
+            covered_cities.add(pop.city_key)
+            entries.append(
+                ReferencePoP(
+                    lat=pop.lat, lon=pop.lon, label=pop.city_name,
+                    kind="infrastructure",
+                )
+            )
+        for city in ecosystem.world.cities_in_country(node.country_code):
+            if city.key in covered_cities:
+                continue
+            if rng.random() < config.p_access_point:
+                entries.append(
+                    ReferencePoP(
+                        lat=city.lat, lon=city.lon, label=city.name,
+                        kind="access-point",
+                    )
+                )
+        pops[asn] = tuple(entries)
+    return ReferenceDataset(pops=pops, config=config)

@@ -1,0 +1,108 @@
+"""Split-half stability of PoP inference.
+
+The paper validates against external sources (web pages, DIMES).  A
+complementary *internal* check needs no ground truth at all: split an
+AS's peers into random halves, infer the PoP set from each half
+independently, and measure how well the two sets agree.  A method whose
+output changes when half the sample is withheld is reporting sampling
+noise, not infrastructure; agreement should rise with sample size and
+with kernel bandwidth (smoother estimates are more stable — the flip
+side of Figure 2's precision result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.footprint import estimate_geo_footprint
+from .matching import MATCH_RADIUS_KM, match_pop_sets
+
+LatLon = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Agreement between the two half-sample PoP sets."""
+
+    half_a_count: int
+    half_b_count: int
+    agreement: float  # symmetric mean of the two match fractions
+    jaccard: float  # matched pairs / union size (location-level)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.agreement <= 1.0:
+            raise ValueError("agreement must be in [0, 1]")
+        if not 0.0 <= self.jaccard <= 1.0:
+            raise ValueError("jaccard must be in [0, 1]")
+
+
+def _half_pops(
+    lats: np.ndarray,
+    lons: np.ndarray,
+    indices: np.ndarray,
+    bandwidth_km: float,
+    alpha: float,
+) -> List[LatLon]:
+    footprint = estimate_geo_footprint(
+        lats[indices], lons[indices], bandwidth_km=bandwidth_km
+    )
+    return [(p.lat, p.lon) for p in footprint.peaks_above(alpha)]
+
+
+def split_half_stability(
+    lats: np.ndarray,
+    lons: np.ndarray,
+    bandwidth_km: float,
+    alpha: float = 0.01,
+    radius_km: float = MATCH_RADIUS_KM,
+    seed: int = 0,
+) -> StabilityResult:
+    """One split-half stability measurement.
+
+    Peers are shuffled with ``seed`` and divided into two halves; each
+    half's alpha-selected peaks form a PoP set; the sets are matched at
+    city scale.
+    """
+    lats = np.asarray(lats, dtype=float)
+    lons = np.asarray(lons, dtype=float)
+    if lats.size < 4:
+        raise ValueError("stability needs at least four peers")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(lats.size)
+    half = lats.size // 2
+    pops_a = _half_pops(lats, lons, order[:half], bandwidth_km, alpha)
+    pops_b = _half_pops(lats, lons, order[half:], bandwidth_km, alpha)
+    result = match_pop_sets(pops_a, pops_b, radius_km)
+    # Symmetric agreement: mean of (a covered by b) and (b covered by a).
+    agreement = 0.5 * (result.precision + result.recall)
+    union = len(pops_a) + len(pops_b) - result.matched_inferred
+    jaccard = result.matched_inferred / union if union else 1.0
+    return StabilityResult(
+        half_a_count=len(pops_a),
+        half_b_count=len(pops_b),
+        agreement=float(agreement),
+        jaccard=float(min(jaccard, 1.0)),
+    )
+
+
+def mean_stability(
+    lats: np.ndarray,
+    lons: np.ndarray,
+    bandwidth_km: float,
+    alpha: float = 0.01,
+    repeats: int = 5,
+    seed: int = 0,
+) -> float:
+    """Mean split-half agreement over several random splits."""
+    if repeats < 1:
+        raise ValueError("need at least one repeat")
+    values = [
+        split_half_stability(
+            lats, lons, bandwidth_km, alpha=alpha, seed=seed + i
+        ).agreement
+        for i in range(repeats)
+    ]
+    return float(np.mean(values))

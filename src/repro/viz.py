@@ -1,0 +1,175 @@
+"""Terminal visualisation helpers.
+
+The paper's figures are density surfaces (Figure 1) and CDFs
+(Figure 2).  This module renders both as plain text so every example,
+benchmark and CLI run can *show* its result without a plotting stack:
+
+* :func:`density_map` — an ASCII shaded relief of a
+  :class:`~repro.core.grid.DensityGrid` (Figure 1's surfaces, top-down);
+* :func:`contour_map` — the footprint contour partitions;
+* :func:`cdf_plot` — a fixed-grid ASCII CDF (Figure 2's curves);
+* :func:`histogram` — a horizontal bar chart for discrete counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .core.contours import Contour
+from .core.grid import DensityGrid
+
+#: Shades from empty to peak density.
+DENSITY_SHADES = " .:-=+*#%@"
+
+
+def _downsample(values: np.ndarray, max_width: int) -> np.ndarray:
+    """Column/row stride so the raster fits the terminal width."""
+    step = max(1, int(np.ceil(values.shape[1] / max_width)))
+    return values[::step, ::step]
+
+
+def density_map(
+    grid: DensityGrid,
+    max_width: int = 72,
+    gamma: float = 0.35,
+    shades: str = DENSITY_SHADES,
+) -> str:
+    """Render a density grid as ASCII shaded relief (north up).
+
+    ``gamma`` < 1 boosts faint regions so secondary peaks stay visible
+    next to the main concentration (Figure 1's log-ish colour scale).
+    """
+    if not shades:
+        raise ValueError("need at least one shade character")
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    values = _downsample(grid.values, max_width)
+    peak = float(values.max())
+    lines: List[str] = []
+    for row in values[::-1]:  # grid rows run south->north
+        if peak <= 0:
+            lines.append(" " * row.size)
+            continue
+        normalised = (row / peak) ** gamma
+        indices = np.minimum(
+            (normalised * (len(shades) - 1)).astype(int), len(shades) - 1
+        )
+        lines.append("".join(shades[i] for i in indices))
+    return "\n".join(lines)
+
+
+def contour_map(
+    grid: DensityGrid, contour: Contour, max_width: int = 72
+) -> str:
+    """Render footprint partitions: each partition gets its own digit
+    (largest partition = '1'), empty cells a dot."""
+    step = max(1, int(np.ceil(grid.nx / max_width)))
+    canvas = np.full(grid.values.shape, ".", dtype="<U1")
+    for rank, region in enumerate(contour.regions, start=1):
+        symbol = str(rank % 10)
+        canvas[region.mask] = symbol
+    sampled = canvas[::step, ::step]
+    return "\n".join("".join(row) for row in sampled[::-1])
+
+
+def cdf_plot(
+    series: Dict[str, np.ndarray],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "",
+) -> str:
+    """ASCII CDF plot for one or more value series in [0, 1].
+
+    Each series gets its own marker character; curves are drawn on a
+    ``width`` x ``height`` character grid with a percent axis — the
+    shape Figure 2 presents.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("plot area too small")
+    markers = "o+x*@#"
+    canvas = [[" "] * width for _ in range(height)]
+    xs = np.linspace(0.0, 1.0, width)
+    for index, (_name, values) in enumerate(series.items()):
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            continue
+        marker = markers[index % len(markers)]
+        for column, x in enumerate(xs):
+            fraction = float(np.mean(values <= x))
+            row = min(int(fraction * (height - 1)), height - 1)
+            canvas[height - 1 - row][column] = marker
+    lines = []
+    for i, row in enumerate(canvas):
+        axis = "100%" if i == 0 else ("  0%" if i == height - 1 else "    ")
+        lines.append(f"{axis} |{''.join(row)}|")
+    lines.append("     " + "-" * (width + 2))
+    lines.append(f"      0%{' ' * (width - 12)}100%  {x_label}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("     " + legend)
+    return "\n".join(lines)
+
+
+def histogram(
+    counts: Dict, width: int = 40, sort_keys: bool = True
+) -> str:
+    """Horizontal bar chart of a key -> count mapping."""
+    if not counts:
+        return "(empty)"
+    peak = max(counts.values())
+    keys = sorted(counts) if sort_keys else list(counts)
+    label_width = max(len(str(k)) for k in keys)
+    lines = []
+    for key in keys:
+        value = counts[key]
+        bar = "#" * (int(value / peak * width) if peak else 0)
+        lines.append(f"{str(key):>{label_width}}  {bar} {value}")
+    return "\n".join(lines)
+
+
+def surface_to_text(grid: DensityGrid, stride: int = 1) -> str:
+    """Export a density grid as gnuplot ``splot``-ready text.
+
+    One ``x_km y_km density`` row per cell, blank lines between scan
+    rows — paste into ``splot 'file' with pm3d`` to regenerate the
+    paper's Figure 1 surfaces.  ``stride`` subsamples large grids.
+    """
+    if stride < 1:
+        raise ValueError("stride must be at least 1")
+    x_centers = grid.x_centers()[::stride]
+    y_centers = grid.y_centers()[::stride]
+    values = grid.values[::stride, ::stride]
+    lines: List[str] = [
+        "# x_km y_km density (gnuplot: splot '<file>' with pm3d)"
+    ]
+    for iy, y in enumerate(y_centers):
+        for ix, x in enumerate(x_centers):
+            lines.append(f"{x:.2f} {y:.2f} {values[iy, ix]:.6e}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def side_by_side(
+    left: str, right: str, gap: int = 4, titles: Optional[Tuple[str, str]] = None
+) -> str:
+    """Join two text blocks horizontally (e.g. two bandwidth panels)."""
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    left_width = max((len(line) for line in left_lines), default=0)
+    if titles is not None:
+        left_lines.insert(0, titles[0])
+        right_lines.insert(0, titles[1])
+        left_width = max(left_width, len(titles[0]))
+    rows = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (rows - len(left_lines))
+    right_lines += [""] * (rows - len(right_lines))
+    return "\n".join(
+        f"{l:<{left_width}}{' ' * gap}{r}"
+        for l, r in zip(left_lines, right_lines)
+    )

@@ -1,0 +1,73 @@
+"""Shared fixtures.
+
+Expensive artefacts (scenarios, the Italian ecosystem) are session-
+scoped and deterministic, so the whole suite builds each of them once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crawl.population import PopulationConfig, generate_population
+from repro.experiments.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.geo.builtin import italy_world
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.world import World, WorldConfig, generate_world
+from repro.net.ecosystem import EcosystemConfig, generate_ecosystem
+from repro.net.italy import italy_ecosystem
+
+
+@pytest.fixture(scope="session")
+def small_world() -> World:
+    return generate_world(
+        WorldConfig(
+            seed=5, countries_per_continent=2, states_per_country=2, cities_per_state=3
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def small_ecosystem(small_world):
+    return generate_ecosystem(
+        small_world,
+        EcosystemConfig(
+            seed=6,
+            eyeballs_per_country=4,
+            tier2_per_continent=3,
+            user_base_range=(1_200, 6_000),
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_population(small_ecosystem):
+    return generate_population(small_ecosystem, PopulationConfig(seed=7))
+
+
+@pytest.fixture(scope="session")
+def small_scenario() -> Scenario:
+    return build_scenario(ScenarioConfig.small())
+
+
+@pytest.fixture(scope="session")
+def italy():
+    return italy_world()
+
+
+@pytest.fixture(scope="session")
+def italy_gazetteer(italy) -> Gazetteer:
+    return Gazetteer(italy)
+
+
+@pytest.fixture(scope="session")
+def italy_eco():
+    return italy_ecosystem(scale=0.01)
+
+
+@pytest.fixture(scope="session")
+def italy_population(italy_eco):
+    return generate_population(italy_eco, PopulationConfig(seed=2009))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

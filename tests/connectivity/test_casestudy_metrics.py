@@ -1,0 +1,100 @@
+"""Tests for repro.connectivity.casestudy and repro.connectivity.metrics."""
+
+import pytest
+
+from repro.connectivity.casestudy import analyze_edge_connectivity
+from repro.connectivity.metrics import (
+    provider_count_distribution,
+    survey_edge_connectivity,
+)
+from repro.net.italy import (
+    AS_ASDASD,
+    AS_COLT,
+    AS_EASYNET,
+    AS_GARR,
+    AS_ITGATE,
+    AS_RAI,
+    AS_TELECOM,
+)
+
+
+@pytest.fixture(scope="module")
+def rai_report(italy_eco):
+    return analyze_edge_connectivity(italy_eco, AS_RAI)
+
+
+class TestRAICaseStudy:
+    def test_five_providers(self, rai_report):
+        assert rai_report.provider_count == 5
+
+    def test_two_global_reach_providers(self, rai_report):
+        globals_ = {p.asn for p in rai_report.global_providers}
+        assert globals_ == {AS_EASYNET, AS_COLT}
+
+    def test_mix_is_remote_membership(self, rai_report):
+        mix = next(p for p in rai_report.presences if p.ixp_name == "MIX")
+        assert mix.is_member
+        assert not mix.is_local
+        assert mix.distance_km > 400
+        assert set(mix.peers) == {AS_GARR, AS_ASDASD, AS_ITGATE}
+
+    def test_namex_is_skipped_local(self, rai_report):
+        namex = next(p for p in rai_report.presences if p.ixp_name == "NaMEX")
+        assert namex.is_local
+        assert not namex.is_member
+        assert [p.ixp_name for p in rai_report.skipped_local_ixps] == ["NaMEX"]
+
+    def test_remote_only_peers(self, rai_report):
+        # GARR is also at NaMEX (reachable locally); ASDASD and ITGate
+        # are only reachable at MIX.
+        assert set(rai_report.remote_only_peers) == {AS_ASDASD, AS_ITGATE}
+
+    def test_peer_count(self, rai_report):
+        assert rai_report.peer_count == 3
+
+    def test_inferred_locations_override(self, italy_eco):
+        # Run the analysis with a (wrong) Milan location: NaMEX becomes
+        # remote and MIX becomes local.
+        report = analyze_edge_connectivity(
+            italy_eco, AS_RAI, pop_locations=[(45.4642, 9.19)]
+        )
+        mix = next(p for p in report.presences if p.ixp_name == "MIX")
+        namex = next(p for p in report.presences if p.ixp_name == "NaMEX")
+        assert mix.is_local
+        assert not namex.is_local
+
+    def test_rejects_bad_radius(self, italy_eco):
+        with pytest.raises(ValueError):
+            analyze_edge_connectivity(italy_eco, AS_RAI, local_radius_km=0.0)
+
+    def test_telecom_has_local_mix(self, italy_eco):
+        report = analyze_edge_connectivity(italy_eco, AS_TELECOM)
+        mix = next(p for p in report.presences if p.ixp_name == "MIX")
+        assert mix.is_member
+        assert mix.is_local
+
+
+class TestSurvey:
+    def test_small_scenario_survey(self, small_scenario):
+        survey = survey_edge_connectivity(small_scenario.ecosystem)
+        assert set(survey.by_continent) == {"NA", "EU", "AS"}
+        for profile in survey.by_continent.values():
+            assert profile.as_count > 0
+            assert profile.mean_providers >= 1.0
+            assert 0.0 <= profile.peering_fraction <= 1.0
+
+    def test_europe_peers_most(self, small_scenario):
+        """The generator encodes the paper's observation that European
+        eyeballs peer most actively; the survey must recover it."""
+        survey = survey_edge_connectivity(small_scenario.ecosystem)
+        assert survey.most_active_peering_continent() == "EU"
+
+    def test_provider_histogram(self, small_scenario):
+        histogram = provider_count_distribution(small_scenario.ecosystem)
+        eyeball_count = len(small_scenario.ecosystem.eyeballs)
+        assert sum(histogram.values()) == eyeball_count
+        assert all(count >= 1 for count in histogram)
+
+    def test_multihoming_exists(self, small_scenario):
+        histogram = provider_count_distribution(small_scenario.ecosystem)
+        assert any(count >= 2 for count in histogram)

@@ -1,0 +1,79 @@
+"""Tests for repro.connectivity.caida and repro.connectivity.ixpmap."""
+
+import pytest
+
+from repro.connectivity.caida import from_caida_lines, to_caida_lines
+from repro.connectivity.ixpmap import (
+    from_dataset_lines,
+    membership_matrix,
+    to_membership_lines,
+    to_peering_lines,
+)
+from repro.net.relationships import (
+    Relationship,
+    RelationshipGraph,
+    RelationshipType,
+)
+
+
+class TestCaidaFormat:
+    def test_roundtrip(self, small_ecosystem):
+        lines = to_caida_lines(small_ecosystem.graph)
+        rebuilt = from_caida_lines(lines)
+        assert sorted(rebuilt.edges_as_tuples()) == sorted(
+            small_ecosystem.graph.edges_as_tuples()
+        )
+
+    def test_provider_first_convention(self):
+        graph = RelationshipGraph([
+            Relationship(10, 20, RelationshipType.CUSTOMER_PROVIDER)
+        ])
+        lines = [l for l in to_caida_lines(graph) if not l.startswith("#")]
+        assert lines == ["20|10|-1"]
+
+    def test_peer_code(self):
+        graph = RelationshipGraph([Relationship(1, 2, RelationshipType.PEER)])
+        lines = [l for l in to_caida_lines(graph) if not l.startswith("#")]
+        assert lines == ["1|2|0"]
+
+    def test_parse_skips_comments_and_blanks(self):
+        graph = from_caida_lines(["# header", "", "2|1|-1"])
+        assert graph.providers_of(1) == {2}
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError, match="malformed"):
+            from_caida_lines(["1|2"])
+
+    def test_parse_rejects_unknown_code(self):
+        with pytest.raises(ValueError, match="unknown"):
+            from_caida_lines(["1|2|7"])
+
+
+class TestIxpDataset:
+    def test_roundtrip(self, italy_eco):
+        fabric = italy_eco.fabric
+        rebuilt = from_dataset_lines(
+            to_membership_lines(fabric), to_peering_lines(fabric)
+        )
+        assert set(rebuilt.ixps) == set(fabric.ixps)
+        for name, ixp in fabric.ixps.items():
+            assert rebuilt.ixps[name].members == ixp.members
+        assert rebuilt.peerings == fabric.peerings
+
+    def test_membership_matrix_sorted(self, italy_eco):
+        matrix = membership_matrix(italy_eco.fabric)
+        assert matrix == sorted(matrix)
+        assert ("MIX", 8234) in matrix
+
+    def test_membership_lines_have_header(self, italy_eco):
+        lines = to_membership_lines(italy_eco.fabric)
+        assert lines[0].startswith("#")
+
+    def test_from_lines_with_city_keys(self, italy_eco):
+        fabric = italy_eco.fabric
+        keys = {name: ixp.city_key for name, ixp in fabric.ixps.items()}
+        rebuilt = from_dataset_lines(
+            to_membership_lines(fabric), to_peering_lines(fabric),
+            city_keys=keys,
+        )
+        assert rebuilt.ixps["MIX"].city_key == fabric.ixps["MIX"].city_key

@@ -1,0 +1,156 @@
+"""Tests for repro.connectivity.ixp_detection and the LAN plumbing."""
+
+import pytest
+
+from repro.connectivity.ixp_detection import (
+    compare_detection,
+    detect_ixps,
+    lan_table_from_fabric,
+)
+from repro.net.italy import (
+    AS_ASDASD,
+    AS_GARR,
+    AS_ITGATE,
+    AS_RAI,
+    italy_ecosystem,
+)
+from repro.net.ip import Prefix
+from repro.net.ixp import IXP
+from repro.net.traceroute import TracerouteSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator(italy_eco):
+    return TracerouteSimulator(italy_eco)
+
+
+@pytest.fixture(scope="module")
+def full_mesh_traces(italy_eco, simulator):
+    traces = []
+    asns = sorted(italy_eco.as_nodes)
+    for src in asns:
+        for dst in asns:
+            if src == dst:
+                continue
+            trace = simulator.trace(src, dst)
+            if trace is not None:
+                traces.append(trace)
+    return traces
+
+
+class TestPeeringLan:
+    def test_port_addresses_unique_and_inside_lan(self, italy_eco):
+        mix = italy_eco.fabric.ixps["MIX"]
+        addresses = [mix.port_address(asn) for asn in sorted(mix.members)]
+        assert len(set(addresses)) == len(addresses)
+        for address in addresses:
+            assert mix.peering_lan.contains(address)
+            assert address != mix.peering_lan.first  # not the network addr
+
+    def test_port_requires_membership(self, italy_eco):
+        mix = italy_eco.fabric.ixps["MIX"]
+        with pytest.raises(ValueError, match="not a member"):
+            mix.port_address(999999)
+
+    def test_port_requires_lan(self):
+        ixp = IXP(name="X", city_key="k", city_name="c", country_code="IT",
+                  lat=0.0, lon=0.0)
+        ixp.add_member(5)
+        with pytest.raises(ValueError, match="no peering LAN"):
+            ixp.port_address(5)
+
+    def test_lan_capacity_enforced(self):
+        ixp = IXP(name="X", city_key="k", city_name="c", country_code="IT",
+                  lat=0.0, lon=0.0, peering_lan=Prefix.parse("198.32.5.0/30"))
+        ixp.add_member(1)
+        ixp.add_member(2)
+        with pytest.raises(ValueError, match="full"):
+            ixp.add_member(3)
+
+    def test_generated_ecosystem_lans_disjoint(self, small_ecosystem):
+        lans = list(small_ecosystem.fabric.lan_prefixes().values())
+        assert lans  # every generated IXP has one
+        lans.sort(key=lambda p: p.first)
+        for a, b in zip(lans, lans[1:]):
+            assert a.last < b.first
+
+    def test_ixp_of_peering(self, italy_eco):
+        ixp = italy_eco.fabric.ixp_of_peering(AS_RAI, AS_GARR)
+        assert ixp.name == "MIX"
+        assert italy_eco.fabric.ixp_of_peering(AS_RAI, 999999) is None
+
+
+class TestHopAnnotation:
+    def test_public_peering_hop_annotated(self, simulator):
+        trace = simulator.trace(AS_RAI, AS_GARR)
+        crossing = [h for h in trace.hops if h.crossed_ixp]
+        assert len(crossing) == 1
+        hop = crossing[0]
+        assert hop.via_ixp == "MIX"
+        assert hop.asn == AS_GARR
+
+    def test_lan_address_is_receivers_port(self, italy_eco, simulator):
+        trace = simulator.trace(AS_RAI, AS_GARR)
+        hop = next(h for h in trace.hops if h.crossed_ixp)
+        mix = italy_eco.fabric.ixps["MIX"]
+        assert hop.lan_address == mix.port_address(AS_GARR)
+
+    def test_transit_hops_not_annotated(self, simulator, italy_eco):
+        from repro.net.italy import AS_INFOSTRADA
+
+        trace = simulator.trace(AS_RAI, AS_INFOSTRADA)
+        # RAI -> Infostrada is customer->provider: no IXP crossing.
+        assert all(not h.crossed_ixp for h in trace.hops)
+
+
+class TestDetection:
+    def test_precision_is_perfect(self, italy_eco, full_mesh_traces):
+        detected = detect_ixps(
+            full_mesh_traces, lan_table_from_fabric(italy_eco.fabric)
+        )
+        accuracy = compare_detection(detected, italy_eco.fabric)
+        assert accuracy.membership_precision == 1.0
+        assert accuracy.peering_precision == 1.0
+
+    def test_full_mesh_recovers_all_peerings(self, italy_eco,
+                                             full_mesh_traces):
+        detected = detect_ixps(
+            full_mesh_traces, lan_table_from_fabric(italy_eco.fabric)
+        )
+        accuracy = compare_detection(detected, italy_eco.fabric)
+        assert accuracy.peering_recall == 1.0
+
+    def test_rai_remote_peerings_detected(self, italy_eco, full_mesh_traces):
+        detected = detect_ixps(
+            full_mesh_traces, lan_table_from_fabric(italy_eco.fabric)
+        )
+        assert ("MIX", min(AS_RAI, AS_ASDASD), max(AS_RAI, AS_ASDASD)) in detected.peerings
+        assert ("MIX", min(AS_RAI, AS_ITGATE), max(AS_RAI, AS_ITGATE)) in detected.peerings
+
+    def test_silent_members_invisible(self, italy_eco, full_mesh_traces):
+        """Members whose peerings never carry traffic cannot be seen —
+        the technique's structural limit."""
+        detected = detect_ixps(
+            full_mesh_traces, lan_table_from_fabric(italy_eco.fabric)
+        )
+        accuracy = compare_detection(detected, italy_eco.fabric)
+        assert accuracy.membership_recall < 1.0
+
+    def test_fewer_vantages_less_recall(self, italy_eco, simulator,
+                                        full_mesh_traces):
+        lan_table = lan_table_from_fabric(italy_eco.fabric)
+        one_vantage = [
+            t for t in full_mesh_traces if t.src_asn == AS_RAI
+        ]
+        few = compare_detection(detect_ixps(one_vantage, lan_table),
+                                italy_eco.fabric)
+        full = compare_detection(detect_ixps(full_mesh_traces, lan_table),
+                                 italy_eco.fabric)
+        assert few.peering_recall <= full.peering_recall
+
+    def test_empty_traces(self, italy_eco):
+        detected = detect_ixps([], lan_table_from_fabric(italy_eco.fabric))
+        accuracy = compare_detection(detected, italy_eco.fabric)
+        assert accuracy.crossings_seen == 0
+        assert accuracy.membership_precision == 1.0  # vacuous
+        assert accuracy.peering_recall == 0.0

@@ -1,0 +1,68 @@
+"""Tests for the data-driven bandwidth selectors (core.bandwidth)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import data_driven_bandwidth_km
+from repro.geo.coords import offset_km
+
+
+def cloud(n, sigma_km, seed=0):
+    rng = np.random.default_rng(seed)
+    return offset_km(
+        np.full(n, 42.0), np.full(n, 12.0),
+        rng.normal(0, sigma_km, n), rng.normal(0, sigma_km, n),
+    )
+
+
+class TestDataDrivenBandwidth:
+    def test_scales_with_spread(self):
+        tight = data_driven_bandwidth_km(*cloud(500, 10.0))
+        wide = data_driven_bandwidth_km(*cloud(500, 100.0))
+        assert wide > 5 * tight
+
+    def test_shrinks_with_sample_count(self):
+        """The statistical pathology the paper avoids: with enough
+        samples the rule's bandwidth collapses below any city scale."""
+        small = data_driven_bandwidth_km(*cloud(100, 50.0))
+        large = data_driven_bandwidth_km(*cloud(100_00, 50.0, seed=1))
+        assert large < small
+        # n^{-1/6} scaling: 100x more samples ~ 2.15x smaller bandwidth.
+        assert large == pytest.approx(small / 100 ** (1 / 6), rel=0.25)
+
+    def test_scott_value(self):
+        lats, lons = cloud(1000, 30.0)
+        bandwidth = data_driven_bandwidth_km(lats, lons, rule="scott")
+        assert bandwidth == pytest.approx(30.0 * 1000 ** (-1 / 6), rel=0.1)
+
+    def test_silverman_equals_scott_in_2d(self):
+        lats, lons = cloud(400, 25.0)
+        assert data_driven_bandwidth_km(lats, lons, "scott") == pytest.approx(
+            data_driven_bandwidth_km(lats, lons, "silverman")
+        )
+
+    def test_rejects_unknown_rule(self):
+        lats, lons = cloud(10, 5.0)
+        with pytest.raises(ValueError, match="rule"):
+            data_driven_bandwidth_km(lats, lons, rule="botev")
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            data_driven_bandwidth_km(np.array([42.0]), np.array([12.0]))
+
+    def test_rejects_degenerate_cloud(self):
+        lats = np.full(10, 42.0)
+        lons = np.full(10, 12.0)
+        with pytest.raises(ValueError, match="degenerate"):
+            data_driven_bandwidth_km(lats, lons)
+
+    def test_anisotropic_cloud_uses_geometric_mean(self):
+        rng = np.random.default_rng(3)
+        lats, lons = offset_km(
+            np.full(2000, 42.0), np.full(2000, 12.0),
+            rng.normal(0, 100.0, 2000), rng.normal(0, 1.0, 2000),
+        )
+        bandwidth = data_driven_bandwidth_km(np.asarray(lats), np.asarray(lons))
+        assert bandwidth == pytest.approx(
+            np.sqrt(100.0 * 1.0) * 2000 ** (-1 / 6), rel=0.25
+        )

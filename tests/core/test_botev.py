@@ -1,0 +1,96 @@
+"""Tests for repro.core.botev (diffusion/ISJ bandwidth selection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import data_driven_bandwidth_km
+from repro.core.botev import botev_bandwidth_km, isj_bandwidth_1d
+from repro.geo.coords import offset_km
+
+
+class TestISJ1D:
+    def test_gaussian_close_to_amise_optimum(self):
+        """For Gaussian data the ISJ bandwidth should approach the
+        theoretical AMISE-optimal ``sigma (4/3n)^(1/5)``."""
+        rng = np.random.default_rng(1)
+        samples = rng.normal(0.0, 10.0, 4000)
+        optimal = 10.0 * (4.0 / (3.0 * samples.size)) ** 0.2
+        assert isj_bandwidth_1d(samples) == pytest.approx(optimal, rel=0.35)
+
+    def test_shrinks_with_sample_count(self):
+        rng = np.random.default_rng(2)
+        small = isj_bandwidth_1d(rng.normal(0, 10, 300))
+        large = isj_bandwidth_1d(rng.normal(0, 10, 30_000))
+        assert large < small
+
+    def test_bimodal_beats_gaussian_reference(self):
+        """The ISJ headline property: on well-separated bimodal data the
+        selector picks a bandwidth near the per-mode scale instead of
+        the whole-sample sigma that Silverman-type rules use."""
+        rng = np.random.default_rng(3)
+        samples = np.concatenate([
+            rng.normal(0.0, 5.0, 2000),
+            rng.normal(200.0, 5.0, 2000),
+        ])
+        isj = isj_bandwidth_1d(samples)
+        sigma = float(np.std(samples))  # ~100: dominated by separation
+        silverman = 1.06 * sigma * samples.size ** (-0.2)
+        assert isj < 0.5 * silverman
+        # And it is on the order of the mode scale, not the separation.
+        assert isj < 10.0
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(4)
+        samples = rng.normal(0, 1, 500)
+        assert isj_bandwidth_1d(samples) == isj_bandwidth_1d(samples)
+
+    def test_scale_equivariance(self):
+        rng = np.random.default_rng(5)
+        samples = rng.normal(0, 1, 2000)
+        base = isj_bandwidth_1d(samples)
+        scaled = isj_bandwidth_1d(samples * 7.0)
+        assert scaled == pytest.approx(7.0 * base, rel=0.05)
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            isj_bandwidth_1d(np.array([1.0, 2.0, 3.0]))
+
+    def test_rejects_degenerate_sample(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            isj_bandwidth_1d(np.full(100, 3.0))
+
+
+class TestBotevGeographic:
+    def make_country(self, n_per_city=800, seed=6):
+        """Users clustered in four cities across ~600 km."""
+        rng = np.random.default_rng(seed)
+        lats, lons = [], []
+        for east, north in ((0, 0), (250, 100), (500, -50), (150, 400)):
+            clat, clon = offset_km(42.0, 12.0, east, north)
+            a, b = offset_km(
+                np.full(n_per_city, float(clat)),
+                np.full(n_per_city, float(clon)),
+                rng.normal(0, 8, n_per_city),
+                rng.normal(0, 8, n_per_city),
+            )
+            lats.append(a)
+            lons.append(b)
+        return np.concatenate(lats), np.concatenate(lons)
+
+    def test_resolves_city_scale_on_clustered_data(self):
+        """On a multi-city country, ISJ lands near the city scale where
+        Scott's rule lands near the country scale — the diffusion
+        method's whole point."""
+        lats, lons = self.make_country()
+        isj = botev_bandwidth_km(lats, lons)
+        scott = data_driven_bandwidth_km(lats, lons)
+        assert isj < 0.5 * scott
+        assert 1.0 < isj < 40.0
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            botev_bandwidth_km(np.array([1.0] * 3), np.array([1.0] * 3))
+
+    def test_deterministic(self):
+        lats, lons = self.make_country(n_per_city=200)
+        assert botev_bandwidth_km(lats, lons) == botev_bandwidth_km(lats, lons)

@@ -1,0 +1,175 @@
+"""Tests for repro.core.footprint, repro.core.pop, repro.core.bandwidth."""
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import (
+    CITY_BANDWIDTH_KM,
+    choose_bandwidth,
+    error_floor_km,
+    fixed_bandwidth_is_valid,
+)
+from repro.core.footprint import estimate_geo_footprint
+from repro.core.pop import extract_pop_footprint
+from repro.geo.coords import offset_km
+from repro.geo.gazetteer import Gazetteer
+from repro.net.italy import AS_TELECOM, TELECOM_ITALIA_FOOTPRINT
+
+
+@pytest.fixture(scope="module")
+def telecom_samples(italy_eco, italy_population):
+    indices = italy_population.users_of_as(AS_TELECOM)
+    return (
+        italy_population.true_lat[indices],
+        italy_population.true_lon[indices],
+    )
+
+
+@pytest.fixture(scope="module")
+def telecom_footprint(telecom_samples):
+    lats, lons = telecom_samples
+    return estimate_geo_footprint(lats, lons, bandwidth_km=40.0)
+
+
+class TestGeoFootprint:
+    def test_sample_count(self, telecom_samples, telecom_footprint):
+        assert telecom_footprint.sample_count == telecom_samples[0].size
+
+    def test_mass_normalised(self, telecom_footprint):
+        assert telecom_footprint.grid.total_mass() == pytest.approx(1.0, abs=1e-2)
+
+    def test_footprint_contains_big_cities(self, telecom_footprint, italy):
+        for name in ("Milan", "Rome", "Naples"):
+            city = next(c for c in italy.cities if c.name == name)
+            assert telecom_footprint.contains(city.lat, city.lon)
+
+    def test_footprint_excludes_open_sea(self, telecom_footprint):
+        # Mid-Tyrrhenian point, far from all Italian PoPs.
+        assert not telecom_footprint.contains(40.2, 11.2)
+
+    def test_peaks_above_alpha_subset(self, telecom_footprint):
+        all_peaks = telecom_footprint.peaks
+        selected = telecom_footprint.peaks_above(0.01)
+        assert len(selected) <= len(all_peaks)
+        threshold = 0.01 * telecom_footprint.max_density
+        assert all(p.density > threshold for p in selected)
+
+    def test_peaks_above_rejects_bad_alpha(self, telecom_footprint):
+        with pytest.raises(ValueError):
+            telecom_footprint.peaks_above(0.0)
+
+    def test_higher_alpha_fewer_peaks(self, telecom_footprint):
+        assert len(telecom_footprint.peaks_above(0.2)) <= len(
+            telecom_footprint.peaks_above(0.01)
+        )
+
+    def test_bandwidth_controls_partitions(self, telecom_samples):
+        lats, lons = telecom_samples
+        fine = estimate_geo_footprint(lats, lons, bandwidth_km=20.0)
+        coarse = estimate_geo_footprint(lats, lons, bandwidth_km=60.0)
+        assert fine.partition_count >= coarse.partition_count
+
+
+class TestPoPExtraction:
+    def test_telecom_pop_list_leads_with_milan_rome(self, telecom_footprint,
+                                                    italy_gazetteer):
+        pops = extract_pop_footprint(telecom_footprint, italy_gazetteer)
+        names = pops.city_names()
+        assert names[:2] == ["Milan", "Rome"]
+
+    def test_pop_cities_are_true_pop_cities(self, telecom_footprint,
+                                            italy_gazetteer):
+        pops = extract_pop_footprint(telecom_footprint, italy_gazetteer)
+        for name in pops.city_names():
+            assert name in TELECOM_ITALIA_FOOTPRINT
+
+    def test_densities_sorted(self, telecom_footprint, italy_gazetteer):
+        pops = extract_pop_footprint(telecom_footprint, italy_gazetteer)
+        densities = [p.density for p in pops.pops]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_as_density_list_normalised(self, telecom_footprint,
+                                        italy_gazetteer):
+        pops = extract_pop_footprint(telecom_footprint, italy_gazetteer)
+        shares = [d for _, d in pops.as_density_list()]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_density_of(self, telecom_footprint, italy_gazetteer):
+        pops = extract_pop_footprint(telecom_footprint, italy_gazetteer)
+        assert pops.density_of("Milan") is not None
+        assert pops.density_of("Atlantis") is None
+
+    def test_unmerged_keeps_multiple_peaks_per_city(self, telecom_samples,
+                                                    italy_gazetteer):
+        lats, lons = telecom_samples
+        fine = estimate_geo_footprint(lats, lons, bandwidth_km=10.0)
+        merged = extract_pop_footprint(fine, italy_gazetteer,
+                                       mapping_radius_km=40.0)
+        unmerged = extract_pop_footprint(fine, italy_gazetteer,
+                                         mapping_radius_km=40.0,
+                                         merge_same_city=False)
+        assert len(unmerged) >= len(merged)
+        assert len(set(p.city.key for p in merged.pops)) == len(merged)
+
+    def test_no_city_peaks_reported(self, italy_gazetteer):
+        # A cluster in the open sea: peak maps to no city at tight radius.
+        rng = np.random.default_rng(0)
+        lats, lons = offset_km(
+            np.full(200, 40.2), np.full(200, 11.2),
+            rng.normal(0, 5, 200), rng.normal(0, 5, 200),
+        )
+        footprint = estimate_geo_footprint(lats, lons, bandwidth_km=15.0)
+        pops = extract_pop_footprint(footprint, italy_gazetteer)
+        assert len(pops) == 0
+        assert len(pops.no_city_peaks) >= 1
+
+    def test_mapping_radius_validation(self, telecom_footprint,
+                                       italy_gazetteer):
+        with pytest.raises(ValueError):
+            extract_pop_footprint(telecom_footprint, italy_gazetteer,
+                                  mapping_radius_km=0.0)
+
+    def test_coordinates_shape(self, telecom_footprint, italy_gazetteer):
+        pops = extract_pop_footprint(telecom_footprint, italy_gazetteer)
+        coords = pops.coordinates()
+        assert len(coords) == len(pops)
+        for lat, lon in coords:
+            assert 35.0 < lat < 48.0
+
+
+class TestBandwidthPolicy:
+    def test_error_floor_percentile(self):
+        errors = np.array([1.0] * 90 + [100.0] * 10)
+        assert error_floor_km(errors, 90) <= 100.0
+        assert error_floor_km(errors, 50) == pytest.approx(1.0)
+
+    def test_error_floor_empty(self):
+        assert error_floor_km(np.array([])) == 0.0
+
+    def test_error_floor_bad_percentile(self):
+        with pytest.raises(ValueError):
+            error_floor_km(np.array([1.0]), percentile=0)
+
+    def test_choose_bandwidth_resolution_limited(self):
+        choice = choose_bandwidth(np.array([5.0] * 100))
+        assert choice.bandwidth_km == CITY_BANDWIDTH_KM
+        assert not choice.limited_by_error
+
+    def test_choose_bandwidth_error_limited(self):
+        choice = choose_bandwidth(np.array([95.0] * 100))
+        assert choice.bandwidth_km == pytest.approx(95.0)
+        assert choice.limited_by_error
+
+    def test_choose_bandwidth_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            choose_bandwidth(np.array([1.0]), resolution_km=0.0)
+
+    def test_fixed_bandwidth_gate(self):
+        clean = np.array([10.0] * 100)
+        noisy = np.array([200.0] * 100)
+        assert fixed_bandwidth_is_valid(clean)
+        assert not fixed_bandwidth_is_valid(noisy)
+
+    def test_fixed_bandwidth_gate_validation(self):
+        with pytest.raises(ValueError):
+            fixed_bandwidth_is_valid(np.array([1.0]), bandwidth_km=0.0)

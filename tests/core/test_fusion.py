@@ -1,0 +1,96 @@
+"""Tests for repro.core.fusion (edge + traceroute PoP fusion)."""
+
+import pytest
+
+from repro.core.fusion import PoPProvenance, fuse_pop_sets
+from repro.geo.coords import offset_km
+
+ROME = (41.9028, 12.4964)
+MILAN = (45.4642, 9.1900)
+
+
+def near(point, km_east):
+    lat, lon = offset_km(point[0], point[1], km_east, 0.0)
+    return (float(lat), float(lon))
+
+
+class TestFusion:
+    def test_corroboration(self):
+        fused = fuse_pop_sets([ROME], [near(ROME, 10.0)])
+        assert len(fused) == 1
+        assert fused.pops[0].provenance is PoPProvenance.BOTH
+        assert fused.corroborated_fraction == 1.0
+
+    def test_edge_only(self):
+        fused = fuse_pop_sets([ROME], [])
+        assert fused.count(PoPProvenance.EDGE_ONLY) == 1
+
+    def test_traceroute_adds_invisible_pop(self):
+        # KDE saw Rome; traceroute additionally saw an infrastructure
+        # PoP in Milan that hosts no users.
+        fused = fuse_pop_sets([ROME], [MILAN])
+        assert len(fused) == 2
+        assert fused.count(PoPProvenance.EDGE_ONLY) == 1
+        assert fused.count(PoPProvenance.TRACEROUTE_ONLY) == 1
+
+    def test_traceroute_duplicates_collapsed(self):
+        fused = fuse_pop_sets([], [MILAN, near(MILAN, 5.0), near(MILAN, -5.0)])
+        assert len(fused) == 1
+        assert fused.pops[0].provenance is PoPProvenance.TRACEROUTE_ONLY
+
+    def test_traceroute_near_edge_not_duplicated(self):
+        fused = fuse_pop_sets([ROME], [near(ROME, 20.0), MILAN])
+        assert len(fused) == 2
+        provenances = {p.provenance for p in fused.pops}
+        assert provenances == {PoPProvenance.BOTH, PoPProvenance.TRACEROUTE_ONLY}
+
+    def test_union_is_superset_of_both(self):
+        edge = [ROME]
+        traceroute = [MILAN]
+        fused = fuse_pop_sets(edge, traceroute)
+        coordinates = fused.coordinates()
+        assert ROME in coordinates
+        assert MILAN in coordinates
+
+    def test_empty_inputs(self):
+        fused = fuse_pop_sets([], [])
+        assert len(fused) == 0
+        assert fused.corroborated_fraction == 0.0
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            fuse_pop_sets([ROME], [ROME], merge_radius_km=0.0)
+
+
+class TestFusionOnScenario:
+    def test_fusion_recall_beats_both_parents(self, small_scenario):
+        """Fusing KDE PoPs with DIMES PoPs must cover at least as many
+        true PoPs as either source alone — and strictly more whenever
+        traceroute saw an infrastructure PoP the users cannot reveal."""
+        from repro.validation.dimes import DimesConfig, run_dimes_campaign
+        from repro.validation.matching import match_pop_sets
+
+        targets = small_scenario.eyeball_target_asns()
+        dimes = run_dimes_campaign(
+            small_scenario.ecosystem, targets, DimesConfig(seed=31)
+        )
+        improved = 0
+        checked = 0
+        for asn in targets:
+            if asn not in dimes.pops:
+                continue
+            node = small_scenario.ecosystem.node(asn)
+            truth = [(p.lat, p.lon) for p in node.pops]
+            edge = small_scenario.peak_locations(asn, 40.0)
+            trace = dimes.coordinates_of(asn)
+            fused = fuse_pop_sets(edge, trace).coordinates()
+            edge_recall = match_pop_sets(edge, truth).recall
+            trace_recall = match_pop_sets(trace, truth).recall
+            fused_recall = match_pop_sets(fused, truth).recall
+            assert fused_recall >= max(edge_recall, trace_recall) - 1e-9
+            improved += fused_recall > edge_recall
+            checked += 1
+        assert checked > 0
+        # Infrastructure PoPs exist in the generator, so fusion must help
+        # for at least one AS.
+        assert improved >= 1

@@ -1,0 +1,113 @@
+"""Tests for repro.core.grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import DensityGrid
+from repro.geo.projection import LocalProjection
+
+
+def make_grid(nx=10, ny=8, cell=5.0, values=None):
+    if values is None:
+        values = np.zeros((ny, nx))
+    return DensityGrid(
+        projection=LocalProjection(center_lat=42.0, center_lon=12.0),
+        x_min=-25.0,
+        y_min=-20.0,
+        cell_km=cell,
+        values=values,
+    )
+
+
+class TestValidation:
+    def test_rejects_negative_values(self):
+        values = np.zeros((4, 4))
+        values[0, 0] = -1.0
+        with pytest.raises(ValueError, match="negative"):
+            make_grid(4, 4, values=values)
+
+    def test_rejects_nan(self):
+        values = np.zeros((4, 4))
+        values[0, 0] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            make_grid(4, 4, values=values)
+
+    def test_rejects_1d_values(self):
+        with pytest.raises(ValueError, match="2-D"):
+            make_grid(values=np.zeros(5))
+
+    def test_rejects_zero_cell(self):
+        with pytest.raises(ValueError, match="cell"):
+            make_grid(cell=0.0)
+
+
+class TestGeometry:
+    def test_shape_accessors(self):
+        grid = make_grid(10, 8)
+        assert grid.shape == (8, 10)
+        assert grid.nx == 10
+        assert grid.ny == 8
+        assert grid.cell_area_km2 == pytest.approx(25.0)
+
+    def test_cell_center(self):
+        grid = make_grid()
+        assert grid.cell_center(0, 0) == (pytest.approx(-22.5), pytest.approx(-17.5))
+
+    def test_cell_center_bounds(self):
+        grid = make_grid(10, 8)
+        with pytest.raises(IndexError):
+            grid.cell_center(10, 0)
+        with pytest.raises(IndexError):
+            grid.cell_center(0, 8)
+
+    def test_centers_arrays(self):
+        grid = make_grid(10, 8)
+        assert grid.x_centers().shape == (10,)
+        assert grid.y_centers().shape == (8,)
+        assert grid.x_centers()[0] == pytest.approx(-22.5)
+
+    @given(st.integers(min_value=0, max_value=9), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40)
+    def test_cell_of_roundtrip(self, ix, iy):
+        grid = make_grid(10, 8)
+        x, y = grid.cell_center(ix, iy)
+        assert grid.cell_of(x, y) == (ix, iy)
+
+    def test_cell_of_outside(self):
+        grid = make_grid()
+        with pytest.raises(IndexError):
+            grid.cell_of(1000.0, 0.0)
+
+    def test_cell_latlon_roundtrip(self):
+        grid = make_grid()
+        lat, lon = grid.cell_latlon(3, 4)
+        x, y = grid.projection.forward(lat, lon)
+        assert grid.cell_of(float(x), float(y)) == (3, 4)
+
+
+class TestValues:
+    def test_value_lookup(self):
+        values = np.zeros((8, 10))
+        values[4, 3] = 7.0
+        grid = make_grid(10, 8, values=values)
+        x, y = grid.cell_center(3, 4)
+        assert grid.value_at(x, y) == 7.0
+
+    def test_value_at_latlon(self):
+        values = np.zeros((8, 10))
+        values[4, 3] = 7.0
+        grid = make_grid(10, 8, values=values)
+        lat, lon = grid.cell_latlon(3, 4)
+        assert grid.value_at_latlon(lat, lon) == 7.0
+
+    def test_total_mass(self):
+        values = np.full((8, 10), 2.0)
+        grid = make_grid(10, 8, values=values)
+        assert grid.total_mass() == pytest.approx(2.0 * 80 * 25.0)
+
+    def test_max_density(self):
+        values = np.zeros((8, 10))
+        values[2, 2] = 9.0
+        assert make_grid(10, 8, values=values).max_density() == 9.0

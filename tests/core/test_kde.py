@@ -1,0 +1,242 @@
+"""Tests for repro.core.kde — the estimator at the heart of the paper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kde import compute_kde, kde_at_points
+from repro.geo.coords import offset_km
+from repro.geo.projection import LocalProjection
+
+
+def cluster(rng, lat, lon, sigma_km, n):
+    east = rng.normal(0, sigma_km, n)
+    north = rng.normal(0, sigma_km, n)
+    return offset_km(np.full(n, lat), np.full(n, lon), east, north)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            compute_kde(np.array([]), np.array([]), 40.0)
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError, match="parallel"):
+            compute_kde(np.array([1.0]), np.array([1.0, 2.0]), 40.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            compute_kde(np.array([0.0]), np.array([0.0]), 0.0)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            compute_kde(np.array([0.0]), np.array([0.0]), 10.0, method="magic")
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="weights"):
+            compute_kde(np.array([0.0, 1.0]), np.array([0.0, 1.0]), 10.0,
+                        weights=np.array([1.0, -1.0]))
+
+    def test_rejects_zero_weight_sum(self):
+        with pytest.raises(ValueError, match="positive sum"):
+            compute_kde(np.array([0.0]), np.array([0.0]), 10.0,
+                        weights=np.array([0.0]))
+
+    def test_rejects_bad_cell(self):
+        with pytest.raises(ValueError, match="cell"):
+            compute_kde(np.array([0.0]), np.array([0.0]), 10.0, cell_km=-1.0)
+
+
+class TestMassConservation:
+    @pytest.mark.parametrize("method", ["fft", "direct"])
+    def test_single_point_integrates_to_one(self, method):
+        grid = compute_kde(np.array([42.0]), np.array([12.0]), 20.0,
+                           method=method)
+        assert grid.total_mass() == pytest.approx(1.0, abs=1e-3)
+
+    @pytest.mark.parametrize("method", ["fft", "direct"])
+    def test_cluster_integrates_to_one(self, method, rng):
+        lats, lons = cluster(rng, 42.0, 12.0, 30.0, 300)
+        grid = compute_kde(lats, lons, 25.0, method=method)
+        assert grid.total_mass() == pytest.approx(1.0, abs=1e-3)
+
+    def test_weighted_mass(self, rng):
+        lats, lons = cluster(rng, 42.0, 12.0, 10.0, 100)
+        weights = rng.uniform(0.1, 5.0, 100)
+        grid = compute_kde(lats, lons, 20.0, weights=weights)
+        assert grid.total_mass() == pytest.approx(1.0, abs=1e-3)
+
+
+class TestCorrectness:
+    def test_peak_at_single_sample(self):
+        grid = compute_kde(np.array([42.0]), np.array([12.0]), 15.0)
+        iy, ix = np.unravel_index(np.argmax(grid.values), grid.values.shape)
+        lat, lon = grid.cell_latlon(int(ix), int(iy))
+        assert lat == pytest.approx(42.0, abs=0.1)
+        assert lon == pytest.approx(12.0, abs=0.1)
+        # Peak value of a 2-D Gaussian: 1 / (2 pi h^2).
+        expected = 1.0 / (2 * np.pi * 15.0**2)
+        assert grid.max_density() == pytest.approx(expected, rel=0.02)
+
+    def test_fft_matches_direct(self, rng):
+        lats, lons = cluster(rng, 42.0, 12.0, 40.0, 200)
+        fft = compute_kde(lats, lons, 20.0, cell_km=5.0, method="fft")
+        direct = compute_kde(lats, lons, 20.0, cell_km=5.0, method="direct")
+        assert fft.values.shape == direct.values.shape
+        scale = direct.values.max()
+        # Binning at bandwidth/4 cells bounds the pointwise error at ~3%
+        # of the peak (ablation A3 quantifies this trade-off).
+        assert np.allclose(fft.values, direct.values, atol=0.03 * scale)
+
+    def test_direct_matches_point_evaluation(self, rng):
+        lats, lons = cluster(rng, 42.0, 12.0, 30.0, 50)
+        grid = compute_kde(lats, lons, 25.0, cell_km=10.0, method="direct")
+        # Sample a few cells and compare with the exact point evaluator
+        # using the same projection.
+        for ix, iy in [(3, 3), (8, 5), (grid.nx // 2, grid.ny // 2)]:
+            lat, lon = grid.cell_latlon(ix, iy)
+            exact = kde_at_points(lats, lons, 25.0, np.array([lat]),
+                                  np.array([lon]),
+                                  projection=grid.projection)
+            assert grid.values[iy, ix] == pytest.approx(float(exact[0]), rel=1e-6)
+
+    def test_binning_error_small(self, rng):
+        """FFT binning at bandwidth/4 cells must stay within ~3% of the
+        exact evaluation at the density peak."""
+        lats, lons = cluster(rng, 42.0, 12.0, 15.0, 400)
+        grid = compute_kde(lats, lons, 20.0, method="fft")
+        iy, ix = np.unravel_index(np.argmax(grid.values), grid.values.shape)
+        lat, lon = grid.cell_latlon(int(ix), int(iy))
+        exact = kde_at_points(lats, lons, 20.0, np.array([lat]),
+                              np.array([lon]), projection=grid.projection)
+        assert grid.values[iy, ix] == pytest.approx(float(exact[0]), rel=0.03)
+
+    def test_symmetric_input_symmetric_output(self):
+        # Two symmetric points: density at each must be equal.
+        lats = np.array([42.0, 42.0])
+        lat0, lon_east = offset_km(42.0, 12.0, 60.0, 0.0)
+        _, lon_west = offset_km(42.0, 12.0, -60.0, 0.0)
+        lons = np.array([lon_west, lon_east])
+        grid = compute_kde(lats, lons, 20.0, cell_km=5.0)
+        value_east = grid.value_at_latlon(42.0, lon_east)
+        value_west = grid.value_at_latlon(42.0, lon_west)
+        assert value_east == pytest.approx(value_west, rel=0.05)
+
+    def test_weights_shift_mass(self, rng):
+        lats = np.array([42.0, 42.0])
+        _, lon_east = offset_km(42.0, 12.0, 150.0, 0.0)
+        lons = np.array([12.0, lon_east])
+        grid = compute_kde(lats, lons, 20.0,
+                           weights=np.array([9.0, 1.0]))
+        heavy = grid.value_at_latlon(42.0, 12.0)
+        light = grid.value_at_latlon(42.0, lon_east)
+        assert heavy > 5 * light
+
+    def test_larger_bandwidth_lowers_peak(self, rng):
+        lats, lons = cluster(rng, 42.0, 12.0, 5.0, 200)
+        sharp = compute_kde(lats, lons, 10.0)
+        smooth = compute_kde(lats, lons, 60.0)
+        assert sharp.max_density() > smooth.max_density()
+
+    def test_default_cell_is_quarter_bandwidth(self):
+        grid = compute_kde(np.array([42.0]), np.array([12.0]), 40.0)
+        assert grid.cell_km == pytest.approx(10.0)
+
+    def test_values_non_negative(self, rng):
+        lats, lons = cluster(rng, 42.0, 12.0, 100.0, 500)
+        grid = compute_kde(lats, lons, 15.0)
+        assert np.all(grid.values >= 0)
+
+    @given(st.integers(min_value=1, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_mass_invariant_random_sizes(self, n):
+        rng = np.random.default_rng(n)
+        lats, lons = cluster(rng, 42.0, 12.0, 50.0, n)
+        grid = compute_kde(np.atleast_1d(lats), np.atleast_1d(lons), 30.0)
+        assert grid.total_mass() == pytest.approx(1.0, abs=5e-3)
+
+
+class TestKdeLinearity:
+    """The KDE is a weighted sum of kernels, so it must be linear in
+    the (normalised) weights — a property both evaluation paths share."""
+
+    def test_mixture_decomposition(self, rng):
+        lats_a, lons_a = cluster(rng, 42.0, 12.0, 10.0, 40)
+        lats_b, lons_b = cluster(rng, 42.5, 12.5, 10.0, 60)
+        lats = np.concatenate([lats_a, lats_b])
+        lons = np.concatenate([lons_a, lons_b])
+        projection = None
+        combined = compute_kde(lats, lons, 25.0, cell_km=10.0,
+                               method="direct")
+        projection = combined.projection
+        part_a = compute_kde(lats_a, lons_a, 25.0, cell_km=10.0,
+                             method="direct", projection=projection)
+        part_b = compute_kde(lats_b, lons_b, 25.0, cell_km=10.0,
+                             method="direct", projection=projection)
+        # Evaluate the mixture at a probe point via kde_at_points,
+        # which avoids grid-extent mismatches.
+        probe_lat, probe_lon = 42.2, 12.2
+        whole = kde_at_points(lats, lons, 25.0,
+                              np.array([probe_lat]), np.array([probe_lon]),
+                              projection=projection)
+        a = kde_at_points(lats_a, lons_a, 25.0,
+                          np.array([probe_lat]), np.array([probe_lon]),
+                          projection=projection)
+        b = kde_at_points(lats_b, lons_b, 25.0,
+                          np.array([probe_lat]), np.array([probe_lon]),
+                          projection=projection)
+        weight_a = lats_a.size / lats.size
+        mixed = weight_a * float(a[0]) + (1 - weight_a) * float(b[0])
+        assert float(whole[0]) == pytest.approx(mixed, rel=1e-9)
+
+    def test_uniform_weights_match_unweighted(self, rng):
+        lats, lons = cluster(rng, 42.0, 12.0, 20.0, 80)
+        plain = compute_kde(lats, lons, 20.0, cell_km=10.0)
+        weighted = compute_kde(lats, lons, 20.0, cell_km=10.0,
+                               weights=np.full(80, 3.7))
+        assert np.allclose(plain.values, weighted.values, atol=1e-12)
+
+    def test_duplicating_samples_is_idempotent(self, rng):
+        from repro.geo.projection import LocalProjection
+
+        lats, lons = cluster(rng, 42.0, 12.0, 20.0, 60)
+        # Share the projection: the duplicated set's float centroid can
+        # drift by one ulp, which would shift every histogram bin edge.
+        projection = LocalProjection.for_points(lats, lons)
+        single = compute_kde(lats, lons, 20.0, cell_km=10.0,
+                             projection=projection)
+        doubled = compute_kde(
+            np.concatenate([lats, lats]), np.concatenate([lons, lons]),
+            20.0, cell_km=10.0, projection=projection,
+        )
+        assert np.allclose(single.values, doubled.values, atol=1e-12)
+
+
+class TestKdeAtPoints:
+    def test_single_sample_peak_value(self):
+        result = kde_at_points(
+            np.array([42.0]), np.array([12.0]), 10.0,
+            np.array([42.0]), np.array([12.0]),
+        )
+        assert float(result[0]) == pytest.approx(1 / (2 * np.pi * 100), rel=1e-9)
+
+    def test_decays_with_distance(self):
+        lat_far, lon_far = offset_km(42.0, 12.0, 30.0, 0.0)
+        result = kde_at_points(
+            np.array([42.0]), np.array([12.0]), 10.0,
+            np.array([42.0, lat_far]), np.array([12.0, lon_far]),
+        )
+        assert result[0] > result[1]
+        # At 3 sigma the ratio is exp(-4.5).
+        assert result[1] / result[0] == pytest.approx(np.exp(-4.5), rel=0.01)
+
+    def test_rejects_empty_samples(self):
+        with pytest.raises(ValueError):
+            kde_at_points(np.array([]), np.array([]), 10.0,
+                          np.array([0.0]), np.array([0.0]))
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            kde_at_points(np.array([0.0]), np.array([0.0]), 0.0,
+                          np.array([0.0]), np.array([0.0]))

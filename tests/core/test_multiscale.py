@@ -1,0 +1,127 @@
+"""Tests for repro.core.multiscale (close-PoP disambiguation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.footprint import estimate_geo_footprint
+from repro.core.multiscale import RefinementConfig, refine_pops
+from repro.geo.coords import haversine_km, offset_km
+
+
+def twin_cities(separation_km=55.0, n_each=400, seed=9):
+    """Two clusters close enough to merge at a 40 km bandwidth."""
+    rng = np.random.default_rng(seed)
+    centers = [(42.0, 12.0)]
+    lat_b, lon_b = offset_km(42.0, 12.0, separation_km, 0.0)
+    centers.append((float(lat_b), float(lon_b)))
+    lats, lons = [], []
+    for lat, lon in centers:
+        a, b = offset_km(
+            np.full(n_each, lat), np.full(n_each, lon),
+            rng.normal(0, 6, n_each), rng.normal(0, 6, n_each),
+        )
+        lats.append(a)
+        lons.append(b)
+    return np.concatenate(lats), np.concatenate(lons), centers
+
+
+class TestConfigValidation:
+    def test_fine_must_be_below_coarse(self):
+        with pytest.raises(ValueError):
+            RefinementConfig(coarse_bandwidth_km=20.0, fine_bandwidth_km=40.0)
+
+    def test_alpha_range(self):
+        with pytest.raises(ValueError):
+            RefinementConfig(fine_alpha=0.0)
+
+    def test_separation_positive(self):
+        with pytest.raises(ValueError):
+            RefinementConfig(min_separation_km=0.0)
+
+
+class TestRefinement:
+    def test_splits_merged_twin_cities(self):
+        lats, lons, centers = twin_cities()
+        coarse = estimate_geo_footprint(lats, lons, bandwidth_km=40.0)
+        # The coarse pass merges the twins into one peak.
+        assert len(coarse.peaks_above(0.01)) == 1
+        refined = refine_pops(lats, lons)
+        assert len(refined) == 2
+        assert refined.split_count == 1
+        # Each refined PoP sits near one of the true centres.
+        for pop in refined.pops:
+            nearest = min(
+                float(haversine_km(pop.lat, pop.lon, lat, lon))
+                for lat, lon in centers
+            )
+            assert nearest < 15.0
+
+    def test_far_cities_not_affected(self):
+        lats, lons, _ = twin_cities(separation_km=300.0)
+        refined = refine_pops(lats, lons)
+        assert len(refined) == 2
+        assert refined.split_count == 0  # each coarse peak stays single
+
+    def test_single_cluster_kept_as_is(self):
+        rng = np.random.default_rng(1)
+        lats, lons = offset_km(
+            np.full(400, 42.0), np.full(400, 12.0),
+            rng.normal(0, 6, 400), rng.normal(0, 6, 400),
+        )
+        refined = refine_pops(np.asarray(lats), np.asarray(lons))
+        assert len(refined) == 1
+        assert not refined.pops[0].split
+
+    def test_fine_noise_far_from_coarse_peaks_ignored(self):
+        lats, lons, _ = twin_cities(separation_km=300.0)
+        # A few stray samples (below coarse alpha) 500 km away.
+        stray_lat, stray_lon = offset_km(42.0, 12.0, 0.0, 500.0)
+        rng = np.random.default_rng(2)
+        extra_lat, extra_lon = offset_km(
+            np.full(3, float(stray_lat)), np.full(3, float(stray_lon)),
+            rng.normal(0, 2, 3), rng.normal(0, 2, 3),
+        )
+        all_lats = np.concatenate([lats, extra_lat])
+        all_lons = np.concatenate([lons, extra_lon])
+        refined = refine_pops(all_lats, all_lons)
+        for pop in refined.pops:
+            assert float(haversine_km(pop.lat, pop.lon, float(stray_lat),
+                                      float(stray_lon))) > 100.0
+
+    def test_reuses_precomputed_footprints(self):
+        lats, lons, _ = twin_cities()
+        config = RefinementConfig()
+        coarse = estimate_geo_footprint(
+            lats, lons, bandwidth_km=config.coarse_bandwidth_km
+        )
+        fine = estimate_geo_footprint(
+            lats, lons, bandwidth_km=config.fine_bandwidth_km
+        )
+        a = refine_pops(lats, lons, config=config)
+        b = refine_pops(lats, lons, config=config, coarse=coarse, fine=fine)
+        assert a.coordinates() == b.coordinates()
+
+    def test_min_separation_enforced(self):
+        lats, lons, _ = twin_cities(separation_km=55.0)
+        refined = refine_pops(
+            lats, lons,
+            config=RefinementConfig(min_separation_km=25.0),
+        )
+        coords = refined.coordinates()
+        for i, (lat_a, lon_a) in enumerate(coords):
+            for lat_b, lon_b in coords[i + 1:]:
+                assert float(haversine_km(lat_a, lon_a, lat_b, lon_b)) >= 25.0
+
+    def test_pops_of_coarse_peak(self):
+        lats, lons, _ = twin_cities()
+        refined = refine_pops(lats, lons)
+        assert len(refined.pops_of_coarse_peak(0)) == 2
+        assert refined.pops_of_coarse_peak(99) == []
+
+    def test_coarse_separation_too_large_keeps_anchor(self):
+        # Separation constraint above the twins' distance: cannot split.
+        lats, lons, _ = twin_cities(separation_km=55.0)
+        refined = refine_pops(
+            lats, lons, config=RefinementConfig(min_separation_km=80.0)
+        )
+        assert len(refined) == 1

@@ -1,0 +1,203 @@
+"""Tests for repro.core.peaks and repro.core.contours."""
+
+import numpy as np
+import pytest
+
+from repro.core.contours import extract_contour, footprint_contour
+from repro.core.grid import DensityGrid
+from repro.core.kde import compute_kde
+from repro.core.peaks import find_peaks, highest_peak
+from repro.geo.coords import offset_km
+from repro.geo.projection import LocalProjection
+
+
+def grid_from(values, cell=10.0):
+    return DensityGrid(
+        projection=LocalProjection(center_lat=42.0, center_lon=12.0),
+        x_min=0.0, y_min=0.0, cell_km=cell,
+        values=np.asarray(values, dtype=float),
+    )
+
+
+def two_cities(n_each=300, separation_km=200.0, seed=3):
+    rng = np.random.default_rng(seed)
+    lat_b, lon_b = offset_km(42.0, 12.0, separation_km, 0.0)
+    lats = np.concatenate([
+        offset_km(np.full(n_each, 42.0), np.full(n_each, 12.0),
+                  rng.normal(0, 8, n_each), rng.normal(0, 8, n_each))[0],
+        offset_km(np.full(n_each, lat_b), np.full(n_each, lon_b),
+                  rng.normal(0, 8, n_each), rng.normal(0, 8, n_each))[0],
+    ])
+    lons = np.concatenate([
+        offset_km(np.full(n_each, 42.0), np.full(n_each, 12.0),
+                  rng.normal(0, 8, n_each), rng.normal(0, 8, n_each))[1],
+        offset_km(np.full(n_each, lat_b), np.full(n_each, lon_b),
+                  rng.normal(0, 8, n_each), rng.normal(0, 8, n_each))[1],
+    ])
+    return lats, lons, (42.0, 12.0), (float(lat_b), float(lon_b))
+
+
+class TestFindPeaks:
+    def test_single_gaussian_single_peak(self):
+        grid = compute_kde(np.array([42.0]), np.array([12.0]), 20.0)
+        peaks = find_peaks(grid)
+        assert len(peaks) == 1
+        assert peaks[0].lat == pytest.approx(42.0, abs=0.1)
+
+    def test_two_separated_clusters_two_peaks(self):
+        lats, lons, a, b = two_cities()
+        grid = compute_kde(lats, lons, 20.0)
+        peaks = find_peaks(grid)
+        assert len(peaks) == 2
+        found = {(round(p.lat, 1), round(p.lon, 1)) for p in peaks}
+        for center in (a, b):
+            assert any(
+                abs(f[0] - center[0]) < 0.3 and abs(f[1] - center[1]) < 0.4
+                for f in found
+            )
+
+    def test_merged_at_large_bandwidth(self):
+        lats, lons, *_ = two_cities(separation_km=100.0)
+        fine = compute_kde(lats, lons, 15.0)
+        coarse = compute_kde(lats, lons, 80.0)
+        assert len(find_peaks(fine)) > len(find_peaks(coarse))
+        assert len(find_peaks(coarse)) == 1
+
+    def test_peaks_sorted_by_density(self):
+        lats, lons, *_ = two_cities(n_each=300)
+        # Make cluster A heavier.
+        lats = np.concatenate([lats, lats[:200]])
+        lons = np.concatenate([lons, lons[:200]])
+        grid = compute_kde(lats, lons, 20.0)
+        peaks = find_peaks(grid)
+        densities = [p.density for p in peaks]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_plateau_merges_to_single_peak(self):
+        values = np.zeros((7, 7))
+        values[3, 2:5] = 5.0  # flat ridge of equal maxima
+        grid = grid_from(values)
+        peaks = find_peaks(grid)
+        assert len(peaks) == 1
+        assert peaks[0].density == 5.0
+        assert peaks[0].iy == 3
+
+    def test_min_density_floor(self):
+        values = np.zeros((7, 7))
+        values[1, 1] = 1.0
+        values[5, 5] = 10.0
+        grid = grid_from(values)
+        assert len(find_peaks(grid)) == 2
+        assert len(find_peaks(grid, min_density=2.0)) == 1
+
+    def test_constant_grid_has_no_peaks(self):
+        grid = grid_from(np.full((5, 5), 3.0))
+        assert find_peaks(grid) == []
+
+    def test_corner_peak_detected(self):
+        values = np.zeros((5, 5))
+        values[0, 0] = 2.0
+        grid = grid_from(values)
+        peaks = find_peaks(grid)
+        assert len(peaks) == 1
+        assert (peaks[0].ix, peaks[0].iy) == (0, 0)
+
+    def test_highest_peak_on_constant_grid(self):
+        grid = grid_from(np.full((5, 5), 3.0))
+        peak = highest_peak(grid)
+        assert peak.density == 3.0
+
+
+class TestContours:
+    def test_levels_nest(self):
+        lats, lons, *_ = two_cities()
+        grid = compute_kde(lats, lons, 20.0)
+        low = extract_contour(grid, 0.001 * grid.max_density())
+        high = extract_contour(grid, 0.5 * grid.max_density())
+        assert low.total_area_km2 > high.total_area_km2
+        assert low.total_mass > high.total_mass
+
+    def test_bimodal_partitions(self):
+        lats, lons, *_ = two_cities(separation_km=400.0)
+        grid = compute_kde(lats, lons, 20.0)
+        contour = extract_contour(grid, 0.2 * grid.max_density())
+        assert contour.partition_count == 2
+
+    def test_partitions_ordered_by_area(self):
+        lats, lons, *_ = two_cities()
+        grid = compute_kde(lats, lons, 15.0)
+        contour = extract_contour(grid, 0.05 * grid.max_density())
+        areas = [r.area_km2 for r in contour.regions]
+        assert areas == sorted(areas, reverse=True)
+        assert contour.largest_region.area_km2 == areas[0]
+
+    def test_mass_bounded_by_one(self):
+        lats, lons, *_ = two_cities()
+        grid = compute_kde(lats, lons, 20.0)
+        contour = extract_contour(grid, 0.01 * grid.max_density())
+        assert 0.9 < contour.total_mass <= 1.0
+
+    def test_contains_latlon(self):
+        lats, lons, a, b = two_cities(separation_km=400.0)
+        grid = compute_kde(lats, lons, 20.0)
+        contour = extract_contour(grid, 0.1 * grid.max_density())
+        assert contour.contains_latlon(grid, *a)
+        assert contour.contains_latlon(grid, *b)
+        # Midpoint between distant clusters is outside.
+        mid_lat, mid_lon = offset_km(a[0], a[1], 200.0, 0.0)
+        assert not contour.contains_latlon(grid, float(mid_lat), float(mid_lon))
+
+    def test_contains_point_off_grid(self):
+        grid = compute_kde(np.array([42.0]), np.array([12.0]), 10.0)
+        contour = extract_contour(grid, 0.5 * grid.max_density())
+        assert not contour.contains_latlon(grid, 10.0, 100.0)
+
+    def test_centroid_near_cluster(self):
+        grid = compute_kde(np.array([42.0]), np.array([12.0]), 20.0)
+        contour = extract_contour(grid, 0.3 * grid.max_density())
+        lat, lon = contour.largest_region.centroid_latlon
+        assert lat == pytest.approx(42.0, abs=0.2)
+        assert lon == pytest.approx(12.0, abs=0.2)
+
+    def test_gaussian_contour_mass_analytic(self):
+        """For a single-kernel density the super-level-set mass has a
+        closed form: the set {f >= L} of f(r) = exp(-r^2/2h^2)/(2pi h^2)
+        is a disc whose enclosed mass is 1 - L * 2pi h^2."""
+        h = 20.0
+        grid = compute_kde(np.array([42.0]), np.array([12.0]), h,
+                           cell_km=2.0)
+        peak = 1.0 / (2 * np.pi * h * h)
+        for fraction in (0.5, 0.1, 0.02):
+            level = fraction * peak
+            contour = extract_contour(grid, level)
+            expected_mass = 1.0 - level * 2 * np.pi * h * h
+            assert contour.total_mass == pytest.approx(
+                expected_mass, abs=0.02
+            )
+            # The disc radius is h * sqrt(2 ln(1/fraction)).
+            expected_area = (
+                np.pi * (h * np.sqrt(2 * np.log(1 / fraction))) ** 2
+            )
+            assert contour.total_area_km2 == pytest.approx(
+                expected_area, rel=0.06
+            )
+
+    def test_rejects_non_positive_level(self):
+        grid = compute_kde(np.array([42.0]), np.array([12.0]), 10.0)
+        with pytest.raises(ValueError):
+            extract_contour(grid, 0.0)
+
+    def test_footprint_contour_relative_level(self):
+        grid = compute_kde(np.array([42.0]), np.array([12.0]), 10.0)
+        contour = footprint_contour(grid, relative_level=0.5)
+        assert contour.level == pytest.approx(0.5 * grid.max_density())
+
+    def test_footprint_contour_rejects_bad_level(self):
+        grid = compute_kde(np.array([42.0]), np.array([12.0]), 10.0)
+        with pytest.raises(ValueError):
+            footprint_contour(grid, relative_level=1.5)
+
+    def test_footprint_contour_rejects_zero_grid(self):
+        grid = grid_from(np.zeros((5, 5)))
+        with pytest.raises(ValueError):
+            footprint_contour(grid)

@@ -1,0 +1,58 @@
+"""Tests for repro.crawl.apps."""
+
+import pytest
+
+from repro.crawl.apps import P2PApp, default_apps
+
+
+class TestP2PApp:
+    def test_rejects_bad_penetration(self):
+        with pytest.raises(ValueError):
+            P2PApp(name="x", penetration={"EU": 1.5})
+
+    def test_rejects_bad_observation_prob(self):
+        with pytest.raises(ValueError):
+            P2PApp(name="x", penetration={"EU": 0.1}, observation_prob=0.0)
+
+    def test_rejects_negative_dispersion(self):
+        with pytest.raises(ValueError):
+            P2PApp(name="x", penetration={"EU": 0.1}, as_dispersion=-1.0)
+
+    def test_rate_deterministic(self):
+        app = P2PApp(name="x", penetration={"EU": 0.2})
+        assert app.rate_for_as(100, "EU", seed=1) == app.rate_for_as(100, "EU", seed=1)
+
+    def test_rate_varies_by_as(self):
+        app = P2PApp(name="x", penetration={"EU": 0.2})
+        rates = {app.rate_for_as(asn, "EU", seed=1) for asn in range(100, 120)}
+        assert len(rates) > 10
+
+    def test_rate_zero_outside_coverage(self):
+        app = P2PApp(name="x", penetration={"EU": 0.2})
+        assert app.rate_for_as(100, "NA", seed=1) == 0.0
+
+    def test_rate_bounded(self):
+        app = P2PApp(name="x", penetration={"EU": 0.9}, as_dispersion=2.0)
+        for asn in range(100, 200):
+            assert 0.0 <= app.rate_for_as(asn, "EU", seed=1) <= 1.0
+
+    def test_no_dispersion_means_base_rate(self):
+        app = P2PApp(name="x", penetration={"EU": 0.2}, as_dispersion=0.0,
+                     observation_prob=1.0)
+        assert app.rate_for_as(1, "EU", seed=0) == pytest.approx(0.2)
+
+
+class TestDefaultApps:
+    def test_three_paper_apps(self):
+        names = [a.name for a in default_apps()]
+        assert names == ["Kad", "BitTorrent", "Gnutella"] or set(names) == {
+            "Kad", "BitTorrent", "Gnutella"
+        }
+
+    def test_regional_pattern_matches_table1(self):
+        kad, gnutella, bittorrent = default_apps()
+        # Gnutella dominates NA; Kad dominates EU and AS.
+        assert gnutella.penetration["NA"] > kad.penetration["NA"]
+        assert gnutella.penetration["NA"] > bittorrent.penetration["NA"]
+        assert kad.penetration["EU"] > gnutella.penetration["EU"]
+        assert kad.penetration["AS"] > gnutella.penetration["AS"]

@@ -1,0 +1,132 @@
+"""Tests for repro.crawl.bias (Section 4.3's two bias regimes)."""
+
+import numpy as np
+import pytest
+
+from repro.crawl.bias import SamplingBias, compare_footprints
+from repro.crawl.crawler import CrawlConfig, run_crawl
+
+
+@pytest.fixture(scope="module")
+def subject(small_ecosystem):
+    """A multi-PoP eyeball AS and its heaviest/lightest cities."""
+    node = max(
+        (n for n in small_ecosystem.eyeballs if len(n.customer_pops) >= 3),
+        key=lambda n: n.user_count,
+    )
+    pops = sorted(node.customer_pops, key=lambda p: -p.customer_weight)
+    return node, pops[0].city_key, pops[-1].city_key
+
+
+class TestSamplingBias:
+    def test_rejects_negative_multiplier(self):
+        with pytest.raises(ValueError):
+            SamplingBias({(1, "x"): -0.5})
+
+    def test_default_is_unbiased(self):
+        bias = SamplingBias()
+        assert bias.multiplier(1, "anywhere") == 1.0
+
+    def test_significant_constructor(self):
+        bias = SamplingBias.significant(7, ["a", "b"])
+        assert bias.multiplier(7, "a") == 0.0
+        assert bias.multiplier(7, "c") == 1.0
+        assert bias.multiplier(8, "a") == 1.0
+
+    def test_mild_constructor(self):
+        bias = SamplingBias.mild(7, ["a"], factor=0.3)
+        assert bias.multiplier(7, "a") == 0.3
+
+    def test_mild_factor_validated(self):
+        with pytest.raises(ValueError):
+            SamplingBias.mild(7, ["a"], factor=1.5)
+
+    def test_per_user_vector(self, small_ecosystem, small_population, subject):
+        node, top_city, _ = subject
+        bias = SamplingBias.significant(node.asn, [top_city])
+        multipliers = bias.per_user(small_population)
+        assert multipliers.shape == (len(small_population),)
+        # Users of the biased (AS, city) get 0; everyone else 1.
+        for i in range(0, len(small_population), 977):
+            block = small_population.blocks[int(small_population.user_block[i])]
+            expected = 0.0 if (block.asn, block.city_key) == (node.asn, top_city) else 1.0
+            assert multipliers[i] == expected
+
+
+class TestBiasedCrawl:
+    def test_significant_bias_removes_city(self, small_ecosystem,
+                                           small_population, subject):
+        node, top_city, _ = subject
+        bias = SamplingBias.significant(node.asn, [top_city])
+        sample = run_crawl(small_ecosystem, small_population,
+                           CrawlConfig(seed=11), bias=bias)
+        observed = sample.user_index
+        blocks = small_population.user_block[observed]
+        for block_id in np.unique(blocks):
+            block = small_population.blocks[int(block_id)]
+            assert (block.asn, block.city_key) != (node.asn, top_city)
+
+    def test_mild_bias_shrinks_city_share(self, small_ecosystem,
+                                          small_population, subject):
+        node, top_city, _ = subject
+
+        def city_share(sample):
+            observed = sample.user_index
+            blocks = small_population.user_block[observed]
+            in_as = in_city = 0
+            for block_id, count in zip(*np.unique(blocks, return_counts=True)):
+                block = small_population.blocks[int(block_id)]
+                if block.asn != node.asn:
+                    continue
+                in_as += count
+                if block.city_key == top_city:
+                    in_city += count
+            return in_city / in_as if in_as else 0.0
+
+        unbiased = run_crawl(small_ecosystem, small_population,
+                             CrawlConfig(seed=11))
+        biased = run_crawl(
+            small_ecosystem, small_population, CrawlConfig(seed=11),
+            bias=SamplingBias.mild(node.asn, [top_city], factor=0.25),
+        )
+        assert 0 < city_share(biased) < city_share(unbiased)
+
+    def test_other_ases_untouched(self, small_ecosystem, small_population,
+                                  subject):
+        node, top_city, _ = subject
+        bias = SamplingBias.significant(node.asn, [top_city])
+        unbiased = run_crawl(small_ecosystem, small_population,
+                             CrawlConfig(seed=11))
+        biased = run_crawl(small_ecosystem, small_population,
+                           CrawlConfig(seed=11), bias=bias)
+        other = next(n for n in small_ecosystem.eyeballs if n.asn != node.asn)
+        count_a = int(np.sum(unbiased.true_asn == other.asn))
+        count_b = int(np.sum(biased.true_asn == other.asn))
+        assert count_a == count_b
+
+
+class TestImpactReport:
+    def test_mild_vs_significant_classification(self):
+        unbiased = {"a": 0.5, "b": 0.3, "c": 0.2}
+        biased = {"a": 0.55, "b": 0.45}  # b distorted, c lost, a ~ok
+        report = compare_footprints(1, unbiased, biased)
+        assert report.lost_cities == ["c"]
+        assert report.distorted_cities == ["b"]
+        impact_a = report.impact_of("a")
+        assert impact_a.discovered
+        assert impact_a.share_distortion < 0.25
+
+    def test_normalisation(self):
+        report = compare_footprints(1, {"a": 2.0, "b": 2.0}, {"a": 4.0, "b": 4.0})
+        for impact in report.impacts:
+            assert impact.unbiased_share == pytest.approx(0.5)
+            assert impact.biased_share == pytest.approx(0.5)
+            assert impact.share_distortion == pytest.approx(0.0)
+
+    def test_missing_city_lookup(self):
+        report = compare_footprints(1, {"a": 1.0}, {"a": 1.0})
+        assert report.impact_of("zz") is None
+
+    def test_empty_biased_footprint(self):
+        report = compare_footprints(1, {"a": 1.0}, {})
+        assert report.lost_cities == ["a"]

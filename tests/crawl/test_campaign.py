@@ -1,0 +1,92 @@
+"""Tests for repro.crawl.campaign (multi-month crawls)."""
+
+import numpy as np
+import pytest
+
+from repro.crawl.campaign import CampaignConfig, run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign(small_ecosystem, small_population):
+    return run_campaign(
+        small_ecosystem, small_population, CampaignConfig(seed=13, months=6)
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_zero_months(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(months=0)
+
+    def test_rejects_bad_observation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(monthly_observation=0.0)
+
+    def test_rejects_bad_churn(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(churn=1.5)
+
+
+class TestCampaign:
+    def test_month_count(self, campaign):
+        assert campaign.months == 6
+        assert len(campaign.monthly_counts()) == 6
+
+    def test_union_at_least_any_month(self, campaign):
+        assert campaign.unique_peers() >= max(campaign.monthly_counts())
+
+    def test_union_strictly_exceeds_single_month(self, campaign):
+        """Partial monthly coverage + churn means the union grows
+        beyond any snapshot — the 89.1M vs per-crawl story."""
+        assert campaign.unique_peers() > campaign.monthly_counts()[0]
+
+    def test_new_peers_diminish(self, campaign):
+        fresh = campaign.new_peers_per_month()
+        assert sum(fresh) == campaign.unique_peers()
+        # First month contributes the most; the tail flattens out.
+        assert fresh[0] > fresh[-1]
+        assert fresh[0] == campaign.monthly_counts()[0]
+
+    def test_union_membership_is_or_of_months(self, campaign,
+                                              small_population):
+        union_set = set(campaign.union.user_index.tolist())
+        monthly_sets = set()
+        for sample in campaign.monthly:
+            monthly_sets.update(sample.user_index.tolist())
+        assert union_set == monthly_sets
+
+    def test_monthly_counts_stationary(self, campaign):
+        """Churn keeps adoption stationary: month sizes stay in a band
+        rather than draining or exploding."""
+        counts = campaign.monthly_counts()
+        assert max(counts) < 1.3 * min(counts)
+
+    def test_deterministic(self, small_ecosystem, small_population):
+        a = run_campaign(small_ecosystem, small_population,
+                         CampaignConfig(seed=13, months=3))
+        b = run_campaign(small_ecosystem, small_population,
+                         CampaignConfig(seed=13, months=3))
+        assert np.array_equal(a.union.user_index, b.union.user_index)
+        for month_a, month_b in zip(a.monthly, b.monthly):
+            assert np.array_equal(month_a.user_index, month_b.user_index)
+
+    def test_more_months_more_unique_peers(self, small_ecosystem,
+                                           small_population):
+        short = run_campaign(small_ecosystem, small_population,
+                             CampaignConfig(seed=13, months=1))
+        long = run_campaign(small_ecosystem, small_population,
+                            CampaignConfig(seed=13, months=6))
+        assert long.unique_peers() > short.unique_peers()
+
+    def test_union_feeds_pipeline(self, campaign, small_scenario):
+        """The union sample slots straight into the Section 2 pipeline."""
+        from repro.pipeline.dataset import PipelineConfig, build_target_dataset
+
+        dataset = build_target_dataset(
+            campaign.union,
+            small_scenario.primary_db,
+            small_scenario.secondary_db,
+            small_scenario.ecosystem.routing_table,
+            PipelineConfig(min_peers_per_as=250),
+        )
+        assert len(dataset) > 0

@@ -1,0 +1,103 @@
+"""Tests for repro.crawl.crawler."""
+
+import numpy as np
+import pytest
+
+from repro.crawl.apps import P2PApp
+from repro.crawl.crawler import CrawlConfig, crawl_union_size, run_crawl
+
+
+@pytest.fixture(scope="module")
+def sample(small_ecosystem, small_population):
+    return run_crawl(small_ecosystem, small_population, CrawlConfig(seed=11))
+
+
+class TestRunCrawl:
+    def test_membership_shape(self, sample):
+        assert sample.membership.shape == (len(sample), 3)
+        assert sample.membership.any(axis=1).all()
+
+    def test_unique_peers(self, sample):
+        assert np.unique(sample.user_index).size == len(sample)
+
+    def test_counts_by_app_sum(self, sample):
+        counts = sample.count_by_app()
+        assert set(counts) == set(sample.app_names)
+        assert sum(counts.values()) >= len(sample)  # overlaps allowed
+
+    def test_peers_in_app(self, sample):
+        for i, name in enumerate(sample.app_names):
+            peers = sample.peers_in_app(name)
+            assert peers.size == int(sample.membership[:, i].sum())
+
+    def test_observed_fraction_plausible(self, sample, small_population):
+        fraction = len(sample) / len(small_population)
+        assert 0.05 < fraction < 0.8
+
+    def test_deterministic(self, small_ecosystem, small_population):
+        a = run_crawl(small_ecosystem, small_population, CrawlConfig(seed=11))
+        b = run_crawl(small_ecosystem, small_population, CrawlConfig(seed=11))
+        assert np.array_equal(a.user_index, b.user_index)
+        assert np.array_equal(a.membership, b.membership)
+
+    def test_seed_changes_sample(self, small_ecosystem, small_population):
+        a = run_crawl(small_ecosystem, small_population, CrawlConfig(seed=11))
+        b = run_crawl(small_ecosystem, small_population, CrawlConfig(seed=12))
+        assert not np.array_equal(a.user_index, b.user_index)
+
+    def test_custom_single_app(self, small_ecosystem, small_population):
+        app = P2PApp(name="OnlyEU", penetration={"EU": 0.5})
+        sample = run_crawl(
+            small_ecosystem, small_population, CrawlConfig(seed=1, apps=(app,))
+        )
+        assert sample.app_names == ("OnlyEU",)
+        # Every observed peer must belong to an EU AS.
+        continents = {
+            small_ecosystem.as_nodes[int(asn)].continent_code
+            for asn in np.unique(sample.true_asn)
+        }
+        assert continents == {"EU"}
+
+    def test_ips_match_population(self, sample, small_population):
+        assert np.array_equal(
+            sample.ips, small_population.user_ips[sample.user_index]
+        )
+
+    def test_regional_dominance(self, sample, small_ecosystem):
+        """Kad dominates EU observations; Gnutella dominates NA."""
+        by_continent = {"EU": {}, "NA": {}}
+        kad = sample.app_names.index("Kad")
+        gnutella = sample.app_names.index("Gnutella")
+        continent = np.array([
+            small_ecosystem.as_nodes[int(a)].continent_code
+            for a in sample.true_asn
+        ])
+        eu = continent == "EU"
+        na = continent == "NA"
+        assert sample.membership[eu, kad].sum() > sample.membership[eu, gnutella].sum()
+        assert sample.membership[na, gnutella].sum() > sample.membership[na, kad].sum()
+
+
+class TestUnion:
+    def test_union_of_identical_samples(self, sample):
+        assert crawl_union_size([sample, sample]) == len(sample)
+
+    def test_union_grows_with_different_seeds(self, small_ecosystem,
+                                              small_population, sample):
+        other = run_crawl(small_ecosystem, small_population, CrawlConfig(seed=99))
+        union = crawl_union_size([sample, other])
+        assert union >= max(len(sample), len(other))
+
+    def test_union_requires_shared_population(self, small_ecosystem,
+                                              small_population, sample):
+        from repro.crawl.population import PopulationConfig, generate_population
+
+        other_population = generate_population(
+            small_ecosystem, PopulationConfig(seed=42)
+        )
+        other = run_crawl(small_ecosystem, other_population, CrawlConfig(seed=1))
+        with pytest.raises(ValueError):
+            crawl_union_size([sample, other])
+
+    def test_union_empty(self):
+        assert crawl_union_size([]) == 0

@@ -1,0 +1,161 @@
+"""Tests for repro.crawl.overlay (graph-walk observation model)."""
+
+import numpy as np
+import pytest
+
+from repro.crawl.crawler import CrawlConfig, run_crawl
+from repro.crawl.overlay import (
+    OverlayConfig,
+    _build_overlay,
+    _crawl_overlay,
+    run_overlay_crawl,
+)
+
+
+class TestConfigValidation:
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ValueError):
+            OverlayConfig(mean_degree=0.5)
+
+    def test_rejects_bad_locality(self):
+        with pytest.raises(ValueError):
+            OverlayConfig(local_link_fraction=1.5)
+
+    def test_rejects_zero_response(self):
+        with pytest.raises(ValueError):
+            OverlayConfig(response_prob=0.0)
+
+    def test_rejects_zero_bootstrap(self):
+        with pytest.raises(ValueError):
+            OverlayConfig(bootstrap_count=0)
+
+
+class TestOverlayConstruction:
+    def test_adjacency_symmetric(self, rng):
+        adopters = np.arange(200)
+        asns = np.repeat(np.arange(10), 20)
+        neighbours = _build_overlay(adopters, asns, OverlayConfig(), rng)
+        for i, adjacency in enumerate(neighbours):
+            for j in adjacency:
+                assert i in neighbours[int(j)]
+
+    def test_no_self_loops(self, rng):
+        adopters = np.arange(100)
+        asns = np.zeros(100, dtype=np.int64)
+        neighbours = _build_overlay(adopters, asns, OverlayConfig(), rng)
+        for i, adjacency in enumerate(neighbours):
+            assert i not in adjacency
+
+    def test_mean_degree_approximate(self, rng):
+        adopters = np.arange(2000)
+        asns = np.repeat(np.arange(20), 100)
+        config = OverlayConfig(mean_degree=8.0)
+        neighbours = _build_overlay(adopters, asns, config, rng)
+        degrees = np.array([len(v) for v in neighbours], dtype=float)
+        # Duplicate-edge dedup shaves a little off the target.
+        assert 5.0 < degrees.mean() < 9.0
+
+    def test_single_node(self, rng):
+        neighbours = _build_overlay(
+            np.array([0]), np.array([1]), OverlayConfig(), rng
+        )
+        assert neighbours[0].size == 0
+
+    def test_locality_bias(self, rng):
+        adopters = np.arange(3000)
+        asns = np.repeat(np.arange(3), 1000)
+        config = OverlayConfig(local_link_fraction=0.9)
+        neighbours = _build_overlay(adopters, asns, config, rng)
+        same = total = 0
+        for i, adjacency in enumerate(neighbours):
+            for j in adjacency:
+                total += 1
+                same += asns[i] == asns[int(j)]
+        # Under uniform linking same-AS probability would be ~1/3.
+        assert same / total > 0.6
+
+
+class TestOverlayCrawl:
+    def test_full_response_connected_coverage(self, rng):
+        # A ring: everyone reachable when everyone responds.
+        neighbours = [
+            np.array([(i - 1) % 50, (i + 1) % 50]) for i in range(50)
+        ]
+        config = OverlayConfig(response_prob=1.0, bootstrap_count=1)
+        observed = _crawl_overlay(neighbours, config, rng)
+        assert observed.size == 50
+
+    def test_disconnected_component_missed(self, rng):
+        # Two cliques with no bridge; one bootstrap lands in one of them.
+        neighbours = (
+            [np.array([j for j in range(5) if j != i]) for i in range(5)]
+            + [np.array([5 + j for j in range(5) if j != i]) for i in range(5)]
+        )
+        config = OverlayConfig(response_prob=1.0, bootstrap_count=1)
+        observed = _crawl_overlay(neighbours, config, rng)
+        assert observed.size == 5
+
+    def test_unresponsive_peers_block_discovery(self):
+        # A path graph crawled from one end: response_prob < 1 truncates.
+        rng = np.random.default_rng(3)
+        neighbours = [
+            np.array([j for j in (i - 1, i + 1) if 0 <= j < 200])
+            for i in range(200)
+        ]
+        config = OverlayConfig(response_prob=0.5, bootstrap_count=1)
+        observed = _crawl_overlay(neighbours, config, rng)
+        assert 0 < observed.size < 200
+
+    def test_empty_overlay(self, rng):
+        assert _crawl_overlay([], OverlayConfig(), rng).size == 0
+
+
+class TestRunOverlayCrawl:
+    @pytest.fixture(scope="class")
+    def sample(self, small_ecosystem, small_population):
+        return run_overlay_crawl(
+            small_ecosystem, small_population, OverlayConfig(seed=17)
+        )
+
+    def test_produces_peers(self, sample, small_population):
+        assert 0 < len(sample) < len(small_population)
+
+    def test_membership_shape(self, sample):
+        assert sample.membership.shape == (len(sample), 3)
+        assert sample.membership.any(axis=1).all()
+
+    def test_deterministic(self, small_ecosystem, small_population):
+        a = run_overlay_crawl(small_ecosystem, small_population,
+                              OverlayConfig(seed=17))
+        b = run_overlay_crawl(small_ecosystem, small_population,
+                              OverlayConfig(seed=17))
+        assert np.array_equal(a.user_index, b.user_index)
+
+    def test_coverage_below_bernoulli_with_full_observation(
+        self, small_ecosystem, small_population, sample
+    ):
+        """The graph walk observes at most the adopters a Bernoulli
+        crawl with observation 1.0 would see."""
+        from repro.crawl.apps import default_apps
+        from dataclasses import replace
+
+        apps = tuple(
+            replace(app, observation_prob=1.0) for app in default_apps()
+        )
+        bernoulli = run_crawl(
+            small_ecosystem, small_population,
+            CrawlConfig(seed=17, apps=apps),
+        )
+        assert len(sample) <= len(bernoulli)
+
+    def test_union_feeds_pipeline(self, sample, small_scenario):
+        from repro.pipeline.dataset import PipelineConfig, build_target_dataset
+
+        dataset = build_target_dataset(
+            sample,
+            small_scenario.primary_db,
+            small_scenario.secondary_db,
+            small_scenario.ecosystem.routing_table,
+            PipelineConfig(min_peers_per_as=150),
+        )
+        assert len(dataset) > 0

@@ -1,0 +1,121 @@
+"""Tests for repro.crawl.population."""
+
+import numpy as np
+import pytest
+
+from repro.crawl.population import (
+    PopulationConfig,
+    generate_population,
+)
+from repro.geo.coords import haversine_km
+
+
+class TestConfigValidation:
+    def test_rejects_non_power_of_two_blocks(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(block_capacity=48)
+
+    def test_rejects_tiny_blocks(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(block_capacity=1)
+
+    def test_rejects_zero_scatter(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(scatter_fraction=0.0)
+
+
+class TestGeneration:
+    def test_every_user_counted(self, small_ecosystem, small_population):
+        expected = sum(
+            n.user_count
+            for n in small_ecosystem.as_nodes.values()
+            if n.customer_pops and n.user_count > 0
+        )
+        assert len(small_population) == expected
+
+    def test_per_as_counts_exact(self, small_ecosystem, small_population):
+        for node in small_ecosystem.eyeballs:
+            indices = small_population.users_of_as(node.asn)
+            assert indices.size == node.user_count
+
+    def test_ips_unique(self, small_population):
+        assert np.unique(small_population.user_ips).size == len(small_population)
+
+    def test_ips_inside_as_prefixes(self, small_ecosystem, small_population):
+        for node in small_ecosystem.eyeballs[:5]:
+            prefixes = small_ecosystem.prefixes_of(node.asn)
+            indices = small_population.users_of_as(node.asn)
+            for ip in small_population.user_ips[indices][:50]:
+                assert any(p.contains(int(ip)) for p in prefixes)
+
+    def test_blocks_homogeneous(self, small_population):
+        for block in small_population.blocks[:100]:
+            assert block.prefix.size >= 1
+
+    def test_block_city_is_a_customer_pop_city(self, small_ecosystem,
+                                               small_population):
+        pop_cities = {
+            (b.asn, p.city_key)
+            for b in [small_ecosystem.as_nodes[a] for a in small_ecosystem.as_nodes]
+            for p in b.customer_pops
+            for b in [b]
+        }
+        for block in small_population.blocks[:200]:
+            node = small_ecosystem.as_nodes[block.asn]
+            assert block.city_key in {p.city_key for p in node.customer_pops}
+
+    def test_zip_coords_near_city(self, small_ecosystem, small_population):
+        world = small_ecosystem.world
+        for block in small_population.blocks[:200]:
+            city = world.city(block.city_key)
+            distance = float(
+                haversine_km(city.lat, city.lon, block.zip_lat, block.zip_lon)
+            )
+            assert distance <= city.radius_km + 1.0
+
+    def test_pop_weights_respected(self, small_ecosystem, small_population):
+        """Users distribute across PoPs roughly by customer weight."""
+        node = max(small_ecosystem.eyeballs,
+                   key=lambda n: (len(n.customer_pops), n.user_count))
+        if len(node.customer_pops) < 2:
+            pytest.skip("fixture AS has a single PoP")
+        indices = small_population.users_of_as(node.asn)
+        block_ids = small_population.user_block[indices]
+        counts = {}
+        for block_id in block_ids:
+            city = small_population.blocks[int(block_id)].city_key
+            counts[city] = counts.get(city, 0) + 1
+        weights = {p.city_key: w for p, w in
+                   zip(node.customer_pops, node.normalized_weights())}
+        heaviest = max(weights, key=weights.get)
+        most_users = max(counts, key=counts.get)
+        assert heaviest == most_users
+
+    def test_deterministic(self, small_ecosystem):
+        a = generate_population(small_ecosystem, PopulationConfig(seed=3))
+        b = generate_population(small_ecosystem, PopulationConfig(seed=3))
+        assert np.array_equal(a.user_ips, b.user_ips)
+        assert np.array_equal(a.user_block, b.user_block)
+
+    def test_seed_changes_layout(self, small_ecosystem):
+        a = generate_population(small_ecosystem, PopulationConfig(seed=3))
+        b = generate_population(small_ecosystem, PopulationConfig(seed=4))
+        assert not np.array_equal(a.user_block, b.user_block)
+
+    def test_true_coords_match_block(self, small_population):
+        indices = np.arange(min(500, len(small_population)))
+        lats = small_population.true_lat[indices]
+        for i in indices[:20]:
+            block = small_population.blocks[int(small_population.user_block[i])]
+            assert lats[int(i)] == pytest.approx(block.zip_lat)
+
+    def test_parallel_array_validation(self, small_population):
+        from repro.crawl.population import UserPopulation
+
+        with pytest.raises(ValueError):
+            UserPopulation(
+                world=small_population.world,
+                blocks=small_population.blocks,
+                user_ips=small_population.user_ips,
+                user_block=small_population.user_block[:-1],
+            )

@@ -1,0 +1,154 @@
+"""Tests for repro.crawl.protocols (per-application crawl models)."""
+
+import numpy as np
+import pytest
+
+from repro.crawl.protocols import (
+    BitTorrentProtocol,
+    GnutellaProtocol,
+    KadProtocol,
+    ProtocolCrawlConfig,
+    run_protocol_crawl,
+)
+
+
+class TestKadProtocol:
+    def test_coverage_tracks_swept_fraction(self, rng):
+        protocol = KadProtocol(zone_count=64, zones_swept=32,
+                               response_prob=1.0)
+        observed = protocol.observe(20_000, rng)
+        assert observed.size / 20_000 == pytest.approx(0.5, abs=0.03)
+
+    def test_full_sweep_full_response_sees_everyone(self, rng):
+        protocol = KadProtocol(zone_count=16, zones_swept=16,
+                               response_prob=1.0)
+        assert protocol.observe(500, rng).size == 500
+
+    def test_response_prob_scales_coverage(self, rng):
+        protocol = KadProtocol(zone_count=16, zones_swept=16,
+                               response_prob=0.5)
+        observed = protocol.observe(20_000, rng)
+        assert observed.size / 20_000 == pytest.approx(0.5, abs=0.03)
+
+    def test_empty(self, rng):
+        assert KadProtocol().observe(0, rng).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KadProtocol(zone_count=4, zones_swept=8)
+        with pytest.raises(ValueError):
+            KadProtocol(response_prob=0.0)
+
+
+class TestGnutellaProtocol:
+    def test_observes_ultrapeers_and_leaves(self, rng):
+        protocol = GnutellaProtocol(response_prob=1.0,
+                                    ultrapeer_degree=8.0)
+        observed = protocol.observe(5_000, rng)
+        # A responsive, well-connected layer reveals nearly everyone.
+        assert observed.size > 4_000
+
+    def test_unresponsive_layer_hides_leaves(self):
+        rng = np.random.default_rng(2)
+        generous = GnutellaProtocol(response_prob=1.0).observe(5_000, rng)
+        rng = np.random.default_rng(2)
+        stingy = GnutellaProtocol(response_prob=0.3).observe(5_000, rng)
+        assert stingy.size < generous.size
+
+    def test_empty(self, rng):
+        assert GnutellaProtocol().observe(0, rng).size == 0
+
+    def test_tiny_population(self, rng):
+        observed = GnutellaProtocol().observe(3, rng)
+        assert 0 <= observed.size <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GnutellaProtocol(ultrapeer_fraction=0.0)
+        with pytest.raises(ValueError):
+            GnutellaProtocol(bootstrap_count=0)
+
+
+class TestBitTorrentProtocol:
+    def test_partial_catalogue_misses_users(self, rng):
+        protocol = BitTorrentProtocol(torrent_count=500,
+                                      scraped_torrents=50)
+        observed = protocol.observe(3_000, rng)
+        assert 0 < observed.size < 3_000
+
+    def test_scraping_everything_sees_most(self, rng):
+        protocol = BitTorrentProtocol(
+            torrent_count=100, scraped_torrents=100, scrape_coverage=1.0
+        )
+        assert protocol.observe(2_000, rng).size == 2_000
+
+    def test_more_scraped_torrents_more_coverage(self):
+        rng = np.random.default_rng(4)
+        few = BitTorrentProtocol(scraped_torrents=20).observe(3_000, rng)
+        rng = np.random.default_rng(4)
+        many = BitTorrentProtocol(scraped_torrents=400).observe(3_000, rng)
+        assert many.size > few.size
+
+    def test_empty(self, rng):
+        assert BitTorrentProtocol().observe(0, rng).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitTorrentProtocol(torrent_count=10, scraped_torrents=20)
+        with pytest.raises(ValueError):
+            BitTorrentProtocol(scrape_coverage=0.0)
+
+
+class TestRunProtocolCrawl:
+    @pytest.fixture(scope="class")
+    def sample(self, small_ecosystem, small_population):
+        return run_protocol_crawl(
+            small_ecosystem, small_population, ProtocolCrawlConfig(seed=19)
+        )
+
+    def test_produces_peers_for_all_apps(self, sample):
+        counts = sample.count_by_app()
+        assert all(count > 0 for count in counts.values())
+
+    def test_protocol_dispatch(self):
+        config = ProtocolCrawlConfig()
+        assert isinstance(config.protocol_for("Kad"), KadProtocol)
+        assert isinstance(config.protocol_for("Gnutella"), GnutellaProtocol)
+        assert isinstance(config.protocol_for("BitTorrent"),
+                          BitTorrentProtocol)
+        with pytest.raises(KeyError):
+            config.protocol_for("Napster")
+
+    def test_deterministic(self, small_ecosystem, small_population):
+        a = run_protocol_crawl(small_ecosystem, small_population,
+                               ProtocolCrawlConfig(seed=19))
+        b = run_protocol_crawl(small_ecosystem, small_population,
+                               ProtocolCrawlConfig(seed=19))
+        assert np.array_equal(a.user_index, b.user_index)
+
+    def test_regional_pattern_survives_protocols(self, sample,
+                                                 small_ecosystem):
+        """Gnutella still dominates NA, Kad still dominates EU, with
+        three different observation mechanisms in the loop."""
+        kad = sample.app_names.index("Kad")
+        gnutella = sample.app_names.index("Gnutella")
+        continent = np.array([
+            small_ecosystem.as_nodes[int(a)].continent_code
+            for a in sample.true_asn
+        ])
+        eu = continent == "EU"
+        na = continent == "NA"
+        assert sample.membership[eu, kad].sum() > sample.membership[eu, gnutella].sum()
+        assert sample.membership[na, gnutella].sum() > sample.membership[na, kad].sum()
+
+    def test_feeds_pipeline(self, sample, small_scenario):
+        from repro.pipeline.dataset import PipelineConfig, build_target_dataset
+
+        dataset = build_target_dataset(
+            sample,
+            small_scenario.primary_db,
+            small_scenario.secondary_db,
+            small_scenario.ecosystem.routing_table,
+            PipelineConfig(min_peers_per_as=150),
+        )
+        assert len(dataset) > 0

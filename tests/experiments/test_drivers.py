@@ -1,0 +1,147 @@
+"""Tests for the per-table/figure experiment drivers.
+
+These run on the session-scoped small scenario.  They assert the
+*paper's qualitative shapes* — who wins, in which direction — not
+absolute values; EXPERIMENTS.md records the full-scale comparison.
+"""
+
+import pytest
+
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.report import render_cdf, render_kv, render_table
+from repro.experiments.section5 import run_section5
+from repro.experiments.section6 import run_section6
+from repro.experiments.table1 import run_table1
+from repro.validation.reference import ReferenceConfig
+
+
+@pytest.fixture(scope="module")
+def figure2(small_scenario):
+    return run_figure2(
+        small_scenario, reference_config=ReferenceConfig(as_count=18)
+    )
+
+
+class TestTable1:
+    def test_regional_app_pattern(self, small_scenario):
+        result = run_table1(small_scenario)
+        checks = result.shape_checks()
+        assert checks["gnutella_dominates_na"]
+        assert checks["kad_dominates_eu"]
+        assert checks["kad_dominates_as"]
+
+    def test_render_contains_both_sources(self, small_scenario):
+        text = run_table1(small_scenario).render()
+        assert "measured" in text
+        assert "paper" in text
+        assert "Region" in text
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure1(scale=0.004)
+
+    def test_all_shapes(self, result):
+        checks = result.shape_checks()
+        assert all(checks.values()), checks
+
+    def test_three_bandwidths(self, result):
+        assert sorted(result.slices) == [20.0, 40.0, 60.0]
+
+    def test_peak_counts_fall_with_bandwidth(self, result):
+        counts = [result.slices[b].peak_count for b in sorted(result.slices)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_density_list_is_normalised(self, result):
+        shares = [d for _, d in result.pop_list_at(40.0)]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Milan" in text
+        assert "Figure 1" in text
+
+
+class TestFigure2:
+    def test_all_shapes(self, figure2):
+        checks = figure2.shape_checks()
+        assert all(checks.values()), checks
+
+    def test_reference_dataset_size(self, figure2):
+        assert len(figure2.reference) == 18
+
+    def test_reports_per_bandwidth(self, figure2):
+        assert sorted(figure2.reports) == [10.0, 40.0, 80.0]
+        for report in figure2.reports.values():
+            assert len(report) == 18
+
+    def test_render(self, figure2):
+        text = figure2.render()
+        assert "2(a)" in text
+        assert "2(b)" in text
+
+
+class TestSection5:
+    @pytest.fixture(scope="class")
+    def result(self, small_scenario, figure2):
+        return run_section5(small_scenario, figure2=figure2)
+
+    def test_pop_counts_fall_with_bandwidth(self, result):
+        counts = result.pops_per_as()
+        ordered = [counts[b] for b in sorted(counts)]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_reference_longer_than_inferred(self, result):
+        assert result.reference_pops_per_as() > result.pops_per_as()[40.0]
+
+    def test_kde_sees_more_than_dimes(self, result):
+        assert result.comparison.kde_mean_pops > result.comparison.dimes_mean_pops
+
+    def test_superset_fraction_high(self, result):
+        assert result.comparison.superset_fraction >= 0.6
+
+    def test_render(self, result):
+        text = result.render()
+        assert "DIMES" in text
+        assert "Section 5a" in text
+
+
+class TestSection6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_section6(scale=0.004)
+
+    def test_all_shapes(self, result):
+        checks = result.shape_checks()
+        assert all(checks.values()), checks
+
+    def test_render(self, result):
+        text = result.render()
+        assert "RAI" in text
+        assert "MIX" in text
+        assert "NaMEX" in text
+
+
+class TestReportHelpers:
+    def test_render_table_widths(self):
+        text = render_table(("a", "bb"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # aligned
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [(1,)])
+
+    def test_render_cdf(self):
+        import numpy as np
+
+        text = render_cdf(np.array([0.1, 0.9]), "label")
+        assert "label" in text
+        assert "P(x<=" in text
+
+    def test_render_kv(self):
+        text = render_kv([("key", 1.5)], title="T")
+        assert "T" in text
+        assert "key: 1.5" in text

@@ -1,0 +1,67 @@
+"""Tests for repro.experiments.scenario."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenario import (
+    ScenarioConfig,
+    build_scenario,
+    cached_scenario,
+)
+
+
+class TestScenario:
+    def test_dataset_nonempty(self, small_scenario):
+        assert len(small_scenario.dataset) > 0
+        assert small_scenario.dataset.total_peers > 0
+
+    def test_eyeball_target_asns_subset(self, small_scenario):
+        asns = small_scenario.eyeball_target_asns()
+        assert asns
+        assert set(asns) <= set(small_scenario.dataset.ases)
+
+    def test_peer_locations_shape(self, small_scenario):
+        asn = small_scenario.eyeball_target_asns()[0]
+        locations = small_scenario.peer_locations(asn)
+        assert locations.shape == (len(small_scenario.dataset.ases[asn]), 2)
+
+    def test_geo_footprint_runs(self, small_scenario):
+        asn = small_scenario.eyeball_target_asns()[0]
+        footprint = small_scenario.geo_footprint(asn, 40.0)
+        assert footprint.grid.total_mass() == pytest.approx(1.0, abs=0.05)
+
+    def test_pop_footprint_runs(self, small_scenario):
+        asn = small_scenario.eyeball_target_asns()[0]
+        pops = small_scenario.pop_footprint(asn, 40.0)
+        assert len(pops) >= 1
+
+    def test_peak_locations(self, small_scenario):
+        asn = small_scenario.eyeball_target_asns()[0]
+        fine = small_scenario.peak_locations(asn, 10.0)
+        coarse = small_scenario.peak_locations(asn, 80.0)
+        assert len(fine) >= len(coarse) >= 1
+
+    def test_pop_footprints_batch(self, small_scenario):
+        asns = small_scenario.eyeball_target_asns()[:3]
+        footprints = small_scenario.pop_footprints(asns, 40.0)
+        assert set(footprints) == set(asns)
+
+    def test_cached_scenario_identity(self):
+        config = ScenarioConfig.small(seed=77)
+        first = cached_scenario(config)
+        second = cached_scenario(config)
+        assert first is second
+
+    def test_determinism_across_builds(self):
+        config = ScenarioConfig.small(seed=88)
+        a = build_scenario(config)
+        b = build_scenario(config)
+        assert sorted(a.dataset.ases) == sorted(b.dataset.ases)
+        assert a.dataset.stats == b.dataset.stats
+        asn = sorted(a.dataset.ases)[0]
+        assert np.array_equal(
+            a.dataset.ases[asn].group.lat, b.dataset.ases[asn].group.lat
+        )
+
+    def test_presets_differ(self):
+        assert ScenarioConfig.small().world != ScenarioConfig.default().world

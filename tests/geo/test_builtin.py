@@ -1,0 +1,72 @@
+"""Tests for repro.geo.builtin (the Italy-like worlds)."""
+
+import pytest
+
+from repro.geo.builtin import (
+    FOREIGN_CITY_TABLE,
+    ITALY_CITY_TABLE,
+    europe_world,
+    italy_world,
+)
+from repro.geo.coords import haversine_km
+from repro.net.italy import TELECOM_ITALIA_FOOTPRINT
+
+PAPER_CITIES = list(TELECOM_ITALIA_FOOTPRINT)
+
+
+class TestItalyWorld:
+    def test_all_paper_cities_present(self, italy):
+        names = {c.name for c in italy.cities}
+        for paper_city in PAPER_CITIES:
+            assert paper_city in names
+
+    def test_city_count_matches_table(self, italy):
+        assert len(italy.cities) == len(ITALY_CITY_TABLE)
+
+    def test_single_country(self, italy):
+        assert set(italy.countries) == {"IT"}
+        assert all(c.country_code == "IT" for c in italy.cities)
+
+    def test_states_cover_cities(self, italy):
+        state_codes = set(italy.states)
+        assert all(c.state_code in state_codes for c in italy.cities)
+
+    def test_milan_most_populated(self, italy):
+        biggest = max(italy.cities, key=lambda c: c.population)
+        assert biggest.name == "Milan"
+
+    def test_rome_milan_distance_realistic(self, italy):
+        rome = italy.city("IT/IT-LAZ/Rome")
+        milan = italy.city("IT/IT-LOM/Milan")
+        distance = float(haversine_km(rome.lat, rome.lon, milan.lat, milan.lon))
+        assert 430 < distance < 520
+
+    def test_all_cities_inside_europe_box(self, italy):
+        europe = italy.continents["EU"]
+        for city in italy.cities:
+            assert europe.contains(city.lat, city.lon)
+
+    def test_population_rank_sicily(self, italy):
+        palermo = italy.city("IT/IT-SIC/Palermo")
+        catania = italy.city("IT/IT-SIC/Catania")
+        assert palermo.population > catania.population
+
+
+class TestEuropeWorld:
+    @pytest.fixture(scope="class")
+    def europe(self):
+        return europe_world()
+
+    def test_includes_foreign_capitals(self, europe):
+        names = {c.name for c in europe.cities}
+        for code, (city_name, *_rest) in FOREIGN_CITY_TABLE.items():
+            assert city_name in names
+            assert code in europe.countries
+
+    def test_italian_cities_retained(self, europe):
+        names = {c.name for c in europe.cities}
+        assert set(PAPER_CITIES) <= names
+
+    def test_foreign_cities_one_per_country(self, europe):
+        for code in FOREIGN_CITY_TABLE:
+            assert len(europe.cities_in_country(code)) == 1

@@ -1,0 +1,213 @@
+"""Tests for repro.geo.coords."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import (
+    EARTH_RADIUS_KM,
+    KM_PER_DEGREE,
+    destination_point,
+    haversine_km,
+    initial_bearing_deg,
+    jitter_around,
+    normalize_longitude,
+    offset_km,
+    pairwise_distance_km,
+    validate_latlon,
+)
+
+lat_strategy = st.floats(min_value=-80.0, max_value=80.0)
+lon_strategy = st.floats(min_value=-179.99, max_value=179.99)
+
+
+class TestNormalizeLongitude:
+    def test_identity_in_range(self):
+        assert normalize_longitude(12.5) == pytest.approx(12.5)
+
+    def test_wraps_positive(self):
+        assert normalize_longitude(190.0) == pytest.approx(-170.0)
+
+    def test_wraps_negative(self):
+        assert normalize_longitude(-190.0) == pytest.approx(170.0)
+
+    def test_boundary_maps_to_minus_180(self):
+        assert normalize_longitude(180.0) == pytest.approx(-180.0)
+
+    def test_array_input(self):
+        result = normalize_longitude(np.array([0.0, 360.0, 540.0]))
+        assert np.allclose(result, [0.0, 0.0, -180.0])
+
+    @given(st.floats(min_value=-1e6, max_value=1e6))
+    def test_always_in_range(self, lon):
+        wrapped = float(normalize_longitude(lon))
+        assert -180.0 <= wrapped < 180.0
+
+
+class TestValidateLatLon:
+    def test_accepts_valid(self):
+        validate_latlon(45.0, 120.0)
+
+    def test_rejects_high_latitude(self):
+        with pytest.raises(ValueError, match="latitude"):
+            validate_latlon(91.0, 0.0)
+
+    def test_rejects_180_longitude(self):
+        with pytest.raises(ValueError, match="longitude"):
+            validate_latlon(0.0, 180.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            validate_latlon(float("nan"), 0.0)
+
+    def test_rejects_bad_array_element(self):
+        with pytest.raises(ValueError):
+            validate_latlon(np.array([0.0, 95.0]), np.array([0.0, 0.0]))
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(41.9, 12.5, 41.9, 12.5) == pytest.approx(0.0)
+
+    def test_known_rome_milan(self):
+        # Rome to Milan is roughly 477 km.
+        distance = haversine_km(41.9028, 12.4964, 45.4642, 9.1900)
+        assert 450 < distance < 500
+
+    def test_quarter_circumference(self):
+        distance = haversine_km(0.0, 0.0, 0.0, 90.0)
+        assert distance == pytest.approx(EARTH_RADIUS_KM * np.pi / 2, rel=1e-9)
+
+    def test_antipodal(self):
+        distance = haversine_km(0.0, 0.0, 0.0, -180.0)
+        assert distance == pytest.approx(EARTH_RADIUS_KM * np.pi, rel=1e-9)
+
+    def test_one_degree_latitude(self):
+        assert haversine_km(0.0, 0.0, 1.0, 0.0) == pytest.approx(
+            KM_PER_DEGREE, rel=1e-9
+        )
+
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        d1 = float(haversine_km(lat1, lon1, lat2, lon2))
+        d2 = float(haversine_km(lat2, lon2, lat1, lon1))
+        assert d1 == pytest.approx(d2, abs=1e-9)
+
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    def test_non_negative_and_bounded(self, lat1, lon1, lat2, lon2):
+        distance = float(haversine_km(lat1, lon1, lat2, lon2))
+        assert 0.0 <= distance <= EARTH_RADIUS_KM * np.pi + 1e-6
+
+    @given(
+        lat_strategy, lon_strategy, lat_strategy, lon_strategy,
+        lat_strategy, lon_strategy,
+    )
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, lat1, lon1, lat2, lon2, lat3, lon3):
+        d12 = float(haversine_km(lat1, lon1, lat2, lon2))
+        d23 = float(haversine_km(lat2, lon2, lat3, lon3))
+        d13 = float(haversine_km(lat1, lon1, lat3, lon3))
+        assert d13 <= d12 + d23 + 1e-6
+
+    def test_broadcasting(self):
+        lats = np.array([0.0, 10.0])
+        distance = haversine_km(0.0, 0.0, lats, 0.0)
+        assert distance.shape == (2,)
+        assert distance[0] == pytest.approx(0.0)
+
+
+class TestBearingAndDestination:
+    def test_bearing_north(self):
+        assert initial_bearing_deg(0.0, 0.0, 10.0, 0.0) == pytest.approx(0.0)
+
+    def test_bearing_east(self):
+        assert initial_bearing_deg(0.0, 0.0, 0.0, 10.0) == pytest.approx(90.0)
+
+    def test_bearing_south(self):
+        assert initial_bearing_deg(10.0, 0.0, 0.0, 0.0) == pytest.approx(180.0)
+
+    def test_destination_north(self):
+        lat, lon = destination_point(0.0, 0.0, 0.0, KM_PER_DEGREE)
+        assert lat == pytest.approx(1.0, abs=1e-6)
+        assert lon == pytest.approx(0.0, abs=1e-6)
+
+    def test_destination_zero_distance(self):
+        lat, lon = destination_point(42.0, 13.0, 77.0, 0.0)
+        assert lat == pytest.approx(42.0)
+        assert lon == pytest.approx(13.0)
+
+    @given(lat_strategy, lon_strategy, st.floats(min_value=0, max_value=359.99),
+           st.floats(min_value=1.0, max_value=2000.0))
+    @settings(max_examples=100)
+    def test_destination_distance_consistent(self, lat, lon, bearing, distance):
+        dlat, dlon = destination_point(lat, lon, bearing, distance)
+        measured = float(haversine_km(lat, lon, dlat, dlon))
+        assert measured == pytest.approx(distance, rel=1e-6, abs=1e-6)
+
+    @given(lat_strategy, lon_strategy, st.floats(min_value=0, max_value=359.99),
+           st.floats(min_value=10.0, max_value=2000.0))
+    @settings(max_examples=100)
+    def test_destination_bearing_roundtrip(self, lat, lon, bearing, distance):
+        dlat, dlon = destination_point(lat, lon, bearing, distance)
+        back = float(initial_bearing_deg(lat, lon, dlat, dlon))
+        delta = abs((back - bearing + 180.0) % 360.0 - 180.0)
+        assert delta < 0.5
+
+
+class TestOffsetAndJitter:
+    def test_offset_north(self):
+        lat, lon = offset_km(0.0, 0.0, 0.0, KM_PER_DEGREE)
+        assert lat == pytest.approx(1.0, abs=1e-9)
+
+    def test_offset_east_at_equator(self):
+        lat, lon = offset_km(0.0, 0.0, KM_PER_DEGREE, 0.0)
+        assert lon == pytest.approx(1.0, abs=1e-6)
+
+    def test_offset_east_shrinks_with_latitude(self):
+        _, lon_equator = offset_km(0.0, 0.0, 100.0, 0.0)
+        _, lon_north = offset_km(60.0, 0.0, 100.0, 0.0)
+        assert lon_north > lon_equator  # same km, more degrees up north
+
+    @given(st.floats(min_value=-65.0, max_value=65.0), lon_strategy,
+           st.floats(min_value=-150, max_value=150),
+           st.floats(min_value=-150, max_value=150))
+    @settings(max_examples=100)
+    def test_offset_distance_accuracy(self, lat, lon, east, north):
+        # The library applies offsets at city/metro scales below 65°
+        # latitude; the equirectangular approximation is percent-accurate
+        # there (it degrades towards the poles by design).
+        new_lat, new_lon = offset_km(lat, lon, east, north)
+        expected = float(np.hypot(east, north))
+        measured = float(haversine_km(lat, lon, new_lat, new_lon))
+        assert measured == pytest.approx(expected, rel=0.03, abs=0.5)
+
+    def test_jitter_statistics(self, rng):
+        lats, lons = jitter_around(
+            np.zeros(4000), np.zeros(4000), sigma_km=10.0, rng=rng
+        )
+        distances = haversine_km(0.0, 0.0, lats, lons)
+        # Mean distance of a 2-D Gaussian is sigma * sqrt(pi/2).
+        assert float(np.mean(distances)) == pytest.approx(
+            10.0 * np.sqrt(np.pi / 2), rel=0.1
+        )
+
+    def test_jitter_zero_sigma(self, rng):
+        lat, lon = jitter_around(42.0, 13.0, 0.0, rng)
+        assert float(lat) == pytest.approx(42.0)
+        assert float(lon) == pytest.approx(13.0)
+
+
+class TestPairwise:
+    def test_shape_and_diagonal(self):
+        lats = np.array([0.0, 1.0, 2.0])
+        lons = np.array([0.0, 1.0, 2.0])
+        matrix = pairwise_distance_km(lats, lons)
+        assert matrix.shape == (3, 3)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_symmetry(self, rng):
+        lats = rng.uniform(-60, 60, 5)
+        lons = rng.uniform(-170, 170, 5)
+        matrix = pairwise_distance_km(lats, lons)
+        assert np.allclose(matrix, matrix.T)

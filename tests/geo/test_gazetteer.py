@@ -1,0 +1,69 @@
+"""Tests for repro.geo.gazetteer."""
+
+import pytest
+
+from repro.geo.coords import haversine_km
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.regions import City, Continent, Country, State
+from repro.geo.world import world_from_cities
+
+
+@pytest.fixture(scope="module")
+def gazetteer(italy):
+    return Gazetteer(italy)
+
+
+class TestQueries:
+    def test_len(self, gazetteer, italy):
+        assert len(gazetteer) == len(italy.cities)
+
+    def test_cities_within_radius_ordering(self, gazetteer):
+        # Around Milan: Milan first, then nearby northern cities.
+        cities = gazetteer.cities_within(45.4642, 9.19, 160.0)
+        assert cities[0].name == "Milan"
+        distances = [
+            float(haversine_km(45.4642, 9.19, c.lat, c.lon)) for c in cities
+        ]
+        assert distances == sorted(distances)
+
+    def test_cities_within_small_radius(self, gazetteer):
+        cities = gazetteer.cities_within(45.4642, 9.19, 5.0)
+        assert [c.name for c in cities] == ["Milan"]
+
+    def test_cities_within_empty(self, gazetteer):
+        # Middle of the Tyrrhenian sea, tiny radius.
+        assert gazetteer.cities_within(40.0, 11.0, 10.0) == []
+
+    def test_most_populated_beats_nearest(self, gazetteer):
+        # Between Venice and Verona, a big radius includes Milan; Milan
+        # should win on population even though it is farther.
+        city = gazetteer.most_populated_within(45.44, 11.5, 220.0)
+        assert city.name == "Milan"
+
+    def test_most_populated_none_outside(self, gazetteer):
+        assert gazetteer.most_populated_within(40.0, 11.0, 10.0) is None
+
+    def test_nearest_city(self, gazetteer):
+        assert gazetteer.nearest_city(41.95, 12.55).name == "Rome"
+
+    def test_locate_builds_full_hierarchy(self, gazetteer):
+        location = gazetteer.locate(41.95, 12.55)
+        assert location.city == "Rome"
+        assert location.state == "IT-LAZ"
+        assert location.country == "IT"
+        assert location.continent == "EU"
+        assert location.lat == pytest.approx(41.95)
+
+    def test_location_for_city_keeps_point(self, gazetteer, italy):
+        rome = italy.city("IT/IT-LAZ/Rome")
+        location = gazetteer.location_for_city(rome, 41.8, 12.4)
+        assert location.city == "Rome"
+        assert location.lat == pytest.approx(41.8)
+
+    def test_empty_world_rejected(self):
+        continent = Continent("EU", "Europe", (36.0, 60.0), (-10.0, 32.0))
+        country = Country("IT", "Italy", "EU", 42.0, 12.0, 500.0)
+        state = State("IT-LAZ", "Lazio", "IT", 41.9, 12.5, 80.0)
+        world = world_from_cities([continent], [country], [state], [])
+        with pytest.raises(ValueError):
+            Gazetteer(world)

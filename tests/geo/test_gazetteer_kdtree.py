@@ -1,0 +1,85 @@
+"""KD-tree gazetteer path: exact equivalence with brute force."""
+
+import pytest
+
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.world import WorldConfig, generate_world
+
+
+@pytest.fixture(scope="module")
+def big_world():
+    return generate_world(
+        WorldConfig(
+            seed=31, countries_per_continent=5, states_per_country=4,
+            cities_per_state=6,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def brute(big_world):
+    return Gazetteer(big_world, use_kdtree=False)
+
+
+@pytest.fixture(scope="module")
+def treed(big_world):
+    return Gazetteer(big_world, use_kdtree=True)
+
+
+class TestEquivalence:
+    def test_tree_actually_enabled(self, treed, brute):
+        assert treed.uses_kdtree
+        assert not brute.uses_kdtree
+
+    def test_auto_threshold(self, big_world, italy):
+        assert Gazetteer(big_world).uses_kdtree  # 360 cities >= threshold
+        assert not Gazetteer(italy).uses_kdtree  # 18 cities
+
+    def test_cities_within_identical_sweep(self, brute, treed, rng):
+        for _ in range(120):
+            lat = float(rng.uniform(5, 55))
+            lon = float(rng.uniform(-125, 140))
+            radius = float(rng.uniform(5, 500))
+            a = [c.key for c in brute.cities_within(lat, lon, radius)]
+            b = [c.key for c in treed.cities_within(lat, lon, radius)]
+            assert a == b, (lat, lon, radius)
+
+    def test_most_populated_identical_sweep(self, brute, treed, rng):
+        for _ in range(120):
+            lat = float(rng.uniform(5, 55))
+            lon = float(rng.uniform(-125, 140))
+            radius = float(rng.uniform(5, 300))
+            a = brute.most_populated_within(lat, lon, radius)
+            b = treed.most_populated_within(lat, lon, radius)
+            assert (a.key if a else None) == (b.key if b else None)
+
+    def test_nearest_city_identical_sweep(self, brute, treed, rng):
+        for _ in range(120):
+            lat = float(rng.uniform(5, 55))
+            lon = float(rng.uniform(-125, 140))
+            assert (
+                brute.nearest_city(lat, lon).key
+                == treed.nearest_city(lat, lon).key
+            )
+
+    def test_locate_identical(self, brute, treed):
+        a = brute.locate(40.0, 10.0)
+        b = treed.locate(40.0, 10.0)
+        assert a == b
+
+    def test_boundary_radius_inclusive(self, brute, treed, big_world):
+        city = big_world.cities[0]
+        # Radius exactly the distance to a known city must include it
+        # on both paths.
+        from repro.geo.coords import haversine_km
+
+        other = big_world.cities[1]
+        distance = float(
+            haversine_km(city.lat, city.lon, other.lat, other.lon)
+        )
+        for gazetteer in (brute, treed):
+            keys = {
+                c.key
+                for c in gazetteer.cities_within(city.lat, city.lon, distance)
+            }
+            assert other.key in keys

@@ -1,0 +1,96 @@
+"""Tests for repro.geo.projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import haversine_km
+from repro.geo.projection import LocalProjection
+
+lat_strategy = st.floats(min_value=-70.0, max_value=70.0)
+lon_strategy = st.floats(min_value=-179.0, max_value=179.0)
+
+
+class TestConstruction:
+    def test_valid(self):
+        projection = LocalProjection(center_lat=42.0, center_lon=12.0)
+        assert projection.cos_center == pytest.approx(np.cos(np.radians(42.0)))
+
+    def test_rejects_polar_centre(self):
+        with pytest.raises(ValueError, match="pole"):
+            LocalProjection(center_lat=89.0, center_lon=0.0)
+
+    def test_rejects_invalid_latitude(self):
+        with pytest.raises(ValueError):
+            LocalProjection(center_lat=120.0, center_lon=0.0)
+
+
+class TestForwardInverse:
+    def test_centre_maps_to_origin(self):
+        projection = LocalProjection(center_lat=40.0, center_lon=15.0)
+        x, y = projection.forward(40.0, 15.0)
+        assert float(x) == pytest.approx(0.0, abs=1e-9)
+        assert float(y) == pytest.approx(0.0, abs=1e-9)
+
+    @given(lat_strategy, lon_strategy)
+    @settings(max_examples=100)
+    def test_roundtrip(self, dlat, dlon):
+        projection = LocalProjection(center_lat=40.0, center_lon=15.0)
+        # Points within a few degrees of the centre.
+        lat = 40.0 + (dlat / 25.0)
+        lon = 15.0 + (dlon / 25.0)
+        x, y = projection.forward(lat, lon)
+        back_lat, back_lon = projection.inverse(x, y)
+        assert float(back_lat) == pytest.approx(lat, abs=1e-9)
+        assert float(back_lon) == pytest.approx(lon, abs=1e-9)
+
+    def test_distance_preserved_near_centre(self):
+        projection = LocalProjection(center_lat=45.0, center_lon=9.0)
+        lat2, lon2 = 45.3, 9.4
+        x1, y1 = projection.forward(45.0, 9.0)
+        x2, y2 = projection.forward(lat2, lon2)
+        planar = float(np.hypot(x2 - x1, y2 - y1))
+        true = float(haversine_km(45.0, 9.0, lat2, lon2))
+        assert planar == pytest.approx(true, rel=0.01)
+
+    def test_array_inputs(self):
+        projection = LocalProjection(center_lat=0.0, center_lon=0.0)
+        x, y = projection.forward(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        assert x.shape == (2,)
+        assert y.shape == (2,)
+
+
+class TestForPoints:
+    def test_centroid(self):
+        projection = LocalProjection.for_points(
+            np.array([10.0, 20.0]), np.array([30.0, 40.0])
+        )
+        assert projection.center_lat == pytest.approx(15.0)
+        assert 30.0 < projection.center_lon < 40.0
+
+    def test_antimeridian_cluster(self):
+        # Points straddling the antimeridian must not centre near 0.
+        projection = LocalProjection.for_points(
+            np.array([10.0, 10.0]), np.array([179.0, -179.0])
+        )
+        assert abs(projection.center_lon) > 170.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LocalProjection.for_points(np.array([]), np.array([]))
+
+    def test_polar_centroid_clipped(self):
+        projection = LocalProjection.for_points(
+            np.array([89.0, 89.5]), np.array([0.0, 0.0])
+        )
+        assert projection.center_lat == pytest.approx(85.0)
+
+    def test_antimeridian_roundtrip(self):
+        projection = LocalProjection.for_points(
+            np.array([10.0, 10.0]), np.array([179.5, -179.5])
+        )
+        x, y = projection.forward(10.0, -179.5)
+        lat, lon = projection.inverse(x, y)
+        assert float(lat) == pytest.approx(10.0, abs=1e-9)
+        assert float(lon) == pytest.approx(-179.5, abs=1e-9)

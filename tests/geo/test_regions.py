@@ -1,0 +1,75 @@
+"""Tests for repro.geo.regions."""
+
+import pytest
+
+from repro.geo.regions import City, Continent, Country, Location, RegionLevel, State
+
+
+class TestRegionLevel:
+    def test_ordering_city_smallest(self):
+        assert RegionLevel.CITY < RegionLevel.STATE < RegionLevel.COUNTRY
+        assert RegionLevel.COUNTRY < RegionLevel.CONTINENT < RegionLevel.GLOBAL
+
+    def test_labels(self):
+        assert RegionLevel.CITY.label == "city"
+        assert RegionLevel.GLOBAL.label == "global"
+
+
+class TestContinent:
+    def test_contains(self):
+        continent = Continent("EU", "Europe", (36.0, 60.0), (-10.0, 32.0))
+        assert continent.contains(42.0, 12.0)
+        assert not continent.contains(20.0, 12.0)
+        assert not continent.contains(42.0, 50.0)
+
+    def test_boundary_inclusive(self):
+        continent = Continent("EU", "Europe", (36.0, 60.0), (-10.0, 32.0))
+        assert continent.contains(36.0, -10.0)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="latitude"):
+            Continent("X", "X", (50.0, 40.0), (0.0, 10.0))
+        with pytest.raises(ValueError, match="longitude"):
+            Continent("X", "X", (40.0, 50.0), (10.0, 0.0))
+
+
+class TestCountryState:
+    def test_country_radius_positive(self):
+        with pytest.raises(ValueError):
+            Country("IT", "Italy", "EU", 42.0, 12.0, radius_km=0.0)
+
+    def test_state_fields(self):
+        state = State("IT-LOM", "Lombardy", "IT", 45.6, 9.8, 90.0)
+        assert state.country_code == "IT"
+
+
+class TestCity:
+    def test_key_unique_per_hierarchy(self):
+        city_a = City("Springfield", "US", "US-IL", 40.0, -89.0, 100_000)
+        city_b = City("Springfield", "US", "US-MA", 42.1, -72.5, 150_000)
+        assert city_a.key != city_b.key
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ValueError, match="population"):
+            City("X", "C", "S", 0.0, 0.0, -1)
+
+    def test_rejects_zero_radius(self):
+        with pytest.raises(ValueError, match="radius"):
+            City("X", "C", "S", 0.0, 0.0, 10, radius_km=0.0)
+
+    def test_rejects_zero_zip_count(self):
+        with pytest.raises(ValueError, match="zip"):
+            City("X", "C", "S", 0.0, 0.0, 10, zip_count=0)
+
+
+class TestLocation:
+    def test_region_names(self):
+        location = Location(
+            city="Rome", state="IT-LAZ", country="IT", continent="EU",
+            lat=41.9, lon=12.5,
+        )
+        assert location.region_name(RegionLevel.CITY) == "IT/IT-LAZ/Rome"
+        assert location.region_name(RegionLevel.STATE) == "IT/IT-LAZ"
+        assert location.region_name(RegionLevel.COUNTRY) == "IT"
+        assert location.region_name(RegionLevel.CONTINENT) == "EU"
+        assert location.region_name(RegionLevel.GLOBAL) is None

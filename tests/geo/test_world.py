@@ -1,0 +1,117 @@
+"""Tests for repro.geo.world."""
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import haversine_km
+from repro.geo.regions import City, Continent, Country, State
+from repro.geo.world import (
+    DEFAULT_CONTINENTS,
+    WorldConfig,
+    generate_world,
+    world_from_cities,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(
+        WorldConfig(seed=9, countries_per_continent=3, states_per_country=3,
+                    cities_per_state=4)
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_zero_countries(self):
+        with pytest.raises(ValueError):
+            WorldConfig(countries_per_continent=0)
+
+    def test_rejects_bad_radius_range(self):
+        with pytest.raises(ValueError):
+            WorldConfig(country_radius_km=(800.0, 300.0))
+
+    def test_rejects_bad_state_fraction(self):
+        with pytest.raises(ValueError):
+            WorldConfig(state_radius_fraction=1.5)
+
+    def test_rejects_zero_separation(self):
+        with pytest.raises(ValueError):
+            WorldConfig(min_city_separation_km=0.0)
+
+
+class TestGeneration:
+    def test_counts(self, world):
+        config = world.config
+        n_continents = len(config.continents)
+        assert len(world.countries) == n_continents * 3
+        assert len(world.states) == n_continents * 3 * 3
+        assert len(world.cities) == n_continents * 3 * 3 * 4
+
+    def test_deterministic(self):
+        config = WorldConfig(seed=11, countries_per_continent=2,
+                             states_per_country=2, cities_per_state=3)
+        world_a = generate_world(config)
+        world_b = generate_world(config)
+        for city_a, city_b in zip(world_a.cities, world_b.cities):
+            assert city_a == city_b
+
+    def test_seed_changes_world(self):
+        base = WorldConfig(seed=1, countries_per_continent=2,
+                           states_per_country=2, cities_per_state=3)
+        other = WorldConfig(seed=2, countries_per_continent=2,
+                            states_per_country=2, cities_per_state=3)
+        cities_a = generate_world(base).cities
+        cities_b = generate_world(other).cities
+        assert any(a.lat != b.lat for a, b in zip(cities_a, cities_b))
+
+    def test_cities_inside_their_continent(self, world):
+        for city in world.cities:
+            continent = world.continent_of_country(city.country_code)
+            assert continent.contains(city.lat, city.lon), city
+
+    def test_city_separation(self, world):
+        by_state = {}
+        for city in world.cities:
+            by_state.setdefault(city.state_code, []).append(city)
+        for cities in by_state.values():
+            for i, a in enumerate(cities):
+                for b in cities[i + 1:]:
+                    distance = float(haversine_km(a.lat, a.lon, b.lat, b.lon))
+                    assert distance >= world.config.min_city_separation_km - 1e-6
+
+    def test_populations_rank_ordered_within_state(self, world):
+        for state_code in world.states:
+            populations = [c.population for c in world.cities_in_state(state_code)]
+            assert populations == sorted(populations, reverse=True)
+
+    def test_city_lookup(self, world):
+        city = world.cities[0]
+        assert world.city(city.key) is city
+
+    def test_cities_in_country(self, world):
+        country = next(iter(world.countries))
+        cities = world.cities_in_country(country)
+        assert cities
+        assert all(c.country_code == country for c in cities)
+
+    def test_countries_in_continent(self, world):
+        for continent in world.continents.values():
+            countries = world.countries_in_continent(continent.code)
+            assert len(countries) == 3
+
+    def test_total_population_positive(self, world):
+        assert world.total_population > 0
+
+    def test_default_continents_are_paper_regions(self):
+        assert tuple(c.code for c in DEFAULT_CONTINENTS) == ("NA", "EU", "AS")
+
+
+class TestWorldFromCities:
+    def test_assembles(self):
+        continent = Continent("EU", "Europe", (36.0, 60.0), (-10.0, 32.0))
+        country = Country("IT", "Italy", "EU", 42.0, 12.0, 500.0)
+        state = State("IT-LAZ", "Lazio", "IT", 41.9, 12.5, 80.0)
+        city = City("Rome", "IT", "IT-LAZ", 41.9, 12.5, 2_800_000)
+        world = world_from_cities([continent], [country], [state], [city])
+        assert world.city(city.key).name == "Rome"
+        assert world.cities_in_state("IT-LAZ") == [city]

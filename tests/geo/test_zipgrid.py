@@ -1,0 +1,104 @@
+"""Tests for repro.geo.zipgrid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import haversine_km, jitter_around
+from repro.geo.regions import City
+from repro.geo.zipgrid import ZipGrid
+
+
+@pytest.fixture()
+def city():
+    return City("Rome", "IT", "IT-LAZ", 41.9028, 12.4964, 2_800_000,
+                radius_km=15.0, zip_count=8)
+
+
+class TestCentroids:
+    def test_count(self, city):
+        lats, lons = ZipGrid().centroids(city)
+        assert lats.size == 8
+        assert lons.size == 8
+
+    def test_within_city_radius(self, city):
+        lats, lons = ZipGrid().centroids(city)
+        distances = haversine_km(city.lat, city.lon, lats, lons)
+        assert float(np.max(distances)) <= city.radius_km + 0.5
+
+    def test_deterministic_across_instances(self, city):
+        a = ZipGrid().centroids(city)
+        b = ZipGrid().centroids(city)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_distinct_cities_distinct_layouts(self, city):
+        other = City("Rome", "FR", "FR-IDF", 41.9028, 12.4964, 100_000,
+                     radius_km=15.0, zip_count=8)
+        grid = ZipGrid()
+        lats_a, _ = grid.centroids(city)
+        lats_b, _ = grid.centroids(other)
+        assert not np.array_equal(lats_a, lats_b)
+
+    def test_single_zip_city(self):
+        city = City("Tiny", "IT", "IT-LAZ", 42.0, 12.0, 5_000, zip_count=1)
+        lats, lons = ZipGrid().centroids(city)
+        assert lats.size == 1
+
+    def test_cache_reused(self, city):
+        grid = ZipGrid()
+        first = grid.centroids(city)
+        second = grid.centroids(city)
+        assert first[0] is second[0]
+
+
+class TestQuantize:
+    def test_snaps_to_a_centroid(self, city):
+        grid = ZipGrid()
+        lats, lons = grid.centroids(city)
+        qlat, qlon = grid.quantize(city, city.lat + 0.01, city.lon + 0.01)
+        assert any(
+            qlat == pytest.approx(float(a)) and qlon == pytest.approx(float(b))
+            for a, b in zip(lats, lons)
+        )
+
+    def test_snaps_to_nearest(self, city, rng):
+        grid = ZipGrid()
+        zlats, zlons = grid.centroids(city)
+        lats, lons = jitter_around(
+            np.full(50, city.lat), np.full(50, city.lon), 5.0, rng
+        )
+        for lat, lon in zip(lats, lons):
+            qlat, qlon = grid.quantize(city, float(lat), float(lon))
+            chosen = float(haversine_km(lat, lon, qlat, qlon))
+            best = float(np.min(haversine_km(lat, lon, zlats, zlons)))
+            assert chosen == pytest.approx(best, abs=0.2)
+
+    def test_single_zip_quantize(self):
+        city = City("Tiny", "IT", "IT-LAZ", 42.0, 12.0, 5_000, zip_count=1)
+        grid = ZipGrid()
+        lats, lons = grid.centroids(city)
+        assert grid.quantize(city, 42.3, 12.3) == (float(lats[0]), float(lons[0]))
+
+    @given(st.floats(min_value=-0.2, max_value=0.2),
+           st.floats(min_value=-0.2, max_value=0.2))
+    @settings(max_examples=30)
+    def test_quantize_many_matches_scalar(self, dlat, dlon):
+        city = City("Rome", "IT", "IT-LAZ", 41.9028, 12.4964, 2_800_000,
+                    radius_km=15.0, zip_count=8)
+        grid = ZipGrid()
+        lat, lon = 41.9028 + dlat, 12.4964 + dlon
+        scalar = grid.quantize(city, lat, lon)
+        vec_lat, vec_lon = grid.quantize_many(
+            city, np.array([lat]), np.array([lon])
+        )
+        assert (float(vec_lat[0]), float(vec_lon[0])) == pytest.approx(scalar)
+
+    def test_quantize_many_single_zip(self):
+        city = City("Tiny", "IT", "IT-LAZ", 42.0, 12.0, 5_000, zip_count=1)
+        grid = ZipGrid()
+        lats, lons = grid.quantize_many(city, np.array([42.1, 41.9]),
+                                        np.array([12.1, 11.9]))
+        assert np.allclose(lats, lats[0])
+        assert np.allclose(lons, lons[0])

@@ -1,0 +1,139 @@
+"""Tests for repro.geodb.error and repro.geodb.synth."""
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import haversine_km
+from repro.geodb.error import (
+    GeoErrorModel,
+    default_primary_model,
+    default_secondary_model,
+)
+from repro.geodb.synth import build_database
+
+
+class TestGeoErrorModel:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            GeoErrorModel(seed=1, p_missing=1.5)
+
+    def test_rejects_probability_overflow(self):
+        with pytest.raises(ValueError):
+            GeoErrorModel(seed=1, p_missing=0.5, p_city_miss=0.4,
+                          p_region_shift=0.2)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            GeoErrorModel(seed=1, centroid_jitter_km=-1.0)
+
+    def test_rejects_bad_shift_range(self):
+        with pytest.raises(ValueError):
+            GeoErrorModel(seed=1, region_shift_km_range=(50.0, 20.0))
+
+    def test_block_rng_deterministic(self):
+        model = GeoErrorModel(seed=9)
+        a = model.rng_for_block(12345).random(4)
+        b = model.rng_for_block(12345).random(4)
+        assert np.array_equal(a, b)
+
+    def test_block_rng_differs_across_blocks(self):
+        model = GeoErrorModel(seed=9)
+        assert not np.array_equal(
+            model.rng_for_block(1).random(4), model.rng_for_block(2).random(4)
+        )
+
+    def test_defaults_are_independent(self):
+        assert default_primary_model().seed != default_secondary_model().seed
+
+
+class TestBuildDatabase:
+    @pytest.fixture(scope="class")
+    def blocks(self, small_population):
+        return small_population.blocks
+
+    @pytest.fixture(scope="class")
+    def world(self, small_world):
+        return small_world
+
+    def test_deterministic(self, blocks, world):
+        model = GeoErrorModel(seed=5)
+        db_a = build_database("x", blocks, world, model)
+        db_b = build_database("x", blocks, world, model)
+        for (pa, ra), (pb, rb) in zip(db_a.blocks(), db_b.blocks()):
+            assert pa == pb
+            assert ra == rb
+
+    def test_covers_every_block(self, blocks, world):
+        database = build_database("x", blocks, world, GeoErrorModel(seed=5))
+        assert len(database) == len(blocks)
+
+    def test_missing_rate_plausible(self, blocks, world):
+        model = GeoErrorModel(seed=5, p_missing=0.1)
+        database = build_database("x", blocks, world, model)
+        rate = database.missing_count / len(database)
+        assert 0.05 < rate < 0.15
+
+    def test_no_errors_mode_reports_truth(self, blocks, world):
+        model = GeoErrorModel(
+            seed=5, p_missing=0.0, p_city_miss=0.0, p_region_shift=0.0,
+            p_zip_shuffle=0.0, centroid_jitter_km=0.0,
+        )
+        database = build_database("x", blocks, world, model)
+        city_by_key = {c.key: c for c in world.cities}
+        for block in blocks[:200]:
+            record = database.lookup(block.prefix.first)
+            assert record is not None
+            assert record.city == city_by_key[block.city_key].name
+            assert record.lat == pytest.approx(block.zip_lat)
+            assert record.lon == pytest.approx(block.zip_lon)
+
+    def test_city_miss_changes_city(self, blocks, world):
+        model = GeoErrorModel(
+            seed=5, p_missing=0.0, p_city_miss=1.0, p_region_shift=0.0,
+        )
+        database = build_database("x", blocks, world, model)
+        city_by_key = {c.key: c for c in world.cities}
+        wrong = 0
+        for block in blocks[:100]:
+            record = database.lookup(block.prefix.first)
+            if record.city != city_by_key[block.city_key].name:
+                wrong += 1
+        assert wrong > 90  # same-name cities across states may alias a few
+
+    def test_region_shift_distance_in_range(self, blocks, world):
+        model = GeoErrorModel(
+            seed=5, p_missing=0.0, p_city_miss=0.0, p_region_shift=1.0,
+            region_shift_km_range=(25.0, 70.0), centroid_jitter_km=0.0,
+        )
+        database = build_database("x", blocks, world, model)
+        for block in blocks[:100]:
+            record = database.lookup(block.prefix.first)
+            distance = float(
+                haversine_km(block.zip_lat, block.zip_lon, record.lat, record.lon)
+            )
+            assert 24.0 <= distance <= 71.0
+
+    def test_region_shift_keeps_city_name(self, blocks, world):
+        model = GeoErrorModel(
+            seed=5, p_missing=0.0, p_city_miss=0.0, p_region_shift=1.0,
+        )
+        database = build_database("x", blocks, world, model)
+        city_by_key = {c.key: c for c in world.cities}
+        for block in blocks[:50]:
+            record = database.lookup(block.prefix.first)
+            assert record.city == city_by_key[block.city_key].name
+
+    def test_independent_seeds_disagree(self, blocks, world):
+        db1 = build_database("a", blocks, world, GeoErrorModel(seed=1))
+        db2 = build_database("b", blocks, world, GeoErrorModel(seed=2))
+        errors = []
+        for block in blocks[:300]:
+            r1 = db1.lookup(block.prefix.first)
+            r2 = db2.lookup(block.prefix.first)
+            if r1 is not None and r2 is not None:
+                errors.append(r1.distance_km(r2))
+        errors = np.asarray(errors)
+        # Two healthy databases disagree by some km (jitter floor), and a
+        # tail of blocks disagrees by a lot (city miss / region shift).
+        assert float(np.median(errors)) > 1.0
+        assert float(np.max(errors)) > 50.0

@@ -1,0 +1,128 @@
+"""Tests for repro.geodb.serialize and the range->prefixes algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geodb.database import GeoDatabase
+from repro.geodb.error import GeoErrorModel
+from repro.geodb.records import GeoRecord
+from repro.geodb.serialize import load_geodb_csv, save_geodb_csv
+from repro.geodb.synth import build_database
+from repro.net.ip import MAX_IPV4, Prefix, range_to_prefixes
+
+
+class TestRangeToPrefixes:
+    def test_exact_prefix_range(self):
+        prefix = Prefix.parse("10.0.0.0/24")
+        assert range_to_prefixes(prefix.first, prefix.last) == [prefix]
+
+    def test_single_address(self):
+        assert range_to_prefixes(5, 5) == [Prefix(5, 32)]
+
+    def test_unaligned_range(self):
+        # 1..6 = 1/32, 2/31, 4/31, 6/32
+        prefixes = range_to_prefixes(1, 6)
+        assert [str(p) for p in prefixes] == [
+            "0.0.0.1/32", "0.0.0.2/31", "0.0.0.4/31", "0.0.0.6/32",
+        ]
+
+    def test_whole_space(self):
+        assert range_to_prefixes(0, MAX_IPV4) == [Prefix(0, 0)]
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            range_to_prefixes(10, 5)
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV4),
+           st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=100)
+    def test_cover_is_exact_and_disjoint(self, start, span):
+        end = min(start + span, MAX_IPV4)
+        prefixes = range_to_prefixes(start, end)
+        total = sum(p.size for p in prefixes)
+        assert total == end - start + 1
+        assert prefixes[0].first == start
+        assert prefixes[-1].last == end
+        for a, b in zip(prefixes, prefixes[1:]):
+            assert a.last + 1 == b.first
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV4 - 1000),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50)
+    def test_cover_is_minimal_enough(self, start, span):
+        # The greedy cover of an N-address range uses O(log N) prefixes.
+        end = start + span
+        prefixes = range_to_prefixes(start, end)
+        assert len(prefixes) <= 2 * 32
+
+
+class TestCsvRoundtrip:
+    @pytest.fixture(scope="class")
+    def database(self, small_world, small_population):
+        return build_database(
+            "GeoIP-City", small_population.blocks, small_world,
+            GeoErrorModel(seed=101),
+        )
+
+    def test_roundtrip_preserves_lookups(self, database, tmp_path):
+        blocks = tmp_path / "blocks.csv"
+        locations = tmp_path / "locations.csv"
+        save_geodb_csv(database, blocks, locations)
+        loaded = load_geodb_csv("GeoIP-City", blocks, locations)
+        for prefix, record in database.blocks()[:300]:
+            got = loaded.lookup(prefix.first)
+            if record is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert got.city == record.city
+                assert got.lat == pytest.approx(record.lat, abs=1e-6)
+
+    def test_roundtrip_counts(self, database, tmp_path):
+        blocks = tmp_path / "b.csv"
+        locations = tmp_path / "l.csv"
+        save_geodb_csv(database, blocks, locations)
+        loaded = load_geodb_csv("x", blocks, locations)
+        assert loaded.record_count == database.record_count
+        assert loaded.missing_count == database.missing_count
+
+    def test_location_table_deduplicated(self, database, tmp_path):
+        blocks = tmp_path / "b.csv"
+        locations = tmp_path / "l.csv"
+        save_geodb_csv(database, blocks, locations)
+        n_locations = len(locations.read_text().splitlines()) - 1
+        n_blocks = len(blocks.read_text().splitlines()) - 1
+        assert n_locations < n_blocks  # shared zip centroids collapse
+
+    def test_unaligned_third_party_ranges_load(self, tmp_path):
+        blocks = tmp_path / "b.csv"
+        locations = tmp_path / "l.csv"
+        blocks.write_text(
+            "start_ip_num,end_ip_num,loc_id\n100,299,1\n300,300,0\n"
+        )
+        locations.write_text(
+            "loc_id,country,region,city,continent,latitude,longitude\n"
+            "1,IT,IT-LAZ,Rome,EU,41.900000,12.500000\n"
+        )
+        database = load_geodb_csv("ext", blocks, locations)
+        assert database.lookup(150).city == "Rome"
+        assert database.lookup(299).city == "Rome"
+        assert database.lookup(300) is None
+        assert database.lookup(301) is None
+        assert database.lookup(99) is None
+
+    def test_bad_headers_rejected(self, tmp_path):
+        blocks = tmp_path / "b.csv"
+        locations = tmp_path / "l.csv"
+        blocks.write_text("wrong\n")
+        locations.write_text(
+            "loc_id,country,region,city,continent,latitude,longitude\n"
+        )
+        with pytest.raises(ValueError, match="blocks header"):
+            load_geodb_csv("x", blocks, locations)
+        blocks.write_text("start_ip_num,end_ip_num,loc_id\n")
+        locations.write_text("nope\n")
+        with pytest.raises(ValueError, match="locations header"):
+            load_geodb_csv("x", blocks, locations)

@@ -1,0 +1,95 @@
+"""Full-pipeline integration on the Italian case-study ecosystem.
+
+Figure 1 and Section 6 are usually reproduced from ground-truth user
+locations; this test runs them through the complete measurement stack —
+crawl, both geo databases, error filtering, BGP grouping — and checks
+that the paper's artefacts survive the realistic noise.
+"""
+
+import pytest
+
+from repro.core.bandwidth import CITY_BANDWIDTH_KM
+from repro.core.footprint import estimate_geo_footprint
+from repro.core.pop import extract_pop_footprint
+from repro.crawl.apps import P2PApp
+from repro.crawl.crawler import CrawlConfig, run_crawl
+from repro.geo.gazetteer import Gazetteer
+from repro.geodb.error import GeoErrorModel
+from repro.geodb.synth import build_database
+from repro.net.italy import AS_RAI, AS_TELECOM
+from repro.pipeline.dataset import PipelineConfig, build_target_dataset
+
+
+@pytest.fixture(scope="module")
+def italy_dataset(italy_eco, italy_population):
+    # One Italy-wide app so every AS gets sampled.
+    app = P2PApp(name="Kad", penetration={"EU": 0.6})
+    sample = run_crawl(
+        italy_eco, italy_population, CrawlConfig(seed=3, apps=(app,))
+    )
+    primary = build_database(
+        "GeoIP-City", italy_population.blocks, italy_eco.world,
+        GeoErrorModel(seed=101),
+    )
+    secondary = build_database(
+        "IP2Location", italy_population.blocks, italy_eco.world,
+        GeoErrorModel(seed=202),
+    )
+    return build_target_dataset(
+        sample, primary, secondary, italy_eco.routing_table,
+        PipelineConfig(min_peers_per_as=300),
+    )
+
+
+class TestItalyFullPipeline:
+    def test_telecom_in_target_dataset(self, italy_dataset):
+        assert AS_TELECOM in italy_dataset.ases
+
+    def test_rai_in_target_dataset(self, italy_dataset):
+        # RAI's user floor (1200) keeps it above the 300-peer cut at a
+        # 60% sampling rate.
+        assert AS_RAI in italy_dataset.ases
+
+    def test_rai_classified_city_level(self, italy_dataset):
+        from repro.geo.regions import RegionLevel
+
+        target = italy_dataset.ases[AS_RAI]
+        assert target.level is RegionLevel.CITY
+        assert target.classification.region_name.endswith("Rome")
+
+    def test_telecom_country_level(self, italy_dataset):
+        from repro.geo.regions import RegionLevel
+
+        assert italy_dataset.ases[AS_TELECOM].level is RegionLevel.COUNTRY
+
+    def test_figure1_reproduces_from_mapped_peers(self, italy_dataset,
+                                                  italy_eco):
+        """Milan and Rome must lead the PoP list even with geo-database
+        noise in the loop."""
+        target = italy_dataset.ases[AS_TELECOM]
+        footprint = estimate_geo_footprint(
+            target.group.lat, target.group.lon,
+            bandwidth_km=CITY_BANDWIDTH_KM,
+        )
+        pops = extract_pop_footprint(
+            footprint, Gazetteer(italy_eco.world), asn=AS_TELECOM
+        )
+        names = pops.city_names()
+        assert names[:2] == ["Milan", "Rome"]
+        assert len(names) >= 9
+
+    def test_rai_pop_inferred_in_rome_from_mapped_peers(self, italy_dataset,
+                                                        italy_eco):
+        target = italy_dataset.ases[AS_RAI]
+        footprint = estimate_geo_footprint(
+            target.group.lat, target.group.lon,
+            bandwidth_km=CITY_BANDWIDTH_KM,
+        )
+        pops = extract_pop_footprint(
+            footprint, Gazetteer(italy_eco.world), asn=AS_RAI
+        )
+        assert pops.city_names()[0] == "Rome"
+
+    def test_error_gate_holds_for_all_italian_ases(self, italy_dataset):
+        for target in italy_dataset.ases.values():
+            assert target.group.error_percentile(90) <= 80.0

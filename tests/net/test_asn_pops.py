@@ -1,0 +1,80 @@
+"""Tests for repro.net.asn and repro.net.pops."""
+
+import pytest
+
+from repro.net.asn import ASNode, ASTier, ASType
+from repro.net.pops import PoP, PoPRole
+
+
+def customer_pop(asn=100, city="IT/IT-LOM/Milan", weight=2.0):
+    return PoP(asn=asn, city_key=city, city_name=city.split("/")[-1],
+               lat=45.46, lon=9.19, customer_weight=weight)
+
+
+def infra_pop(asn=100, city="IT/IT-LAZ/Rome"):
+    return PoP(asn=asn, city_key=city, city_name=city.split("/")[-1],
+               lat=41.9, lon=12.5, customer_weight=0.0,
+               role=PoPRole.INFRASTRUCTURE)
+
+
+class TestPoP:
+    def test_key(self):
+        assert customer_pop().key == "AS100@IT/IT-LOM/Milan"
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            PoP(asn=1, city_key="x", city_name="x", lat=0, lon=0,
+                customer_weight=-1.0)
+
+    def test_infrastructure_must_have_zero_weight(self):
+        with pytest.raises(ValueError):
+            PoP(asn=1, city_key="x", city_name="x", lat=0, lon=0,
+                customer_weight=1.0, role=PoPRole.INFRASTRUCTURE)
+
+    def test_customer_must_have_positive_weight(self):
+        with pytest.raises(ValueError):
+            PoP(asn=1, city_key="x", city_name="x", lat=0, lon=0,
+                customer_weight=0.0, role=PoPRole.CUSTOMER)
+
+
+class TestASNode:
+    def make_node(self, pops):
+        return ASNode(asn=100, name="X", as_type=ASType.EYEBALL,
+                      tier=ASTier.EDGE, country_code="IT",
+                      continent_code="EU", pops=pops, user_count=1000)
+
+    def test_pop_partition(self):
+        node = self.make_node([customer_pop(), infra_pop()])
+        assert len(node.customer_pops) == 1
+        assert len(node.infrastructure_pops) == 1
+
+    def test_is_eyeball(self):
+        assert self.make_node([]).is_eyeball
+
+    def test_normalized_weights_sum_to_one(self):
+        node = self.make_node([
+            customer_pop(weight=2.0),
+            customer_pop(city="IT/IT-LAZ/Rome", weight=6.0),
+        ])
+        weights = node.normalized_weights()
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == [pytest.approx(0.25), pytest.approx(0.75)]
+
+    def test_normalized_weights_empty(self):
+        assert self.make_node([infra_pop()]).normalized_weights() == []
+
+    def test_pop_at_city(self):
+        pop = customer_pop()
+        node = self.make_node([pop])
+        assert node.pop_at_city("IT/IT-LOM/Milan") is pop
+        assert node.pop_at_city("IT/IT-LAZ/Rome") is None
+
+    def test_rejects_bad_asn(self):
+        with pytest.raises(ValueError):
+            ASNode(asn=0, name="X", as_type=ASType.TRANSIT, tier=ASTier.TIER1,
+                   country_code="IT", continent_code="EU")
+
+    def test_rejects_negative_users(self):
+        with pytest.raises(ValueError):
+            ASNode(asn=1, name="X", as_type=ASType.TRANSIT, tier=ASTier.TIER1,
+                   country_code="IT", continent_code="EU", user_count=-5)

@@ -1,0 +1,182 @@
+"""Tests for repro.net.bgp (routing table + valley-free paths)."""
+
+import pytest
+
+from repro.net.bgp import BGPRouting, RouteKind, RoutingTable
+from repro.net.ip import Prefix, ip_to_int
+from repro.net.relationships import (
+    Relationship,
+    RelationshipGraph,
+    RelationshipType,
+)
+
+C2P = RelationshipType.CUSTOMER_PROVIDER
+P2P = RelationshipType.PEER
+
+
+def graph_of(*rels):
+    return RelationshipGraph([Relationship(a, b, kind) for a, b, kind in rels])
+
+
+class TestRoutingTable:
+    def test_announce_and_lookup(self):
+        table = RoutingTable()
+        table.announce(Prefix.parse("10.1.0.0/16"), 65001)
+        assert table.origin_of(ip_to_int("10.1.2.3")) == 65001
+        assert table.origin_of(ip_to_int("10.2.0.0")) is None
+
+    def test_longest_prefix_match(self):
+        table = RoutingTable()
+        table.announce(Prefix.parse("10.0.0.0/8"), 1)
+        table.announce(Prefix.parse("10.1.0.0/16"), 2)
+        assert table.origin_of(ip_to_int("10.1.0.1")) == 2
+        assert table.origin_of(ip_to_int("10.9.0.1")) == 1
+
+    def test_origin_block(self):
+        table = RoutingTable()
+        table.announce(Prefix.parse("10.1.0.0/16"), 7)
+        prefix, asn = table.origin_block(ip_to_int("10.1.2.3"))
+        assert str(prefix) == "10.1.0.0/16"
+        assert asn == 7
+
+    def test_moas_conflict_rejected(self):
+        table = RoutingTable()
+        prefix = Prefix.parse("10.1.0.0/16")
+        table.announce(prefix, 1)
+        table.announce(prefix, 1)  # re-announcing same origin is fine
+        with pytest.raises(ValueError, match="originated"):
+            table.announce(prefix, 2)
+
+    def test_serialisation_roundtrip(self):
+        table = RoutingTable()
+        table.announce(Prefix.parse("10.1.0.0/16"), 1)
+        table.announce(Prefix.parse("10.2.0.0/16"), 2)
+        rebuilt = RoutingTable.from_lines(table.to_lines())
+        assert rebuilt.entries() == table.entries()
+
+    def test_from_lines_skips_comments(self):
+        table = RoutingTable.from_lines(["# comment", "", "10.0.0.0/8|5"])
+        assert len(table) == 1
+
+
+class TestValleyFreePaths:
+    def test_direct_customer_provider(self):
+        routing = BGPRouting(graph_of((1, 2, C2P)))
+        assert routing.path(1, 2) == [1, 2]
+        assert routing.path(2, 1) == [2, 1]
+
+    def test_self_path(self):
+        routing = BGPRouting(graph_of((1, 2, C2P)))
+        assert routing.path(1, 1) == [1]
+
+    def test_up_down_through_common_provider(self):
+        # 1 and 3 are customers of 2.
+        routing = BGPRouting(graph_of((1, 2, C2P), (3, 2, C2P)))
+        assert routing.path(1, 3) == [1, 2, 3]
+
+    def test_peer_lateral_step(self):
+        # 1 <- p2p -> 2; customers 3 of 1, 4 of 2.
+        routing = BGPRouting(graph_of(
+            (3, 1, C2P), (4, 2, C2P), (1, 2, P2P)
+        ))
+        assert routing.path(3, 4) == [3, 1, 2, 4]
+
+    def test_no_valley_through_two_peers(self):
+        # 1 - 2 - 3 all peers: 1 cannot reach 3 through 2 (two peer hops).
+        routing = BGPRouting(graph_of((1, 2, P2P), (2, 3, P2P)))
+        assert routing.path(1, 3) is None
+        assert routing.path(1, 2) == [1, 2]
+
+    def test_no_transit_through_customer(self):
+        # 2 and 3 are both providers of 1; 1 must not carry 2<->3 traffic.
+        routing = BGPRouting(graph_of((1, 2, C2P), (1, 3, C2P)))
+        assert routing.path(2, 3) is None
+
+    def test_customer_route_preferred_over_peer(self):
+        # Destination 4 reachable from 1 via customer chain (1<-2<-4
+        # means 4 customer of 2, 2 customer of 1) and via peer 5.
+        routing = BGPRouting(graph_of(
+            (2, 1, C2P), (4, 2, C2P), (1, 5, P2P), (4, 5, C2P)
+        ))
+        tables = routing.routes_to(4)
+        assert tables[1].kind is RouteKind.CUSTOMER
+        assert routing.path(1, 4) == [1, 2, 4]
+
+    def test_peer_preferred_over_provider(self):
+        # From 1: destination 3 via peer 2 (customer route at 2), and via
+        # provider 4 which also reaches 3.
+        routing = BGPRouting(graph_of(
+            (3, 2, C2P), (1, 2, P2P), (1, 4, C2P), (3, 4, C2P)
+        ))
+        tables = routing.routes_to(3)
+        assert tables[1].kind is RouteKind.PEER
+        assert routing.path(1, 3) == [1, 2, 3]
+
+    def test_shorter_path_tie_break(self):
+        # Two provider chains to 9: via 2 (one hop up) or via 3->4 (two).
+        routing = BGPRouting(graph_of(
+            (1, 2, C2P), (1, 3, C2P), (3, 4, C2P), (9, 2, C2P), (9, 4, C2P)
+        ))
+        assert routing.path(1, 9) == [1, 2, 9]
+
+    def test_deterministic_lowest_next_hop(self):
+        # Symmetric options: providers 2 and 3 both reach 9 in two hops.
+        routing = BGPRouting(graph_of(
+            (1, 2, C2P), (1, 3, C2P), (9, 2, C2P), (9, 3, C2P)
+        ))
+        assert routing.path(1, 9) == [1, 2, 9]
+
+    def test_provider_routes_propagate_down(self):
+        # Deep chain: 4 -> 3 -> 2 -> 1 (customers downward); destination
+        # 5 is a customer of 1.  4 reaches 5 going all the way up then down.
+        routing = BGPRouting(graph_of(
+            (4, 3, C2P), (3, 2, C2P), (2, 1, C2P), (5, 1, C2P)
+        ))
+        assert routing.path(4, 5) == [4, 3, 2, 1, 5]
+
+    def test_peer_then_down(self):
+        # Classic up-over-down: 3 -> 1 (up), 1 ~ 2 (peer), 2 <- 4 (down).
+        routing = BGPRouting(graph_of(
+            (3, 1, C2P), (1, 2, P2P), (4, 2, C2P)
+        ))
+        assert routing.path(3, 4) == [3, 1, 2, 4]
+        assert routing.path(4, 3) == [4, 2, 1, 3]
+
+    def test_unreachable_disconnected(self):
+        routing = BGPRouting(graph_of((1, 2, C2P), (3, 4, C2P)))
+        assert routing.path(1, 3) is None
+
+    def test_route_cache_is_consistent(self):
+        graph = graph_of((1, 2, C2P), (3, 2, C2P))
+        routing = BGPRouting(graph)
+        first = routing.routes_to(3)
+        second = routing.routes_to(3)
+        assert first is second
+
+    def test_routes_on_small_scenario_are_valley_free(self, small_ecosystem):
+        """Every computed path on a generated ecosystem must satisfy the
+        Gao-Rexford pattern: uphill (customer->provider) edges, at most
+        one peer edge, then downhill edges."""
+        graph = small_ecosystem.graph
+        routing = BGPRouting(graph)
+        eyeballs = [n.asn for n in small_ecosystem.eyeballs][:6]
+        checked = 0
+        for src in eyeballs:
+            for dst in eyeballs:
+                if src == dst:
+                    continue
+                path = routing.path(src, dst)
+                if path is None:
+                    continue
+                checked += 1
+                phase = "up"
+                for a, b in zip(path, path[1:]):
+                    if b in graph.providers_of(a):
+                        assert phase == "up", path
+                    elif b in graph.peers_of(a):
+                        assert phase == "up", path
+                        phase = "down"
+                    else:
+                        assert b in graph.customers_of(a), path
+                        phase = "down"
+        assert checked > 0

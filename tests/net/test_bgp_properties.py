@@ -1,0 +1,169 @@
+"""Property-based tests for valley-free routing on random hierarchies.
+
+Graphs are generated tiered (customer edges only point up the
+hierarchy, peer edges stay within a tier), which guarantees an acyclic
+provider structure — the standing assumption of Gao-Rexford routing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.bgp import BGPRouting, RouteKind
+from repro.net.relationships import (
+    Relationship,
+    RelationshipGraph,
+    RelationshipType,
+)
+
+C2P = RelationshipType.CUSTOMER_PROVIDER
+P2P = RelationshipType.PEER
+
+
+def random_hierarchy(seed: int, n: int) -> RelationshipGraph:
+    """Random tiered AS graph: n ASes over 4 tiers."""
+    rng = np.random.default_rng(seed)
+    tiers = rng.integers(1, 5, n)  # 1 = top
+    tiers[0] = 1  # guarantee a top tier exists
+    graph = RelationshipGraph()
+    for asn in range(1, n):
+        # Each non-top AS buys from 1-2 ASes in a strictly higher tier.
+        uppers = [i for i in range(n) if tiers[i] < tiers[asn]]
+        if not uppers:
+            continue
+        count = min(len(uppers), int(rng.integers(1, 3)))
+        for provider in rng.choice(uppers, size=count, replace=False):
+            if not graph.has_pair(asn, int(provider)):
+                graph.add(Relationship(asn, int(provider), C2P))
+    # Random same-tier peerings.
+    for _ in range(n):
+        a, b = rng.integers(0, n, 2)
+        if a != b and tiers[a] == tiers[b] and not graph.has_pair(int(a), int(b)):
+            graph.add(Relationship(int(a), int(b), P2P))
+    return graph
+
+
+def assert_valley_free(graph: RelationshipGraph, path) -> None:
+    phase = "up"
+    for a, b in zip(path, path[1:]):
+        if b in graph.providers_of(a):
+            assert phase == "up", path
+        elif b in graph.peers_of(a):
+            assert phase == "up", path
+            phase = "down"
+        else:
+            assert b in graph.customers_of(a), path
+            phase = "down"
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=3, max_value=24))
+@settings(max_examples=40, deadline=None)
+def test_all_paths_valley_free(seed, n):
+    graph = random_hierarchy(seed, n)
+    routing = BGPRouting(graph)
+    asns = sorted(graph.all_asns())
+    for src in asns[:6]:
+        for dst in asns[:6]:
+            if src == dst:
+                continue
+            path = routing.path(src, dst)
+            if path is not None:
+                assert path[0] == src
+                assert path[-1] == dst
+                assert len(path) == len(set(path))  # loop-free
+                assert_valley_free(graph, path)
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=3, max_value=20))
+@settings(max_examples=30, deadline=None)
+def test_reachability_symmetric(seed, n):
+    """A valley-free path reversed is valley-free, so reachability is
+    symmetric even though the chosen paths may differ."""
+    graph = random_hierarchy(seed, n)
+    routing = BGPRouting(graph)
+    asns = sorted(graph.all_asns())
+    for src in asns[:5]:
+        for dst in asns[:5]:
+            if src == dst:
+                continue
+            forward = routing.path(src, dst)
+            backward = routing.path(dst, src)
+            assert (forward is None) == (backward is None)
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=4, max_value=20))
+@settings(max_examples=30, deadline=None)
+def test_customer_cone_uses_customer_routes(seed, n):
+    """Towards any AS in your customer cone, the selected route must be
+    a customer route (revenue-bearing traffic is always preferred)."""
+    graph = random_hierarchy(seed, n)
+    routing = BGPRouting(graph)
+    for asn in sorted(graph.all_asns())[:6]:
+        cone = set()
+        frontier = [asn]
+        while frontier:
+            current = frontier.pop()
+            for customer in graph.customers_of(current):
+                if customer not in cone:
+                    cone.add(customer)
+                    frontier.append(customer)
+        tables = routing.routes_to(asn)
+        for other, entry in tables.items():
+            if asn in _cone_of(graph, other) and other != asn:
+                # asn is in other's customer cone -> other reaches asn
+                # via a customer route.
+                assert entry.kind is RouteKind.CUSTOMER, (other, asn)
+
+
+def _cone_of(graph, asn):
+    cone = set()
+    frontier = [asn]
+    while frontier:
+        current = frontier.pop()
+        for customer in graph.customers_of(current):
+            if customer not in cone:
+                cone.add(customer)
+                frontier.append(customer)
+    return cone
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_paths_deterministic(seed):
+    graph = random_hierarchy(seed, 15)
+    asns = sorted(graph.all_asns())
+    paths_a = {}
+    paths_b = {}
+    for routing, store in ((BGPRouting(graph), paths_a),
+                           (BGPRouting(graph), paths_b)):
+        for src in asns[:5]:
+            for dst in asns[:5]:
+                if src != dst:
+                    store[(src, dst)] = routing.path(src, dst)
+    assert paths_a == paths_b
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=4, max_value=16))
+@settings(max_examples=25, deadline=None)
+def test_peer_edge_used_at_most_once(seed, n):
+    graph = random_hierarchy(seed, n)
+    routing = BGPRouting(graph)
+    asns = sorted(graph.all_asns())
+    for src in asns[:5]:
+        for dst in asns[:5]:
+            if src == dst:
+                continue
+            path = routing.path(src, dst)
+            if path is None:
+                continue
+            peer_hops = sum(
+                1
+                for a, b in zip(path, path[1:])
+                if b in graph.peers_of(a)
+            )
+            assert peer_hops <= 1

@@ -1,0 +1,119 @@
+"""Tests for repro.net.ecosystem."""
+
+import pytest
+
+from repro.net.asn import ASTier, ASType
+from repro.net.ecosystem import EcosystemConfig, generate_ecosystem
+from repro.net.relationships import RelationshipType
+
+
+class TestConfigValidation:
+    def test_rejects_zero_tier1(self):
+        with pytest.raises(ValueError):
+            EcosystemConfig(tier1_count=0)
+
+    def test_rejects_bad_user_range(self):
+        with pytest.raises(ValueError):
+            EcosystemConfig(user_base_range=(0, 100))
+
+    def test_rejects_bad_level_mix(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            EcosystemConfig(level_mix={"EU": (0.5, 0.5, 0.5)})
+
+    def test_rejects_silly_max_providers(self):
+        with pytest.raises(ValueError):
+            EcosystemConfig(max_providers=0)
+
+
+class TestStructure:
+    def test_deterministic(self, small_world):
+        config = EcosystemConfig(seed=3, eyeballs_per_country=2)
+        eco_a = generate_ecosystem(small_world, config)
+        eco_b = generate_ecosystem(small_world, config)
+        assert sorted(eco_a.as_nodes) == sorted(eco_b.as_nodes)
+        assert eco_a.graph.edges_as_tuples() == eco_b.graph.edges_as_tuples()
+        assert eco_a.routing_table.to_lines() == eco_b.routing_table.to_lines()
+
+    def test_tier1_clique(self, small_ecosystem):
+        tier1 = [n.asn for n in small_ecosystem.as_nodes.values()
+                 if n.tier is ASTier.TIER1]
+        assert len(tier1) >= 2
+        for i, a in enumerate(tier1):
+            for b in tier1[i + 1:]:
+                rel = small_ecosystem.graph.relationship_of(a, b)
+                assert rel is not None
+                assert rel.rel_type is RelationshipType.PEER
+
+    def test_every_eyeball_has_a_provider(self, small_ecosystem):
+        for node in small_ecosystem.eyeballs:
+            assert small_ecosystem.graph.providers_of(node.asn)
+
+    def test_every_eyeball_has_customer_pops(self, small_ecosystem):
+        for node in small_ecosystem.eyeballs:
+            assert node.customer_pops
+            assert node.user_count > 0
+
+    def test_eyeball_count(self, small_world, small_ecosystem):
+        expected = len(small_world.countries) * 4  # eyeballs_per_country
+        assert len(small_ecosystem.eyeballs) == expected
+
+    def test_prefixes_disjoint(self, small_ecosystem):
+        all_prefixes = [
+            p for prefixes in small_ecosystem.prefixes.values() for p in prefixes
+        ]
+        all_prefixes.sort(key=lambda p: p.first)
+        for a, b in zip(all_prefixes, all_prefixes[1:]):
+            assert a.last < b.first
+
+    def test_prefixes_announced(self, small_ecosystem):
+        for asn, prefixes in small_ecosystem.prefixes.items():
+            for prefix in prefixes:
+                assert small_ecosystem.routing_table.origin_of(prefix.first) == asn
+
+    def test_address_capacity_covers_users(self, small_ecosystem):
+        for node in small_ecosystem.eyeballs:
+            capacity = small_ecosystem.total_address_capacity(node.asn)
+            assert capacity >= 4 * node.user_count
+
+    def test_pops_at_real_cities(self, small_ecosystem):
+        world = small_ecosystem.world
+        keys = {c.key for c in world.cities}
+        for node in small_ecosystem.as_nodes.values():
+            for pop in node.pops:
+                assert pop.city_key in keys
+
+    def test_eyeballs_footprint_within_home_country(self, small_ecosystem):
+        for node in small_ecosystem.eyeballs:
+            countries = {p.city_key.split("/")[0] for p in node.customer_pops}
+            assert countries == {node.country_code}
+
+    def test_ixps_exist_per_continent(self, small_ecosystem):
+        countries = small_ecosystem.world.countries
+        continents = {
+            countries[i.country_code].continent_code
+            for i in small_ecosystem.fabric.ixps.values()
+        }
+        assert continents == set(small_ecosystem.world.continents)
+
+    def test_ixp_peerings_match_graph(self, small_ecosystem):
+        for ixp_name, a, b in small_ecosystem.fabric.peerings:
+            rel = small_ecosystem.graph.relationship_of(a, b)
+            assert rel is not None
+            assert rel.rel_type is RelationshipType.PEER
+
+    def test_content_ases_exist(self, small_ecosystem):
+        contents = [n for n in small_ecosystem.as_nodes.values()
+                    if n.as_type is ASType.CONTENT]
+        assert len(contents) == len(small_ecosystem.world.countries)
+
+    def test_provider_counts_within_bounds(self, small_ecosystem):
+        config = small_ecosystem.config
+        for node in small_ecosystem.eyeballs:
+            count = len(small_ecosystem.graph.providers_of(node.asn))
+            assert 1 <= count <= config.max_providers + 1
+
+    def test_some_infrastructure_pops_generated(self, small_ecosystem):
+        infra = sum(
+            len(n.infrastructure_pops) for n in small_ecosystem.eyeballs
+        )
+        assert infra > 0

@@ -1,0 +1,77 @@
+"""Tests for prefix aggregation (route summarisation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.ip import MAX_IPV4, Prefix, aggregate_prefixes
+
+
+def parse_all(texts):
+    return [Prefix.parse(t) for t in texts]
+
+
+class TestAggregatePrefixes:
+    def test_empty(self):
+        assert aggregate_prefixes([]) == []
+
+    def test_merges_siblings(self):
+        result = aggregate_prefixes(parse_all(["10.0.0.0/25", "10.0.0.128/25"]))
+        assert result == parse_all(["10.0.0.0/24"])
+
+    def test_drops_covered(self):
+        result = aggregate_prefixes(parse_all(["10.0.0.0/8", "10.1.0.0/16"]))
+        assert result == parse_all(["10.0.0.0/8"])
+
+    def test_non_siblings_not_merged(self):
+        # Adjacent but not siblings: 10.0.0.128/25 + 10.0.1.0/25.
+        result = aggregate_prefixes(
+            parse_all(["10.0.0.128/25", "10.0.1.0/25"])
+        )
+        assert len(result) == 2
+
+    def test_cascading_merge(self):
+        quarters = parse_all(
+            ["10.0.0.0/26", "10.0.0.64/26", "10.0.0.128/26", "10.0.0.192/26"]
+        )
+        assert aggregate_prefixes(quarters) == parse_all(["10.0.0.0/24"])
+
+    def test_duplicates_collapsed(self):
+        result = aggregate_prefixes(parse_all(["10.0.0.0/24", "10.0.0.0/24"]))
+        assert result == parse_all(["10.0.0.0/24"])
+
+    def test_sorted_output(self):
+        result = aggregate_prefixes(
+            parse_all(["192.168.0.0/24", "10.0.0.0/24", "172.16.0.0/24"])
+        )
+        assert result == sorted(result, key=lambda p: p.network)
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=MAX_IPV4),
+                  st.integers(min_value=8, max_value=30)),
+        min_size=1, max_size=15,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_covers_same_address_set(self, raw):
+        prefixes = []
+        for address, length in raw:
+            mask = (MAX_IPV4 << (32 - length)) & MAX_IPV4
+            prefixes.append(Prefix(address & mask, length))
+        aggregated = aggregate_prefixes(prefixes)
+        # Aggregation never grows the list...
+        assert len(aggregated) <= len(set(prefixes))
+        # ...the result is disjoint and sorted...
+        for a, b in zip(aggregated, aggregated[1:]):
+            assert a.last < b.first
+        # ...and covers exactly the same addresses (probe boundaries).
+        def covered(addr, plist):
+            return any(p.contains(addr) for p in plist)
+        probes = set()
+        for p in prefixes:
+            probes.update((p.first, p.last))
+            if p.first > 0:
+                probes.add(p.first - 1)
+            if p.last < MAX_IPV4:
+                probes.add(p.last + 1)
+        for probe in probes:
+            assert covered(probe, prefixes) == covered(probe, aggregated)

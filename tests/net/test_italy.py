@@ -1,0 +1,118 @@
+"""Tests for repro.net.italy (the hand-built case-study ecosystem)."""
+
+import pytest
+
+from repro.net.asn import ASType
+from repro.net.italy import (
+    AS_ASDASD,
+    AS_BT_ITALIA,
+    AS_COLT,
+    AS_EASYNET,
+    AS_FASTWEB,
+    AS_GARR,
+    AS_INFOSTRADA,
+    AS_ITGATE,
+    AS_RAI,
+    AS_TELECOM,
+    PAPER_USER_COUNTS,
+    TELECOM_ITALIA_FOOTPRINT,
+    italy_ecosystem,
+)
+from repro.net.relationships import RelationshipType
+
+
+class TestTelecomItalia:
+    def test_fourteen_pops(self, italy_eco):
+        node = italy_eco.node(AS_TELECOM)
+        assert len(node.customer_pops) == len(TELECOM_ITALIA_FOOTPRINT)
+
+    def test_weights_match_paper_densities(self, italy_eco):
+        node = italy_eco.node(AS_TELECOM)
+        for pop in node.customer_pops:
+            assert pop.customer_weight == pytest.approx(
+                TELECOM_ITALIA_FOOTPRINT[pop.city_name]
+            )
+
+    def test_user_count_scaled(self, italy_eco):
+        node = italy_eco.node(AS_TELECOM)
+        assert node.user_count == int(PAPER_USER_COUNTS[AS_TELECOM] * 0.01)
+
+
+class TestRAIGroundTruth:
+    def test_rai_is_rome_only(self, italy_eco):
+        node = italy_eco.node(AS_RAI)
+        assert node.as_type is ASType.CONTENT
+        assert [p.city_name for p in node.pops] == ["Rome"]
+
+    def test_rai_five_providers(self, italy_eco):
+        providers = italy_eco.graph.providers_of(AS_RAI)
+        assert providers == {
+            AS_INFOSTRADA, AS_FASTWEB, AS_EASYNET, AS_COLT, AS_BT_ITALIA
+        }
+
+    def test_rai_peers_at_mix(self, italy_eco):
+        peers = italy_eco.fabric.peers_of(AS_RAI)
+        assert peers == {"MIX": {AS_GARR, AS_ASDASD, AS_ITGATE}}
+
+    def test_rai_absent_from_namex(self, italy_eco):
+        assert not italy_eco.fabric.ixps["NaMEX"].has_member(AS_RAI)
+
+    def test_asdasd_and_itgate_absent_from_namex(self, italy_eco):
+        namex = italy_eco.fabric.ixps["NaMEX"]
+        assert not namex.has_member(AS_ASDASD)
+        assert not namex.has_member(AS_ITGATE)
+
+    def test_garr_present_at_both_ixps(self, italy_eco):
+        assert italy_eco.fabric.ixps["MIX"].has_member(AS_GARR)
+        assert italy_eco.fabric.ixps["NaMEX"].has_member(AS_GARR)
+
+    def test_rai_user_floor_applied(self, italy_eco):
+        # 3000 * 0.01 = 30, floored to 1200 so the AS survives the
+        # pipeline's density filter.
+        assert italy_eco.node(AS_RAI).user_count == 1200
+
+
+class TestGlobalReach:
+    @pytest.mark.parametrize("asn", [AS_EASYNET, AS_COLT])
+    def test_global_transits_span_countries(self, italy_eco, asn):
+        countries = {
+            p.city_key.split("/")[0] for p in italy_eco.node(asn).pops
+        }
+        assert len(countries) > 1
+
+    @pytest.mark.parametrize("asn", [AS_INFOSTRADA, AS_FASTWEB, AS_BT_ITALIA])
+    def test_national_isps_stay_in_italy(self, italy_eco, asn):
+        countries = {
+            p.city_key.split("/")[0] for p in italy_eco.node(asn).pops
+        }
+        assert countries == {"IT"}
+
+
+class TestPlumbing:
+    def test_prefixes_routed(self, italy_eco):
+        for asn, prefixes in italy_eco.prefixes.items():
+            for prefix in prefixes:
+                assert italy_eco.routing_table.origin_of(prefix.first) == asn
+
+    def test_rai_reaches_internet_via_each_provider_type(self, italy_eco):
+        from repro.net.bgp import BGPRouting
+
+        routing = BGPRouting(italy_eco.graph)
+        path = routing.path(AS_RAI, AS_TELECOM)
+        assert path is not None
+        assert path[0] == AS_RAI
+
+    def test_peerings_consistent_with_graph(self, italy_eco):
+        for ixp_name, a, b in italy_eco.fabric.peerings:
+            rel = italy_eco.graph.relationship_of(a, b)
+            assert rel is not None
+            assert rel.rel_type is RelationshipType.PEER
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            italy_ecosystem(scale=0.0)
+
+    def test_users_only_on_eyeball_like_ases(self, italy_eco):
+        for node in italy_eco.as_nodes.values():
+            if node.as_type is ASType.TRANSIT and node.asn != AS_BT_ITALIA:
+                assert node.user_count == 0 or node.customer_pops

@@ -1,0 +1,158 @@
+"""Tests for repro.net.ixp and repro.net.relationships."""
+
+import pytest
+
+from repro.net.ixp import IXP, IXPFabric
+from repro.net.relationships import (
+    Relationship,
+    RelationshipGraph,
+    RelationshipType,
+)
+
+
+def make_ixp(name="MIX", city="IT/IT-LOM/Milan", country="IT"):
+    return IXP(name=name, city_key=city, city_name=city.split("/")[-1],
+               country_code=country, lat=45.46, lon=9.19)
+
+
+class TestIXP:
+    def test_membership(self):
+        ixp = make_ixp()
+        ixp.add_member(100)
+        assert ixp.has_member(100)
+        assert not ixp.has_member(200)
+
+    def test_rejects_bad_asn(self):
+        with pytest.raises(ValueError):
+            make_ixp().add_member(0)
+
+
+class TestIXPFabric:
+    def test_duplicate_ixp_rejected(self):
+        fabric = IXPFabric()
+        fabric.add_ixp(make_ixp())
+        with pytest.raises(ValueError, match="duplicate"):
+            fabric.add_ixp(make_ixp())
+
+    def test_peering_requires_membership(self):
+        fabric = IXPFabric()
+        ixp = make_ixp()
+        ixp.add_member(100)
+        fabric.add_ixp(ixp)
+        with pytest.raises(ValueError, match="member"):
+            fabric.add_peering("MIX", 100, 200)
+
+    def test_peering_rejects_self(self):
+        fabric = IXPFabric()
+        ixp = make_ixp()
+        ixp.add_member(100)
+        fabric.add_ixp(ixp)
+        with pytest.raises(ValueError, match="itself"):
+            fabric.add_peering("MIX", 100, 100)
+
+    def test_peering_unordered(self):
+        fabric = IXPFabric()
+        ixp = make_ixp()
+        for asn in (100, 200):
+            ixp.add_member(asn)
+        fabric.add_ixp(ixp)
+        fabric.add_peering("MIX", 200, 100)
+        fabric.add_peering("MIX", 100, 200)  # same session, idempotent
+        assert len(fabric.peerings) == 1
+        assert fabric.peer_pairs() == {frozenset((100, 200))}
+
+    def test_peers_of(self):
+        fabric = IXPFabric()
+        ixp = make_ixp()
+        for asn in (1, 2, 3):
+            ixp.add_member(asn)
+        fabric.add_ixp(ixp)
+        fabric.add_peering("MIX", 1, 2)
+        fabric.add_peering("MIX", 1, 3)
+        assert fabric.peers_of(1) == {"MIX": {2, 3}}
+        assert fabric.peers_of(2) == {"MIX": {1}}
+        assert fabric.peers_of(9) == {}
+
+    def test_memberships_of(self):
+        fabric = IXPFabric()
+        mix = make_ixp("MIX")
+        namex = make_ixp("NaMEX", "IT/IT-LAZ/Rome")
+        mix.add_member(1)
+        namex.add_member(1)
+        namex.add_member(2)
+        fabric.add_ixp(mix)
+        fabric.add_ixp(namex)
+        assert {i.name for i in fabric.memberships_of(1)} == {"MIX", "NaMEX"}
+        assert {i.name for i in fabric.memberships_of(2)} == {"NaMEX"}
+
+    def test_ixps_in_country(self):
+        fabric = IXPFabric()
+        fabric.add_ixp(make_ixp("MIX"))
+        fabric.add_ixp(make_ixp("DE-CIX", "DE/DE-HE/Frankfurt", country="DE"))
+        assert [i.name for i in fabric.ixps_in_country("IT")] == ["MIX"]
+
+
+class TestRelationship:
+    def test_rejects_self_relationship(self):
+        with pytest.raises(ValueError):
+            Relationship(1, 1, RelationshipType.PEER)
+
+    def test_rejects_transit_via_ixp(self):
+        with pytest.raises(ValueError):
+            Relationship(1, 2, RelationshipType.CUSTOMER_PROVIDER, via_ixp="MIX")
+
+
+class TestRelationshipGraph:
+    def test_directional_indexes(self):
+        graph = RelationshipGraph([
+            Relationship(1, 2, RelationshipType.CUSTOMER_PROVIDER),
+            Relationship(1, 3, RelationshipType.PEER),
+        ])
+        assert graph.providers_of(1) == {2}
+        assert graph.customers_of(2) == {1}
+        assert graph.peers_of(1) == {3}
+        assert graph.peers_of(3) == {1}
+        assert graph.degree(1) == 2
+
+    def test_duplicate_pair_rejected(self):
+        graph = RelationshipGraph()
+        graph.add(Relationship(1, 2, RelationshipType.PEER))
+        with pytest.raises(ValueError, match="already related"):
+            graph.add(Relationship(2, 1, RelationshipType.CUSTOMER_PROVIDER))
+
+    def test_relationship_of(self):
+        rel = Relationship(1, 2, RelationshipType.PEER, via_ixp="MIX")
+        graph = RelationshipGraph([rel])
+        assert graph.relationship_of(2, 1) is rel
+        assert graph.relationship_of(1, 3) is None
+
+    def test_customer_cone(self):
+        # 1 <- 2 <- 3, 1 <- 4 (arrows point customer -> provider)
+        graph = RelationshipGraph([
+            Relationship(2, 1, RelationshipType.CUSTOMER_PROVIDER),
+            Relationship(3, 2, RelationshipType.CUSTOMER_PROVIDER),
+            Relationship(4, 1, RelationshipType.CUSTOMER_PROVIDER),
+        ])
+        assert graph.customer_cone_size(1) == 4
+        assert graph.customer_cone_size(2) == 2
+        assert graph.customer_cone_size(3) == 1
+
+    def test_all_asns(self):
+        graph = RelationshipGraph([
+            Relationship(1, 2, RelationshipType.PEER),
+            Relationship(3, 4, RelationshipType.CUSTOMER_PROVIDER),
+        ])
+        assert graph.all_asns() == {1, 2, 3, 4}
+
+    def test_edges_as_tuples(self):
+        graph = RelationshipGraph([
+            Relationship(1, 2, RelationshipType.CUSTOMER_PROVIDER),
+            Relationship(3, 4, RelationshipType.PEER),
+        ])
+        assert graph.edges_as_tuples() == [(1, 2, "c2p"), (3, 4, "p2p")]
+
+    def test_len_and_iter(self):
+        rel = Relationship(1, 2, RelationshipType.PEER)
+        graph = RelationshipGraph([rel])
+        assert len(graph) == 1
+        assert list(graph) == [rel]

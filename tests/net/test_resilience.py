@@ -1,0 +1,86 @@
+"""Tests for repro.net.resilience."""
+
+import pytest
+
+from repro.net.italy import (
+    AS_ASDASD,
+    AS_RAI,
+    AS_TELECOM,
+    italy_ecosystem,
+)
+from repro.net.resilience import analyze_resilience, survey_resilience
+
+
+class TestAnalyzeResilience:
+    def test_rai_survives_any_single_failure(self, italy_eco):
+        """Five upstreams: no single provider is a point of failure —
+        one measurable payoff of the multihoming Section 6 observes."""
+        report = analyze_resilience(italy_eco, AS_RAI)
+        assert report.provider_count == 5
+        assert report.survives_any_single_failure
+        assert report.single_points_of_failure == []
+
+    def test_single_homed_as_has_spof(self, italy_eco):
+        # ASDASD buys transit only from Telecom Italia.
+        report = analyze_resilience(italy_eco, AS_ASDASD)
+        assert report.provider_count == 1
+        assert not report.survives_any_single_failure
+        assert report.single_points_of_failure == [AS_TELECOM]
+
+    def test_baseline_reachable(self, italy_eco):
+        report = analyze_resilience(italy_eco, AS_RAI)
+        assert report.baseline_path_length >= 1
+        assert report.core_asns  # tier-1 core exists
+
+    def test_alternative_paths_no_shorter_than_baseline(self, italy_eco):
+        report = analyze_resilience(italy_eco, AS_RAI)
+        for failure in report.failures:
+            if failure.still_reaches_core:
+                assert (
+                    failure.alternative_path_length
+                    >= report.baseline_path_length
+                )
+
+    def test_failure_entries_cover_providers(self, italy_eco):
+        report = analyze_resilience(italy_eco, AS_RAI)
+        failed = {f.provider_asn for f in report.failures}
+        assert failed == italy_eco.graph.providers_of(AS_RAI)
+
+    def test_requires_tier1_core(self, small_world):
+        from repro.net.ecosystem import ASEcosystem, EcosystemConfig
+        from repro.net.bgp import RoutingTable
+        from repro.net.ixp import IXPFabric
+        from repro.net.relationships import RelationshipGraph
+
+        empty = ASEcosystem(
+            world=small_world,
+            config=EcosystemConfig(),
+            as_nodes={},
+            graph=RelationshipGraph(),
+            fabric=IXPFabric(),
+            routing_table=RoutingTable(),
+            prefixes={},
+        )
+        with pytest.raises(ValueError, match="tier-1"):
+            analyze_resilience(empty, 1)
+
+
+class TestSurvey:
+    def test_small_scenario_survey(self, small_ecosystem):
+        survey = survey_resilience(small_ecosystem)
+        assert set(survey.survival_by_continent) == {"NA", "EU", "AS"}
+        for fraction in survey.survival_by_continent.values():
+            assert 0.0 <= fraction <= 1.0
+        for mean in survey.mean_providers_by_continent.values():
+            assert mean >= 1.0
+
+    def test_multihomed_majority_survives(self, small_ecosystem):
+        """Most generated eyeballs are multihomed, so most survive a
+        single provider failure."""
+        survey = survey_resilience(small_ecosystem)
+        overall = sum(survey.survival_by_continent.values()) / 3
+        assert overall > 0.4
+
+    def test_most_resilient_continent_valid(self, small_ecosystem):
+        survey = survey_resilience(small_ecosystem)
+        assert survey.most_resilient_continent() in ("NA", "EU", "AS")

@@ -1,0 +1,113 @@
+"""Tests for repro.net.traceroute."""
+
+import numpy as np
+import pytest
+
+from repro.net.traceroute import TracerouteSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator(small_ecosystem):
+    return TracerouteSimulator(small_ecosystem)
+
+
+def eyeball_pair(ecosystem, routing):
+    """Two eyeballs with a valley-free path between them."""
+    eyeballs = [n.asn for n in ecosystem.eyeballs]
+    for src in eyeballs:
+        for dst in eyeballs:
+            if src != dst and routing.path(src, dst):
+                return src, dst
+    pytest.skip("no routable eyeball pair in fixture ecosystem")
+
+
+class TestTrace:
+    def test_hops_follow_as_path(self, simulator, small_ecosystem):
+        src, dst = eyeball_pair(small_ecosystem, simulator.routing)
+        trace = simulator.trace(src, dst)
+        assert trace is not None
+        assert trace.as_path == simulator.routing.path(src, dst)
+
+    def test_starts_at_vantage_and_ends_at_destination(self, simulator,
+                                                       small_ecosystem):
+        src, dst = eyeball_pair(small_ecosystem, simulator.routing)
+        trace = simulator.trace(src, dst)
+        assert trace.hops[0].asn == src
+        assert trace.hops[0].pop.key == simulator.vantage_pop(src).key
+        assert trace.hops[-1].asn == dst
+
+    def test_explicit_destination_pop(self, simulator, small_ecosystem):
+        src, dst = eyeball_pair(small_ecosystem, simulator.routing)
+        pops = small_ecosystem.node(dst).customer_pops
+        target = pops[-1]
+        trace = simulator.trace(src, dst, dst_pop=target)
+        assert trace.hops[-1].pop.key == target.key
+
+    def test_foreign_destination_pop_rejected(self, simulator, small_ecosystem):
+        src, dst = eyeball_pair(small_ecosystem, simulator.routing)
+        wrong = small_ecosystem.node(src).pops[0]
+        with pytest.raises(ValueError):
+            simulator.trace(src, dst, dst_pop=wrong)
+
+    def test_unreachable_returns_none(self, small_ecosystem):
+        simulator = TracerouteSimulator(small_ecosystem)
+        # Two eyeballs are never providers of each other, so an
+        # artificial empty graph gives no path.
+        eyeballs = [n.asn for n in small_ecosystem.eyeballs]
+        # Find a pair with no path (may not exist; then skip).
+        for src in eyeballs:
+            for dst in eyeballs:
+                if src != dst and simulator.routing.path(src, dst) is None:
+                    assert simulator.trace(src, dst) is None
+                    return
+        pytest.skip("all eyeball pairs routable")
+
+    def test_hops_are_pops_of_their_as(self, simulator, small_ecosystem):
+        src, dst = eyeball_pair(small_ecosystem, simulator.routing)
+        trace = simulator.trace(src, dst)
+        for hop in trace.hops:
+            node = small_ecosystem.node(hop.asn)
+            assert any(p.key == hop.pop.key for p in node.pops)
+
+    def test_vantage_is_heaviest_pop(self, simulator, small_ecosystem):
+        node = small_ecosystem.eyeballs[0]
+        vantage = simulator.vantage_pop(node.asn)
+        assert vantage.customer_weight == max(
+            p.customer_weight for p in node.pops
+        )
+
+
+class TestCampaign:
+    def test_campaign_traces_only_routable(self, simulator, small_ecosystem):
+        eyeballs = [n.asn for n in small_ecosystem.eyeballs][:4]
+        transits = [n.asn for n in small_ecosystem.transits][:2]
+        traces = simulator.campaign(transits, eyeballs, targets_per_as=1)
+        assert traces
+        for trace in traces:
+            assert trace.src_asn in transits
+            assert trace.dst_asn in eyeballs
+
+    def test_campaign_fixed_destinations_per_as(self, simulator,
+                                                small_ecosystem):
+        """All vantages probe the same destination PoPs of a target."""
+        eyeballs = [n.asn for n in small_ecosystem.eyeballs][:2]
+        transits = [n.asn for n in small_ecosystem.transits][:3]
+        rng = np.random.default_rng(0)
+        traces = simulator.campaign(transits, eyeballs, targets_per_as=1,
+                                    rng=rng)
+        by_dst = {}
+        for trace in traces:
+            by_dst.setdefault(trace.dst_asn, set()).add(
+                trace.hops[-1].pop.key
+            )
+        for keys in by_dst.values():
+            assert len(keys) == 1
+
+    def test_campaign_deterministic_with_rng(self, simulator, small_ecosystem):
+        eyeballs = [n.asn for n in small_ecosystem.eyeballs][:3]
+        transits = [n.asn for n in small_ecosystem.transits][:2]
+        a = simulator.campaign(transits, eyeballs,
+                               rng=np.random.default_rng(7))
+        b = simulator.campaign(transits, eyeballs,
+                               rng=np.random.default_rng(7))
+        assert [t.hops for t in a] == [t.hops for t in b]

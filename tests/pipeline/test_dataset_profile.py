@@ -1,0 +1,124 @@
+"""Tests for repro.pipeline.dataset and repro.pipeline.profile."""
+
+import pytest
+
+from repro.geo.regions import RegionLevel
+from repro.pipeline.profile import profile_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset(small_scenario):
+    return small_scenario.dataset
+
+
+class TestTargetDataset:
+    def test_stats_consistent(self, dataset):
+        stats = dataset.stats
+        assert stats.target_ases == len(dataset)
+        assert stats.target_peers == dataset.total_peers
+        assert stats.crawled_peers >= stats.grouped_peers
+        assert (
+            stats.crawled_peers
+            - stats.dropped_missing_record
+            - stats.dropped_geo_error
+            - stats.dropped_unrouted
+            == stats.grouped_peers
+        )
+
+    def test_min_peers_enforced(self, dataset, small_scenario):
+        floor = small_scenario.config.pipeline.min_peers_per_as
+        for target in dataset.ases.values():
+            assert len(target) >= floor
+
+    def test_error_gate_enforced(self, dataset, small_scenario):
+        config = small_scenario.config.pipeline
+        for target in dataset.ases.values():
+            assert (
+                target.group.error_percentile(config.error_percentile)
+                <= config.error_percentile_max_km
+            )
+
+    def test_every_as_classified(self, dataset):
+        for target in dataset.ases.values():
+            assert isinstance(target.level, RegionLevel)
+            assert target.classification.containment > 0.5
+
+    def test_ases_at_level_partition(self, dataset):
+        total = sum(
+            len(dataset.ases_at_level(level)) for level in RegionLevel
+        )
+        assert total == len(dataset)
+
+    def test_ases_in_continent(self, dataset):
+        total = sum(
+            len(dataset.ases_in_continent(code)) for code in ("NA", "EU", "AS")
+        )
+        assert total == len(dataset)
+
+    def test_get(self, dataset):
+        asn = next(iter(dataset.ases))
+        assert dataset.get(asn) is dataset.ases[asn]
+        assert dataset.get(-1) is None
+
+    def test_peer_count_by_app(self, dataset):
+        target = next(iter(dataset.ases.values()))
+        counts = target.peer_count_by_app()
+        assert set(counts) == set(dataset.app_names)
+        assert sum(counts.values()) >= len(target)
+
+    def test_classification_matches_ground_truth_mostly(
+        self, dataset, small_scenario
+    ):
+        """The inferred level should usually match the AS's true
+        footprint: single-city ASes classify as city-level, etc."""
+        ecosystem = small_scenario.ecosystem
+        agree = 0
+        checked = 0
+        for asn, target in dataset.ases.items():
+            node = ecosystem.as_nodes.get(asn)
+            if node is None or not node.customer_pops:
+                continue
+            true_cities = {p.city_key for p in node.customer_pops}
+            true_states = {k.rsplit("-", 1)[0] for k in
+                           {p.city_key.split("/")[1] for p in node.customer_pops}}
+            checked += 1
+            if len(true_cities) == 1:
+                agree += target.level is RegionLevel.CITY
+            elif len({p.city_key.split("/")[1]
+                      for p in node.customer_pops}) == 1:
+                agree += target.level in (RegionLevel.CITY, RegionLevel.STATE)
+            else:
+                agree += target.level in (
+                    RegionLevel.STATE, RegionLevel.COUNTRY
+                )
+        assert checked > 0
+        assert agree / checked > 0.8
+
+
+class TestProfile:
+    def test_row_sums(self, dataset):
+        profile = profile_dataset(dataset)
+        total_by_level = sum(
+            row.ases_total() for row in profile.rows
+        )
+        in_profile_levels = sum(
+            1 for t in dataset.ases.values()
+            if t.level in (RegionLevel.CITY, RegionLevel.STATE,
+                           RegionLevel.COUNTRY)
+        )
+        assert total_by_level == in_profile_levels
+
+    def test_unknown_region_raises(self, dataset):
+        profile = profile_dataset(dataset)
+        with pytest.raises(KeyError):
+            profile.row("OC")
+
+    def test_dominant_app(self, dataset):
+        profile = profile_dataset(dataset)
+        assert profile.dominant_app("EU") == "Kad"
+        assert profile.dominant_app("NA") == "Gnutella"
+
+    def test_peer_totals_positive(self, dataset):
+        profile = profile_dataset(dataset)
+        for row in profile.rows:
+            assert row.peers_total() > 0

@@ -1,0 +1,155 @@
+"""Tests for repro.pipeline.filtering and repro.pipeline.classify."""
+
+import numpy as np
+import pytest
+
+from repro.geo.regions import RegionLevel
+from repro.pipeline.classify import classify_group
+from repro.pipeline.filtering import (
+    filter_error_percentile,
+    filter_geo_error,
+    filter_min_peers,
+)
+from repro.pipeline.grouping import ASPeerGroup
+from repro.pipeline.mapping import MappedPeers
+
+
+def make_mapped(n, error=None, city=None, state=None, country=None,
+                continent=None):
+    error = np.asarray(error if error is not None else np.zeros(n), dtype=float)
+    def column(values, default):
+        if values is None:
+            return np.array([default] * n, dtype=object)
+        return np.array(values, dtype=object)
+    return MappedPeers(
+        app_names=("Kad",),
+        user_index=np.arange(n),
+        ips=np.arange(n),
+        lat=np.zeros(n),
+        lon=np.zeros(n),
+        error_km=error,
+        city=column(city, "Rome"),
+        state=column(state, "IT-LAZ"),
+        country=column(country, "IT"),
+        continent=column(continent, "EU"),
+        membership=np.ones((n, 1), dtype=bool),
+    )
+
+
+def make_group(asn=1, **kwargs):
+    return ASPeerGroup(asn=asn, peers=make_mapped(**kwargs))
+
+
+class TestGeoErrorFilter:
+    def test_drops_above_threshold(self):
+        mapped = make_mapped(4, error=[10.0, 100.0, 100.1, 500.0])
+        kept, dropped = filter_geo_error(mapped, max_error_km=100.0)
+        assert len(kept) == 2  # threshold is inclusive
+        assert dropped == 2
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            filter_geo_error(make_mapped(1), max_error_km=0.0)
+
+
+class TestMinPeersFilter:
+    def test_drops_small_groups(self):
+        groups = {1: make_group(asn=1, n=10), 2: make_group(asn=2, n=3)}
+        kept, dropped = filter_min_peers(groups, min_peers=5)
+        assert set(kept) == {1}
+        assert dropped == 1
+
+    def test_boundary_inclusive(self):
+        groups = {1: make_group(asn=1, n=5)}
+        kept, dropped = filter_min_peers(groups, min_peers=5)
+        assert set(kept) == {1}
+
+    def test_rejects_zero_minimum(self):
+        with pytest.raises(ValueError):
+            filter_min_peers({}, min_peers=0)
+
+
+class TestErrorPercentileFilter:
+    def test_drops_noisy_as(self):
+        noisy = make_group(asn=1, n=100, error=[100.0] * 100)
+        clean = make_group(asn=2, n=100, error=[5.0] * 100)
+        kept, dropped = filter_error_percentile(
+            {1: noisy, 2: clean}, percentile=90, max_km=80.0
+        )
+        assert set(kept) == {2}
+        assert dropped == 1
+
+    def test_percentile_not_max(self):
+        # 5% of peers with huge error: p90 still fine.
+        error = [5.0] * 95 + [500.0] * 5
+        group = make_group(asn=1, n=100, error=error)
+        kept, _ = filter_error_percentile({1: group}, percentile=90, max_km=80.0)
+        assert set(kept) == {1}
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ValueError):
+            filter_error_percentile({}, percentile=0)
+
+
+class TestClassification:
+    def test_city_level(self):
+        group = make_group(n=100)
+        result = classify_group(group)
+        assert result.level is RegionLevel.CITY
+        assert result.region_name == "IT/IT-LAZ/Rome"
+        assert result.containment == pytest.approx(1.0)
+
+    def test_state_level(self):
+        city = ["Rome"] * 60 + ["Viterbo"] * 40
+        group = make_group(n=100, city=city)
+        result = classify_group(group)
+        assert result.level is RegionLevel.STATE
+        assert result.region_name == "IT/IT-LAZ"
+
+    def test_country_level(self):
+        city = ["Rome"] * 50 + ["Milan"] * 50
+        state = ["IT-LAZ"] * 50 + ["IT-LOM"] * 50
+        group = make_group(n=100, city=city, state=state)
+        assert classify_group(group).level is RegionLevel.COUNTRY
+
+    def test_continent_level(self):
+        country = ["IT"] * 50 + ["FR"] * 50
+        state = ["IT-LAZ"] * 50 + ["FR-IDF"] * 50
+        group = make_group(n=100, country=country, state=state)
+        assert classify_group(group).level is RegionLevel.CONTINENT
+
+    def test_global(self):
+        continent = ["EU"] * 50 + ["NA"] * 50
+        country = ["IT"] * 50 + ["US"] * 50
+        group = make_group(n=100, continent=continent, country=country)
+        result = classify_group(group)
+        assert result.level is RegionLevel.GLOBAL
+        assert result.region_name is None
+
+    def test_containment_boundary_strict(self):
+        # Exactly 95% in one city: NOT city-level (paper says >95%).
+        city = ["Rome"] * 95 + ["Milan"] * 5
+        state = ["IT-LAZ"] * 95 + ["IT-LOM"] * 5
+        group = make_group(n=100, city=city, state=state)
+        assert classify_group(group, threshold=0.95).level is RegionLevel.COUNTRY
+
+    def test_just_above_threshold(self):
+        city = ["Rome"] * 96 + ["Milan"] * 4
+        state = ["IT-LAZ"] * 96 + ["IT-LOM"] * 4
+        group = make_group(n=100, city=city, state=state)
+        assert classify_group(group, threshold=0.95).level is RegionLevel.CITY
+
+    def test_same_city_name_in_two_states_not_conflated(self):
+        city = ["Springfield"] * 100
+        state = ["US-IL"] * 50 + ["US-MA"] * 50
+        country = ["US"] * 100
+        group = make_group(n=100, city=city, state=state, country=country)
+        assert classify_group(group).level is RegionLevel.COUNTRY
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            classify_group(make_group(n=0))
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            classify_group(make_group(n=10), threshold=0.3)

@@ -1,0 +1,121 @@
+"""Tests for repro.pipeline.mapping and repro.pipeline.grouping."""
+
+import numpy as np
+import pytest
+
+from repro.crawl.crawler import CrawlConfig, run_crawl
+from repro.geo.coords import haversine_km
+from repro.geodb.error import GeoErrorModel
+from repro.geodb.synth import build_database
+from repro.pipeline.grouping import group_by_as
+from repro.pipeline.mapping import map_peers
+
+
+@pytest.fixture(scope="module")
+def sample(small_ecosystem, small_population):
+    return run_crawl(small_ecosystem, small_population, CrawlConfig(seed=11))
+
+
+@pytest.fixture(scope="module")
+def databases(small_world, small_population):
+    db1 = build_database("a", small_population.blocks, small_world,
+                         GeoErrorModel(seed=101))
+    db2 = build_database("b", small_population.blocks, small_world,
+                         GeoErrorModel(seed=202))
+    return db1, db2
+
+
+@pytest.fixture(scope="module")
+def mapped(sample, databases):
+    result, _ = map_peers(sample, *databases)
+    return result
+
+
+class TestMapPeers:
+    def test_stats_account_for_everyone(self, sample, databases):
+        mapped, stats = map_peers(sample, *databases)
+        assert stats.input_peers == len(sample)
+        assert stats.mapped_peers == len(mapped)
+        assert stats.mapped_peers + stats.dropped_missing == stats.input_peers
+        assert stats.dropped_missing > 0  # missing-rate defaults are nonzero
+
+    def test_reference_is_primary_database(self, sample, databases):
+        db1, _ = databases
+        mapped, _ = map_peers(sample, *databases)
+        for i in range(0, len(mapped), max(1, len(mapped) // 50)):
+            record = db1.lookup(int(mapped.ips[i]))
+            assert record is not None
+            assert mapped.lat[i] == pytest.approx(record.lat)
+            assert mapped.city[i] == record.city
+
+    def test_error_is_database_disagreement(self, sample, databases):
+        db1, db2 = databases
+        mapped, _ = map_peers(sample, *databases)
+        for i in range(0, len(mapped), max(1, len(mapped) // 50)):
+            r1 = db1.lookup(int(mapped.ips[i]))
+            r2 = db2.lookup(int(mapped.ips[i]))
+            assert mapped.error_km[i] == pytest.approx(r1.distance_km(r2), abs=1e-6)
+
+    def test_subset(self, mapped):
+        indices = np.arange(0, len(mapped), 2)
+        subset = mapped.subset(indices)
+        assert len(subset) == indices.size
+        assert np.array_equal(subset.ips, mapped.ips[indices])
+        assert np.array_equal(subset.membership, mapped.membership[indices])
+
+    def test_column_validation(self, mapped):
+        from repro.pipeline.mapping import MappedPeers
+
+        with pytest.raises(ValueError):
+            MappedPeers(
+                app_names=mapped.app_names,
+                user_index=mapped.user_index[:-1],
+                ips=mapped.ips,
+                lat=mapped.lat,
+                lon=mapped.lon,
+                error_km=mapped.error_km,
+                city=mapped.city,
+                state=mapped.state,
+                country=mapped.country,
+                continent=mapped.continent,
+                membership=mapped.membership,
+            )
+
+
+class TestGroupByAS:
+    def test_groups_match_routing_table(self, mapped, small_ecosystem):
+        groups, stats = group_by_as(mapped, small_ecosystem.routing_table)
+        assert stats.grouped_peers == len(mapped)  # all addresses announced
+        assert stats.as_count == len(groups)
+        total = sum(len(g) for g in groups.values())
+        assert total == stats.grouped_peers
+
+    def test_group_asn_is_true_asn(self, mapped, sample, small_ecosystem):
+        """BGP grouping must recover the ground-truth AS exactly (our
+        table has no MOAS or covering prefixes)."""
+        groups, _ = group_by_as(mapped, small_ecosystem.routing_table)
+        population = sample.population
+        for asn, group in groups.items():
+            true_asns = population.user_asn[group.peers.user_index]
+            assert np.all(true_asns == asn)
+
+    def test_error_percentile_monotone(self, mapped, small_ecosystem):
+        groups, _ = group_by_as(mapped, small_ecosystem.routing_table)
+        group = next(iter(groups.values()))
+        assert group.error_percentile(50) <= group.error_percentile(90)
+
+    def test_majority_continent(self, mapped, small_ecosystem):
+        groups, _ = group_by_as(mapped, small_ecosystem.routing_table)
+        for asn, group in list(groups.items())[:10]:
+            node = small_ecosystem.as_nodes[asn]
+            # Majority continent per the primary DB should almost always
+            # be the AS's home continent.
+            assert group.majority_continent() == node.continent_code
+
+    def test_unrouted_addresses_dropped(self, mapped):
+        from repro.net.bgp import RoutingTable
+
+        empty = RoutingTable()
+        groups, stats = group_by_as(mapped, empty)
+        assert groups == {}
+        assert stats.dropped_unrouted == len(mapped)

@@ -1,0 +1,67 @@
+"""Tests for repro.pipeline.stats."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.stats import Distribution, summarize_dataset
+
+
+class TestDistribution:
+    def test_of_known_values(self):
+        dist = Distribution.of(np.arange(101, dtype=float))
+        assert dist.count == 101
+        assert dist.mean == pytest.approx(50.0)
+        assert dist.p50 == pytest.approx(50.0)
+        assert dist.p90 == pytest.approx(90.0)
+        assert dist.max == 100.0
+
+    def test_of_empty(self):
+        dist = Distribution.of(np.array([]))
+        assert dist.count == 0
+        assert dist.mean == 0.0
+
+    def test_percentiles_ordered(self):
+        rng = np.random.default_rng(0)
+        dist = Distribution.of(rng.exponential(10.0, 500))
+        assert dist.p10 <= dist.p50 <= dist.p90 <= dist.p99 <= dist.max
+
+
+class TestSummarizeDataset:
+    @pytest.fixture(scope="class")
+    def stats(self, small_scenario):
+        return summarize_dataset(small_scenario.dataset)
+
+    def test_error_distribution_respects_filter(self, stats, small_scenario):
+        config = small_scenario.config.pipeline
+        assert stats.geo_error_km.max <= config.max_geo_error_km
+        assert stats.geo_error_km.count == small_scenario.dataset.total_peers
+
+    def test_peers_per_as_floor(self, stats, small_scenario):
+        assert stats.peers_per_as.count == len(small_scenario.dataset)
+        assert stats.peers_per_as.p10 >= small_scenario.config.pipeline.min_peers_per_as
+
+    def test_level_histogram_sums(self, stats, small_scenario):
+        assert sum(stats.level_histogram.values()) == len(
+            small_scenario.dataset
+        )
+
+    def test_app_overlap_symmetric_lookup(self, stats, small_scenario):
+        names = small_scenario.dataset.app_names
+        assert stats.overlap(names[0], names[1]) == stats.overlap(
+            names[1], names[0]
+        )
+
+    def test_overlap_bounded_by_app_counts(self, stats, small_scenario):
+        names = small_scenario.dataset.app_names
+        totals = {name: 0 for name in names}
+        for target in small_scenario.dataset.ases.values():
+            for name, count in target.peer_count_by_app().items():
+                totals[name] += count
+        for i, name_a in enumerate(names):
+            for name_b in names[i + 1:]:
+                assert stats.overlap(name_a, name_b) <= min(
+                    totals[name_a], totals[name_b]
+                )
+
+    def test_multi_app_fraction_range(self, stats):
+        assert 0.0 < stats.multi_app_fraction < 1.0

@@ -1,0 +1,97 @@
+"""Tests for repro.datasets (measurement-release round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    load_measurement_release,
+    load_peers_csv,
+    save_measurement_release,
+    save_peers_csv,
+)
+from repro.pipeline.classify import classify_group
+from repro.pipeline.grouping import group_by_as
+
+
+@pytest.fixture(scope="module")
+def release_dir(small_scenario, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("release")
+    save_measurement_release(small_scenario, directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def loaded(release_dir):
+    return load_measurement_release(release_dir)
+
+
+class TestPeersCsv:
+    def test_roundtrip(self, small_scenario, tmp_path):
+        asn = small_scenario.eyeball_target_asns()[0]
+        mapped = small_scenario.dataset.ases[asn].group.peers
+        path = tmp_path / "peers.csv"
+        save_peers_csv(mapped, path)
+        loaded = load_peers_csv(path)
+        assert len(loaded) == len(mapped)
+        assert loaded.app_names == mapped.app_names
+        assert np.array_equal(loaded.ips, mapped.ips)
+        assert np.allclose(loaded.lat, mapped.lat, atol=1e-6)
+        assert np.allclose(loaded.error_km, mapped.error_km, atol=1e-3)
+        assert np.array_equal(loaded.membership, mapped.membership)
+        assert list(loaded.city) == list(mapped.city)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope\n1,2\n")
+        with pytest.raises(ValueError, match="header"):
+            load_peers_csv(path)
+
+
+class TestRelease:
+    def test_all_files_written(self, release_dir):
+        names = {p.name for p in release_dir.iterdir()}
+        assert names == {
+            "routeviews.txt",
+            "as-rel.txt",
+            "ixp-memberships.txt",
+            "ixp-peerings.txt",
+            "ixp-lans.txt",
+            "peers.csv",
+        }
+
+    def test_routing_table_roundtrip(self, small_scenario, loaded):
+        routing_table = loaded[0]
+        assert routing_table.entries() == (
+            small_scenario.ecosystem.routing_table.entries()
+        )
+
+    def test_graph_roundtrip(self, small_scenario, loaded):
+        graph = loaded[1]
+        assert sorted(graph.edges_as_tuples()) == sorted(
+            small_scenario.ecosystem.graph.edges_as_tuples()
+        )
+
+    def test_fabric_roundtrip_with_lans(self, small_scenario, loaded):
+        fabric = loaded[2]
+        truth = small_scenario.ecosystem.fabric
+        assert set(fabric.ixps) == set(truth.ixps)
+        for name in truth.ixps:
+            assert fabric.ixps[name].members == truth.ixps[name].members
+            assert fabric.ixps[name].peering_lan == truth.ixps[name].peering_lan
+
+    def test_peer_count_matches_target_dataset(self, small_scenario, loaded):
+        peers = loaded[4]
+        assert len(peers) == small_scenario.dataset.total_peers
+
+    def test_analysis_runs_from_files_alone(self, small_scenario, loaded):
+        """The paper's grouping + classification must be reproducible
+        from the released files without the generator objects."""
+        routing_table, _, _, _, peers = loaded
+        groups, stats = group_by_as(peers, routing_table)
+        assert stats.dropped_unrouted == 0
+        assert set(groups) == set(small_scenario.dataset.ases)
+        for asn, group in list(groups.items())[:5]:
+            fresh = classify_group(group)
+            original = small_scenario.dataset.ases[asn].classification
+            assert fresh.level is original.level
+            assert fresh.region_name == original.region_name

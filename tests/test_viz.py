@@ -1,0 +1,189 @@
+"""Tests for repro.viz (terminal rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.core.contours import footprint_contour
+from repro.core.kde import compute_kde
+from repro.geo.coords import offset_km
+from repro.viz import (
+    cdf_plot,
+    contour_map,
+    density_map,
+    histogram,
+    side_by_side,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    rng = np.random.default_rng(5)
+    lats, lons = offset_km(
+        np.full(300, 42.0), np.full(300, 12.0),
+        rng.normal(0, 30, 300), rng.normal(0, 30, 300),
+    )
+    return compute_kde(np.asarray(lats), np.asarray(lons), 20.0)
+
+
+class TestDensityMap:
+    def test_dimensions(self, grid):
+        text = density_map(grid, max_width=40)
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+        assert len(lines[0]) <= 40
+
+    def test_peak_uses_darkest_shade(self, grid):
+        text = density_map(grid)
+        assert "@" in text
+
+    def test_empty_margin_blank(self, grid):
+        lines = density_map(grid).splitlines()
+        # The grid is padded by 5 bandwidths, so corners are blank.
+        assert lines[0][0] == " "
+
+    def test_zero_grid(self, grid):
+        from repro.core.grid import DensityGrid
+
+        zero = DensityGrid(
+            projection=grid.projection, x_min=0.0, y_min=0.0,
+            cell_km=5.0, values=np.zeros((4, 6)),
+        )
+        text = density_map(zero)
+        assert set(text) <= {" ", "\n"}
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            density_map(grid, shades="")
+        with pytest.raises(ValueError):
+            density_map(grid, gamma=0.0)
+
+    def test_north_up(self):
+        """A density concentrated in the grid's north must be rendered
+        in the top lines."""
+        from repro.core.grid import DensityGrid
+        from repro.geo.projection import LocalProjection
+
+        values = np.zeros((10, 10))
+        values[9, 5] = 1.0  # northernmost row of the grid
+        grid = DensityGrid(
+            projection=LocalProjection(center_lat=42.0, center_lon=12.0),
+            x_min=0.0, y_min=0.0, cell_km=5.0, values=values,
+        )
+        lines = density_map(grid, max_width=10).splitlines()
+        assert "@" in lines[0]
+        assert "@" not in lines[-1]
+
+
+class TestContourMap:
+    def test_partitions_labelled(self, grid):
+        contour = footprint_contour(grid, relative_level=0.05)
+        text = contour_map(grid, contour)
+        assert "1" in text
+        assert "." in text
+
+    def test_multiple_partitions_distinct(self):
+        rng = np.random.default_rng(6)
+        lat_b, lon_b = offset_km(42.0, 12.0, 400.0, 0.0)
+        lats = np.concatenate([
+            offset_km(np.full(200, 42.0), np.full(200, 12.0),
+                      rng.normal(0, 10, 200), rng.normal(0, 10, 200))[0],
+            offset_km(np.full(200, float(lat_b)), np.full(200, float(lon_b)),
+                      rng.normal(0, 10, 200), rng.normal(0, 10, 200))[0],
+        ])
+        lons = np.concatenate([
+            offset_km(np.full(200, 42.0), np.full(200, 12.0),
+                      rng.normal(0, 10, 200), rng.normal(0, 10, 200))[1],
+            offset_km(np.full(200, float(lat_b)), np.full(200, float(lon_b)),
+                      rng.normal(0, 10, 200), rng.normal(0, 10, 200))[1],
+        ])
+        grid = compute_kde(lats, lons, 20.0)
+        contour = footprint_contour(grid, relative_level=0.05)
+        text = contour_map(grid, contour)
+        assert "1" in text
+        assert "2" in text
+
+
+class TestCdfPlot:
+    def test_structure(self):
+        text = cdf_plot({"a": np.array([0.2, 0.5, 0.9])}, width=30, height=6)
+        lines = text.splitlines()
+        assert "100% |" in lines[0]
+        assert "  0% |" in lines[5]
+        assert "o a" in lines[-1]
+
+    def test_multiple_series_markers(self):
+        text = cdf_plot(
+            {"x": np.array([0.1]), "y": np.array([0.9])}, width=20, height=5
+        )
+        assert "o x" in text
+        assert "+ y" in text
+
+    def test_empty_series_dict_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_plot({})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_plot({"a": np.array([0.5])}, width=2, height=2)
+
+    def test_degenerate_series_allowed(self):
+        text = cdf_plot({"a": np.array([])}, width=20, height=5)
+        assert "a" in text
+
+
+class TestHistogram:
+    def test_bars_proportional(self):
+        text = histogram({1: 10, 2: 5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert histogram({}) == "(empty)"
+
+    def test_zero_counts(self):
+        text = histogram({"a": 0})
+        assert "#" not in text
+
+
+class TestSideBySide:
+    def test_joins_blocks(self):
+        text = side_by_side("ab\ncd", "XY\nZW", gap=2)
+        assert text.splitlines() == ["ab  XY", "cd  ZW"]
+
+    def test_uneven_blocks(self):
+        text = side_by_side("a", "X\nY")
+        assert len(text.splitlines()) == 2
+
+    def test_titles(self):
+        text = side_by_side("a", "b", titles=("L", "R"))
+        assert text.splitlines()[0].startswith("L")
+
+
+class TestSurfaceExport:
+    def test_gnuplot_rows(self, grid):
+        from repro.viz import surface_to_text
+
+        text = surface_to_text(grid, stride=4)
+        lines = text.splitlines()
+        assert lines[0].startswith("#")
+        data_lines = [l for l in lines[1:] if l]
+        x, y, z = data_lines[0].split()
+        float(x), float(y), float(z)
+        # Blank separators between scan rows (gnuplot pm3d format).
+        assert "" in lines[1:]
+
+    def test_stride_reduces_rows(self, grid):
+        from repro.viz import surface_to_text
+
+        full = surface_to_text(grid, stride=1)
+        sparse = surface_to_text(grid, stride=4)
+        assert len(sparse) < len(full)
+
+    def test_stride_validated(self, grid):
+        from repro.viz import surface_to_text
+
+        import pytest
+
+        with pytest.raises(ValueError):
+            surface_to_text(grid, stride=0)

@@ -1,0 +1,133 @@
+"""Tests for repro.validation.dimes."""
+
+import pytest
+
+from repro.geo.coords import haversine_km, offset_km
+from repro.validation.dimes import (
+    DimesConfig,
+    _cluster,
+    compare_with_dimes,
+    run_dimes_campaign,
+)
+
+ROME = (41.9028, 12.4964)
+
+
+def near(point, km_east):
+    lat, lon = offset_km(point[0], point[1], km_east, 0.0)
+    return (float(lat), float(lon))
+
+
+class TestConfigValidation:
+    def test_rejects_zero_vantages(self):
+        with pytest.raises(ValueError):
+            DimesConfig(vantage_count=0)
+
+    def test_rejects_zero_cluster_radius(self):
+        with pytest.raises(ValueError):
+            DimesConfig(cluster_radius_km=0.0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            DimesConfig(interface_noise_km=-1.0)
+
+
+class TestClustering:
+    def test_nearby_points_collapse(self):
+        points = [ROME, near(ROME, 5.0), near(ROME, -5.0)]
+        assert len(_cluster(points, radius_km=40.0)) == 1
+
+    def test_distant_points_stay_apart(self):
+        points = [ROME, near(ROME, 200.0)]
+        assert len(_cluster(points, radius_km=40.0)) == 2
+
+    def test_centroid_between_members(self):
+        points = [ROME, near(ROME, 10.0)]
+        (lat, lon), = _cluster(points, radius_km=40.0)
+        distance = float(haversine_km(lat, lon, *ROME))
+        assert distance < 10.0
+
+    def test_empty(self):
+        assert _cluster([], radius_km=40.0) == []
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def dimes(self, small_ecosystem):
+        targets = [n.asn for n in small_ecosystem.eyeballs]
+        return run_dimes_campaign(
+            small_ecosystem, targets, DimesConfig(seed=31)
+        )
+
+    def test_observes_most_targets(self, dimes, small_ecosystem):
+        targets = {n.asn for n in small_ecosystem.eyeballs}
+        assert len(set(dimes.pops) & targets) > 0.8 * len(targets)
+
+    def test_traces_ran(self, dimes):
+        assert dimes.trace_count > 0
+
+    def test_pop_estimates_near_true_pops(self, dimes, small_ecosystem):
+        """Every DIMES PoP estimate must be near a true PoP of its AS
+        (the method cannot hallucinate facilities, it only misses them)."""
+        for asn, estimates in dimes.pops.items():
+            node = small_ecosystem.node(asn)
+            for lat, lon in estimates:
+                nearest = min(
+                    float(haversine_km(lat, lon, p.lat, p.lon))
+                    for p in node.pops
+                )
+                assert nearest < 50.0
+
+    def test_undercounts_pops(self, dimes, small_ecosystem):
+        """The structural limitation: traceroutes see fewer PoPs than
+        exist, on average."""
+        truth = 0.0
+        seen = 0.0
+        count = 0
+        for asn, estimates in dimes.pops.items():
+            node = small_ecosystem.node(asn)
+            truth += len(node.customer_pops)
+            seen += len(estimates)
+            count += 1
+        assert count > 0
+        assert seen / count < truth / count
+
+    def test_deterministic(self, small_ecosystem):
+        targets = [n.asn for n in small_ecosystem.eyeballs][:5]
+        a = run_dimes_campaign(small_ecosystem, targets, DimesConfig(seed=31))
+        b = run_dimes_campaign(small_ecosystem, targets, DimesConfig(seed=31))
+        assert a.pops == b.pops
+
+    def test_explicit_vantages(self, small_ecosystem):
+        targets = [n.asn for n in small_ecosystem.eyeballs][:3]
+        vantages = [n.asn for n in small_ecosystem.transits][:2]
+        dimes = run_dimes_campaign(
+            small_ecosystem, targets, DimesConfig(seed=1),
+            vantage_asns=vantages,
+        )
+        assert dimes.trace_count <= len(targets) * len(vantages)
+
+    def test_mean_pops_per_as(self, dimes):
+        assert dimes.mean_pops_per_as() > 0
+
+
+class TestComparison:
+    def test_superset_detection(self):
+        from repro.validation.dimes import DimesDataset
+
+        dimes = DimesDataset(pops={1: (ROME,), 2: (ROME, near(ROME, 300.0))},
+                             trace_count=4)
+        kde = {1: [ROME, near(ROME, 300.0)], 2: [ROME]}
+        comparison = compare_with_dimes(kde, dimes)
+        assert comparison.common_as_count == 2
+        assert comparison.kde_mean_pops == pytest.approx(1.5)
+        assert comparison.dimes_mean_pops == pytest.approx(1.5)
+        assert comparison.superset_fraction == pytest.approx(0.5)
+
+    def test_no_common_ases(self):
+        from repro.validation.dimes import DimesDataset
+
+        dimes = DimesDataset(pops={1: (ROME,)}, trace_count=1)
+        comparison = compare_with_dimes({2: [ROME]}, dimes)
+        assert comparison.common_as_count == 0
+        assert comparison.superset_fraction == 0.0

@@ -1,0 +1,153 @@
+"""Tests for repro.validation.matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import offset_km
+from repro.validation.matching import (
+    MatchResult,
+    ValidationReport,
+    cdf_at,
+    cdf_points,
+    match_pop_sets,
+)
+
+ROME = (41.9028, 12.4964)
+MILAN = (45.4642, 9.1900)
+
+
+def near(point, km_east):
+    lat, lon = offset_km(point[0], point[1], km_east, 0.0)
+    return (float(lat), float(lon))
+
+
+class TestMatchPopSets:
+    def test_perfect_match(self):
+        result = match_pop_sets([ROME, MILAN], [ROME, MILAN])
+        assert result.recall == 1.0
+        assert result.precision == 1.0
+        assert result.perfect_precision
+        assert result.is_superset
+
+    def test_match_within_radius(self):
+        result = match_pop_sets([near(ROME, 30.0)], [ROME], radius_km=40.0)
+        assert result.recall == 1.0
+        assert result.precision == 1.0
+
+    def test_no_match_beyond_radius(self):
+        result = match_pop_sets([near(ROME, 60.0)], [ROME], radius_km=40.0)
+        assert result.recall == 0.0
+        assert result.precision == 0.0
+        assert not result.is_superset
+
+    def test_partial_recall(self):
+        result = match_pop_sets([ROME], [ROME, MILAN])
+        assert result.recall == pytest.approx(0.5)
+        assert result.precision == 1.0
+        assert not result.is_superset
+
+    def test_partial_precision(self):
+        result = match_pop_sets([ROME, MILAN], [ROME])
+        assert result.precision == pytest.approx(0.5)
+        assert result.recall == 1.0
+        assert result.is_superset
+        assert not result.perfect_precision
+
+    def test_one_inferred_covers_many_reference(self):
+        # A single peak matches every reference PoP of a metro.
+        reference = [ROME, near(ROME, 10.0), near(ROME, -15.0)]
+        result = match_pop_sets([ROME], reference)
+        assert result.recall == 1.0
+
+    def test_empty_inferred(self):
+        result = match_pop_sets([], [ROME])
+        assert result.recall == 0.0
+        assert result.precision == 1.0  # vacuous
+        assert not result.perfect_precision
+
+    def test_empty_reference(self):
+        result = match_pop_sets([ROME], [])
+        assert result.recall == 1.0  # vacuous
+        assert result.precision == 0.0
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            match_pop_sets([ROME], [ROME], radius_km=0.0)
+
+    def test_result_validation(self):
+        with pytest.raises(ValueError):
+            MatchResult(inferred_count=1, reference_count=1,
+                        matched_inferred=2, matched_reference=0,
+                        radius_km=40.0)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30)
+    def test_counts_bounded(self, n_inferred, n_reference):
+        rng = np.random.default_rng(n_inferred * 31 + n_reference)
+        inferred = [
+            near(ROME, float(rng.uniform(-300, 300))) for _ in range(n_inferred)
+        ]
+        reference = [
+            near(ROME, float(rng.uniform(-300, 300))) for _ in range(n_reference)
+        ]
+        result = match_pop_sets(inferred, reference)
+        assert 0 <= result.matched_inferred <= n_inferred
+        assert 0 <= result.matched_reference <= n_reference
+        assert 0.0 <= result.recall <= 1.0
+        assert 0.0 <= result.precision <= 1.0
+
+
+class TestValidationReport:
+    def make_report(self):
+        results = {
+            1: match_pop_sets([ROME, MILAN], [ROME, MILAN]),
+            2: match_pop_sets([ROME], [ROME, MILAN]),
+            3: match_pop_sets([near(ROME, 100.0)], [ROME]),
+        }
+        return ValidationReport(bandwidth_km=40.0, results=results)
+
+    def test_aggregates(self):
+        report = self.make_report()
+        assert len(report) == 3
+        assert report.recalls().tolist() == pytest.approx([1.0, 0.5, 0.0])
+        assert report.mean_inferred_pops() == pytest.approx(4 / 3)
+        assert report.mean_reference_pops() == pytest.approx(5 / 3)
+        assert report.perfect_precision_fraction() == pytest.approx(2 / 3)
+        assert report.superset_fraction() == pytest.approx(1 / 3)
+
+    def test_empty_report(self):
+        report = ValidationReport(bandwidth_km=40.0, results={})
+        assert report.mean_inferred_pops() == 0.0
+        assert report.perfect_precision_fraction() == 0.0
+
+
+class TestCdf:
+    def test_cdf_points_monotone(self):
+        values, fractions = cdf_points(np.array([0.3, 0.1, 0.9]))
+        assert values.tolist() == pytest.approx([0.1, 0.3, 0.9])
+        assert fractions.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_points_empty(self):
+        values, fractions = cdf_points(np.array([]))
+        assert values.size == 0
+
+    def test_cdf_at(self):
+        values = np.array([0.1, 0.5, 0.9])
+        assert cdf_at(values, 0.5) == pytest.approx(2 / 3)
+        assert cdf_at(values, 0.0) == 0.0
+        assert cdf_at(values, 1.0) == 1.0
+
+    def test_cdf_at_empty(self):
+        assert cdf_at(np.array([]), 0.5) == 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1,
+                    max_size=30))
+    @settings(max_examples=30)
+    def test_cdf_at_monotone_in_threshold(self, values):
+        array = np.array(values)
+        thresholds = np.linspace(0, 1, 5)
+        cdf = [cdf_at(array, t) for t in thresholds]
+        assert cdf == sorted(cdf)

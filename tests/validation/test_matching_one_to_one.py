@@ -1,0 +1,71 @@
+"""Tests for the one-to-one (assignment) PoP matcher."""
+
+import pytest
+
+from repro.geo.coords import offset_km
+from repro.validation.matching import (
+    match_pop_sets,
+    match_pop_sets_one_to_one,
+)
+
+ROME = (41.9028, 12.4964)
+MILAN = (45.4642, 9.1900)
+
+
+def near(point, km_east):
+    lat, lon = offset_km(point[0], point[1], km_east, 0.0)
+    return (float(lat), float(lon))
+
+
+class TestOneToOne:
+    def test_perfect_pairing(self):
+        result = match_pop_sets_one_to_one([ROME, MILAN], [ROME, MILAN])
+        assert result.matched_inferred == 2
+        assert result.recall == 1.0
+        assert result.precision == 1.0
+
+    def test_metro_duplicates_count_once(self):
+        """One peak near three metro facilities: coverage matching says
+        recall 1.0, one-to-one says 1/3."""
+        reference = [ROME, near(ROME, 10.0), near(ROME, -12.0)]
+        coverage = match_pop_sets([ROME], reference)
+        strict = match_pop_sets_one_to_one([ROME], reference)
+        assert coverage.recall == 1.0
+        assert strict.recall == pytest.approx(1 / 3)
+        assert strict.matched_inferred == 1
+
+    def test_assignment_is_optimal(self):
+        # Two inferred, two reference; the greedy nearest pairing would
+        # leave one unmatched, the optimal assignment matches both.
+        a = ROME
+        b = near(ROME, 35.0)
+        ref_1 = near(ROME, 20.0)   # within 40km of both a and b
+        ref_2 = near(ROME, -30.0)  # only within 40km of a
+        result = match_pop_sets_one_to_one([a, b], [ref_1, ref_2])
+        assert result.matched_inferred == 2
+
+    def test_never_exceeds_coverage_matching(self):
+        inferred = [ROME, near(ROME, 15.0), MILAN]
+        reference = [ROME, near(MILAN, 10.0)]
+        strict = match_pop_sets_one_to_one(inferred, reference)
+        coverage = match_pop_sets(inferred, reference)
+        assert strict.matched_inferred <= coverage.matched_inferred
+        assert strict.matched_reference <= coverage.matched_reference
+
+    def test_out_of_radius_never_paired(self):
+        result = match_pop_sets_one_to_one([ROME], [MILAN])
+        assert result.matched_inferred == 0
+
+    def test_empty_sides(self):
+        assert match_pop_sets_one_to_one([], [ROME]).matched_inferred == 0
+        assert match_pop_sets_one_to_one([ROME], []).matched_inferred == 0
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            match_pop_sets_one_to_one([ROME], [ROME], radius_km=0.0)
+
+    def test_symmetric_counts(self):
+        result = match_pop_sets_one_to_one(
+            [ROME, MILAN], [ROME, near(ROME, 5.0)]
+        )
+        assert result.matched_inferred == result.matched_reference == 1

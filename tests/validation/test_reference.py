@@ -1,0 +1,126 @@
+"""Tests for repro.validation.reference."""
+
+import pytest
+
+from repro.geo.coords import haversine_km
+from repro.geo.regions import RegionLevel
+from repro.validation.reference import (
+    ReferenceConfig,
+    build_reference_dataset,
+    select_reference_ases,
+)
+
+
+@pytest.fixture(scope="module")
+def eyeball_asns(small_ecosystem):
+    return [n.asn for n in small_ecosystem.eyeballs]
+
+
+class TestConfigValidation:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            ReferenceConfig(p_listed=1.2)
+
+    def test_rejects_zero_ases(self):
+        with pytest.raises(ValueError):
+            ReferenceConfig(as_count=0)
+
+    def test_rejects_negative_duplicates(self):
+        with pytest.raises(ValueError):
+            ReferenceConfig(max_metro_duplicates=-1)
+
+
+class TestSelection:
+    def test_deterministic(self, small_ecosystem, eyeball_asns):
+        config = ReferenceConfig(as_count=5)
+        a = select_reference_ases(small_ecosystem, eyeball_asns, config=config)
+        b = select_reference_ases(small_ecosystem, eyeball_asns, config=config)
+        assert a == b
+
+    def test_respects_count(self, small_ecosystem, eyeball_asns):
+        selected = select_reference_ases(
+            small_ecosystem, eyeball_asns, config=ReferenceConfig(as_count=5)
+        )
+        assert len(selected) == 5
+
+    def test_excludes_city_level(self, small_ecosystem, eyeball_asns):
+        levels = {asn: RegionLevel.CITY for asn in eyeball_asns}
+        levels[eyeball_asns[0]] = RegionLevel.COUNTRY
+        selected = select_reference_ases(
+            small_ecosystem, eyeball_asns, levels=levels,
+            config=ReferenceConfig(as_count=10),
+        )
+        assert selected == [eyeball_asns[0]]
+
+    def test_ignores_unknown_asns(self, small_ecosystem):
+        assert select_reference_ases(small_ecosystem, [999999]) == []
+
+
+class TestBuildReference:
+    def test_deterministic(self, small_ecosystem, eyeball_asns):
+        config = ReferenceConfig(seed=3)
+        a = build_reference_dataset(small_ecosystem, eyeball_asns[:5], config)
+        b = build_reference_dataset(small_ecosystem, eyeball_asns[:5], config)
+        assert a.pops == b.pops
+
+    def test_full_listing_covers_customer_pops(self, small_ecosystem,
+                                               eyeball_asns):
+        config = ReferenceConfig(p_listed=1.0, max_metro_duplicates=0,
+                                 p_access_point=0.0)
+        dataset = build_reference_dataset(small_ecosystem, eyeball_asns[:5],
+                                          config)
+        for asn in eyeball_asns[:5]:
+            node = small_ecosystem.node(asn)
+            entries = dataset.pops[asn]
+            customers = [e for e in entries if e.kind == "customer"]
+            assert len(customers) == len(node.customer_pops)
+            infra = [e for e in entries if e.kind == "infrastructure"]
+            assert len(infra) == len(node.infrastructure_pops)
+
+    def test_metro_duplicates_near_their_pop(self, small_ecosystem,
+                                             eyeball_asns):
+        config = ReferenceConfig(p_listed=1.0, max_metro_duplicates=3,
+                                 p_access_point=0.0,
+                                 metro_duplicate_radius_km=25.0)
+        dataset = build_reference_dataset(small_ecosystem, eyeball_asns[:5],
+                                          config)
+        for asn in eyeball_asns[:5]:
+            node = small_ecosystem.node(asn)
+            for entry in dataset.pops[asn]:
+                if entry.kind != "metro-duplicate":
+                    continue
+                nearest = min(
+                    float(haversine_km(entry.lat, entry.lon, p.lat, p.lon))
+                    for p in node.customer_pops
+                )
+                assert nearest < 60.0
+
+    def test_lists_longer_than_customer_pops_on_average(self, small_ecosystem,
+                                                        eyeball_asns):
+        config = ReferenceConfig(seed=3)
+        dataset = build_reference_dataset(small_ecosystem, eyeball_asns, config)
+        mean_reference = dataset.mean_pops_per_as()
+        mean_truth = sum(
+            len(small_ecosystem.node(a).customer_pops) for a in eyeball_asns
+        ) / len(eyeball_asns)
+        assert mean_reference > mean_truth
+
+    def test_stale_pages_drop_pops(self, small_ecosystem, eyeball_asns):
+        config = ReferenceConfig(seed=3, p_listed=0.0,
+                                 max_metro_duplicates=0, p_access_point=0.0)
+        dataset = build_reference_dataset(small_ecosystem, eyeball_asns[:5],
+                                          config)
+        for asn in eyeball_asns[:5]:
+            assert all(e.kind != "customer" for e in dataset.pops[asn])
+
+    def test_coordinates_accessor(self, small_ecosystem, eyeball_asns):
+        dataset = build_reference_dataset(
+            small_ecosystem, eyeball_asns[:1], ReferenceConfig(seed=3)
+        )
+        coords = dataset.coordinates_of(eyeball_asns[0])
+        assert len(coords) == len(dataset.pops[eyeball_asns[0]])
+
+    def test_empty_dataset_mean(self, small_ecosystem):
+        dataset = build_reference_dataset(small_ecosystem, [],
+                                          ReferenceConfig(seed=1))
+        assert dataset.mean_pops_per_as() == 0.0

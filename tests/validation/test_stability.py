@@ -1,0 +1,71 @@
+"""Tests for repro.validation.stability (split-half self-validation)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import offset_km
+from repro.validation.stability import mean_stability, split_half_stability
+
+
+def clustered_sample(n_per_city, seed=0, cities=((0, 0), (300, 0), (0, 300))):
+    rng = np.random.default_rng(seed)
+    lats, lons = [], []
+    for east, north in cities:
+        clat, clon = offset_km(42.0, 12.0, east, north)
+        a, b = offset_km(
+            np.full(n_per_city, float(clat)), np.full(n_per_city, float(clon)),
+            rng.normal(0, 8, n_per_city), rng.normal(0, 8, n_per_city),
+        )
+        lats.append(a)
+        lons.append(b)
+    return np.concatenate(lats), np.concatenate(lons)
+
+
+class TestSplitHalf:
+    def test_large_sample_is_stable(self):
+        lats, lons = clustered_sample(500)
+        result = split_half_stability(lats, lons, bandwidth_km=40.0)
+        assert result.agreement > 0.9
+        assert result.jaccard > 0.8
+        assert result.half_a_count >= 3
+
+    def test_tiny_sample_less_stable_than_large(self):
+        lats_small, lons_small = clustered_sample(6)
+        lats_big, lons_big = clustered_sample(500)
+        small = mean_stability(lats_small, lons_small, 40.0, repeats=8)
+        big = mean_stability(lats_big, lons_big, 40.0, repeats=3)
+        assert big >= small
+
+    def test_coarser_bandwidth_at_least_as_stable(self):
+        lats, lons = clustered_sample(30, cities=((0, 0), (60, 0), (120, 30)))
+        fine = mean_stability(lats, lons, 10.0, repeats=5)
+        coarse = mean_stability(lats, lons, 80.0, repeats=5)
+        assert coarse >= fine - 0.05
+
+    def test_deterministic_in_seed(self):
+        lats, lons = clustered_sample(100)
+        a = split_half_stability(lats, lons, 40.0, seed=3)
+        b = split_half_stability(lats, lons, 40.0, seed=3)
+        assert a == b
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            split_half_stability(
+                np.array([1.0, 2.0]), np.array([1.0, 2.0]), 40.0
+            )
+
+    def test_mean_stability_repeats_validated(self):
+        lats, lons = clustered_sample(20)
+        with pytest.raises(ValueError):
+            mean_stability(lats, lons, 40.0, repeats=0)
+
+    def test_on_scenario_as(self, small_scenario):
+        asn = max(
+            small_scenario.eyeball_target_asns(),
+            key=lambda a: len(small_scenario.dataset.ases[a]),
+        )
+        target = small_scenario.dataset.ases[asn]
+        result = split_half_stability(
+            target.group.lat, target.group.lon, bandwidth_km=40.0
+        )
+        assert result.agreement > 0.7
