@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments lint clean
+.PHONY: install test bench examples experiments profile lint clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,9 @@ examples:
 
 experiments:
 	$(PYTHON) -m repro.cli all
+
+profile:
+	$(PYTHON) -m repro.cli --log-level info stats --top 10
 
 clean:
 	rm -rf .pytest_cache benchmarks/results .benchmarks

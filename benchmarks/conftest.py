@@ -2,11 +2,16 @@
 
 The paper-shaped default scenario is built once per benchmark session.
 Each benchmark renders its table/figure next to the paper's numbers and
-archives it under ``benchmarks/results/`` so EXPERIMENTS.md can cite the
-exact output.
+archives it under ``benchmarks/results/`` twice: the human-readable
+``<name>.txt`` EXPERIMENTS.md cites, and a machine-readable
+``<name>.json`` timing record (name, wall-time, preset, seed) so
+successive runs leave a perf trajectory future optimisation PRs can
+diff against.
 """
 
+import json
 import pathlib
+import time
 
 import pytest
 
@@ -14,18 +19,43 @@ from repro.experiments.scenario import ScenarioConfig, cached_scenario
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: The scenario every benchmark runs against, recorded in each JSON record.
+BENCH_PRESET = "default"
+BENCH_SEED = 5
+
 
 @pytest.fixture(scope="session")
 def default_scenario():
-    return cached_scenario(ScenarioConfig.default())
+    return cached_scenario(ScenarioConfig.default(seed=BENCH_SEED))
 
 
-@pytest.fixture(scope="session")
-def archive():
+@pytest.fixture()
+def archive(request):
+    """Write ``results/<name>.txt`` plus a ``results/<name>.json`` record.
+
+    The wall time runs from this fixture's setup to the archive call:
+    the test body's own computation.  Session-scoped fixtures (the
+    shared scenario build) are set up before the timer starts, so the
+    record isolates what *this* benchmark did.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
+    start = time.perf_counter()
 
-    def write(name: str, text: str) -> None:
+    def write(name: str, text: str, **extra) -> None:
+        wall_s = time.perf_counter() - start
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        record = {
+            "name": name,
+            "test": request.node.name,
+            "wall_time_s": round(wall_s, 6),
+            "preset": BENCH_PRESET,
+            "seed": BENCH_SEED,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+        record.update(extra)
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
         print(f"\n{text}\n")
 
     return write

@@ -31,6 +31,9 @@ Package map
     Section 6: CAIDA/IXP datasets and the edge-connectivity case study.
 ``repro.experiments``
     One driver per table/figure, plus end-to-end scenario assembly.
+``repro.obs``
+    Pipeline observability: timing spans, counters, structured logs
+    and machine-readable run reports (off by default).
 
 Quickstart
 ----------
@@ -44,7 +47,7 @@ Quickstart
 """
 
 from . import connectivity, core, crawl, datasets, experiments, geo, geodb, net
-from . import pipeline, validation
+from . import obs, pipeline, validation
 
 __version__ = "1.0.0"
 
@@ -58,6 +61,7 @@ __all__ = [
     "geo",
     "geodb",
     "net",
+    "obs",
     "pipeline",
     "validation",
 ]

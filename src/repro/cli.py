@@ -8,12 +8,22 @@
     repro-eyeball section5 [--preset small|default]
     repro-eyeball section6 [--scale 0.01]
     repro-eyeball all      [--preset small]
+    repro-eyeball stats    [--preset small] [--top 10]
 
 Each subcommand prints the same rendered table/figure the benchmark
 harness archives, with the paper's numbers alongside.  ``--preset
 small`` (the default) runs in seconds; ``--preset default`` is the
 paper-shaped scenario the benchmarks use (a couple of minutes for
 figure2/section5).
+
+Global observability flags (see ``docs/OBSERVABILITY.md``):
+
+``--log-level LEVEL``
+    Structured ``repro.*`` logging threshold (default ``warning``).
+``--metrics-out PATH``
+    Enable telemetry for the run and write a JSON run report to PATH.
+``--version``
+    Print the package version and exit.
 """
 
 from __future__ import annotations
@@ -22,22 +32,34 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .experiments.figure1 import run_figure1
 from .experiments.figure2 import run_figure2
-from .experiments.scenario import ScenarioConfig, cached_scenario
+from .experiments.scenario import (
+    ScenarioConfig,
+    build_scenario,
+    cached_scenario,
+    config_hash,
+)
 from .experiments.section5 import run_section5
 from .experiments.section6 import run_section6
 from .experiments.table1 import run_table1
+from .obs import telemetry as obs
+from .obs.logconfig import LEVELS, configure_logging
+from .obs.report import RunReport
 from .validation.reference import ReferenceConfig
 
 
-def _scenario(args):
-    config = (
+def _scenario_config(args) -> ScenarioConfig:
+    return (
         ScenarioConfig.default(seed=args.seed)
         if args.preset == "default"
         else ScenarioConfig.small(seed=args.seed)
     )
-    return cached_scenario(config)
+
+
+def _scenario(args):
+    return cached_scenario(_scenario_config(args))
 
 
 def _reference_config(args) -> ReferenceConfig:
@@ -131,11 +153,68 @@ def cmd_all(args) -> int:
     return status
 
 
+def cmd_stats(args) -> int:
+    """Profile one fresh pipeline run and print the telemetry summary.
+
+    Always rebuilds the scenario (no cache) so the span timings reflect
+    real work, then exercises the KDE → PoP stages on a few target ASes
+    so the Section 3/4 spans appear too.
+    """
+    config = _scenario_config(args)
+    active = obs.get_telemetry()
+    if active.enabled:  # --metrics-out already installed a registry
+        telemetry = active
+        scenario = _run_profiled(config, args)
+    else:
+        with obs.capture() as telemetry:
+            scenario = _run_profiled(config, args)
+    report = RunReport.from_telemetry(
+        telemetry,
+        command="stats",
+        preset=args.preset,
+        seed=args.seed,
+        config_hash=config_hash(config),
+        version=__version__,
+    )
+    print(report.render_summary(top=args.top))
+    print(
+        f"\ntarget dataset: {len(scenario.dataset)} ASes, "
+        f"{scenario.dataset.total_peers} peers"
+    )
+    return 0
+
+
+def _run_profiled(config: ScenarioConfig, args):
+    scenario = build_scenario(config)
+    asns = scenario.eyeball_target_asns()[: args.profile_ases]
+    for asn in asns:
+        scenario.pop_footprint(asn, bandwidth_km=40.0)
+    return scenario
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-eyeball",
         description="Regenerate the tables and figures of 'Eyeball ASes: "
                     "From Geography to Connectivity' (IMC 2010).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LEVELS,
+        default="warning",
+        help="structured-logging threshold for repro.* loggers "
+             "(default: warning)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="enable telemetry and write a JSON run report to PATH",
     )
     parser.add_argument(
         "--preset",
@@ -176,12 +255,52 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         sub = subparsers.add_parser(name, help=f"regenerate {name}")
         sub.set_defaults(handler=handler)
+    stats = subparsers.add_parser(
+        "stats",
+        help="profile one fresh pipeline run and print its telemetry",
+    )
+    stats.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many slowest spans to rank (default: 10)",
+    )
+    stats.add_argument(
+        "--profile-ases",
+        type=int,
+        default=3,
+        help="target ASes to run the KDE/PoP stages on (default: 3)",
+    )
+    stats.set_defaults(handler=cmd_stats)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    configure_logging(args.log_level)
+    if args.metrics_out is None:
+        return args.handler(args)
+    with obs.capture() as telemetry:
+        with obs.span(f"cli.{args.command}"):
+            status = args.handler(args)
+    report = RunReport.from_telemetry(
+        telemetry,
+        command=args.command,
+        preset=getattr(args, "preset", None),
+        seed=args.seed,
+        version=__version__,
+        exit_status=status,
+    )
+    try:
+        path = report.write(args.metrics_out)
+    except OSError as exc:
+        print(
+            f"error: cannot write run report to {args.metrics_out}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"run report written to {path}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import telemetry as obs
 from .contours import Contour, footprint_contour
 from .grid import DensityGrid
 from .kde import compute_kde
@@ -75,8 +76,11 @@ def estimate_geo_footprint(
         weights=weights,
         method=method,
     )
-    contour = footprint_contour(grid, relative_level=contour_level)
-    peaks = tuple(find_peaks(grid))
+    with obs.span("footprint.contour"):
+        contour = footprint_contour(grid, relative_level=contour_level)
+    with obs.span("footprint.peaks"):
+        peaks = tuple(find_peaks(grid))
+    obs.count("footprint.estimates")
     return GeoFootprint(
         bandwidth_km=bandwidth_km,
         sample_count=int(np.asarray(lats).size),

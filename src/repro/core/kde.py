@@ -26,6 +26,7 @@ import numpy as np
 from scipy.signal import fftconvolve
 
 from ..geo.projection import LocalProjection
+from ..obs import telemetry as obs
 from .grid import DensityGrid
 
 #: Kernel support radius in sigmas for the FFT path; beyond this the
@@ -101,22 +102,29 @@ def compute_kde(
             raise ValueError("weights must have positive sum")
         w = w / total
 
-    projection = projection or LocalProjection.for_points(lats, lons)
-    x, y = projection.forward(lats, lons)
-    x = np.atleast_1d(np.asarray(x, dtype=float))
-    y = np.atleast_1d(np.asarray(y, dtype=float))
-    padding = KERNEL_TRUNCATION_SIGMAS * bandwidth_km
-    x_min, y_min, nx, ny = _grid_geometry(x, y, bandwidth_km, cell_km, padding)
+    with obs.span("kde.evaluate"):
+        projection = projection or LocalProjection.for_points(lats, lons)
+        x, y = projection.forward(lats, lons)
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        y = np.atleast_1d(np.asarray(y, dtype=float))
+        padding = KERNEL_TRUNCATION_SIGMAS * bandwidth_km
+        x_min, y_min, nx, ny = _grid_geometry(x, y, bandwidth_km, cell_km, padding)
 
-    if method == "direct":
-        values = _direct_kde(x, y, w, bandwidth_km, x_min, y_min, nx, ny, cell_km)
-    else:
-        values = _fft_kde(x, y, w, bandwidth_km, x_min, y_min, nx, ny, cell_km)
-    # Numerical noise from the FFT can leave tiny negatives.
-    np.clip(values, 0.0, None, out=values)
-    return DensityGrid(
-        projection=projection, x_min=x_min, y_min=y_min, cell_km=cell_km, values=values
-    )
+        if method == "direct":
+            values = _direct_kde(
+                x, y, w, bandwidth_km, x_min, y_min, nx, ny, cell_km
+            )
+        else:
+            values = _fft_kde(x, y, w, bandwidth_km, x_min, y_min, nx, ny, cell_km)
+        # Numerical noise from the FFT can leave tiny negatives.
+        np.clip(values, 0.0, None, out=values)
+        obs.count("kde.evaluations")
+        obs.count("kde.samples", int(x.size))
+        obs.count("kde.cells", int(nx) * int(ny))
+        return DensityGrid(
+            projection=projection, x_min=x_min, y_min=y_min, cell_km=cell_km,
+            values=values,
+        )
 
 
 def _direct_kde(

@@ -17,6 +17,7 @@ from typing import List
 import numpy as np
 from scipy import ndimage
 
+from ..obs import telemetry as obs
 from .grid import DensityGrid
 
 
@@ -84,6 +85,8 @@ def find_peaks(grid: DensityGrid, min_density: float = 0.0) -> List[Peak]:
             Peak(ix=ix, iy=iy, x_km=x, y_km=y, lat=lat, lon=lon, density=density)
         )
     peaks.sort(key=lambda p: (-p.density, p.iy, p.ix))
+    obs.count("peaks.found", len(peaks))
+    obs.count("peaks.plateau_cells_merged", int(candidate.sum()) - len(peaks))
     return peaks
 
 

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..geo.gazetteer import Gazetteer
 from ..geo.regions import City
+from ..obs import telemetry as obs
 from .footprint import GeoFootprint
 from .peaks import Peak
 
@@ -106,37 +107,51 @@ def extract_pop_footprint(
         mapping_radius_km = footprint.bandwidth_km
     if mapping_radius_km <= 0:
         raise ValueError("mapping radius must be positive")
-    selected = footprint.peaks_above(alpha)
-    max_density = footprint.max_density
-    estimates: List[PoPEstimate] = []
-    no_city: List[Peak] = []
-    for peak in selected:
-        city = gazetteer.most_populated_within(peak.lat, peak.lon, mapping_radius_km)
-        if city is None:
-            no_city.append(peak)
-            continue
-        estimates.append(
-            PoPEstimate(
-                city=city,
-                peak=peak,
-                density=peak.density,
-                relative_density=peak.density / max_density if max_density > 0 else 0.0,
+    with obs.span("pop.extract"):
+        selected = footprint.peaks_above(alpha)
+        max_density = footprint.max_density
+        estimates: List[PoPEstimate] = []
+        no_city: List[Peak] = []
+        for peak in selected:
+            city = gazetteer.most_populated_within(
+                peak.lat, peak.lon, mapping_radius_km
+            )
+            if city is None:
+                no_city.append(peak)
+                continue
+            estimates.append(
+                PoPEstimate(
+                    city=city,
+                    peak=peak,
+                    density=peak.density,
+                    relative_density=(
+                        peak.density / max_density if max_density > 0 else 0.0
+                    ),
+                )
+            )
+        mapped_count = len(estimates)
+        if merge_same_city:
+            by_city: Dict[str, PoPEstimate] = {}
+            for estimate in estimates:
+                existing = by_city.get(estimate.city.key)
+                if existing is None or estimate.density > existing.density:
+                    by_city[estimate.city.key] = estimate
+            estimates = list(by_city.values())
+        pops = tuple(
+            sorted(
+                estimates,
+                key=lambda p: (-p.density, p.city.key, p.peak.iy, p.peak.ix),
             )
         )
-    if merge_same_city:
-        by_city: Dict[str, PoPEstimate] = {}
-        for estimate in estimates:
-            existing = by_city.get(estimate.city.key)
-            if existing is None or estimate.density > existing.density:
-                by_city[estimate.city.key] = estimate
-        estimates = list(by_city.values())
-    pops = tuple(
-        sorted(estimates, key=lambda p: (-p.density, p.city.key, p.peak.iy, p.peak.ix))
-    )
-    return PoPFootprint(
-        asn=asn,
-        bandwidth_km=footprint.bandwidth_km,
-        alpha=alpha,
-        pops=pops,
-        no_city_peaks=tuple(no_city),
-    )
+        obs.count("pop.extractions")
+        obs.count("pop.peaks_selected", len(selected))
+        obs.count("pop.no_city_peaks", len(no_city))
+        obs.count("pop.merged_same_city", mapped_count - len(pops))
+        obs.count("pop.pops", len(pops))
+        return PoPFootprint(
+            asn=asn,
+            bandwidth_km=footprint.bandwidth_km,
+            alpha=alpha,
+            pops=pops,
+            no_city_peaks=tuple(no_city),
+        )

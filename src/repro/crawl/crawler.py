@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..net.ecosystem import ASEcosystem
+from ..obs import telemetry as obs
 from .apps import P2PApp, default_apps
 from .population import UserPopulation
 
@@ -93,36 +94,43 @@ def run_crawl(
     (see :mod:`repro.crawl.bias` — the paper's Section 4.3 regimes).
     """
     apps = config.resolved_apps()
-    rng = np.random.default_rng(config.seed)
-    n_users = len(population)
-    user_asn = population.user_asn
-    membership = np.zeros((n_users, len(apps)), dtype=bool)
-    bias_multiplier = bias.per_user(population) if bias is not None else None
+    with obs.span("crawl.run"):
+        rng = np.random.default_rng(config.seed)
+        n_users = len(population)
+        user_asn = population.user_asn
+        membership = np.zeros((n_users, len(apps)), dtype=bool)
+        bias_multiplier = bias.per_user(population) if bias is not None else None
 
-    asns = np.unique(user_asn)
-    for app_column, app in enumerate(apps):
-        draws = rng.random(n_users)
-        for asn in asns:
-            node = ecosystem.as_nodes[int(asn)]
-            rate = app.rate_for_as(int(asn), node.continent_code, config.seed)
-            if rate <= 0.0:
-                continue
-            mask = user_asn == asn
-            if bias_multiplier is None:
-                membership[mask, app_column] = draws[mask] < rate
-            else:
-                membership[mask, app_column] = draws[mask] < np.minimum(
-                    rate * bias_multiplier[mask], 1.0
-                )
+        asns = np.unique(user_asn)
+        for app_column, app in enumerate(apps):
+            draws = rng.random(n_users)
+            for asn in asns:
+                node = ecosystem.as_nodes[int(asn)]
+                rate = app.rate_for_as(int(asn), node.continent_code, config.seed)
+                if rate <= 0.0:
+                    continue
+                mask = user_asn == asn
+                if bias_multiplier is None:
+                    membership[mask, app_column] = draws[mask] < rate
+                else:
+                    membership[mask, app_column] = draws[mask] < np.minimum(
+                        rate * bias_multiplier[mask], 1.0
+                    )
 
-    seen = membership.any(axis=1)
-    user_index = np.flatnonzero(seen)
-    return PeerSample(
-        population=population,
-        app_names=tuple(app.name for app in apps),
-        user_index=user_index,
-        membership=membership[user_index],
-    )
+        seen = membership.any(axis=1)
+        user_index = np.flatnonzero(seen)
+        obs.gauge("crawl.users", n_users)
+        obs.count("crawl.peers_sampled", int(user_index.size))
+        for app_column, app in enumerate(apps):
+            obs.count(
+                f"crawl.peers.{app.name}", int(membership[:, app_column].sum())
+            )
+        return PeerSample(
+            population=population,
+            app_names=tuple(app.name for app in apps),
+            user_index=user_index,
+            membership=membership[user_index],
+        )
 
 
 def crawl_union_size(samples: Sequence[PeerSample]) -> int:

@@ -9,6 +9,7 @@ Figures 1-2, Sections 5-6) all start from a scenario.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -28,6 +29,8 @@ from ..geodb.error import (
 )
 from ..geodb.synth import build_database
 from ..net.ecosystem import ASEcosystem, EcosystemConfig, generate_ecosystem
+from ..obs import telemetry as obs
+from ..obs.logconfig import get_logger, kv
 from ..pipeline.dataset import (
     PipelineConfig,
     TargetDataset,
@@ -181,20 +184,47 @@ class Scenario:
         return result
 
 
+logger = get_logger("experiments.scenario")
+
+
+def config_hash(config: ScenarioConfig) -> str:
+    """A short stable digest of a scenario config (cache/log identity)."""
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:12]
+
+
 def build_scenario(config: ScenarioConfig = ScenarioConfig.default()) -> Scenario:
     """Build a scenario end to end.  Deterministic in the config."""
-    world = generate_world(config.world)
-    ecosystem = generate_ecosystem(world, config.ecosystem)
-    population = generate_population(ecosystem, config.population)
-    primary = build_database(
-        "GeoIP-City", population.blocks, world, config.primary_model
+    logger.debug(
+        "scenario.build.start %s",
+        kv(name=config.name, hash=config_hash(config)),
     )
-    secondary = build_database(
-        "IP2Location-DB15", population.blocks, world, config.secondary_model
-    )
-    sample = run_crawl(ecosystem, population, config.crawl)
-    dataset = build_target_dataset(
-        sample, primary, secondary, ecosystem.routing_table, config.pipeline
+    with obs.span("scenario.build"):
+        with obs.span("scenario.world"):
+            world = generate_world(config.world)
+        with obs.span("scenario.ecosystem"):
+            ecosystem = generate_ecosystem(world, config.ecosystem)
+        with obs.span("scenario.population"):
+            population = generate_population(ecosystem, config.population)
+        with obs.span("scenario.geodb"):
+            primary = build_database(
+                "GeoIP-City", population.blocks, world, config.primary_model
+            )
+            secondary = build_database(
+                "IP2Location-DB15", population.blocks, world,
+                config.secondary_model,
+            )
+        sample = run_crawl(ecosystem, population, config.crawl)
+        dataset = build_target_dataset(
+            sample, primary, secondary, ecosystem.routing_table, config.pipeline
+        )
+    logger.info(
+        "scenario.build.done %s",
+        kv(
+            name=config.name,
+            hash=config_hash(config),
+            peers=len(sample),
+            target_ases=len(dataset),
+        ),
     )
     return Scenario(
         config=config,
@@ -216,11 +246,23 @@ def cached_scenario(config: ScenarioConfig) -> Scenario:
     """Build-once scenario cache keyed by config name + seeds.
 
     Experiment drivers and benchmarks share scenarios through this to
-    avoid rebuilding the same multi-second pipeline repeatedly.
+    avoid rebuilding the same multi-second pipeline repeatedly.  Every
+    lookup logs a ``scenario.cache`` line with the config hash so
+    repeated experiment runs are explainable.
     """
     key = repr(config)
+    digest = config_hash(config)
     scenario = _SCENARIO_CACHE.get(key)
     if scenario is None:
+        obs.count("scenario.cache_miss")
+        logger.info(
+            "scenario.cache %s", kv(event="miss", name=config.name, hash=digest)
+        )
         scenario = build_scenario(config)
         _SCENARIO_CACHE[key] = scenario
+    else:
+        obs.count("scenario.cache_hit")
+        logger.info(
+            "scenario.cache %s", kv(event="hit", name=config.name, hash=digest)
+        )
     return scenario

@@ -1,0 +1,49 @@
+"""repro.obs — pipeline observability.
+
+Three small, zero-dependency pieces:
+
+``repro.obs.telemetry``
+    Hierarchical timing spans, counters and gauges behind a
+    process-wide registry with a no-op null mode (the default).
+``repro.obs.report``
+    :class:`~repro.obs.report.RunReport` — JSON serialisation of a
+    run's telemetry plus a human summary table.
+``repro.obs.logconfig``
+    Structured ``key=value`` logging under the ``repro.`` namespace.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy, metric names and
+the report schema.
+"""
+
+from .logconfig import configure_logging, get_logger, kv
+from .report import SCHEMA, RunReport
+from .telemetry import (
+    NULL,
+    NullTelemetry,
+    SpanNode,
+    Telemetry,
+    capture,
+    count,
+    gauge,
+    get_telemetry,
+    set_telemetry,
+    span,
+)
+
+__all__ = [
+    "NULL",
+    "NullTelemetry",
+    "RunReport",
+    "SCHEMA",
+    "SpanNode",
+    "Telemetry",
+    "capture",
+    "configure_logging",
+    "count",
+    "gauge",
+    "get_logger",
+    "get_telemetry",
+    "kv",
+    "set_telemetry",
+    "span",
+]

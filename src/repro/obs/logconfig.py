@@ -1,0 +1,55 @@
+"""Structured logging configuration.
+
+All of the package's loggers live under the ``repro.`` namespace and
+emit ``event key=value ...`` messages so log lines stay grep-able and
+machine-parseable.  :func:`configure_logging` is the single switch the
+CLI's ``--log-level`` flag flips; libraries only ever call
+:func:`get_logger` and never configure handlers themselves.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Union
+
+#: Structured line format: time, level, logger, message.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s %(message)s"
+DATE_FORMAT = "%H:%M:%S"
+
+LEVELS = ("debug", "info", "warning", "error")
+
+
+def configure_logging(level: Union[str, int] = "warning") -> None:
+    """Install the root handler at ``level`` (idempotent).
+
+    ``level`` is a :data:`LEVELS` name or a :mod:`logging` constant.
+    Reconfiguring replaces the previous handler, so repeated CLI
+    invocations in one process (tests) behave predictably.
+    """
+    if isinstance(level, str):
+        name = level.lower()
+        if name not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}; choose from {LEVELS}")
+        resolved = getattr(logging, name.upper())
+    else:
+        resolved = int(level)
+    logging.basicConfig(
+        level=resolved, format=LOG_FORMAT, datefmt=DATE_FORMAT, force=True
+    )
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro.`` namespace.
+
+    ``get_logger("experiments.scenario")`` →
+    ``logging.getLogger("repro.experiments.scenario")``; names already
+    carrying the prefix are used as-is.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def kv(**fields: object) -> str:
+    """Render ``key=value`` pairs for a structured log message."""
+    return " ".join(f"{key}={value}" for key, value in fields.items())

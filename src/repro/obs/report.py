@@ -1,0 +1,161 @@
+"""Machine-readable run reports.
+
+A :class:`RunReport` freezes one pipeline run's telemetry — the span
+tree, counters and gauges, plus free-form metadata about the run (the
+command, preset, seed, package version) — into a stable JSON document
+(schema :data:`SCHEMA`), and renders the same data as a human summary
+table.  The CLI's ``--metrics-out`` flag and the ``stats`` subcommand
+are thin wrappers around this module.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Tuple, Union
+
+from .telemetry import Telemetry
+
+#: Schema identifier embedded in every report.
+SCHEMA = "repro.run-report/v1"
+
+
+def _walk_span_dicts(
+    spans: List[Dict[str, Any]], path: Tuple[str, ...] = ()
+) -> Iterator[Tuple[Tuple[str, ...], Dict[str, Any]]]:
+    for node in spans:
+        here = path + (node["name"],)
+        yield here, node
+        yield from _walk_span_dicts(node.get("children", []), here)
+
+
+@dataclass
+class RunReport:
+    """One run's telemetry, serialisable to/from JSON."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_telemetry(cls, telemetry: Telemetry, **meta: Any) -> "RunReport":
+        """Freeze the registry's current state into a report."""
+        snapshot = telemetry.snapshot()
+        return cls(
+            meta=dict(meta),
+            spans=snapshot["spans"],
+            counters=snapshot["counters"],
+            gauges=snapshot["gauges"],
+        )
+
+    # -- serialisation ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "meta": self.meta,
+            "spans": self.spans,
+            "counters": self.counters,
+            "gauges": self.gauges,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunReport":
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"not a run report (schema={data.get('schema')!r}, "
+                f"expected {SCHEMA!r})"
+            )
+        return cls(
+            meta=dict(data.get("meta", {})),
+            spans=list(data.get("spans", [])),
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+        )
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Serialise to ``path``; parent directories are created."""
+        target = Path(path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n")
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunReport":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # -- queries ------------------------------------------------------
+
+    def span_paths(self) -> List[str]:
+        """Every span's ``" > "``-joined path, depth-first."""
+        return [" > ".join(p) for p, _ in _walk_span_dicts(self.spans)]
+
+    def top_spans(self, n: int = 10) -> List[Tuple[str, Dict[str, Any]]]:
+        """The ``n`` spans with the largest total time, descending."""
+        nodes = [
+            (" > ".join(path), node)
+            for path, node in _walk_span_dicts(self.spans)
+        ]
+        nodes.sort(key=lambda item: (-item[1]["total_s"], item[0]))
+        return nodes[:n]
+
+    # -- rendering ----------------------------------------------------
+
+    def render_summary(self, top: int = 10) -> str:
+        """Human summary: metadata line, span tree, top list, metrics."""
+        lines: List[str] = []
+        if self.meta:
+            lines.append(
+                "run: "
+                + "  ".join(f"{k}={v}" for k, v in sorted(self.meta.items()))
+            )
+        lines.append("")
+        lines.append(f"{'span':<44}{'count':>7}{'total':>10}{'mean':>10}")
+        if not self.spans:
+            lines.append("  (no spans recorded)")
+        for path, node in _walk_span_dicts(self.spans):
+            label = "  " * (len(path) - 1) + path[-1]
+            count = node["count"]
+            mean = node["total_s"] / count if count else 0.0
+            lines.append(
+                f"{label:<44}{count:>7}"
+                f"{_fmt_seconds(node['total_s']):>10}{_fmt_seconds(mean):>10}"
+            )
+        ranked = self.top_spans(top)
+        if ranked:
+            lines.append("")
+            lines.append(f"top {len(ranked)} spans by total time:")
+            for rank, (path, node) in enumerate(ranked, start=1):
+                lines.append(
+                    f"{rank:>3}. {_fmt_seconds(node['total_s']):>9}"
+                    f"  ×{node['count']:<6} {path}"
+                )
+        if self.counters:
+            lines.append("")
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<48}{_fmt_number(self.counters[name]):>12}")
+        if self.gauges:
+            lines.append("")
+            lines.append("gauges:")
+            for name in sorted(self.gauges):
+                lines.append(f"  {name:<48}{_fmt_number(self.gauges[name]):>12}")
+        return "\n".join(lines)
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    return f"{value * 1000.0:.2f}ms"
+
+
+def _fmt_number(value: float) -> str:
+    if float(value).is_integer():
+        return f"{int(value):d}"
+    return f"{value:.4g}"

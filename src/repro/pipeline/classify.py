@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..geo.regions import RegionLevel
+from ..obs import telemetry as obs
 from .grouping import ASPeerGroup
 
 CONTAINMENT_THRESHOLD = 0.95
@@ -64,5 +65,7 @@ def classify_group(
     for level, values in levels:
         name, share = _majority(values)
         if share > threshold:
+            obs.count(f"pipeline.classified.{level.name.lower()}")
             return ASClassification(level=level, region_name=name, containment=share)
+    obs.count("pipeline.classified.global")
     return ASClassification(level=RegionLevel.GLOBAL, region_name=None, containment=1.0)

@@ -14,6 +14,7 @@ from ..crawl.crawler import PeerSample
 from ..geo.regions import RegionLevel
 from ..geodb.database import GeoDatabase
 from ..net.bgp import RoutingTable
+from ..obs import telemetry as obs
 from .classify import ASClassification, classify_group
 from .filtering import (
     GEO_ERROR_GATE_KM,
@@ -116,19 +117,32 @@ def build_target_dataset(
     config: PipelineConfig = PipelineConfig(),
 ) -> TargetDataset:
     """Run the full Section 2 pipeline over a crawl sample."""
-    mapped, mapping_stats = map_peers(sample, primary, secondary)
-    mapped, dropped_error = filter_geo_error(mapped, config.max_geo_error_km)
-    groups, grouping_stats = group_by_as(mapped, routing_table)
-    ases_before = len(groups)
-    groups, dropped_small = filter_min_peers(groups, config.min_peers_per_as)
-    groups, dropped_percentile = filter_error_percentile(
-        groups, config.error_percentile, config.error_percentile_max_km
-    )
-    ases: Dict[int, TargetAS] = {}
-    for asn in sorted(groups):
-        group = groups[asn]
-        classification = classify_group(group, config.containment_threshold)
-        ases[asn] = TargetAS(asn=asn, group=group, classification=classification)
+    with obs.span("pipeline.build_target_dataset"):
+        mapped, mapping_stats = map_peers(sample, primary, secondary)
+        with obs.span("pipeline.filter_geo_error"):
+            mapped, dropped_error = filter_geo_error(
+                mapped, config.max_geo_error_km
+            )
+        groups, grouping_stats = group_by_as(mapped, routing_table)
+        ases_before = len(groups)
+        with obs.span("pipeline.filter_min_peers"):
+            groups, dropped_small = filter_min_peers(
+                groups, config.min_peers_per_as
+            )
+        with obs.span("pipeline.filter_error_percentile"):
+            groups, dropped_percentile = filter_error_percentile(
+                groups, config.error_percentile, config.error_percentile_max_km
+            )
+        ases: Dict[int, TargetAS] = {}
+        with obs.span("pipeline.classify"):
+            for asn in sorted(groups):
+                group = groups[asn]
+                classification = classify_group(
+                    group, config.containment_threshold
+                )
+                ases[asn] = TargetAS(
+                    asn=asn, group=group, classification=classification
+                )
     stats = PipelineStats(
         crawled_peers=mapping_stats.input_peers,
         dropped_missing_record=mapping_stats.dropped_missing,
@@ -141,6 +155,8 @@ def build_target_dataset(
         target_ases=len(ases),
         target_peers=sum(len(a) for a in ases.values()),
     )
+    obs.gauge("pipeline.target_ases", stats.target_ases)
+    obs.gauge("pipeline.target_peers", stats.target_peers)
     return TargetDataset(
         ases=ases, stats=stats, app_names=sample.app_names, config=config
     )

@@ -19,6 +19,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ..obs import telemetry as obs
 from .grouping import ASPeerGroup
 from .mapping import MappedPeers
 
@@ -46,6 +47,7 @@ def filter_geo_error(
         raise ValueError("error threshold must be positive")
     keep = np.flatnonzero(mapped.error_km <= max_error_km)
     dropped = len(mapped) - keep.size
+    obs.count("pipeline.peers_dropped_geo_error", int(dropped))
     return mapped.subset(keep), int(dropped)
 
 
@@ -56,6 +58,7 @@ def filter_min_peers(
     if min_peers < 1:
         raise ValueError("minimum peer count must be at least 1")
     kept = {asn: g for asn, g in groups.items() if len(g) >= min_peers}
+    obs.count("pipeline.ases_dropped_small", len(groups) - len(kept))
     return kept, len(groups) - len(kept)
 
 
@@ -72,4 +75,5 @@ def filter_error_percentile(
         for asn, g in groups.items()
         if g.error_percentile(percentile) <= max_km
     }
+    obs.count("pipeline.ases_dropped_error_percentile", len(groups) - len(kept))
     return kept, len(groups) - len(kept)

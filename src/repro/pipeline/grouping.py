@@ -13,6 +13,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..net.bgp import RoutingTable
+from ..obs import telemetry as obs
 from .mapping import MappedPeers
 
 
@@ -68,6 +69,13 @@ def group_by_as(
     Peers whose address matches no announced prefix are dropped (they
     would be invisible in BGP).
     """
+    with obs.span("pipeline.grouping"):
+        return _group_by_as(mapped, routing_table)
+
+
+def _group_by_as(
+    mapped: MappedPeers, routing_table: RoutingTable
+) -> Tuple[Dict[int, ASPeerGroup], GroupingStats]:
     n = len(mapped)
     asns = np.full(n, -1, dtype=np.int64)
     last: Optional[Tuple[int, int, int]] = None  # (first, last, asn)
@@ -94,4 +102,6 @@ def group_by_as(
         dropped_unrouted=int(n - routed.sum()),
         as_count=len(groups),
     )
+    obs.count("pipeline.peers_dropped_unrouted", stats.dropped_unrouted)
+    obs.gauge("pipeline.ases_grouped", stats.as_count)
     return groups, stats

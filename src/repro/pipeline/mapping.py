@@ -18,6 +18,7 @@ from ..crawl.crawler import PeerSample
 from ..geo.coords import haversine_km
 from ..geodb.database import GeoDatabase
 from ..geodb.records import GeoRecord
+from ..obs import telemetry as obs
 
 
 @dataclass
@@ -115,6 +116,15 @@ def map_peers(
     Returns the mapped peers plus statistics on how many were dropped
     for missing city-level records.
     """
+    with obs.span("pipeline.mapping"):
+        return _map_peers(sample, primary, secondary)
+
+
+def _map_peers(
+    sample: PeerSample,
+    primary: GeoDatabase,
+    secondary: GeoDatabase,
+) -> Tuple[MappedPeers, MappingStats]:
     ips = sample.ips
     n = ips.size
     keep = np.zeros(n, dtype=bool)
@@ -167,4 +177,7 @@ def map_peers(
         mapped_peers=len(mapped),
         dropped_missing=n - len(mapped),
     )
+    obs.count("pipeline.peers_in", stats.input_peers)
+    obs.count("pipeline.peers_mapped", stats.mapped_peers)
+    obs.count("pipeline.peers_dropped_missing_record", stats.dropped_missing)
     return mapped, stats

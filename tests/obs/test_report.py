@@ -1,0 +1,101 @@
+"""RunReport: JSON round-trip, queries, and the human summary."""
+
+import json
+
+import pytest
+
+from repro.obs.report import SCHEMA, RunReport
+from repro.obs.telemetry import Telemetry
+
+
+class FakeClock:
+    """A controllable monotone clock (mirrors test_telemetry's)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def telemetry() -> Telemetry:
+    clock = FakeClock()
+    t = Telemetry(clock=clock)
+    with t.span("scenario.build"):
+        with t.span("crawl.run"):
+            clock.advance(1.0)
+        for _ in range(3):
+            with t.span("kde.evaluate"):
+                clock.advance(0.5)
+    t.count("pipeline.peers_dropped_geo_error", 42)
+    t.count("kde.evaluations", 3)
+    t.gauge("pipeline.target_ases", 7)
+    return t
+
+
+class TestRoundTrip:
+    def test_dict_json_dict(self, telemetry):
+        report = RunReport.from_telemetry(telemetry, command="test", seed=5)
+        data = json.loads(report.to_json())
+        assert data["schema"] == SCHEMA
+        rebuilt = RunReport.from_dict(data)
+        assert rebuilt.to_dict() == report.to_dict()
+
+    def test_write_and_load(self, telemetry, tmp_path):
+        report = RunReport.from_telemetry(telemetry, command="test")
+        path = report.write(tmp_path / "nested" / "run.json")
+        assert path.exists()
+        loaded = RunReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+        assert loaded.counters["pipeline.peers_dropped_geo_error"] == 42
+
+    def test_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ValueError, match="not a run report"):
+            RunReport.load(path)
+
+
+class TestQueries:
+    def test_span_paths_are_depth_first(self, telemetry):
+        report = RunReport.from_telemetry(telemetry)
+        assert report.span_paths() == [
+            "scenario.build",
+            "scenario.build > crawl.run",
+            "scenario.build > kde.evaluate",
+        ]
+
+    def test_top_spans_descend_by_total(self, telemetry):
+        report = RunReport.from_telemetry(telemetry)
+        ranked = report.top_spans(2)
+        assert ranked[0][0] == "scenario.build"
+        assert ranked[0][1]["total_s"] == pytest.approx(2.5)
+        assert ranked[1][0] == "scenario.build > kde.evaluate"
+        assert ranked[1][1]["count"] == 3
+
+    def test_empty_report(self):
+        report = RunReport.from_telemetry(Telemetry())
+        assert report.span_paths() == []
+        assert report.top_spans() == []
+        assert "(no spans recorded)" in report.render_summary()
+
+
+class TestSummary:
+    def test_summary_mentions_everything(self, telemetry):
+        report = RunReport.from_telemetry(telemetry, command="stats")
+        text = report.render_summary(top=3)
+        assert "command=stats" in text
+        assert "scenario.build" in text
+        assert "kde.evaluate" in text
+        assert "pipeline.peers_dropped_geo_error" in text
+        assert "pipeline.target_ases" in text
+        assert "top 3 spans by total time:" in text
+
+    def test_summary_indents_children(self, telemetry):
+        text = RunReport.from_telemetry(telemetry).render_summary()
+        lines = [line for line in text.splitlines() if "crawl.run" in line]
+        assert lines and lines[0].startswith("  crawl.run")

@@ -1,0 +1,178 @@
+"""Telemetry core: spans, counters, null mode, registry management."""
+
+import pytest
+
+from repro.obs import telemetry as obs
+from repro.obs.telemetry import NULL, NullTelemetry, Telemetry
+
+
+class FakeClock:
+    """A controllable monotone clock for deterministic span timings."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self, clock):
+        t = Telemetry(clock=clock)
+        with t.span("outer"):
+            with t.span("inner"):
+                clock.advance(1.0)
+        snapshot = t.snapshot()
+        (outer,) = snapshot["spans"]
+        assert outer["name"] == "outer"
+        (inner,) = outer["children"]
+        assert inner["name"] == "inner"
+        assert inner["total_s"] == pytest.approx(1.0)
+
+    def test_same_name_same_parent_aggregates(self, clock):
+        t = Telemetry(clock=clock)
+        for seconds in (1.0, 3.0):
+            with t.span("stage"):
+                clock.advance(seconds)
+        (stage,) = t.snapshot()["spans"]
+        assert stage["count"] == 2
+        assert stage["total_s"] == pytest.approx(4.0)
+        assert stage["min_s"] == pytest.approx(1.0)
+        assert stage["max_s"] == pytest.approx(3.0)
+
+    def test_same_name_different_parents_stay_separate(self, clock):
+        t = Telemetry(clock=clock)
+        with t.span("a"):
+            with t.span("leaf"):
+                clock.advance(1.0)
+        with t.span("b"):
+            with t.span("leaf"):
+                clock.advance(2.0)
+        paths = {" > ".join(p): n for p, n in t.root.walk()}
+        assert paths["a > leaf"].total_s == pytest.approx(1.0)
+        assert paths["b > leaf"].total_s == pytest.approx(2.0)
+
+    def test_child_time_within_parent_time(self, clock):
+        t = Telemetry(clock=clock)
+        with t.span("parent"):
+            clock.advance(0.5)
+            with t.span("child"):
+                clock.advance(2.0)
+            clock.advance(0.25)
+        paths = {" > ".join(p): n for p, n in t.root.walk()}
+        parent, child = paths["parent"], paths["parent > child"]
+        assert child.total_s <= parent.total_s
+        assert parent.total_s == pytest.approx(2.75)
+
+    def test_real_clock_durations_are_monotone(self):
+        t = Telemetry()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        paths = {" > ".join(p): n for p, n in t.root.walk()}
+        assert 0.0 <= paths["outer > inner"].total_s <= paths["outer"].total_s
+
+    def test_span_survives_exceptions(self, clock):
+        t = Telemetry(clock=clock)
+        with pytest.raises(RuntimeError):
+            with t.span("boom"):
+                clock.advance(1.0)
+                raise RuntimeError("x")
+        (boom,) = t.snapshot()["spans"]
+        assert boom["count"] == 1
+        assert boom["total_s"] == pytest.approx(1.0)
+        # The stack unwound: a new span is a root child, not a child of boom.
+        with t.span("after"):
+            pass
+        assert {s["name"] for s in t.snapshot()["spans"]} == {"boom", "after"}
+
+    def test_top_spans_ranked_by_total_time(self, clock):
+        t = Telemetry(clock=clock)
+        for name, seconds in (("slow", 5.0), ("fast", 1.0), ("mid", 3.0)):
+            with t.span(name):
+                clock.advance(seconds)
+        ranked = t.top_spans(2)
+        assert [path for path, _ in ranked] == ["slow", "mid"]
+
+
+class TestCounters:
+    def test_counters_aggregate(self):
+        t = Telemetry()
+        t.count("peers", 2)
+        t.count("peers", 3)
+        t.count("drops")
+        assert t.counters == {"peers": 5, "drops": 1}
+
+    def test_gauges_last_write_wins(self):
+        t = Telemetry()
+        t.gauge("users", 10)
+        t.gauge("users", 20)
+        assert t.gauges == {"users": 20.0}
+
+
+class TestNullMode:
+    def test_default_registry_is_null(self):
+        assert obs.get_telemetry() is NULL
+        assert not obs.get_telemetry().enabled
+
+    def test_null_operations_record_nothing(self):
+        null = NullTelemetry()
+        with null.span("anything"):
+            null.count("c", 5)
+            null.gauge("g", 1)
+        assert null.snapshot() == {"spans": [], "counters": {}, "gauges": {}}
+        assert null.top_spans() == []
+
+    def test_null_span_is_shared_singleton(self):
+        null = NullTelemetry()
+        assert null.span("a") is null.span("b")
+
+    def test_module_helpers_are_noops_when_disabled(self):
+        # Must not raise and must not leak state anywhere.
+        with obs.span("x"):
+            obs.count("c")
+            obs.gauge("g", 1.0)
+        assert obs.get_telemetry().snapshot()["counters"] == {}
+
+
+class TestRegistry:
+    def test_capture_installs_and_restores(self):
+        before = obs.get_telemetry()
+        with obs.capture() as t:
+            assert obs.get_telemetry() is t
+            assert t.enabled
+            obs.count("seen")
+        assert obs.get_telemetry() is before
+        assert t.counters == {"seen": 1}
+
+    def test_capture_restores_on_exception(self):
+        before = obs.get_telemetry()
+        with pytest.raises(ValueError):
+            with obs.capture():
+                raise ValueError("x")
+        assert obs.get_telemetry() is before
+
+    def test_nested_captures(self):
+        with obs.capture() as outer:
+            with obs.capture() as inner:
+                obs.count("c")
+            obs.count("c")
+        assert inner.counters == {"c": 1}
+        assert outer.counters == {"c": 1}
+
+    def test_set_telemetry_none_disables(self):
+        previous = obs.set_telemetry(Telemetry())
+        try:
+            assert obs.get_telemetry().enabled
+            obs.set_telemetry(None)
+            assert obs.get_telemetry() is NULL
+        finally:
+            obs.set_telemetry(previous)
