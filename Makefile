@@ -25,6 +25,9 @@ experiments:
 profile:
 	$(PYTHON) -m repro.cli --log-level info stats --top 10
 
+lint:
+	$(PYTHON) -m repro.cli lint
+
 clean:
 	rm -rf .pytest_cache benchmarks/results .benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +

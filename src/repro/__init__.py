@@ -34,6 +34,10 @@ Package map
 ``repro.obs``
     Pipeline observability: timing spans, counters, structured logs
     and machine-readable run reports (off by default).
+``repro.analysis``
+    reprolint, the repo's AST-based static analyser: determinism,
+    layering, coordinate-safety and telemetry-hygiene rules
+    (``repro-eyeball lint``).
 
 Quickstart
 ----------
@@ -46,13 +50,14 @@ Quickstart
 [('EU00-S00-C00', 0.31), ...]
 """
 
-from . import connectivity, core, crawl, datasets, experiments, geo, geodb, net
-from . import obs, pipeline, validation
+from . import analysis, connectivity, core, crawl, datasets, experiments
+from . import geo, geodb, net, obs, pipeline, validation
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "analysis",
     "connectivity",
     "core",
     "crawl",

@@ -1,0 +1,46 @@
+"""reprolint: AST-based static analysis for the reproduction's invariants.
+
+The package is a zero-dependency (stdlib-``ast``-only) linter that
+machine-checks the guardrails the reproduction's results depend on:
+
+* **determinism** — every RNG is explicitly seeded and no wall-clock
+  value leaks into experiment code (``REP1xx``),
+* **import layering** — ``repro``'s subpackages form a DAG and the
+  side-car packages (``repro.obs``, ``repro.analysis``) stay leaf-free
+  (``REP2xx``),
+* **coordinate safety** — signatures follow the ``(lat, lon)`` house
+  convention and distance parameters carry an explicit unit (``REP3xx``),
+* **telemetry hygiene** — pipeline/crawl stage entry points open a span
+  (``REP4xx``),
+* plus generic hygiene rules (``REP5xx``).
+
+Run it as ``repro-eyeball lint`` (or ``make lint``); see
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue, the
+``# reprolint: disable=RULE`` suppression syntax and the baseline
+workflow.
+"""
+
+from .baseline import Baseline, BaselineEntry
+from .context import ModuleContext
+from .engine import LintResult, iter_python_files, lint_paths, lint_source
+from .findings import Finding, Severity
+from .registry import Rule, RuleMeta, all_rules, get_rule
+from .reporters import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "RuleMeta",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,123 @@
+"""Committed baselines for grandfathered findings.
+
+A baseline lets the linter gate *new* violations while tolerating a
+small, explicitly committed set of pre-existing ones.  Entries are
+deliberately line-agnostic — ``(path, rule, count)`` — so unrelated
+edits that shift line numbers do not invalidate the baseline, while
+*adding* a finding of a baselined rule to a baselined file still fails
+(the count is exceeded).
+
+The on-disk format is stable JSON (schema :data:`SCHEMA`), written
+sorted so diffs stay minimal.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from .findings import Finding
+
+#: Schema identifier embedded in every baseline file.
+SCHEMA = "repro.lint-baseline/v1"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """Up to ``count`` findings of ``rule`` in ``path`` are tolerated."""
+
+    path: str
+    rule: str
+    count: int
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        return {"path": self.path, "rule": self.rule, "count": self.count}
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered findings."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Counter = Counter(
+            (finding.path, finding.rule_id) for finding in findings
+        )
+        return cls(
+            entries=[
+                BaselineEntry(path=path, rule=rule, count=count)
+                for (path, rule), count in sorted(counts.items())
+            ]
+        )
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into ``(active, baselined)``.
+
+        For each ``(path, rule)`` budget, the earliest findings (source
+        order) are consumed first; anything beyond the budget stays
+        active.
+        """
+        budget: Counter = Counter()
+        for entry in self.entries:
+            budget[(entry.path, entry.rule)] += entry.count
+        active: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in sorted(findings, key=lambda f: f.sort_key):
+            key = (finding.path, finding.rule_id)
+            if budget[key] > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                active.append(finding)
+        return active, baselined
+
+    # -- serialisation ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Baseline":
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"not a lint baseline (schema={data.get('schema')!r}, "
+                f"expected {SCHEMA!r})"
+            )
+        entries = []
+        for raw in data.get("entries", []):  # type: ignore[union-attr]
+            entries.append(
+                BaselineEntry(
+                    path=str(raw["path"]),
+                    rule=str(raw["rule"]),
+                    count=int(raw.get("count", 1)),
+                )
+            )
+        return cls(entries=entries)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        target = Path(path)
+        target.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Load ``path``; a missing file yields an empty baseline."""
+        target = Path(path)
+        if not target.exists():
+            return cls()
+        return cls.from_dict(json.loads(target.read_text()))

@@ -1,0 +1,109 @@
+"""Per-module context handed to every rule: path, dotted name, AST."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple
+
+
+def infer_module_name(path: Path) -> str:
+    """Dotted module name for ``path``, found by ascending packages.
+
+    Walks up from the file while an ``__init__.py`` marks the parent as
+    a package, so ``src/repro/geo/coords.py`` maps to
+    ``repro.geo.coords`` no matter where the repository is checked out.
+    Files outside any package resolve to their bare stem.
+    """
+    path = path.resolve()
+    parts = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source module, as seen by the rules."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    is_package_init: bool = False
+    source_lines: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.source_lines:
+            self.source_lines = tuple(self.source.splitlines())
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        module: str = "<snippet>",
+        path: str = "<memory>",
+        is_package_init: bool = False,
+    ) -> "ModuleContext":
+        return cls(
+            path=path,
+            module=module,
+            source=source,
+            tree=ast.parse(source),
+            is_package_init=is_package_init,
+        )
+
+    @classmethod
+    def from_path(
+        cls, path: Path, module: Optional[str] = None
+    ) -> "ModuleContext":
+        source = path.read_text()
+        return cls(
+            path=str(path),
+            module=module if module is not None else infer_module_name(path),
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            is_package_init=path.name == "__init__.py",
+        )
+
+    # -- repro-specific queries ---------------------------------------
+
+    @property
+    def subpackage(self) -> Optional[str]:
+        """The layering unit this module belongs to.
+
+        ``"geo"`` for ``repro.geo.coords``, ``"cli"`` for the top-level
+        ``repro.cli`` module, ``""`` for the ``repro`` root package
+        itself, and ``None`` for modules outside ``repro``.
+        """
+        parts = self.module.split(".")
+        if parts[0] != "repro":
+            return None
+        return parts[1] if len(parts) > 1 else ""
+
+    @property
+    def package_parts(self) -> Tuple[str, ...]:
+        """The containing package, for resolving relative imports."""
+        parts = tuple(self.module.split("."))
+        return parts if self.is_package_init else parts[:-1]
+
+    def resolve_import_from(self, node: ast.ImportFrom) -> Optional[str]:
+        """Absolute dotted target of a ``from X import Y`` statement.
+
+        Relative imports are resolved against :attr:`package_parts`;
+        returns ``None`` when the relative level escapes the known
+        package (the module name was a bare stem).
+        """
+        if not node.level:
+            return node.module
+        base = self.package_parts
+        if node.level - 1 > len(base):
+            return None
+        if node.level > 1:
+            base = base[: len(base) - (node.level - 1)]
+        suffix = node.module.split(".") if node.module else []
+        resolved = list(base) + suffix
+        return ".".join(resolved) if resolved else None

@@ -1,0 +1,168 @@
+"""The lint engine: file discovery, rule execution, result assembly.
+
+The flow for each file is parse → run every rule → drop findings a
+``# reprolint: disable`` comment covers → split the remainder against
+the committed baseline.  Everything still standing is an *active*
+finding and fails the run (subject to the severity threshold).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .baseline import Baseline
+from .context import ModuleContext
+from .findings import Finding, Severity
+from .registry import (
+    PARSE_ERROR_ID,
+    PARSE_ERROR_NAME,
+    Rule,
+    all_rules,
+)
+from .suppressions import Suppressions
+
+#: Directories never descended into during file discovery.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache", "build", "dist"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    files_scanned: int = 0
+
+    def failed(self, threshold: Severity = Severity.WARNING) -> bool:
+        return any(f.severity >= threshold for f in self.findings)
+
+    def exit_status(self, threshold: Severity = Severity.WARNING) -> int:
+        return 1 if self.failed(threshold) else 0
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Every ``.py`` file under ``paths``, sorted and de-duplicated."""
+    seen = {}
+    for entry in paths:
+        root = Path(entry)
+        if root.is_file():
+            if root.suffix == ".py":
+                seen[root.resolve()] = root
+            continue
+        if not root.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in SKIP_DIRS and not d.startswith(".")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    found = Path(dirpath) / name
+                    seen[found.resolve()] = found
+    return sorted(seen.values())
+
+
+def _display_path(path: Path, root: Path) -> str:
+    """Posix path relative to ``root`` when possible (stable across
+    machines, which is what makes baseline entries portable)."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_source(
+    source: str,
+    module: str = "<snippet>",
+    path: str = "<memory>",
+    rules: Optional[Sequence[Rule]] = None,
+    is_package_init: bool = False,
+) -> List[Finding]:
+    """Lint one in-memory module; suppressions apply, baselines do not.
+
+    The primary entry point for rule tests: feed a fixture snippet and
+    an (optional) pretend module name, get the surviving findings.
+    """
+    try:
+        ctx = ModuleContext.from_source(
+            source, module=module, path=path, is_package_init=is_package_init
+        )
+    except SyntaxError as exc:
+        return [_parse_error_finding(path, exc)]
+    checked = _check_module(ctx, all_rules() if rules is None else rules)
+    return checked.findings
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[Union[str, Path]] = None,
+) -> LintResult:
+    """Lint files/directories and assemble a :class:`LintResult`.
+
+    ``root`` (default: the current directory) anchors the relative
+    paths used in findings and baseline entries.
+    """
+    anchor = Path.cwd() if root is None else Path(root)
+    active_rules = all_rules() if rules is None else list(rules)
+    result = LintResult()
+    raw: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        result.files_scanned += 1
+        display = _display_path(file_path, anchor)
+        try:
+            ctx = ModuleContext.from_path(file_path)
+        except SyntaxError as exc:
+            raw.append(_parse_error_finding(display, exc))
+            continue
+        ctx.path = display
+        checked = _check_module(ctx, active_rules)
+        result.suppressed_count += checked.suppressed
+        raw.extend(checked.findings)
+    if baseline is not None:
+        active, grandfathered = baseline.apply(raw)
+        result.findings = active
+        result.baselined = grandfathered
+    else:
+        result.findings = sorted(raw, key=lambda f: f.sort_key)
+    return result
+
+
+@dataclass
+class _CheckedModule:
+    findings: List[Finding]
+    suppressed: int
+
+
+def _check_module(
+    ctx: ModuleContext, rules: Sequence[Rule]
+) -> "_CheckedModule":
+    suppressions = Suppressions.from_source(ctx.source)
+    kept: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if suppressions.is_suppressed(finding):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    kept.sort(key=lambda f: f.sort_key)
+    return _CheckedModule(findings=kept, suppressed=suppressed)
+
+
+def _parse_error_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule_id=PARSE_ERROR_ID,
+        rule_name=PARSE_ERROR_NAME,
+        severity=Severity.ERROR,
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        message=f"file does not parse: {exc.msg}",
+    )

@@ -1,0 +1,110 @@
+"""The rule registry: rule metadata, base class and lookup."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from .context import ModuleContext
+from .findings import Finding, Severity
+
+#: Rule id reserved for files that fail to parse (not a registered rule).
+PARSE_ERROR_ID = "REP000"
+PARSE_ERROR_NAME = "syntax-error"
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """Identity and default severity of one rule."""
+
+    id: str  # "REP101"
+    name: str  # "unseeded-rng"
+    severity: Severity
+    summary: str  # one line, shown by ``lint --list-rules``
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set :attr:`meta` and implement :meth:`check`, yielding
+    :class:`Finding` objects (most easily via :meth:`finding`).
+    Registration is explicit through :func:`register`.
+    """
+
+    meta: RuleMeta
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        node: Union[ast.AST, int],
+        message: str,
+        col: Optional[int] = None,
+    ) -> Finding:
+        """Build a finding for ``node`` (an AST node or a line number)."""
+        if isinstance(node, int):
+            line, column = node, 0 if col is None else col
+        else:
+            line = getattr(node, "lineno", 1)
+            column = getattr(node, "col_offset", 0) if col is None else col
+        return Finding(
+            rule_id=self.meta.id,
+            rule_name=self.meta.name,
+            severity=self.meta.severity,
+            path=ctx.path,
+            line=line,
+            col=column,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate the rule and add it to the registry."""
+    meta = rule_cls.meta
+    for existing in _REGISTRY.values():
+        if existing.meta.id == meta.id or existing.meta.name == meta.name:
+            raise ValueError(
+                f"duplicate rule registration: {meta.id}/{meta.name} "
+                f"collides with {existing.meta.id}/{existing.meta.name}"
+            )
+    _REGISTRY[meta.id] = rule_cls()
+    return rule_cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the package registers every built-in rule exactly once.
+    from . import rules  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id."""
+    _ensure_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(id_or_name: str) -> Rule:
+    """Look a rule up by id (``REP101``) or name (``unseeded-rng``)."""
+    _ensure_loaded()
+    token = id_or_name.strip()
+    upper = token.upper()
+    if upper in _REGISTRY:
+        return _REGISTRY[upper]
+    lowered = token.lower()
+    for rule in _REGISTRY.values():
+        if rule.meta.name == lowered:
+            return rule
+    raise KeyError(f"no rule with id or name {id_or_name!r}")
+
+
+def known_tokens() -> Iterable[str]:
+    """All ids and names that suppression comments may reference."""
+    _ensure_loaded()
+    for rule in _REGISTRY.values():
+        yield rule.meta.id
+        yield rule.meta.name

@@ -1,0 +1,72 @@
+"""Text and JSON reporters for lint results.
+
+The text reporter follows the same fixed-width table idiom as
+``repro.obs.report`` (a findings listing, then a per-rule summary
+table, then one totals line); the JSON reporter emits a stable
+document (schema :data:`SCHEMA`) for CI and tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict, List
+
+from .engine import LintResult
+from .findings import Severity
+
+
+#: Schema identifier embedded in every JSON report.
+SCHEMA = "repro.lint-report/v1"
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report: findings, per-rule table, totals line."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule_id} "
+            f"[{finding.severity}] {finding.message}  "
+            f"({finding.rule_name})"
+        )
+    if result.findings:
+        lines.append("")
+        lines.append(f"{'rule':<26}{'id':<9}{'severity':<10}{'findings':>9}")
+        by_rule = Counter(
+            (f.rule_id, f.rule_name, str(f.severity)) for f in result.findings
+        )
+        for (rule_id, name, severity), count in sorted(by_rule.items()):
+            lines.append(f"{name:<26}{rule_id:<9}{severity:<10}{count:>9}")
+        lines.append("")
+    if verbose and result.baselined:
+        lines.append("baselined (grandfathered, not failing):")
+        for finding in result.baselined:
+            lines.append(
+                f"  {finding.location()}: {finding.rule_id} {finding.message}"
+            )
+        lines.append("")
+    lines.append(
+        f"{result.files_scanned} files scanned: "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{result.suppressed_count} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, **meta: Any) -> str:
+    """Stable JSON report; ``meta`` lands in the document verbatim."""
+    document: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "meta": dict(meta),
+        "summary": {
+            "files_scanned": result.files_scanned,
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed_count,
+            "failed": result.failed(Severity.WARNING),
+        },
+        "findings": [finding.to_dict() for finding in result.findings],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,13 @@
+"""Built-in reprolint rules.
+
+Importing this package registers every rule module with the registry;
+:func:`repro.analysis.registry.all_rules` triggers the import lazily.
+"""
+
+from . import (  # noqa: F401
+    coordinates,
+    determinism,
+    generic,
+    layering,
+    telemetry,
+)

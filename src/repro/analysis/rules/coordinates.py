@@ -1,0 +1,126 @@
+"""Coordinate-safety rules (REP3xx).
+
+Geolocation studies (Shavitt & Zilberman 2010; Gouel et al. 2021) show
+that silently swapped coordinate order and mixed units are the classic
+ways location data corrupts without crashing.  The house convention,
+stated in ``repro.geo.coords``, is ``(lat, lon)`` argument order with
+kilometres for distances and degrees for angles, always spelled out in
+the parameter name (``sigma_km``, ``bearing_deg``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Tuple
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..registry import Rule, RuleMeta, register
+
+_LAT_PART = re.compile(r"^lat(?:itude)?(?P<rest>s?\d*)$")
+_LON_PART = re.compile(r"^(?:lon|lng)(?:gitude)?(?P<rest>s?\d*)$")
+
+#: Parameter names that denote a length but carry no unit suffix.
+BARE_DISTANCE_NAMES = frozenset(
+    {"radius", "sigma", "bandwidth", "distance", "dist", "spacing"}
+)
+
+#: Unit suffixes that make a distance parameter unambiguous.
+UNIT_SUFFIXES = ("_km", "_m", "_deg", "_degrees", "_rad")
+
+
+def _coordinate_token(name: str) -> Tuple[str, Tuple[str, ...]]:
+    """Classify a parameter name as latitude- or longitude-like.
+
+    Returns ``(kind, residue)`` where ``kind`` is ``"lat"``, ``"lon"``
+    or ``""`` and ``residue`` is the name with the coordinate word
+    stripped, so ``lon1``/``lat1`` pair up (equal residues ``("1",)``)
+    while ``lon1``/``lat2`` — adjacent in a perfectly conventional
+    ``(lat1, lon1, lat2, lon2)`` signature — do not.
+    """
+    parts = name.lower().split("_")
+    for index, part in enumerate(parts):
+        for kind, pattern in (("lat", _LAT_PART), ("lon", _LON_PART)):
+            match = pattern.match(part)
+            if match:
+                residue = tuple(
+                    parts[:index] + [match.group("rest")] + parts[index + 1:]
+                )
+                return kind, residue
+    return "", ()
+
+
+def _positional_params(
+    node: ast.AST,
+) -> List[Tuple[str, ast.arg]]:
+    args = node.args
+    params = list(getattr(args, "posonlyargs", [])) + list(args.args)
+    return [(param.arg, param) for param in params]
+
+
+@register
+class LonLatOrderRule(Rule):
+    """``(lon, lat)``-ordered signatures invert the house convention
+    and transpose every coordinate that flows through them."""
+
+    meta = RuleMeta(
+        id="REP301",
+        name="lon-lat-order",
+        severity=Severity.ERROR,
+        summary="signature takes (lon, lat); house order is (lat, lon)",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            params = _positional_params(node)
+            for (name, param), (next_name, _) in zip(params, params[1:]):
+                kind, residue = _coordinate_token(name)
+                next_kind, next_residue = _coordinate_token(next_name)
+                if kind == "lon" and next_kind == "lat" and residue == next_residue:
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx,
+                        param,
+                        f"{label}(... {name}, {next_name} ...) orders "
+                        "longitude before latitude; the house convention "
+                        "is (lat, lon)",
+                    )
+
+
+@register
+class AmbiguousDistanceUnitRule(Rule):
+    """A bare ``radius``/``sigma``/... parameter could be kilometres or
+    degrees; the suffix must say which."""
+
+    meta = RuleMeta(
+        id="REP302",
+        name="ambiguous-distance-unit",
+        severity=Severity.WARNING,
+        summary="distance parameter lacks a unit suffix (_km/_deg/...)",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            params = (
+                list(getattr(args, "posonlyargs", []))
+                + list(args.args)
+                + list(args.kwonlyargs)
+            )
+            for param in params:
+                if param.arg.lower() in BARE_DISTANCE_NAMES:
+                    suffixes = "/".join(UNIT_SUFFIXES)
+                    yield self.finding(
+                        ctx,
+                        param,
+                        f"parameter {param.arg!r} of {node.name}() names a "
+                        f"length with no unit; suffix it ({suffixes}) so "
+                        "km/degree mix-ups cannot type-check",
+                    )

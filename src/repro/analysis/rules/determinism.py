@@ -1,0 +1,192 @@
+"""Determinism rules (REP1xx).
+
+The reproduction's headline numbers (Table 1 counts, footprint
+contours, PoP city mappings) are only meaningful if every run is
+bit-reproducible.  These rules ban the three ways hidden entropy has
+historically crept in: OS-seeded NumPy generators, the stdlib
+``random`` module's process-global state, and wall-clock reads inside
+experiment code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..registry import Rule, RuleMeta, register
+
+#: Legacy ``np.random.*`` functions backed by the process-global RNG.
+LEGACY_GLOBAL_RNG = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "poisson",
+        "binomial",
+        "exponential",
+        "standard_normal",
+    }
+)
+
+#: ``time`` module attributes that read the wall clock.
+WALL_CLOCK_TIME = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: ``datetime``/``date`` constructors that read the wall clock.
+WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+
+#: Subpackage allowed to read clocks (it owns all timing concerns).
+CLOCK_OWNER = "repro.obs"
+
+
+def _attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``("np", "random", "default_rng")`` for ``np.random.default_rng``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _is_numpy_random(chain: Tuple[str, ...]) -> bool:
+    return len(chain) >= 2 and chain[0] in ("np", "numpy") and chain[1] == "random"
+
+
+@register
+class UnseededRngRule(Rule):
+    """``np.random.default_rng()`` without a seed, or the legacy global
+    NumPy RNG, makes runs irreproducible."""
+
+    meta = RuleMeta(
+        id="REP101",
+        name="unseeded-rng",
+        severity=Severity.ERROR,
+        summary="NumPy RNG created without an explicit seed "
+        "(or legacy global np.random.* used)",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if chain is None:
+                continue
+            if chain[-1] == "default_rng" and (
+                len(chain) == 1 or _is_numpy_random(chain)
+            ):
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "default_rng() without an explicit seed draws OS "
+                        "entropy; pass a seed derived from the run config",
+                    )
+            elif (
+                len(chain) == 3
+                and _is_numpy_random(chain)
+                and chain[2] in LEGACY_GLOBAL_RNG
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"np.random.{chain[2]}() uses the process-global RNG; "
+                    "thread an explicitly seeded np.random.Generator instead",
+                )
+
+
+@register
+class GlobalRandomRule(Rule):
+    """The stdlib ``random`` module is process-global, shared state."""
+
+    meta = RuleMeta(
+        id="REP102",
+        name="global-random",
+        severity=Severity.ERROR,
+        summary="stdlib random module imported "
+        "(process-global RNG state)",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "import of the stdlib random module; use an "
+                            "explicitly seeded np.random.Generator instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "import from the stdlib random module; use an "
+                        "explicitly seeded np.random.Generator instead",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    """Wall-clock reads outside ``repro.obs`` leak nondeterminism into
+    experiment output (timestamps in reports, time-dependent seeds)."""
+
+    meta = RuleMeta(
+        id="REP103",
+        name="wall-clock",
+        severity=Severity.ERROR,
+        summary="time.time()/datetime.now() outside repro.obs",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        module = ctx.module
+        if module == CLOCK_OWNER or module.startswith(CLOCK_OWNER + "."):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if chain is None or len(chain) < 2:
+                continue
+            head, tail = chain[-2], chain[-1]
+            if head == "time" and tail in WALL_CLOCK_TIME:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"time.{tail}() reads the wall clock; clocks belong to "
+                    "repro.obs (pass timings in, or use telemetry spans)",
+                )
+            elif head in ("datetime", "date") and tail in WALL_CLOCK_DATETIME:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{head}.{tail}() reads the wall clock; clocks belong "
+                    "to repro.obs (pass timestamps in explicitly)",
+                )

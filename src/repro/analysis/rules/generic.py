@@ -1,0 +1,194 @@
+"""Generic hygiene rules (REP5xx): the language-level footguns.
+
+Not repro-specific, but each has bitten numeric pipelines before:
+mutable defaults silently accumulate state across calls, bare
+``except`` swallows ``KeyboardInterrupt`` and real bugs alike, and
+shadowed builtins turn later uses of ``list``/``id``/... into puzzles.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..registry import Rule, RuleMeta, register
+
+#: Builtin names worth protecting (lowercase callables, no dunders).
+SHADOWABLE_BUILTINS = frozenset(
+    name
+    for name in dir(builtins)
+    if not name.startswith("_") and name.islower()
+) - {"credits", "copyright", "license", "exit", "quit"}
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque"})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """A mutable default argument is shared across every call."""
+
+    meta = RuleMeta(
+        id="REP501",
+        name="mutable-default",
+        severity=Severity.ERROR,
+        summary="mutable default argument ([] / {} / set() / list() ...)",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in {label}(); one "
+                        "instance is shared across all calls — default to "
+                        "None and create it in the body",
+                    )
+
+
+@register
+class BareExceptRule(Rule):
+    """``except:`` catches SystemExit/KeyboardInterrupt and hides bugs."""
+
+    meta = RuleMeta(
+        id="REP502",
+        name="bare-except",
+        severity=Severity.ERROR,
+        summary="bare except: clause",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` also catches SystemExit and "
+                    "KeyboardInterrupt; name the exception type (at "
+                    "minimum `except Exception:`)",
+                )
+
+
+class _ShadowVisitor(ast.NodeVisitor):
+    """Collect builtin-shadowing params and assignments.
+
+    Class bodies are skipped: a dataclass field named ``max`` is an
+    attribute access (``obj.max``), not a scope-level rebinding.
+    """
+
+    def __init__(self) -> None:
+        self.hits = []  # (node, name, context)
+
+    def _check_args(self, node) -> None:
+        args = node.args
+        params = (
+            list(getattr(args, "posonlyargs", []))
+            + list(args.args)
+            + list(args.kwonlyargs)
+        )
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None:
+                params.append(extra)
+        label = getattr(node, "name", "<lambda>")
+        for param in params:
+            if param.arg in SHADOWABLE_BUILTINS:
+                self.hits.append((param, param.arg, f"parameter of {label}()"))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Walk methods, not class-level attribute definitions.
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.visit(child)
+
+    def _check_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name) and target.id in SHADOWABLE_BUILTINS:
+            self.hits.append((target, target.id, "assignment"))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if item.optional_vars is not None:
+                self._check_target(item.optional_vars)
+        self.generic_visit(node)
+
+
+@register
+class ShadowedBuiltinRule(Rule):
+    """Rebinding ``list``/``id``/``type``/... invites spooky bugs."""
+
+    meta = RuleMeta(
+        id="REP503",
+        name="shadowed-builtin",
+        severity=Severity.WARNING,
+        summary="parameter or variable shadows a Python builtin",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        visitor = _ShadowVisitor()
+        visitor.visit(ctx.tree)
+        for node, name, where in visitor.hits:
+            yield self.finding(
+                ctx,
+                node,
+                f"{where} shadows the builtin {name!r}; rename it "
+                f"(e.g. {name}_ or a more specific noun)",
+            )

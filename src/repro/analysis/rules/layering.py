@@ -1,0 +1,135 @@
+"""Import-layering rules (REP2xx).
+
+``repro``'s subpackages form a DAG.  Each layering unit (subpackage or
+top-level module) has a rank; a unit may import only units of strictly
+lower rank.  This is what keeps the scientific core (``geo``, ``geodb``,
+``core``) reusable and free of any dependency on the measurement
+substrate (``crawl``), the experiment drivers or the CLI — and what
+lets aggressive refactors (sharding, async, caching) move code without
+quietly inverting the architecture.
+
+The side-car packages ``repro.obs`` (telemetry) and ``repro.analysis``
+(this linter) are stricter still: they import *nothing* from the rest
+of ``repro``, so that instrumenting or linting a module can never
+change what it computes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..registry import Rule, RuleMeta, register
+
+#: Rank of each layering unit; imports must flow strictly downward.
+#: (Units absent from the map — e.g. the ``repro`` root package — are
+#: exempt from REP201.)
+LAYER_RANKS = {
+    "obs": 0,
+    "analysis": 0,
+    "geo": 1,
+    "net": 2,
+    "core": 3,
+    "geodb": 3,
+    "crawl": 4,
+    "connectivity": 5,
+    "pipeline": 5,
+    "validation": 5,
+    "viz": 5,
+    "datasets": 6,
+    "experiments": 7,
+    "cli": 8,
+}
+
+#: Units that may import nothing else from ``repro`` (REP202).
+LEAF_FREE = frozenset({"obs", "analysis"})
+
+
+def _import_unit(target: str) -> Optional[str]:
+    """The layering unit a dotted import target lands in, or ``None``."""
+    parts = target.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+def _iter_repro_imports(ctx: ModuleContext) -> Iterator[object]:
+    """Yield ``(node, unit)`` for every import of a ``repro`` unit."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                unit = _import_unit(alias.name)
+                if unit is not None:
+                    yield node, unit
+        elif isinstance(node, ast.ImportFrom):
+            target = ctx.resolve_import_from(node)
+            if target is None:
+                continue
+            unit = _import_unit(target)
+            if unit is not None:
+                yield node, unit
+            elif target == "repro" and node.level:
+                # ``from . import X`` at the package root: each name is
+                # itself a unit.
+                for alias in node.names:
+                    if alias.name in LAYER_RANKS:
+                        yield node, alias.name
+
+
+@register
+class LayerOrderRule(Rule):
+    """Imports must flow from higher-ranked units to lower-ranked ones."""
+
+    meta = RuleMeta(
+        id="REP201",
+        name="layer-order",
+        severity=Severity.ERROR,
+        summary="import goes up (or sideways across) the layering DAG",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        own = ctx.subpackage
+        if own is None or own not in LAYER_RANKS or own in LEAF_FREE:
+            return  # side-car units report through REP202 instead
+        own_rank = LAYER_RANKS[own]
+        for node, unit in _iter_repro_imports(ctx):
+            if unit == own or unit not in LAYER_RANKS:
+                continue
+            if LAYER_RANKS[unit] >= own_rank:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"repro.{own} (layer {own_rank}) must not import "
+                    f"repro.{unit} (layer {LAYER_RANKS[unit]}); imports "
+                    "flow strictly downward",
+                )
+
+
+@register
+class LeafFreeRule(Rule):
+    """``repro.obs``/``repro.analysis`` must stay dependency-free so
+    observing or linting code can never change what it computes."""
+
+    meta = RuleMeta(
+        id="REP202",
+        name="sidecar-isolation",
+        severity=Severity.ERROR,
+        summary="repro.obs / repro.analysis imports another repro "
+        "subpackage",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        own = ctx.subpackage
+        if own not in LEAF_FREE:
+            return
+        for node, unit in _iter_repro_imports(ctx):
+            if unit != own:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"repro.{own} is a side-car package and must not "
+                    f"import repro.{unit}; it may only use the stdlib "
+                    "and its own modules",
+                )

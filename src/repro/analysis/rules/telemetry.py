@@ -1,0 +1,73 @@
+"""Telemetry-hygiene rules (REP4xx).
+
+PR 1 established the contract that every pipeline/crawl *stage entry
+point* opens a telemetry span, so run reports always show where the
+time went; and that telemetry never changes experiment output (that
+half is enforced by REP202's isolation of ``repro.obs``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..registry import Rule, RuleMeta, register
+
+#: Packages whose stage entry points must be instrumented.
+INSTRUMENTED_PACKAGES = ("repro.pipeline.", "repro.crawl.")
+
+#: A public module-level function with one of these prefixes is a stage
+#: entry point.
+STAGE_PREFIXES = ("run_", "build_", "generate_")
+
+
+def _opens_span(fn: ast.AST) -> bool:
+    """True if the function body contains ``with obs.span(...)``."""
+    for node in ast.walk(fn):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if not isinstance(expr, ast.Call):
+                continue
+            func = expr.func
+            if isinstance(func, ast.Attribute) and func.attr == "span":
+                return True
+            if isinstance(func, ast.Name) and func.id == "span":
+                return True
+    return False
+
+
+@register
+class StageSpanRule(Rule):
+    """Stage entry points (``run_*``/``build_*``/``generate_*``) in
+    ``repro.pipeline``/``repro.crawl`` must open a span."""
+
+    meta = RuleMeta(
+        id="REP401",
+        name="stage-span",
+        severity=Severity.WARNING,
+        summary="pipeline/crawl stage entry point opens no telemetry "
+        "span",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(INSTRUMENTED_PACKAGES):
+            return
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not node.name.startswith(STAGE_PREFIXES):
+                continue
+            if not _opens_span(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"stage entry point {node.name}() opens no telemetry "
+                    "span; wrap its body in `with obs.span(...)` so run "
+                    "reports attribute its time",
+                )

@@ -1,0 +1,83 @@
+"""Inline suppression comments.
+
+Two directives are honoured, both inside ordinary ``#`` comments:
+
+``# reprolint: disable=REP101`` (or ``disable=unseeded-rng``)
+    Suppress the named rule(s) on the physical line the comment sits
+    on.  Several rules may be given, comma-separated; ``all`` disables
+    every rule for that line.
+
+``# reprolint: disable-file=REP301``
+    Suppress the named rule(s) for the whole file, from any line.
+
+Comments are located with :mod:`tokenize` so directive-looking text
+inside string literals is ignored; if the file cannot be tokenized the
+scanner falls back to a plain per-line scan.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Set, Tuple
+
+from .findings import Finding
+
+DIRECTIVE_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+#: Wildcard token accepted in place of a rule id/name.
+ALL = "all"
+
+
+def _iter_comments(source: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line, text)`` for every comment token in ``source``."""
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "#" in line:
+                yield lineno, line[line.index("#"):]
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives for one file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    whole_file: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        parsed = cls()
+        for lineno, comment in _iter_comments(source):
+            for match in DIRECTIVE_RE.finditer(comment):
+                tokens = {
+                    token.strip().lower()
+                    for token in match.group("rules").split(",")
+                    if token.strip()
+                }
+                if match.group("kind") == "disable-file":
+                    parsed.whole_file |= tokens
+                else:
+                    parsed.by_line.setdefault(lineno, set()).update(tokens)
+        return parsed
+
+    def _matches(self, tokens: Set[str], finding: Finding) -> bool:
+        return bool(
+            tokens
+            & {ALL, finding.rule_id.lower(), finding.rule_name.lower()}
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if self._matches(self.whole_file, finding):
+            return True
+        tokens = self.by_line.get(finding.line, set())
+        return self._matches(tokens, finding)

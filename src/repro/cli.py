@@ -9,6 +9,7 @@
     repro-eyeball section6 [--scale 0.01]
     repro-eyeball all      [--preset small]
     repro-eyeball stats    [--preset small] [--top 10]
+    repro-eyeball lint     [PATH ...] [--format text|json] [--list-rules]
 
 Each subcommand prints the same rendered table/figure the benchmark
 harness archives, with the paper's numbers alongside.  ``--preset
@@ -30,9 +31,18 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from . import __version__
+from .analysis import (
+    Baseline,
+    Severity,
+    all_rules,
+    lint_paths,
+    render_json,
+    render_text,
+)
 from .experiments.figure1 import run_figure1
 from .experiments.figure2 import run_figure2
 from .experiments.scenario import (
@@ -151,6 +161,62 @@ def cmd_all(args) -> int:
         status |= command(args)
         print()
     return status
+
+
+#: Baseline file the lint subcommand looks for when --baseline is absent.
+DEFAULT_BASELINE = ".reprolint.json"
+
+
+def _lint_targets(args) -> List[str]:
+    if args.paths:
+        return args.paths
+    # Prefer the source tree of a development checkout; fall back to
+    # the installed package (e.g. when run from another directory).
+    if Path("src/repro").is_dir():
+        return ["src/repro"]
+    return [str(Path(__file__).parent)]
+
+
+def cmd_lint(args) -> int:
+    """Run reprolint (see docs/STATIC_ANALYSIS.md)."""
+    if args.list_rules:
+        print(f"{'id':<9}{'name':<26}{'severity':<10}summary")
+        for rule in all_rules():
+            meta = rule.meta
+            print(
+                f"{meta.id:<9}{meta.name:<26}{str(meta.severity):<10}"
+                f"{meta.summary}"
+            )
+        return 0
+    baseline_path = Path(args.baseline or DEFAULT_BASELINE)
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        baseline = Baseline.load(baseline_path)
+    try:
+        result = lint_paths(_lint_targets(args), baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        saved = Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"baseline with {len(result.findings)} finding(s) "
+            f"written to {saved}"
+        )
+        return 0
+    threshold = Severity.parse(args.fail_on)
+    if args.format == "json":
+        print(
+            render_json(
+                result,
+                targets=_lint_targets(args),
+                fail_on=str(threshold),
+                baseline=str(baseline_path) if baseline else None,
+            )
+        )
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return result.exit_status(threshold)
 
 
 def cmd_stats(args) -> int:
@@ -272,6 +338,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="target ASes to run the KDE/PoP stages on (default: 3)",
     )
     stats.set_defaults(handler=cmd_stats)
+    lint = subparsers.add_parser(
+        "lint",
+        help="run reprolint, the repo's AST-based static analyser",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files/directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; report every finding",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("info", "warning", "error"),
+        default="warning",
+        help="lowest severity that fails the run (default: warning)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined (grandfathered) findings",
+    )
+    lint.set_defaults(handler=cmd_lint)
     return parser
 
 

@@ -17,6 +17,7 @@ from typing import List, Tuple
 import numpy as np
 
 from ..net.ecosystem import ASEcosystem
+from ..obs import telemetry as obs
 from .apps import P2PApp, default_apps
 from .crawler import PeerSample
 from .population import UserPopulation
@@ -98,6 +99,15 @@ def run_campaign(
     config: CampaignConfig = CampaignConfig(),
 ) -> CrawlCampaign:
     """Run the monthly crawls and assemble their union."""
+    with obs.span("crawl.campaign"):
+        return _run_campaign(ecosystem, population, config)
+
+
+def _run_campaign(
+    ecosystem: ASEcosystem,
+    population: UserPopulation,
+    config: CampaignConfig,
+) -> CrawlCampaign:
     apps = config.resolved_apps()
     rng = np.random.default_rng(config.seed)
     n_users = len(population)

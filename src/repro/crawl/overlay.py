@@ -22,6 +22,7 @@ from typing import List, Tuple
 import numpy as np
 
 from ..net.ecosystem import ASEcosystem
+from ..obs import telemetry as obs
 from .apps import P2PApp, default_apps
 from .crawler import PeerSample
 from .population import UserPopulation
@@ -147,6 +148,15 @@ def run_overlay_crawl(
     config: OverlayConfig = OverlayConfig(),
 ) -> PeerSample:
     """Crawl every application's overlay and return the observed sample."""
+    with obs.span("crawl.overlay"):
+        return _run_overlay_crawl(ecosystem, population, config)
+
+
+def _run_overlay_crawl(
+    ecosystem: ASEcosystem,
+    population: UserPopulation,
+    config: OverlayConfig,
+) -> PeerSample:
     apps = config.resolved_apps()
     rng = np.random.default_rng(config.seed)
     n_users = len(population)

@@ -27,6 +27,7 @@ from ..geo.zipgrid import ZipGrid
 from ..net.asn import ASNode
 from ..net.ecosystem import ASEcosystem
 from ..net.ip import MAX_IPV4, Prefix
+from ..obs import telemetry as obs
 
 
 @dataclass(frozen=True)
@@ -156,6 +157,15 @@ def generate_population(
     zipgrid: Optional[ZipGrid] = None,
 ) -> UserPopulation:
     """Generate the full user population of an ecosystem."""
+    with obs.span("crawl.generate_population"):
+        return _generate_population(ecosystem, config, zipgrid)
+
+
+def _generate_population(
+    ecosystem: ASEcosystem,
+    config: PopulationConfig,
+    zipgrid: Optional[ZipGrid],
+) -> UserPopulation:
     zipgrid = zipgrid or ZipGrid()
     rng = np.random.default_rng(config.seed)
     world = ecosystem.world

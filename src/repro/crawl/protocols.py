@@ -27,6 +27,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..net.ecosystem import ASEcosystem
+from ..obs import telemetry as obs
 from .apps import P2PApp, default_apps
 from .crawler import PeerSample
 from .population import UserPopulation
@@ -219,6 +220,15 @@ def run_protocol_crawl(
     config: ProtocolCrawlConfig = ProtocolCrawlConfig(),
 ) -> PeerSample:
     """Crawl each application with its own protocol model."""
+    with obs.span("crawl.protocol"):
+        return _run_protocol_crawl(ecosystem, population, config)
+
+
+def _run_protocol_crawl(
+    ecosystem: ASEcosystem,
+    population: UserPopulation,
+    config: ProtocolCrawlConfig,
+) -> PeerSample:
     apps = config.resolved_apps()
     rng = np.random.default_rng(config.seed)
     n_users = len(population)

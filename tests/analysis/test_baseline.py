@@ -1,0 +1,81 @@
+"""Baseline aggregation, matching and JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, Finding, Severity
+
+
+def make_finding(path="src/repro/a.py", rule="REP301", line=10):
+    return Finding(
+        rule_id=rule,
+        rule_name="some-rule",
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        col=0,
+        message="m",
+    )
+
+
+def test_from_findings_aggregates_counts():
+    baseline = Baseline.from_findings(
+        [
+            make_finding(line=1),
+            make_finding(line=9),
+            make_finding(path="src/repro/b.py", rule="REP101"),
+        ]
+    )
+    assert baseline.entries == [
+        BaselineEntry(path="src/repro/a.py", rule="REP301", count=2),
+        BaselineEntry(path="src/repro/b.py", rule="REP101", count=1),
+    ]
+
+
+def test_apply_consumes_budget_in_source_order():
+    baseline = Baseline(
+        entries=[BaselineEntry(path="src/repro/a.py", rule="REP301", count=1)]
+    )
+    first, second = make_finding(line=3), make_finding(line=30)
+    active, baselined = baseline.apply([second, first])
+    assert baselined == [first]
+    assert active == [second]
+
+
+def test_apply_distinguishes_path_and_rule():
+    baseline = Baseline(
+        entries=[BaselineEntry(path="src/repro/a.py", rule="REP301", count=5)]
+    )
+    other_path = make_finding(path="src/repro/b.py")
+    other_rule = make_finding(rule="REP502")
+    active, baselined = baseline.apply([other_path, other_rule])
+    assert baselined == []
+    assert sorted(f.sort_key for f in active) == sorted(
+        f.sort_key for f in [other_path, other_rule]
+    )
+
+
+def test_round_trip_through_file(tmp_path):
+    baseline = Baseline.from_findings(
+        [make_finding(), make_finding(rule="REP101", line=2)]
+    )
+    target = tmp_path / "baseline.json"
+    baseline.save(target)
+    loaded = Baseline.load(target)
+    assert loaded.entries == baseline.entries
+    # The on-disk document is schema-tagged, sorted JSON.
+    document = json.loads(target.read_text())
+    assert document["schema"] == "repro.lint-baseline/v1"
+
+
+def test_load_missing_file_is_empty():
+    baseline = Baseline.load("does/not/exist.json")
+    assert baseline.entries == []
+
+
+def test_load_rejects_foreign_schema(tmp_path):
+    target = tmp_path / "wrong.json"
+    target.write_text(json.dumps({"schema": "other/v1", "entries": []}))
+    with pytest.raises(ValueError, match="not a lint baseline"):
+        Baseline.load(target)

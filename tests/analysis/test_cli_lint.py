@@ -1,0 +1,126 @@
+"""The ``repro-eyeball lint`` subcommand, end to end."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def violation_tree(tmp_path, monkeypatch):
+    """A temp cwd holding one file per shipped rule's violation."""
+    monkeypatch.chdir(tmp_path)
+    package = tmp_path / "repro"
+    (package / "core").mkdir(parents=True)
+    (package / "__init__.py").write_text("")
+    (package / "core" / "__init__.py").write_text("")
+    (package / "core" / "bad.py").write_text(
+        textwrap.dedent(
+            """
+            import random
+            import time
+            import numpy as np
+            from repro.experiments.table1 import run_table1
+
+            rng = np.random.default_rng()
+
+            def stamp():
+                return time.time()
+
+            def locate(lon, lat, radius):
+                return lat, lon
+
+            def collect(items=[], list=None):
+                try:
+                    return items
+                except:
+                    return None
+            """
+        )
+    )
+    return tmp_path
+
+
+def run_lint(*argv):
+    return main(["lint", *argv])
+
+
+def test_lint_exits_nonzero_on_each_rule(violation_tree, capsys):
+    status = run_lint("repro")
+    out = capsys.readouterr().out
+    assert status == 1
+    for rule in (
+        "REP101",
+        "REP102",
+        "REP103",
+        "REP201",
+        "REP301",
+        "REP302",
+        "REP501",
+        "REP502",
+        "REP503",
+    ):
+        assert rule in out, f"{rule} missing from report"
+
+
+def test_lint_stage_span_rule_fires_on_fixture(violation_tree, capsys):
+    crawl = violation_tree / "repro" / "crawl"
+    crawl.mkdir()
+    (crawl / "__init__.py").write_text("")
+    (crawl / "stage.py").write_text(
+        "def run_stage(config):\n    return config\n"
+    )
+    status = run_lint("repro/crawl")
+    assert status == 1
+    assert "REP401" in capsys.readouterr().out
+
+
+def test_sidecar_isolation_fires_on_fixture(violation_tree, capsys):
+    obs = violation_tree / "repro" / "obs"
+    obs.mkdir()
+    (obs / "__init__.py").write_text("")
+    (obs / "leaky.py").write_text("from repro.core.bad import locate\n")
+    status = run_lint("repro/obs")
+    assert status == 1
+    assert "REP202" in capsys.readouterr().out
+
+
+def test_json_format_and_exit_status(violation_tree, capsys):
+    status = run_lint("repro", "--format", "json")
+    assert status == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == "repro.lint-report/v1"
+    assert document["summary"]["failed"] is True
+
+
+def test_write_baseline_then_clean_run(violation_tree, capsys):
+    assert run_lint("repro", "--write-baseline") == 0
+    baseline = json.loads((violation_tree / ".reprolint.json").read_text())
+    assert baseline["schema"] == "repro.lint-baseline/v1"
+    assert len(baseline["entries"]) >= 5
+    # With the baseline in place the same tree now passes ...
+    assert run_lint("repro") == 0
+    # ... unless the baseline is ignored.
+    capsys.readouterr()
+    assert run_lint("repro", "--no-baseline") == 1
+
+
+def test_fail_on_error_ignores_warnings(violation_tree, monkeypatch, capsys):
+    clean = violation_tree / "warn_only.py"
+    clean.write_text("def footprint(radius):\n    pass\n")
+    assert run_lint("warn_only.py") == 1
+    assert run_lint("warn_only.py", "--fail-on", "error") == 0
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "REP101" in out and "REP503" in out
+
+
+def test_missing_path_reports_error(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", "no/such/dir"]) == 2
+    assert "error" in capsys.readouterr().err

@@ -1,0 +1,132 @@
+"""Engine behaviour: discovery, module inference, baselines, reports."""
+
+import json
+import textwrap
+
+from repro.analysis import (
+    Baseline,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.analysis.context import infer_module_name
+from repro.analysis.findings import Severity
+
+
+def write_tree(root, files):
+    for relative, content in files.items():
+        target = root / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(content))
+    return root
+
+
+def make_repro_package(tmp_path):
+    """A miniature ``repro`` checkout with two violations."""
+    return write_tree(
+        tmp_path,
+        {
+            "repro/__init__.py": "",
+            "repro/core/__init__.py": "",
+            "repro/core/kde.py": """
+                from repro.crawl.crawler import run_crawl
+
+                def smooth(values, sigma):
+                    return values
+            """,
+            "repro/geo/__init__.py": "",
+            "repro/geo/coords.py": """
+                def haversine_km(lat1, lon1, lat2, lon2):
+                    return 0.0
+            """,
+        },
+    )
+
+
+def test_iter_python_files_skips_cache_dirs(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "pkg/a.py": "",
+            "pkg/__pycache__/a.cpython-311.py": "",
+            "pkg/.hidden/b.py": "",
+            "pkg/sub/c.py": "",
+        },
+    )
+    names = [p.name for p in iter_python_files([tmp_path])]
+    assert names == ["a.py", "c.py"]
+
+
+def test_infer_module_name_walks_packages(tmp_path):
+    make_repro_package(tmp_path)
+    assert infer_module_name(tmp_path / "repro/core/kde.py") == "repro.core.kde"
+    assert infer_module_name(tmp_path / "repro/core/__init__.py") == "repro.core"
+
+
+def test_lint_paths_finds_violations_with_relative_paths(tmp_path):
+    make_repro_package(tmp_path)
+    result = lint_paths([tmp_path / "repro"], root=tmp_path)
+    rules = [f.rule_id for f in result.findings]
+    assert "REP201" in rules  # core imports crawl
+    assert "REP302" in rules  # bare sigma parameter
+    assert all(f.path.startswith("repro/") for f in result.findings)
+    assert result.files_scanned == 5
+    assert result.exit_status() == 1
+
+
+def test_baseline_grandfathers_old_findings(tmp_path):
+    make_repro_package(tmp_path)
+    first = lint_paths([tmp_path / "repro"], root=tmp_path)
+    baseline = Baseline.from_findings(first.findings)
+    second = lint_paths([tmp_path / "repro"], root=tmp_path, baseline=baseline)
+    assert second.findings == []
+    assert len(second.baselined) == len(first.findings)
+    assert second.exit_status() == 0
+
+
+def test_new_finding_exceeds_baseline_budget(tmp_path):
+    make_repro_package(tmp_path)
+    baseline = Baseline.from_findings(
+        lint_paths([tmp_path / "repro"], root=tmp_path).findings
+    )
+    kde = tmp_path / "repro/core/kde.py"
+    kde.write_text(
+        kde.read_text() + "\nfrom repro.crawl.overlay import run_overlay_crawl\n"
+    )
+    result = lint_paths([tmp_path / "repro"], root=tmp_path, baseline=baseline)
+    assert [f.rule_id for f in result.findings] == ["REP201"]
+    assert result.exit_status() == 1
+
+
+def test_syntax_error_becomes_parse_finding(tmp_path):
+    write_tree(tmp_path, {"bad.py": "def broken(:\n"})
+    result = lint_paths([tmp_path / "bad.py"], root=tmp_path)
+    assert [f.rule_id for f in result.findings] == ["REP000"]
+    assert result.exit_status() == 1
+
+
+def test_fail_threshold_respects_severity():
+    findings = lint_source(
+        "def footprint(radius):\n    pass\n", module="repro.geo.fixture"
+    )
+    assert [f.severity for f in findings] == [Severity.WARNING]
+    from repro.analysis.engine import LintResult
+
+    result = LintResult(findings=findings, files_scanned=1)
+    assert result.exit_status(Severity.WARNING) == 1
+    assert result.exit_status(Severity.ERROR) == 0
+
+
+def test_render_text_and_json_shapes(tmp_path):
+    make_repro_package(tmp_path)
+    result = lint_paths([tmp_path / "repro"], root=tmp_path)
+    text = render_text(result)
+    assert "REP201" in text
+    assert "files scanned" in text
+    document = json.loads(render_json(result, targets=["repro"]))
+    assert document["schema"] == "repro.lint-report/v1"
+    assert document["summary"]["failed"] is True
+    assert document["meta"]["targets"] == ["repro"]
+    assert len(document["findings"]) == len(result.findings)

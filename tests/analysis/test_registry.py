@@ -1,0 +1,48 @@
+"""Rule registry: catalogue integrity and lookup."""
+
+import pytest
+
+from repro.analysis import all_rules, get_rule
+from repro.analysis.findings import Severity
+from repro.analysis.registry import Rule, RuleMeta, register
+
+
+def test_catalogue_ids_are_unique_and_sorted():
+    rules = all_rules()
+    ids = [rule.meta.id for rule in rules]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == len(ids)
+    names = [rule.meta.name for rule in rules]
+    assert len(set(names)) == len(names)
+
+
+def test_all_shipped_rule_families_present():
+    ids = {rule.meta.id for rule in all_rules()}
+    expected = {
+        "REP101", "REP102", "REP103",  # determinism
+        "REP201", "REP202",  # layering
+        "REP301", "REP302",  # coordinate safety
+        "REP401",  # telemetry hygiene
+        "REP501", "REP502", "REP503",  # generic hygiene
+    }
+    assert expected <= ids
+
+
+def test_lookup_by_id_and_name():
+    assert get_rule("REP101") is get_rule("unseeded-rng")
+    assert get_rule("rep101") is get_rule("REP101")
+    with pytest.raises(KeyError):
+        get_rule("REP999")
+
+
+def test_duplicate_registration_rejected():
+    class Duplicate(Rule):
+        meta = RuleMeta(
+            id="REP101",
+            name="duplicate",
+            severity=Severity.ERROR,
+            summary="clash",
+        )
+
+    with pytest.raises(ValueError, match="duplicate rule registration"):
+        register(Duplicate)

@@ -1,0 +1,92 @@
+"""REP301/REP302: coordinate-safety rules on fixture snippets."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.registry import get_rule
+
+
+def check(source, rule):
+    return lint_source(
+        textwrap.dedent(source), module="repro.geo.fixture",
+        rules=[get_rule(rule)],
+    )
+
+
+class TestLonLatOrder:
+    def test_flags_lon_before_lat(self):
+        findings = check(
+            "def locate(lon, lat):\n    return lat, lon\n", rule="REP301"
+        )
+        assert [f.rule_id for f in findings] == ["REP301"]
+        assert "locate" in findings[0].message
+
+    def test_flags_prefixed_pair(self):
+        findings = check(
+            "def place(center_lon, center_lat):\n    pass\n", rule="REP301"
+        )
+        assert [f.rule_id for f in findings] == ["REP301"]
+
+    def test_flags_numbered_pair(self):
+        findings = check(
+            "def seg(lon1, lat1, lon2, lat2):\n    pass\n", rule="REP301"
+        )
+        assert len(findings) == 2
+
+    def test_flags_lambda(self):
+        findings = check(
+            "f = lambda lng, lat: (lat, lng)\n", rule="REP301"
+        )
+        assert [f.rule_id for f in findings] == ["REP301"]
+
+    def test_clean_on_house_order(self):
+        findings = check(
+            """
+            def haversine_km(lat1, lon1, lat2, lon2):
+                pass
+
+            def jitter_around(lat, lon, sigma_km, rng):
+                pass
+            """,
+            rule="REP301",
+        )
+        assert findings == []
+
+    def test_clean_on_unrelated_names(self):
+        findings = check(
+            "def mix(longitude_span, latency):\n    pass\n", rule="REP301"
+        )
+        # ``latency`` is not a latitude and ``longitude_span`` has a
+        # non-matching residue, so the pair must not fire.
+        assert findings == []
+
+
+class TestAmbiguousDistanceUnit:
+    def test_flags_bare_radius(self):
+        findings = check(
+            "def footprint(lat, lon, radius):\n    pass\n", rule="REP302"
+        )
+        assert [f.rule_id for f in findings] == ["REP302"]
+        assert "_km" in findings[0].message
+
+    def test_flags_keyword_only_sigma(self):
+        findings = check(
+            "def blur(field, *, sigma=1.0):\n    pass\n", rule="REP302"
+        )
+        assert [f.rule_id for f in findings] == ["REP302"]
+
+    def test_clean_on_unit_suffixed_names(self):
+        findings = check(
+            """
+            def footprint(lat, lon, radius_km, bandwidth_km, bearing_deg):
+                pass
+            """,
+            rule="REP302",
+        )
+        assert findings == []
+
+    def test_clean_on_non_distance_names(self):
+        findings = check(
+            "def plot(title, alpha, count):\n    pass\n", rule="REP302"
+        )
+        assert findings == []

@@ -1,0 +1,134 @@
+"""REP101/REP102/REP103: determinism rules on fixture snippets."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.registry import get_rule
+
+
+def _ids(findings):
+    return [finding.rule_id for finding in findings]
+
+
+def check(source, module="repro.core.fixture", rule="REP101"):
+    return lint_source(
+        textwrap.dedent(source), module=module, rules=[get_rule(rule)]
+    )
+
+
+class TestUnseededRng:
+    def test_flags_unseeded_default_rng(self):
+        findings = check(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """
+        )
+        assert _ids(findings) == ["REP101"]
+        assert findings[0].line == 3
+        assert "seed" in findings[0].message
+
+    def test_flags_bare_default_rng_name(self):
+        findings = check(
+            """
+            from numpy.random import default_rng
+            rng = default_rng()
+            """
+        )
+        assert _ids(findings) == ["REP101"]
+
+    def test_flags_legacy_global_rng(self):
+        findings = check(
+            """
+            import numpy as np
+            np.random.seed(3)
+            x = np.random.rand(10)
+            """
+        )
+        assert _ids(findings) == ["REP101", "REP101"]
+
+    def test_clean_on_seeded_rng(self):
+        findings = check(
+            """
+            import numpy as np
+            def build(config):
+                rng = np.random.default_rng(config.seed)
+                return rng.normal(size=4)
+            """
+        )
+        assert findings == []
+
+    def test_generator_methods_not_confused_with_global(self):
+        findings = check(
+            """
+            def sample(rng):
+                return rng.random(5), rng.choice([1, 2]), rng.shuffle([3])
+            """
+        )
+        assert findings == []
+
+
+class TestGlobalRandom:
+    def test_flags_import_random(self):
+        findings = check("import random\n", rule="REP102")
+        assert _ids(findings) == ["REP102"]
+
+    def test_flags_from_random_import(self):
+        findings = check("from random import shuffle\n", rule="REP102")
+        assert _ids(findings) == ["REP102"]
+
+    def test_clean_on_numpy_random_import(self):
+        findings = check(
+            "from numpy.random import default_rng\n", rule="REP102"
+        )
+        assert findings == []
+
+    def test_clean_on_similarly_named_module(self):
+        findings = check("import randomness_lib\n", rule="REP102")
+        assert findings == []
+
+
+class TestWallClock:
+    def test_flags_time_time(self):
+        findings = check(
+            """
+            import time
+            def stamp():
+                return time.time()
+            """,
+            rule="REP103",
+        )
+        assert _ids(findings) == ["REP103"]
+
+    def test_flags_datetime_now(self):
+        findings = check(
+            """
+            import datetime
+            def stamp():
+                return datetime.datetime.now()
+            """,
+            rule="REP103",
+        )
+        assert _ids(findings) == ["REP103"]
+
+    def test_repro_obs_is_exempt(self):
+        source = """
+            import time
+            def tick():
+                return time.perf_counter()
+            """
+        assert check(source, rule="REP103") != []
+        assert (
+            check(source, module="repro.obs.telemetry", rule="REP103") == []
+        )
+
+    def test_clean_on_unrelated_attribute(self):
+        findings = check(
+            """
+            def run(span):
+                return span.time()
+            """,
+            rule="REP103",
+        )
+        # ``span.time()`` has head "span", not the time module.
+        assert findings == []

@@ -1,0 +1,140 @@
+"""REP501/REP502/REP503: generic hygiene rules on fixture snippets."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.registry import get_rule
+
+
+def check(source, rule):
+    return lint_source(
+        textwrap.dedent(source), module="repro.net.fixture",
+        rules=[get_rule(rule)],
+    )
+
+
+class TestMutableDefault:
+    def test_flags_list_literal_default(self):
+        findings = check("def f(items=[]):\n    pass\n", rule="REP501")
+        assert [f.rule_id for f in findings] == ["REP501"]
+
+    def test_flags_dict_set_and_constructor_defaults(self):
+        findings = check(
+            """
+            def f(a={}, b=set(), c=list()):
+                pass
+            """,
+            rule="REP501",
+        )
+        assert len(findings) == 3
+
+    def test_flags_keyword_only_default(self):
+        findings = check(
+            "def f(*, cache={}):\n    pass\n", rule="REP501"
+        )
+        assert len(findings) == 1
+
+    def test_clean_on_none_and_immutable_defaults(self):
+        findings = check(
+            """
+            def f(items=None, scale=1.0, name="x", dims=(1, 2)):
+                pass
+            """,
+            rule="REP501",
+        )
+        assert findings == []
+
+    def test_clean_on_frozen_dataclass_call_default(self):
+        # Calls to non-container constructors are someone else's
+        # problem; only list/dict/set/bytearray/deque are flagged.
+        findings = check(
+            "def f(config=Config()):\n    pass\n", rule="REP501"
+        )
+        assert findings == []
+
+
+class TestBareExcept:
+    def test_flags_bare_except(self):
+        findings = check(
+            """
+            try:
+                risky()
+            except:
+                pass
+            """,
+            rule="REP502",
+        )
+        assert [f.rule_id for f in findings] == ["REP502"]
+
+    def test_clean_on_typed_except(self):
+        findings = check(
+            """
+            try:
+                risky()
+            except (ValueError, OSError):
+                pass
+            except Exception:
+                pass
+            """,
+            rule="REP502",
+        )
+        assert findings == []
+
+
+class TestShadowedBuiltin:
+    def test_flags_shadowing_parameter(self):
+        findings = check("def f(list, id):\n    pass\n", rule="REP503")
+        assert len(findings) == 2
+
+    def test_flags_shadowing_assignment(self):
+        findings = check("type = 'residential'\n", rule="REP503")
+        assert [f.rule_id for f in findings] == ["REP503"]
+
+    def test_flags_for_loop_target(self):
+        findings = check(
+            """
+            def f(pairs):
+                for id, value in pairs:
+                    print(value)
+            """,
+            rule="REP503",
+        )
+        assert len(findings) == 1
+
+    def test_class_attribute_names_are_allowed(self):
+        findings = check(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Distribution:
+                min: float
+                max: float
+                sum = 0.0
+            """,
+            rule="REP503",
+        )
+        assert findings == []
+
+    def test_method_bodies_inside_classes_still_checked(self):
+        findings = check(
+            """
+            class Summary:
+                def of(self, values):
+                    max = values[0]
+                    return max
+            """,
+            rule="REP503",
+        )
+        assert len(findings) == 1
+
+    def test_clean_on_ordinary_names(self):
+        findings = check(
+            """
+            def f(values, names):
+                total = sum(values)
+                return total
+            """,
+            rule="REP503",
+        )
+        assert findings == []

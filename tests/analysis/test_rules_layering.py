@@ -1,0 +1,121 @@
+"""REP201/REP202: import-layering rules on fixture snippets."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.registry import get_rule
+from repro.analysis.rules.layering import LAYER_RANKS, LEAF_FREE
+
+
+def check(source, module, rule="REP201", is_package_init=False):
+    return lint_source(
+        textwrap.dedent(source),
+        module=module,
+        rules=[get_rule(rule)],
+        is_package_init=is_package_init,
+    )
+
+
+class TestLayerOrder:
+    def test_flags_core_importing_crawl(self):
+        findings = check(
+            "from repro.crawl.crawler import run_crawl\n",
+            module="repro.core.kde",
+        )
+        assert [f.rule_id for f in findings] == ["REP201"]
+        assert "repro.core" in findings[0].message
+        assert "repro.crawl" in findings[0].message
+
+    def test_flags_relative_upward_import(self):
+        findings = check(
+            "from ..experiments.table1 import run_table1\n",
+            module="repro.geodb.database",
+        )
+        assert [f.rule_id for f in findings] == ["REP201"]
+
+    def test_flags_plain_import_statement(self):
+        findings = check(
+            "import repro.cli\n", module="repro.geo.coords"
+        )
+        assert [f.rule_id for f in findings] == ["REP201"]
+
+    def test_flags_sideways_import(self):
+        # core and geodb share a rank; neither may import the other.
+        findings = check(
+            "from repro.core.kde import KDEConfig\n",
+            module="repro.geodb.database",
+        )
+        assert [f.rule_id for f in findings] == ["REP201"]
+
+    def test_allows_downward_import(self):
+        findings = check(
+            """
+            from repro.geo.coords import haversine_km
+            from ..obs import telemetry as obs
+            """,
+            module="repro.core.kde",
+        )
+        assert findings == []
+
+    def test_allows_intra_package_import(self):
+        findings = check(
+            "from .grid import FootprintGrid\n", module="repro.core.kde"
+        )
+        assert findings == []
+
+    def test_package_init_relative_import_is_intra_package(self):
+        # ``from .coords import haversine_km`` inside repro/geo/__init__.py
+        # resolves against repro.geo itself, not repro.
+        findings = check(
+            "from .coords import haversine_km\n",
+            module="repro.geo",
+            is_package_init=True,
+        )
+        assert findings == []
+
+    def test_non_repro_modules_are_ignored(self):
+        findings = check(
+            "from repro.experiments import table1\n", module="somepkg.mod"
+        )
+        assert findings == []
+
+
+class TestSidecarIsolation:
+    def test_flags_obs_importing_pipeline(self):
+        findings = check(
+            "from repro.pipeline.dataset import build_target_dataset\n",
+            module="repro.obs.telemetry",
+            rule="REP202",
+        )
+        assert [f.rule_id for f in findings] == ["REP202"]
+
+    def test_flags_analysis_importing_obs(self):
+        findings = check(
+            "from ..obs import telemetry\n",
+            module="repro.analysis.engine",
+            rule="REP202",
+        )
+        assert [f.rule_id for f in findings] == ["REP202"]
+
+    def test_allows_intra_sidecar_imports(self):
+        findings = check(
+            """
+            from .telemetry import Telemetry
+            import json
+            """,
+            module="repro.obs.report",
+            rule="REP202",
+        )
+        assert findings == []
+
+
+class TestRankTable:
+    def test_every_leaf_free_unit_is_ranked(self):
+        assert LEAF_FREE <= set(LAYER_RANKS)
+
+    def test_scientific_core_outranked_by_drivers(self):
+        # The ISSUE-mandated invariant: core/geo/geodb can never import
+        # crawl, experiments or the CLI.
+        for low in ("geo", "geodb", "core"):
+            for high in ("crawl", "experiments", "cli"):
+                assert LAYER_RANKS[low] < LAYER_RANKS[high]

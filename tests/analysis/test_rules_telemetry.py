@@ -1,0 +1,88 @@
+"""REP401: stage entry points must open telemetry spans."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.registry import get_rule
+
+
+def check(source, module="repro.crawl.fixture"):
+    return lint_source(
+        textwrap.dedent(source), module=module, rules=[get_rule("REP401")]
+    )
+
+
+def test_flags_uninstrumented_stage():
+    findings = check(
+        """
+        def run_crawl(ecosystem, config):
+            return crawl(ecosystem, config)
+        """
+    )
+    assert [f.rule_id for f in findings] == ["REP401"]
+    assert "run_crawl" in findings[0].message
+
+
+def test_flags_every_stage_prefix():
+    findings = check(
+        """
+        def run_x(a):
+            return a
+
+        def build_y(a):
+            return a
+
+        def generate_z(a):
+            return a
+        """
+    )
+    assert len(findings) == 3
+
+
+def test_clean_when_span_opened():
+    findings = check(
+        """
+        from ..obs import telemetry as obs
+
+        def run_crawl(ecosystem, config):
+            with obs.span("crawl.run"):
+                return _run_crawl(ecosystem, config)
+        """
+    )
+    assert findings == []
+
+
+def test_clean_with_bare_span_name():
+    findings = check(
+        """
+        def build_target_dataset(peers):
+            with span("pipeline.build"):
+                return peers
+        """
+    )
+    assert findings == []
+
+
+def test_private_and_non_stage_functions_ignored():
+    findings = check(
+        """
+        def _run_helper(a):
+            return a
+
+        def crawl_union_size(samples):
+            return len(samples)
+
+        def resolved_apps(config):
+            return config.apps
+        """
+    )
+    assert findings == []
+
+
+def test_only_pipeline_and_crawl_packages_checked():
+    source = """
+        def run_table1(scenario):
+            return scenario
+        """
+    assert check(source, module="repro.experiments.table1") == []
+    assert check(source, module="repro.pipeline.table1") != []

@@ -1,0 +1,39 @@
+"""The repository's own source must pass reprolint.
+
+This is the acceptance gate: ``src/repro`` at HEAD is clean under the
+committed baseline, and that baseline stays small (violations are
+fixed, not accumulated).
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import Baseline, lint_paths, render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SOURCE = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / ".reprolint.json"
+
+#: The acceptance criteria cap the committed baseline at 10 entries.
+MAX_BASELINE_ENTRIES = 10
+
+
+def test_source_tree_is_lint_clean():
+    baseline = Baseline.load(BASELINE)
+    result = lint_paths([SOURCE], root=REPO_ROOT, baseline=baseline)
+    assert result.findings == [], "\n" + render_text(result)
+
+
+def test_baseline_is_committed_and_small():
+    assert BASELINE.exists(), "commit .reprolint.json (repro lint --write-baseline)"
+    document = json.loads(BASELINE.read_text())
+    assert document["schema"] == "repro.lint-baseline/v1"
+    assert len(document["entries"]) <= MAX_BASELINE_ENTRIES
+
+
+def test_analysis_package_has_no_repro_dependencies():
+    # The linter lints itself: repro.analysis must stay stdlib-only so
+    # it can never perturb what the pipeline computes.
+    result = lint_paths([SOURCE / "analysis"], root=REPO_ROOT)
+    sidecar = [f for f in result.findings if f.rule_id == "REP202"]
+    assert sidecar == []

@@ -1,0 +1,102 @@
+"""Inline ``# reprolint: disable`` directives."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.registry import get_rule
+from repro.analysis.suppressions import Suppressions
+
+
+def check(source, rules=("REP101",)):
+    return lint_source(
+        textwrap.dedent(source),
+        module="repro.core.fixture",
+        rules=[get_rule(rule) for rule in rules],
+    )
+
+
+def test_same_line_suppression_by_id():
+    findings = check(
+        """
+        import numpy as np
+        rng = np.random.default_rng()  # reprolint: disable=REP101
+        """
+    )
+    assert findings == []
+
+
+def test_same_line_suppression_by_name():
+    findings = check(
+        """
+        import numpy as np
+        rng = np.random.default_rng()  # reprolint: disable=unseeded-rng
+        """
+    )
+    assert findings == []
+
+
+def test_suppression_is_per_line():
+    findings = check(
+        """
+        import numpy as np
+        a = np.random.default_rng()  # reprolint: disable=REP101
+        b = np.random.default_rng()
+        """
+    )
+    assert len(findings) == 1
+    assert findings[0].line == 4
+
+
+def test_suppression_of_other_rule_does_not_apply():
+    findings = check(
+        """
+        import numpy as np
+        rng = np.random.default_rng()  # reprolint: disable=REP502
+        """
+    )
+    assert len(findings) == 1
+
+
+def test_comma_separated_rules_and_all():
+    findings = check(
+        """
+        import random  # reprolint: disable=REP101,REP102
+        import numpy as np
+        x = np.random.default_rng()  # reprolint: disable=all
+        """,
+        rules=("REP101", "REP102"),
+    )
+    assert findings == []
+
+
+def test_file_level_suppression():
+    findings = check(
+        """
+        # reprolint: disable-file=REP101
+        import numpy as np
+        a = np.random.default_rng()
+        b = np.random.default_rng()
+        """
+    )
+    assert findings == []
+
+
+def test_directive_inside_string_literal_is_ignored():
+    source = textwrap.dedent(
+        """
+        DOC = "# reprolint: disable=REP101"
+        import numpy as np
+        rng = np.random.default_rng()
+        """
+    )
+    parsed = Suppressions.from_source(source)
+    assert parsed.by_line == {}
+    assert check(source) != []
+
+
+def test_unparseable_source_falls_back_to_line_scan():
+    # Unbalanced bracket: tokenize raises, the regex fallback still
+    # finds the directive.
+    source = "x = ([1, 2  # reprolint: disable-file=REP999\n"
+    parsed = Suppressions.from_source(source)
+    assert parsed.whole_file == {"rep999"}
