@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments profile lint clean
+.PHONY: install test bench examples experiments profile lint smoke \
+        smoke-baseline history clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -27,6 +28,22 @@ profile:
 
 lint:
 	$(PYTHON) -m repro.cli lint
+
+# The CI perf gate, runnable locally: instrumented smoke run, then a
+# noise-aware diff against the committed baseline (exit 1 on regression).
+smoke:
+	$(PYTHON) -m repro.cli --metrics-out smoke-report.json \
+		--trace-out smoke-trace.json --memory table1
+	$(PYTHON) -m repro.cli stats diff benchmarks/baselines/smoke.json \
+		smoke-report.json --max-ratio 4.0 --noise-floor-ms 50
+
+# Refresh the committed perf baseline (only for understood changes).
+smoke-baseline:
+	$(PYTHON) -m repro.cli --metrics-out benchmarks/baselines/smoke.json \
+		--memory table1
+
+history:
+	$(PYTHON) -m repro.cli stats history
 
 clean:
 	rm -rf .pytest_cache benchmarks/results .benchmarks

@@ -4,24 +4,50 @@ The paper-shaped default scenario is built once per benchmark session.
 Each benchmark renders its table/figure next to the paper's numbers and
 archives it under ``benchmarks/results/`` twice: the human-readable
 ``<name>.txt`` EXPERIMENTS.md cites, and a machine-readable
-``<name>.json`` timing record (name, wall-time, preset, seed) so
-successive runs leave a perf trajectory future optimisation PRs can
-diff against.
+``<name>.json`` timing record (name, wall-time, preset, seed, git rev,
+plus the run's full telemetry snapshot) so successive runs leave a
+perf trajectory future optimisation PRs can diff against.
+
+Every record is additionally appended to the append-only run history
+``benchmarks/results/history.jsonl`` (see ``repro.obs.history``), the
+longitudinal archive ``repro-eyeball stats history`` summarises.
 """
 
 import json
 import pathlib
+import subprocess
 import time
 
 import pytest
 
 from repro.experiments.scenario import ScenarioConfig, cached_scenario
+from repro.obs import telemetry as obs
+from repro.obs.history import RunHistory, utc_timestamp
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The longitudinal archive every record is appended to.
+HISTORY_PATH = RESULTS_DIR / "history.jsonl"
 
 #: The scenario every benchmark runs against, recorded in each JSON record.
 BENCH_PRESET = "default"
 BENCH_SEED = 5
+
+
+def _git_rev():
+    """Short HEAD revision, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=pathlib.Path(__file__).parent,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
 
 
 @pytest.fixture(scope="session")
@@ -37,25 +63,39 @@ def archive(request):
     the test body's own computation.  Session-scoped fixtures (the
     shared scenario build) are set up before the timer starts, so the
     record isolates what *this* benchmark did.
+
+    Telemetry is captured for the duration of the test, embedded in the
+    JSON record under ``"telemetry"``, and the whole record is appended
+    to ``results/history.jsonl``.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
-    start = time.perf_counter()
+    with obs.capture() as telemetry:
+        start = time.perf_counter()
 
-    def write(name: str, text: str, **extra) -> None:
-        wall_s = time.perf_counter() - start
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-        record = {
-            "name": name,
-            "test": request.node.name,
-            "wall_time_s": round(wall_s, 6),
-            "preset": BENCH_PRESET,
-            "seed": BENCH_SEED,
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        }
-        record.update(extra)
-        (RESULTS_DIR / f"{name}.json").write_text(
-            json.dumps(record, indent=2, sort_keys=True) + "\n"
-        )
-        print(f"\n{text}\n")
+        def write(name: str, text: str, **extra) -> None:
+            wall_s = time.perf_counter() - start
+            (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+            record = {
+                "name": name,
+                "test": request.node.name,
+                "wall_time_s": round(wall_s, 6),
+                "preset": BENCH_PRESET,
+                "seed": BENCH_SEED,
+                "git_rev": _git_rev(),
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                "telemetry": telemetry.snapshot(),
+            }
+            record.update(extra)
+            (RESULTS_DIR / f"{name}.json").write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n"
+            )
+            RunHistory(HISTORY_PATH).append_benchmark(
+                record,
+                git_rev=record["git_rev"],
+                preset=BENCH_PRESET,
+                seed=BENCH_SEED,
+                timestamp=utc_timestamp(),
+            )
+            print(f"\n{text}\n")
 
-    return write
+        yield write

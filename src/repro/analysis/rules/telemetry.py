@@ -3,13 +3,17 @@
 PR 1 established the contract that every pipeline/crawl *stage entry
 point* opens a telemetry span, so run reports always show where the
 time went; and that telemetry never changes experiment output (that
-half is enforced by REP202's isolation of ``repro.obs``).
+half is enforced by REP202's isolation of ``repro.obs``).  PR 3 added
+the span *naming* contract: every literal span name uses one of the
+``layer.step`` taxonomy prefixes documented in
+``docs/OBSERVABILITY.md``, so reports, diffs and traces from different
+runs always line up.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Optional
 
 from ..context import ModuleContext
 from ..findings import Finding, Severity
@@ -21,6 +25,20 @@ INSTRUMENTED_PACKAGES = ("repro.pipeline.", "repro.crawl.")
 #: A public module-level function with one of these prefixes is a stage
 #: entry point.
 STAGE_PREFIXES = ("run_", "build_", "generate_")
+
+#: The documented span-name taxonomy (docs/OBSERVABILITY.md, "Span
+#: taxonomy"): every span is ``<prefix>.<step>`` with the prefix naming
+#: the owning layer.  tests/analysis/test_rules_taxonomy.py cross-checks
+#: this tuple against the doc's table, so the two cannot drift apart.
+TAXONOMY_PREFIXES = (
+    "cli",
+    "crawl",
+    "footprint",
+    "kde",
+    "pipeline",
+    "pop",
+    "scenario",
+)
 
 
 def _opens_span(fn: ast.AST) -> bool:
@@ -70,4 +88,90 @@ class StageSpanRule(Rule):
                     f"stage entry point {node.name}() opens no telemetry "
                     "span; wrap its body in `with obs.span(...)` so run "
                     "reports attribute its time",
+                )
+
+
+def _span_name_literal(call: ast.Call) -> Optional[ast.AST]:
+    """The AST node holding a ``span(...)`` call's name argument."""
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "name":
+            return keyword.value
+    return None
+
+
+def _literal_prefix(node: ast.AST) -> Optional[str]:
+    """The span name's static prefix, or ``None`` when undecidable.
+
+    A string constant yields everything before the first dot (the whole
+    string when dotless); an f-string yields the same from its leading
+    constant piece when that piece already contains the dot.  Dynamic
+    names (variables, call results, f-strings with a dynamic head) are
+    undecidable and exempt.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split(".")[0]
+    if isinstance(node, ast.JoinedStr) and node.values:
+        head = node.values[0]
+        if (
+            isinstance(head, ast.Constant)
+            and isinstance(head.value, str)
+            and "." in head.value
+        ):
+            return head.value.split(".")[0]
+    return None
+
+
+@register
+class SpanTaxonomyRule(Rule):
+    """Literal span names must use a documented taxonomy prefix so
+    reports, diffs and traces stay comparable across runs."""
+
+    meta = RuleMeta(
+        id="REP402",
+        name="span-taxonomy",
+        severity=Severity.WARNING,
+        summary="span name outside the documented taxonomy prefixes "
+        "(docs/OBSERVABILITY.md)",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith("repro."):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_span = (
+                isinstance(func, ast.Attribute) and func.attr == "span"
+            ) or (isinstance(func, ast.Name) and func.id == "span")
+            if not is_span:
+                continue
+            name_node = _span_name_literal(node)
+            if name_node is None:
+                continue
+            prefix = _literal_prefix(name_node)
+            if prefix is None:
+                continue  # dynamic name; undecidable statically
+            literal = (
+                name_node.value
+                if isinstance(name_node, ast.Constant)
+                else f"{prefix}.*"
+            )
+            if prefix not in TAXONOMY_PREFIXES:
+                yield self.finding(
+                    ctx,
+                    name_node,
+                    f"span name {literal!r} uses undocumented prefix "
+                    f"{prefix!r}; use one of {', '.join(TAXONOMY_PREFIXES)} "
+                    "or extend the taxonomy in docs/OBSERVABILITY.md "
+                    "first",
+                )
+            elif isinstance(name_node, ast.Constant) and "." not in literal:
+                yield self.finding(
+                    ctx,
+                    name_node,
+                    f"span name {literal!r} is not of the form "
+                    "'<layer>.<step>' (see docs/OBSERVABILITY.md)",
                 )

@@ -9,6 +9,8 @@
     repro-eyeball section6 [--scale 0.01]
     repro-eyeball all      [--preset small]
     repro-eyeball stats    [--preset small] [--top 10]
+    repro-eyeball stats diff OLD.json NEW.json [--max-ratio 1.5]
+    repro-eyeball stats history [--last 10] [--name table1]
     repro-eyeball lint     [PATH ...] [--format text|json] [--list-rules]
 
 Each subcommand prints the same rendered table/figure the benchmark
@@ -23,6 +25,12 @@ Global observability flags (see ``docs/OBSERVABILITY.md``):
     Structured ``repro.*`` logging threshold (default ``warning``).
 ``--metrics-out PATH``
     Enable telemetry for the run and write a JSON run report to PATH.
+``--trace-out PATH``
+    Enable telemetry and export the span tree as Chrome trace-event
+    JSON (loadable in Perfetto / ``chrome://tracing``).
+``--memory``
+    With telemetry enabled, additionally gauge per-span peak heap via
+    ``tracemalloc`` (``memory.peak_kib.*``); a no-op otherwise.
 ``--version``
     Print the package version and exit.
 """
@@ -55,8 +63,12 @@ from .experiments.section5 import run_section5
 from .experiments.section6 import run_section6
 from .experiments.table1 import run_table1
 from .obs import telemetry as obs
+from .obs.diff import DiffThresholds, diff_reports
+from .obs.history import RunHistory
 from .obs.logconfig import LEVELS, configure_logging
+from .obs.memory import capture_memory
 from .obs.report import RunReport
+from .obs.trace import write_trace
 from .validation.reference import ReferenceConfig
 
 
@@ -228,9 +240,12 @@ def cmd_stats(args) -> int:
     """
     config = _scenario_config(args)
     active = obs.get_telemetry()
-    if active.enabled:  # --metrics-out already installed a registry
+    if active.enabled:  # --metrics-out/--trace-out installed a registry
         telemetry = active
         scenario = _run_profiled(config, args)
+    elif args.memory:
+        with capture_memory() as telemetry:
+            scenario = _run_profiled(config, args)
     else:
         with obs.capture() as telemetry:
             scenario = _run_profiled(config, args)
@@ -258,6 +273,54 @@ def _run_profiled(config: ScenarioConfig, args):
     return scenario
 
 
+#: Where the benchmark harness appends its run history.
+DEFAULT_HISTORY = "benchmarks/results/history.jsonl"
+
+
+def cmd_stats_diff(args) -> int:
+    """Compare two run reports; exit 1 on a thresholded regression."""
+    try:
+        old = RunReport.load(args.old)
+        new = RunReport.load(args.new)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load run report: {exc}", file=sys.stderr)
+        return 2
+    thresholds = DiffThresholds(
+        max_ratio=args.max_ratio,
+        noise_floor_s=args.noise_floor_ms / 1000.0,
+        counter_rel_tol=args.counter_tolerance,
+        gauge_rel_tol=args.gauge_tolerance,
+        fail_on_drift=args.fail_on_drift,
+    )
+    result = diff_reports(old, new, thresholds)
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(f"old: {args.old}")
+        print(f"new: {args.new}")
+        print(result.render_text())
+    if result.verdict != "ok":
+        print(
+            "perf regression gate FAILED: "
+            + ", ".join(d.path for d in result.regressions)
+            if result.regressions
+            else "perf regression gate FAILED: metric drift",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_stats_history(args) -> int:
+    """Summarise the append-only run history (most recent last)."""
+    history = RunHistory(args.path)
+    print(history.render_summary(last=args.last, name=args.name))
+    skipped = history.skipped_lines()
+    if skipped:
+        print(f"({skipped} unreadable line(s) skipped)", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-eyeball",
@@ -281,6 +344,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="enable telemetry and write a JSON run report to PATH",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="enable telemetry and write a Chrome trace-event JSON "
+             "(Perfetto / chrome://tracing) to PATH",
+    )
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="gauge per-span peak heap via tracemalloc "
+             "(memory.peak_kib.*); no-op unless telemetry is enabled",
     )
     parser.add_argument(
         "--preset",
@@ -338,6 +414,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="target ASes to run the KDE/PoP stages on (default: 3)",
     )
     stats.set_defaults(handler=cmd_stats)
+    stats_sub = stats.add_subparsers(
+        dest="stats_command",
+        metavar="ACTION",
+        help="longitudinal actions (omit to profile a fresh run)",
+    )
+    diff = stats_sub.add_parser(
+        "diff",
+        help="compare two run reports; exit 1 on a perf regression",
+    )
+    diff.add_argument("old", metavar="OLD.json",
+                      help="baseline run report")
+    diff.add_argument("new", metavar="NEW.json",
+                      help="candidate run report")
+    diff.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.5,
+        help="new/old span wall-time ratio that fails the gate "
+             "(default: 1.5)",
+    )
+    diff.add_argument(
+        "--noise-floor-ms",
+        type=float,
+        default=5.0,
+        help="spans under this total in both runs are never judged "
+             "(default: 5)",
+    )
+    diff.add_argument(
+        "--counter-tolerance",
+        type=float,
+        default=0.0,
+        help="relative counter change reported as drift (default: 0, "
+             "i.e. any change)",
+    )
+    diff.add_argument(
+        "--gauge-tolerance",
+        type=float,
+        default=0.25,
+        help="relative gauge change reported as drift (default: 0.25)",
+    )
+    diff.add_argument(
+        "--fail-on-drift",
+        action="store_true",
+        help="counter/gauge drift also fails the gate",
+    )
+    diff.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diff output format (default: text)",
+    )
+    diff.set_defaults(handler=cmd_stats_diff)
+    history = stats_sub.add_parser(
+        "history",
+        help="summarise the append-only run history",
+    )
+    history.add_argument(
+        "--path",
+        default=DEFAULT_HISTORY,
+        help=f"history file (default: {DEFAULT_HISTORY})",
+    )
+    history.add_argument(
+        "--last",
+        type=int,
+        default=10,
+        help="how many most-recent entries to show (default: 10)",
+    )
+    history.add_argument(
+        "--name",
+        default=None,
+        help="only show entries for this run name",
+    )
+    history.set_defaults(handler=cmd_stats_history)
     lint = subparsers.add_parser(
         "lint",
         help="run reprolint, the repo's AST-based static analyser",
@@ -393,9 +542,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(args.log_level)
-    if args.metrics_out is None:
+    if args.metrics_out is None and args.trace_out is None:
+        # No telemetry sink requested; --memory alone is a documented
+        # no-op (the null registry stays installed, tracemalloc never
+        # starts).
         return args.handler(args)
-    with obs.capture() as telemetry:
+    enable = capture_memory if args.memory else obs.capture
+    with enable() as telemetry:
         with obs.span(f"cli.{args.command}"):
             status = args.handler(args)
     report = RunReport.from_telemetry(
@@ -405,16 +558,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         version=__version__,
         exit_status=status,
+        memory=args.memory,
     )
     try:
-        path = report.write(args.metrics_out)
+        if args.metrics_out is not None:
+            path = report.write(args.metrics_out)
+            print(f"run report written to {path}", file=sys.stderr)
+        if args.trace_out is not None:
+            path = write_trace(report, args.trace_out)
+            print(f"chrome trace written to {path}", file=sys.stderr)
     except OSError as exc:
         print(
-            f"error: cannot write run report to {args.metrics_out}: {exc}",
+            f"error: cannot write observability output: {exc}",
             file=sys.stderr,
         )
         return 1
-    print(f"run report written to {path}", file=sys.stderr)
     return status
 
 

@@ -1,21 +1,38 @@
 """repro.obs — pipeline observability.
 
-Three small, zero-dependency pieces:
+Zero-dependency pieces, layered in two tiers.  Capture:
 
 ``repro.obs.telemetry``
     Hierarchical timing spans, counters and gauges behind a
     process-wide registry with a no-op null mode (the default).
+``repro.obs.memory``
+    :class:`~repro.obs.memory.MemoryTelemetry` — opt-in
+    ``tracemalloc``-backed per-span peak-allocation gauges.
 ``repro.obs.report``
     :class:`~repro.obs.report.RunReport` — JSON serialisation of a
     run's telemetry plus a human summary table.
 ``repro.obs.logconfig``
     Structured ``key=value`` logging under the ``repro.`` namespace.
 
-See ``docs/OBSERVABILITY.md`` for the span taxonomy, metric names and
-the report schema.
+And the longitudinal tier built on run reports:
+
+``repro.obs.history``
+    :class:`~repro.obs.history.RunHistory` — append-only JSONL archive
+    of reports and benchmark records (the perf trajectory).
+``repro.obs.diff``
+    :func:`~repro.obs.diff.diff_reports` — noise-aware report
+    comparison with a machine-readable verdict (the perf gate).
+``repro.obs.trace``
+    Chrome trace-event export of the span tree (Perfetto-loadable).
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy, metric names,
+the report/history/diff schemas and the trace walkthrough.
 """
 
+from .diff import DiffThresholds, MetricDrift, ReportDiff, SpanDelta, diff_reports
+from .history import HISTORY_SCHEMA, HistoryEntry, RunHistory, utc_timestamp
 from .logconfig import configure_logging, get_logger, kv
+from .memory import MEMORY_GAUGE_PREFIX, MemoryTelemetry, capture_memory
 from .report import SCHEMA, RunReport
 from .telemetry import (
     NULL,
@@ -29,21 +46,37 @@ from .telemetry import (
     set_telemetry,
     span,
 )
+from .trace import trace_from_report, validate_trace, write_trace
 
 __all__ = [
+    "DiffThresholds",
+    "HISTORY_SCHEMA",
+    "HistoryEntry",
+    "MEMORY_GAUGE_PREFIX",
+    "MemoryTelemetry",
+    "MetricDrift",
     "NULL",
     "NullTelemetry",
+    "ReportDiff",
+    "RunHistory",
     "RunReport",
     "SCHEMA",
+    "SpanDelta",
     "SpanNode",
     "Telemetry",
     "capture",
+    "capture_memory",
     "configure_logging",
     "count",
+    "diff_reports",
     "gauge",
     "get_logger",
     "get_telemetry",
     "kv",
     "set_telemetry",
     "span",
+    "trace_from_report",
+    "utc_timestamp",
+    "validate_trace",
+    "write_trace",
 ]

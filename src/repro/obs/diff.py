@@ -1,0 +1,320 @@
+"""Noise-aware comparison of two run reports.
+
+:func:`diff_reports` lines two :class:`~repro.obs.report.RunReport`
+objects up span-by-span (flattened to their ``" > "``-joined paths)
+and produces per-span wall-time deltas plus counter/gauge drift, all
+behind configurable relative thresholds so timer jitter on tiny spans
+never raises false alarms.  The result carries a machine-readable
+verdict (``"ok"`` / ``"regression"``) — the CLI's ``stats diff`` and
+the CI perf gate are thin wrappers over it.
+
+Noise handling:
+
+* a span is only judged when either run spent at least
+  ``noise_floor_s`` in it — microsecond spans are reported but never
+  fail a diff;
+* a judged span regresses when ``new_total / old_total`` exceeds
+  ``max_ratio`` (default 1.5×), so a genuine 2× slowdown always
+  trips the gate while scheduler noise does not;
+* counters and gauges drift when their relative change exceeds
+  ``counter_rel_tol`` / ``gauge_rel_tol``; drift is reported and only
+  fails the verdict when ``fail_on_drift`` is set (counter drift on a
+  fixed seed usually means the experiment changed, not slowed).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .report import RunReport, _walk_span_dicts
+
+#: Schema identifier embedded in every serialised diff.
+DIFF_SCHEMA = "repro.report-diff/v1"
+
+#: Span statuses.
+STATUS_OK = "ok"  # judged, within thresholds
+STATUS_SLOWER = "slower"  # judged, over max_ratio — a regression
+STATUS_FASTER = "faster"  # judged, improved beyond max_ratio
+STATUS_NOISE = "noise"  # below the floor in both runs; not judged
+STATUS_ADDED = "added"  # only in the new report
+STATUS_REMOVED = "removed"  # only in the old report
+
+
+@dataclass(frozen=True)
+class DiffThresholds:
+    """Tolerances for :func:`diff_reports` (all relative, unitless)."""
+
+    #: new/old wall-time ratio above which a span counts as slower.
+    max_ratio: float = 1.5
+    #: spans under this total in *both* runs are never judged.
+    noise_floor_s: float = 0.005
+    #: relative counter change above which drift is reported.
+    counter_rel_tol: float = 0.0
+    #: relative gauge change above which drift is reported.
+    gauge_rel_tol: float = 0.25
+    #: when set, counter/gauge drift also fails the verdict.
+    fail_on_drift: bool = False
+
+
+@dataclass
+class SpanDelta:
+    """One span path compared across the two reports."""
+
+    path: str
+    old_total_s: Optional[float]
+    new_total_s: Optional[float]
+    old_count: int
+    new_count: int
+    status: str
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """``new/old`` wall-time ratio (``None`` when not comparable)."""
+        if not self.old_total_s or self.new_total_s is None:
+            return None
+        return self.new_total_s / self.old_total_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "old_total_s": self.old_total_s,
+            "new_total_s": self.new_total_s,
+            "old_count": self.old_count,
+            "new_count": self.new_count,
+            "ratio": self.ratio,
+            "status": self.status,
+        }
+
+
+@dataclass
+class MetricDrift:
+    """One counter or gauge whose value moved across the two reports."""
+
+    kind: str  # "counter" | "gauge"
+    name: str
+    old: Optional[float]
+    new: Optional[float]
+
+    @property
+    def rel_change(self) -> Optional[float]:
+        if self.old is None or self.new is None or self.old == 0:
+            return None
+        return (self.new - self.old) / abs(self.old)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "old": self.old,
+            "new": self.new,
+            "rel_change": self.rel_change,
+        }
+
+
+@dataclass
+class ReportDiff:
+    """The full comparison; ``verdict`` is the machine-readable gate."""
+
+    thresholds: DiffThresholds
+    spans: List[SpanDelta] = field(default_factory=list)
+    drifts: List[MetricDrift] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[SpanDelta]:
+        return [d for d in self.spans if d.status == STATUS_SLOWER]
+
+    @property
+    def improvements(self) -> List[SpanDelta]:
+        return [d for d in self.spans if d.status == STATUS_FASTER]
+
+    @property
+    def verdict(self) -> str:
+        if self.regressions:
+            return "regression"
+        if self.thresholds.fail_on_drift and self.drifts:
+            return "regression"
+        return "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": DIFF_SCHEMA,
+            "verdict": self.verdict,
+            "thresholds": {
+                "max_ratio": self.thresholds.max_ratio,
+                "noise_floor_s": self.thresholds.noise_floor_s,
+                "counter_rel_tol": self.thresholds.counter_rel_tol,
+                "gauge_rel_tol": self.thresholds.gauge_rel_tol,
+                "fail_on_drift": self.thresholds.fail_on_drift,
+            },
+            "regressions": [d.path for d in self.regressions],
+            "spans": [d.to_dict() for d in self.spans],
+            "drifts": [d.to_dict() for d in self.drifts],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Human summary leading with the verdict and any regressions."""
+        lines: List[str] = []
+        judged = [
+            d for d in self.spans
+            if d.status in (STATUS_OK, STATUS_SLOWER, STATUS_FASTER)
+        ]
+        lines.append(
+            f"verdict: {self.verdict}  "
+            f"({len(judged)} spans judged, "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s), "
+            f"max_ratio={self.thresholds.max_ratio:g}, "
+            f"noise_floor={self.thresholds.noise_floor_s * 1000:g}ms)"
+        )
+        if self.regressions:
+            lines.append("")
+            lines.append("regressed spans (new/old wall time over threshold):")
+            for delta in self.regressions:
+                lines.append("  " + _span_line(delta))
+        if self.improvements:
+            lines.append("")
+            lines.append("improved spans:")
+            for delta in self.improvements:
+                lines.append("  " + _span_line(delta))
+        structural = [
+            d for d in self.spans
+            if d.status in (STATUS_ADDED, STATUS_REMOVED)
+        ]
+        if structural:
+            lines.append("")
+            lines.append("structural changes:")
+            for delta in structural:
+                lines.append(f"  {delta.status:<8} {delta.path}")
+        if self.drifts:
+            lines.append("")
+            lines.append("metric drift:")
+            for drift in self.drifts:
+                rel = drift.rel_change
+                rel_text = f"{rel:+.1%}" if rel is not None else "n/a"
+                lines.append(
+                    f"  {drift.kind:<8} {drift.name:<44} "
+                    f"{_fmt(drift.old):>12} -> {_fmt(drift.new):>12} "
+                    f"({rel_text})"
+                )
+        if len(lines) == 1:
+            lines.append("no spans over the noise floor changed; "
+                         "no metric drift")
+        return "\n".join(lines)
+
+
+def _span_line(delta: SpanDelta) -> str:
+    ratio = delta.ratio
+    ratio_text = f"{ratio:.2f}x" if ratio is not None else "n/a"
+    return (
+        f"{delta.path:<44} "
+        f"{_fmt_s(delta.old_total_s):>10} -> {_fmt_s(delta.new_total_s):>10} "
+        f"({ratio_text})"
+    )
+
+
+def _fmt_s(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    return f"{value * 1000.0:.2f}ms"
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if float(value).is_integer():
+        return f"{int(value):d}"
+    return f"{value:.4g}"
+
+
+def _flatten(report: RunReport) -> Dict[str, Tuple[float, int]]:
+    """``path -> (total_s, count)`` for every span in the report."""
+    flat: Dict[str, Tuple[float, int]] = {}
+    for path, node in _walk_span_dicts(report.spans):
+        key = " > ".join(path)
+        total, count = flat.get(key, (0.0, 0))
+        flat[key] = (
+            total + float(node.get("total_s", 0.0)),
+            count + int(node.get("count", 0)),
+        )
+    return flat
+
+
+def diff_reports(
+    old: RunReport,
+    new: RunReport,
+    thresholds: Optional[DiffThresholds] = None,
+) -> ReportDiff:
+    """Compare ``new`` against the ``old`` baseline."""
+    limits = thresholds if thresholds is not None else DiffThresholds()
+    old_spans = _flatten(old)
+    new_spans = _flatten(new)
+    deltas: List[SpanDelta] = []
+    for path in sorted(set(old_spans) | set(new_spans)):
+        old_entry = old_spans.get(path)
+        new_entry = new_spans.get(path)
+        if old_entry is None:
+            assert new_entry is not None
+            deltas.append(
+                SpanDelta(path, None, new_entry[0], 0, new_entry[1],
+                          STATUS_ADDED)
+            )
+            continue
+        if new_entry is None:
+            deltas.append(
+                SpanDelta(path, old_entry[0], None, old_entry[1], 0,
+                          STATUS_REMOVED)
+            )
+            continue
+        old_total, old_count = old_entry
+        new_total, new_count = new_entry
+        if max(old_total, new_total) < limits.noise_floor_s:
+            status = STATUS_NOISE
+        elif old_total <= 0.0:
+            # Baseline recorded zero time but the span now clears the
+            # floor: an unbounded slowdown, judged slower.
+            status = STATUS_SLOWER
+        elif new_total / old_total > limits.max_ratio:
+            status = STATUS_SLOWER
+        elif old_total / max(new_total, 1e-12) > limits.max_ratio:
+            status = STATUS_FASTER
+        else:
+            status = STATUS_OK
+        deltas.append(
+            SpanDelta(path, old_total, new_total, old_count, new_count,
+                      status)
+        )
+    drifts = _metric_drift("counter", old.counters, new.counters,
+                           limits.counter_rel_tol)
+    drifts += _metric_drift("gauge", old.gauges, new.gauges,
+                            limits.gauge_rel_tol)
+    return ReportDiff(thresholds=limits, spans=deltas, drifts=drifts)
+
+
+def _metric_drift(
+    kind: str,
+    old: Dict[str, float],
+    new: Dict[str, float],
+    rel_tol: float,
+) -> List[MetricDrift]:
+    drifts: List[MetricDrift] = []
+    for name in sorted(set(old) | set(new)):
+        old_value = old.get(name)
+        new_value = new.get(name)
+        if old_value is None or new_value is None:
+            drifts.append(MetricDrift(kind, name, old_value, new_value))
+            continue
+        if old_value == new_value:
+            continue
+        if old_value == 0:
+            drifts.append(MetricDrift(kind, name, old_value, new_value))
+            continue
+        if abs(new_value - old_value) / abs(old_value) > rel_tol:
+            drifts.append(MetricDrift(kind, name, old_value, new_value))
+    return drifts

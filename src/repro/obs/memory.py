@@ -1,0 +1,102 @@
+"""Opt-in per-stage peak-allocation tracking via ``tracemalloc``.
+
+:class:`MemoryTelemetry` is a drop-in :class:`~.telemetry.Telemetry`
+whose spans additionally record the peak traced Python heap reached
+while the span was open, as ``memory.peak_kib.<span-name>`` gauges in
+the ordinary snapshot/report path — so ``--memory`` runs need no new
+schema, diffing or rendering code anywhere downstream.
+
+Cost model: tracking only happens when ``tracemalloc`` is tracing
+*and* a live registry is installed.  In null mode nothing here is ever
+reached — ``repro.obs.telemetry.NULL`` short-circuits first — so the
+``--memory`` flag is free unless telemetry is enabled, and
+:func:`capture_memory` is the only place that starts ``tracemalloc``.
+
+Peak accounting across nesting is segment-based: ``tracemalloc`` has a
+single process-wide high-water mark, so each span boundary folds the
+current segment's peak into every open ancestor before resetting the
+mark.  A span's gauge is its *peak allocation*: the maximum traced
+heap observed between its entry and exit (children included), minus
+the heap already live at entry — how much extra memory the stage
+needed above its starting point.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional
+
+from .telemetry import SpanNode, Telemetry, capture
+
+#: Gauge-name prefix for per-span peak allocations (KiB).
+MEMORY_GAUGE_PREFIX = "memory.peak_kib."
+
+
+class MemoryTelemetry(Telemetry):
+    """Telemetry that also gauges per-span peak heap (KiB).
+
+    When ``tracemalloc`` is not tracing, spans behave exactly like the
+    base class: timing only, no gauges, no extra state per call.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        super().__init__(clock)
+        # One peak accumulator per open span frame (absolute traced
+        # bytes); [0] absorbs top-level segments and is never popped.
+        self._peak_stack: List[float] = [0.0]
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[SpanNode]:
+        if not tracemalloc.is_tracing():
+            with super().span(name) as node:
+                yield node
+            return
+        # Close the enclosing segment: its peak belongs to every open
+        # ancestor, then the high-water mark restarts for this span.
+        entry_current, segment_peak = tracemalloc.get_traced_memory()
+        self._peak_stack[-1] = max(self._peak_stack[-1], segment_peak)
+        self._peak_stack.append(0.0)
+        tracemalloc.reset_peak()
+        try:
+            with super().span(name) as node:
+                yield node
+        finally:
+            _, segment_peak = tracemalloc.get_traced_memory()
+            own_peak = max(self._peak_stack.pop(), segment_peak)
+            key = MEMORY_GAUGE_PREFIX + name
+            allocated_kib = max(own_peak - entry_current, 0.0) / 1024.0
+            self.gauges[key] = max(self.gauges.get(key, 0.0), allocated_kib)
+            # Our absolute peak is also part of the parent's.
+            self._peak_stack[-1] = max(self._peak_stack[-1], own_peak)
+            tracemalloc.reset_peak()
+
+
+@contextmanager
+def capture_memory(
+    telemetry: Optional[MemoryTelemetry] = None,
+) -> Iterator[MemoryTelemetry]:
+    """Enable memory-gauging telemetry for a block.
+
+    Starts ``tracemalloc`` if (and only if) it is not already tracing,
+    installs a :class:`MemoryTelemetry` process-wide, and undoes both
+    on exit — ``tracemalloc`` is left running when someone else (a
+    profiler, another capture) started it first.
+
+    ::
+
+        with capture_memory() as t:
+            build_scenario(config)
+        report = RunReport.from_telemetry(t)   # has memory.peak_kib.*
+    """
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    try:
+        active = telemetry if telemetry is not None else MemoryTelemetry()
+        with capture(active) as installed:
+            yield installed
+    finally:
+        if started_here:
+            tracemalloc.stop()

@@ -1,0 +1,173 @@
+"""Export a run report's span tree as Chrome trace-event JSON.
+
+The aggregated span tree (one node per name-under-parent, carrying
+``count``/``total_s``) is laid out as a synthetic timeline of complete
+("ph": "X") events: each node becomes one slice whose duration is its
+accumulated total, children nested inside their parent, siblings laid
+end-to-end.  The file loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing`` — see
+``docs/OBSERVABILITY.md`` for the walkthrough.
+
+Counters are exported as one "C" event each so they show up as counter
+tracks, and process/thread metadata ("M" events) label the single
+synthetic track.  :func:`validate_trace` checks a document against the
+subset of the trace-event schema we emit, and is what the unit tests
+(and the CI artifact step) rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .report import RunReport
+
+#: Synthetic ids for the one-process, one-thread timeline.
+TRACE_PID = 1
+TRACE_TID = 1
+
+#: Event phases this exporter emits.
+_PHASES_EMITTED = ("X", "C", "M")
+
+#: All phases the validator accepts (the trace-event format's set:
+#: duration, complete, instant, counter, async, flow, sample, object,
+#: metadata, memory-dump, mark, clock-sync and context events).
+_KNOWN_PHASES = frozenset(
+    ["B", "E", "X", "i", "I", "C", "b", "n", "e", "s", "t", "f",
+     "P", "N", "O", "D", "M", "V", "v", "R", "c", "(", ")"]
+)
+
+
+def trace_from_report(report: RunReport) -> Dict[str, Any]:
+    """The report as a Chrome trace-event document (object form)."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+            "args": {"name": "repro-eyeball"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+            "args": {"name": "pipeline (aggregated spans)"},
+        },
+    ]
+    cursor = 0.0
+    for node in report.spans:
+        cursor = _emit_span(events, node, cursor)
+    end_us = cursor
+    for name in sorted(report.counters):
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": end_us,
+                "pid": TRACE_PID,
+                "tid": TRACE_TID,
+                "args": {"value": report.counters[name]},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro.run-report/v1",
+            "meta": dict(report.meta),
+            "gauges": dict(report.gauges),
+            "note": "synthetic timeline: spans are aggregated totals, "
+                    "not individual occurrences",
+        },
+    }
+
+
+def _emit_span(
+    events: List[Dict[str, Any]], node: Dict[str, Any], start_us: float
+) -> float:
+    """Emit ``node`` at ``start_us``; returns the timeline cursor after it."""
+    total_us = max(float(node.get("total_s", 0.0)), 0.0) * 1e6
+    count = int(node.get("count", 0))
+    event: Dict[str, Any] = {
+        "name": str(node.get("name", "")),
+        "cat": str(node.get("name", "")).split(".")[0] or "span",
+        "ph": "X",
+        "ts": start_us,
+        "dur": total_us,
+        "pid": TRACE_PID,
+        "tid": TRACE_TID,
+        "args": {
+            "count": count,
+            "mean_ms": (total_us / count / 1000.0) if count else 0.0,
+            "min_ms": float(node.get("min_s", 0.0)) * 1000.0,
+            "max_ms": float(node.get("max_s", 0.0)) * 1000.0,
+        },
+    }
+    events.append(event)
+    child_cursor = start_us
+    for child in node.get("children", []):
+        child_cursor = _emit_span(events, child, child_cursor)
+        # Aggregated children can sum past their parent when the clock
+        # resolution bites; clamp so nesting stays well-formed.
+        if child_cursor > start_us + total_us:
+            child_cursor = start_us + total_us
+    return start_us + total_us
+
+
+def write_trace(
+    report: RunReport, path: Union[str, Path]
+) -> Path:
+    """Serialise the report's trace to ``path`` (parents created)."""
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    document = trace_from_report(report)
+    target.write_text(json.dumps(document, sort_keys=True) + "\n")
+    return target
+
+
+def validate_trace(document: Any) -> List[str]:
+    """Schema violations in a trace-event document ([] when valid).
+
+    Checks the object-form envelope and, per event, the field types the
+    trace-event format requires: a known ``ph``, string ``name``,
+    numeric non-negative ``ts``, integer ``pid``/``tid``, and a
+    ``dur >= 0`` on every complete ("X") event.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not an array"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: name is not a string")
+        for key in ("pid", "tid"):
+            if key in event and not isinstance(event[key], int):
+                problems.append(f"{where}: {key} is not an integer")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: ts missing or negative")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs dur >= 0")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args is not an object")
+    try:
+        json.dumps(document)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"document is not JSON-serialisable: {exc}")
+    return problems

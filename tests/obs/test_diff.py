@@ -1,0 +1,216 @@
+"""Report diffing: noise-aware deltas, drift, the regression verdict."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.diff import (
+    DIFF_SCHEMA,
+    STATUS_ADDED,
+    STATUS_FASTER,
+    STATUS_NOISE,
+    STATUS_OK,
+    STATUS_REMOVED,
+    STATUS_SLOWER,
+    DiffThresholds,
+    diff_reports,
+)
+from repro.obs.report import RunReport
+
+
+def _report(spans=None, counters=None, gauges=None):
+    return RunReport(
+        meta={},
+        spans=spans or [],
+        counters=counters or {},
+        gauges=gauges or {},
+    )
+
+
+def _span(name, total_s, count=1, children=None):
+    node = {
+        "name": name,
+        "count": count,
+        "total_s": total_s,
+        "min_s": total_s / count,
+        "max_s": total_s / count,
+    }
+    if children:
+        node["children"] = children
+    return node
+
+
+class TestSpanJudgement:
+    def test_identical_reports_are_ok(self):
+        report = _report(spans=[_span("scenario.build", 1.0)])
+        diff = diff_reports(report, report)
+        assert diff.verdict == "ok"
+        assert [d.status for d in diff.spans] == [STATUS_OK]
+
+    def test_2x_slowdown_is_a_regression_naming_the_span(self):
+        old = _report(spans=[_span("scenario.build", 1.0),
+                             _span("pop.extract", 0.3)])
+        new = _report(spans=[_span("scenario.build", 1.02),
+                             _span("pop.extract", 0.6)])
+        diff = diff_reports(old, new)
+        assert diff.verdict == "regression"
+        assert [d.path for d in diff.regressions] == ["pop.extract"]
+        assert "pop.extract" in diff.render_text()
+        assert diff.regressions[0].ratio == pytest.approx(2.0)
+
+    def test_nested_paths_compared_independently(self):
+        old = _report(spans=[_span("scenario.build", 1.0,
+                                   children=[_span("kde.evaluate", 0.2)])])
+        new = _report(spans=[_span("scenario.build", 1.1,
+                                   children=[_span("kde.evaluate", 0.9)])])
+        diff = diff_reports(old, new)
+        assert [d.path for d in diff.regressions] == [
+            "scenario.build > kde.evaluate"
+        ]
+
+    def test_noise_floor_shields_tiny_spans(self):
+        old = _report(spans=[_span("kde.evaluate", 0.0001)])
+        new = _report(spans=[_span("kde.evaluate", 0.004)])  # 40x but tiny
+        diff = diff_reports(old, new)
+        assert diff.verdict == "ok"
+        assert [d.status for d in diff.spans] == [STATUS_NOISE]
+
+    def test_big_speedup_is_reported_as_improvement(self):
+        old = _report(spans=[_span("pipeline.mapping", 2.0)])
+        new = _report(spans=[_span("pipeline.mapping", 0.5)])
+        diff = diff_reports(old, new)
+        assert diff.verdict == "ok"
+        assert [d.path for d in diff.improvements] == ["pipeline.mapping"]
+        assert diff.spans[0].status == STATUS_FASTER
+
+    def test_added_and_removed_spans_are_structural(self):
+        old = _report(spans=[_span("crawl.run", 1.0)])
+        new = _report(spans=[_span("pipeline.grouping", 1.0)])
+        diff = diff_reports(old, new)
+        statuses = {d.path: d.status for d in diff.spans}
+        assert statuses == {
+            "crawl.run": STATUS_REMOVED,
+            "pipeline.grouping": STATUS_ADDED,
+        }
+        assert diff.verdict == "ok"  # structure alone is not a slowdown
+
+    def test_zero_baseline_that_clears_floor_regresses(self):
+        old = _report(spans=[_span("pop.extract", 0.0)])
+        new = _report(spans=[_span("pop.extract", 1.0)])
+        diff = diff_reports(old, new)
+        assert diff.verdict == "regression"
+
+    def test_custom_ratio_threshold(self):
+        old = _report(spans=[_span("scenario.build", 1.0)])
+        new = _report(spans=[_span("scenario.build", 2.5)])
+        lax = diff_reports(old, new, DiffThresholds(max_ratio=3.0))
+        assert lax.verdict == "ok"
+        strict = diff_reports(old, new, DiffThresholds(max_ratio=2.0))
+        assert strict.verdict == "regression"
+
+
+class TestDrift:
+    def test_counter_drift_reported_but_not_fatal(self):
+        old = _report(spans=[_span("crawl.run", 1.0)],
+                      counters={"crawl.peers_sampled": 100})
+        new = _report(spans=[_span("crawl.run", 1.0)],
+                      counters={"crawl.peers_sampled": 120})
+        diff = diff_reports(old, new)
+        assert diff.verdict == "ok"
+        (drift,) = diff.drifts
+        assert drift.name == "crawl.peers_sampled"
+        assert drift.rel_change == pytest.approx(0.2)
+
+    def test_fail_on_drift_escalates(self):
+        old = _report(counters={"c": 1})
+        new = _report(counters={"c": 2})
+        diff = diff_reports(old, new, DiffThresholds(fail_on_drift=True))
+        assert diff.verdict == "regression"
+
+    def test_gauge_tolerance_absorbs_small_changes(self):
+        old = _report(gauges={"memory.peak_kib.crawl.run": 1000.0})
+        new = _report(gauges={"memory.peak_kib.crawl.run": 1100.0})
+        assert diff_reports(old, new).drifts == []  # within default 25%
+        tight = diff_reports(
+            old, new, DiffThresholds(gauge_rel_tol=0.05)
+        )
+        assert [d.name for d in tight.drifts] == [
+            "memory.peak_kib.crawl.run"
+        ]
+
+    def test_appearing_metric_is_drift(self):
+        old = _report()
+        new = _report(counters={"kde.evaluations": 5})
+        (drift,) = diff_reports(old, new).drifts
+        assert drift.old is None and drift.new == 5
+
+
+class TestSerialisation:
+    def test_to_dict_is_machine_readable(self):
+        old = _report(spans=[_span("crawl.run", 1.0)])
+        new = _report(spans=[_span("crawl.run", 3.0)])
+        data = diff_reports(old, new).to_dict()
+        assert data["schema"] == DIFF_SCHEMA
+        assert data["verdict"] == "regression"
+        assert data["regressions"] == ["crawl.run"]
+        json.dumps(data)  # must be serialisable as-is
+
+    def test_render_text_mentions_thresholds(self):
+        text = diff_reports(_report(), _report()).render_text()
+        assert "max_ratio=1.5" in text
+        assert "verdict: ok" in text
+
+
+class TestCliStatsDiff:
+    """The acceptance path: `stats diff` exits 1 and names the span."""
+
+    def _write_pair(self, tmp_path, new_total):
+        old = _report(spans=[_span("scenario.build", 1.0),
+                             _span("pop.extract", 0.4)])
+        new = _report(spans=[_span("scenario.build", 1.0),
+                             _span("pop.extract", new_total)])
+        old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+        old.write(old_path)
+        new.write(new_path)
+        return str(old_path), str(new_path)
+
+    def test_injected_2x_slowdown_fails_and_names_span(
+        self, tmp_path, capsys
+    ):
+        old_path, new_path = self._write_pair(tmp_path, 0.8)
+        status = main(["stats", "diff", old_path, new_path])
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "pop.extract" in captured.out
+        assert "pop.extract" in captured.err
+
+    def test_identical_reports_pass(self, tmp_path, capsys):
+        old_path, _ = self._write_pair(tmp_path, 0.8)
+        assert main(["stats", "diff", old_path, old_path]) == 0
+
+    def test_json_format(self, tmp_path, capsys):
+        old_path, new_path = self._write_pair(tmp_path, 0.8)
+        status = main(["stats", "diff", "--format", "json",
+                       old_path, new_path])
+        data = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert data["verdict"] == "regression"
+        assert data["regressions"] == ["pop.extract"]
+
+    def test_relaxed_threshold_passes(self, tmp_path, capsys):
+        old_path, new_path = self._write_pair(tmp_path, 0.8)
+        assert main(["stats", "diff", "--max-ratio", "3.0",
+                     old_path, new_path]) == 0
+
+    def test_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        old_path, _ = self._write_pair(tmp_path, 0.8)
+        status = main(["stats", "diff", old_path,
+                       str(tmp_path / "absent.json")])
+        assert status == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_non_report_json_is_a_usage_error(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "other"}')
+        assert main(["stats", "diff", str(bogus), str(bogus)]) == 2

@@ -1,0 +1,101 @@
+"""MemoryTelemetry: per-span peak-allocation gauges via tracemalloc."""
+
+import tracemalloc
+
+from repro.obs import telemetry as obs
+from repro.obs.memory import (
+    MEMORY_GAUGE_PREFIX,
+    MemoryTelemetry,
+    capture_memory,
+)
+from repro.obs.report import RunReport
+
+
+def _key(name):
+    return MEMORY_GAUGE_PREFIX + name
+
+
+class TestCaptureMemory:
+    def test_span_peak_reflects_allocation(self):
+        with capture_memory() as telemetry:
+            with telemetry.span("kde.evaluate"):
+                block = bytearray(512 * 1024)  # 512 KiB
+            del block
+        assert telemetry.gauges[_key("kde.evaluate")] >= 512.0
+
+    def test_parent_peak_covers_children(self):
+        with capture_memory() as telemetry:
+            with telemetry.span("scenario.build"):
+                with telemetry.span("kde.evaluate"):
+                    block = bytearray(512 * 1024)
+                del block
+        parent = telemetry.gauges[_key("scenario.build")]
+        child = telemetry.gauges[_key("kde.evaluate")]
+        assert parent >= child >= 512.0
+
+    def test_parent_segment_before_child_is_not_lost(self):
+        with capture_memory() as telemetry:
+            with telemetry.span("scenario.build"):
+                block = bytearray(1024 * 1024)  # parent's own segment
+                del block
+                with telemetry.span("kde.evaluate"):
+                    pass
+        assert telemetry.gauges[_key("scenario.build")] >= 1024.0
+        assert telemetry.gauges[_key("kde.evaluate")] < 1024.0
+
+    def test_repeated_spans_keep_the_maximum(self):
+        with capture_memory() as telemetry:
+            with telemetry.span("pop.extract"):
+                big = bytearray(1024 * 1024)
+                del big
+            with telemetry.span("pop.extract"):
+                pass
+        assert telemetry.gauges[_key("pop.extract")] >= 1024.0
+
+    def test_timing_still_recorded(self):
+        with capture_memory() as telemetry:
+            with telemetry.span("crawl.run"):
+                pass
+        assert telemetry.root.children["crawl.run"].count == 1
+
+    def test_gauges_flow_into_run_reports(self):
+        with capture_memory() as telemetry:
+            with telemetry.span("crawl.run"):
+                block = bytearray(256 * 1024)
+                del block
+        report = RunReport.from_telemetry(telemetry, command="test")
+        assert _key("crawl.run") in report.gauges
+        restored = RunReport.from_dict(report.to_dict())
+        assert restored.gauges == report.gauges
+
+
+class TestTracemallocLifecycle:
+    def test_capture_memory_stops_what_it_started(self):
+        assert not tracemalloc.is_tracing()
+        with capture_memory():
+            assert tracemalloc.is_tracing()
+        assert not tracemalloc.is_tracing()
+
+    def test_capture_memory_leaves_foreign_tracing_running(self):
+        tracemalloc.start()
+        try:
+            with capture_memory():
+                pass
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_registry_restored_after_capture(self):
+        before = obs.get_telemetry()
+        with capture_memory():
+            assert obs.get_telemetry().enabled
+        assert obs.get_telemetry() is before
+
+    def test_without_tracing_spans_time_but_gauge_nothing(self):
+        telemetry = MemoryTelemetry()
+        assert not tracemalloc.is_tracing()
+        with telemetry.span("crawl.run"):
+            block = bytearray(256 * 1024)
+            del block
+        assert telemetry.gauges == {}
+        assert telemetry.root.children["crawl.run"].count == 1

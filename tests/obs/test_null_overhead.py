@@ -1,0 +1,112 @@
+"""Null-mode overhead guard: disabled telemetry must stay free.
+
+The contract since PR 1 is that instrumented call-sites cost roughly
+one attribute lookup when nothing is listening.  These tests pin the
+properties that keep that true — shared no-op singletons, no per-call
+state — and that the PR 3 ``--memory`` flag cannot start costing
+anything while telemetry is off.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.cli import main
+from repro.obs import telemetry as obs
+from repro.obs.telemetry import _NULL_SPAN, NullTelemetry, _NullSpan
+
+
+class TestNoPerCallState:
+    def test_span_returns_the_shared_singleton(self):
+        assert obs.NULL.span("kde.evaluate") is _NULL_SPAN
+        assert obs.NULL.span("a") is obs.NULL.span("b")
+
+    def test_null_span_is_slotted_and_stateless(self):
+        assert _NullSpan.__slots__ == ()
+        assert not hasattr(_NULL_SPAN, "__dict__")
+
+    def test_count_and_gauge_store_nothing(self):
+        registry = NullTelemetry()
+        assert registry.count("pipeline.peers_in", 5) is None
+        assert registry.gauge("pipeline.target_ases", 3.0) is None
+        registry.span("crawl.run")
+        # No instance attributes appear, ever: nothing accumulates.
+        assert vars(registry) == {}
+        assert registry.snapshot() == {
+            "spans": [], "counters": {}, "gauges": {}
+        }
+
+    def test_null_calls_allocate_no_lasting_memory(self):
+        # 10k no-op calls must not grow the traced heap: everything
+        # returned is a pre-existing shared object.
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        try:
+            baseline, _ = tracemalloc.get_traced_memory()
+            for _ in range(10_000):
+                with obs.NULL.span("kde.evaluate"):
+                    pass
+                obs.NULL.count("kde.evaluations")
+                obs.NULL.gauge("pipeline.target_ases", 1.0)
+            current, _ = tracemalloc.get_traced_memory()
+        finally:
+            if not was_tracing:
+                tracemalloc.stop()
+        assert current - baseline < 4096, (
+            f"null telemetry leaked {current - baseline} bytes over "
+            "10k calls"
+        )
+
+    def test_module_helpers_hit_the_null_registry(self):
+        assert obs.get_telemetry() is obs.NULL
+        with obs.span("anything.here"):
+            pass
+        obs.count("anything.counter")
+        obs.gauge("anything.gauge", 1.0)
+        assert obs.NULL.snapshot() == {
+            "spans": [], "counters": {}, "gauges": {}
+        }
+
+
+class TestMemoryFlagIsNullSafe:
+    """``--memory`` without a telemetry sink must change nothing."""
+
+    def test_memory_flag_alone_starts_no_tracemalloc(self, capsys):
+        assert not tracemalloc.is_tracing()
+        # seed 91 is shared with tests/obs/test_cli_metrics.py so the
+        # scenario cache makes this cheap.
+        status = main(["--memory", "--seed", "91", "table1"])
+        assert status == 0
+        assert not tracemalloc.is_tracing()
+        assert obs.get_telemetry() is obs.NULL
+
+    def test_memory_flag_alone_output_is_byte_identical(self, capsys):
+        status_plain = main(["--seed", "91", "table1"])
+        plain = capsys.readouterr().out
+        status_memory = main(["--memory", "--seed", "91", "table1"])
+        instrumented = capsys.readouterr().out
+        assert status_plain == status_memory == 0
+        assert plain == instrumented
+
+    def test_memory_with_metrics_out_does_gauge(self, tmp_path, capsys):
+        from repro.obs.memory import MEMORY_GAUGE_PREFIX
+        from repro.obs.report import RunReport
+
+        path = tmp_path / "run.json"
+        status = main(["--metrics-out", str(path), "--memory",
+                       "--seed", "91", "table1"])
+        assert status == 0
+        assert not tracemalloc.is_tracing()
+        report = RunReport.load(path)
+        memory_gauges = [
+            name for name in report.gauges
+            if name.startswith(MEMORY_GAUGE_PREFIX)
+        ]
+        assert memory_gauges, "expected memory.peak_kib.* gauges"
+        assert report.meta["memory"] is True
+
+
+def test_null_registry_is_the_default():
+    assert isinstance(obs.get_telemetry(), NullTelemetry)
+    assert not obs.get_telemetry().enabled
