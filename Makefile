@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench examples experiments profile lint smoke \
-        smoke-baseline history clean
+        smoke-baseline smoke-parallel history clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -36,6 +36,26 @@ smoke:
 		--trace-out smoke-trace.json --memory table1
 	$(PYTHON) -m repro.cli stats diff benchmarks/baselines/smoke.json \
 		smoke-report.json --max-ratio 4.0 --noise-floor-ms 50
+
+# The CI engine gate, runnable locally: the rendered table1 must be
+# byte-identical with the engine off, cold and warm; the warm re-run
+# must serve every footprint artifact from the content-addressed cache.
+smoke-parallel:
+	rm -rf .fpcache
+	$(PYTHON) -m repro.cli table1 > table1-serial.txt
+	$(PYTHON) -m repro.cli --workers 2 --cache-dir .fpcache \
+		--metrics-out parallel-cold.json table1 > table1-cold.txt
+	$(PYTHON) -m repro.cli --workers 2 --cache-dir .fpcache \
+		--metrics-out parallel-warm.json table1 > table1-warm.txt
+	diff table1-serial.txt table1-cold.txt
+	diff table1-serial.txt table1-warm.txt
+	$(PYTHON) -c "import json; \
+		cold = json.load(open('parallel-cold.json'))['counters']; \
+		warm = json.load(open('parallel-warm.json'))['counters']; \
+		assert cold.get('exec.cache.misses', 0) > 0, cold; \
+		assert warm.get('exec.cache.hits', 0) > 0, warm; \
+		assert warm.get('exec.cache.misses', 0) == 0, warm; \
+		print('engine gate ok:', warm.get('exec.cache.hits'), 'hits')"
 
 # Refresh the committed perf baseline (only for understood changes).
 smoke-baseline:

@@ -5,6 +5,7 @@ Importing this package registers every rule module with the registry;
 """
 
 from . import (  # noqa: F401
+    concurrency,
     coordinates,
     determinism,
     generic,

@@ -1,0 +1,72 @@
+"""Concurrency-hygiene rules (REP6xx).
+
+PR 4 introduced ``repro.exec`` as the single work-scheduling layer:
+every parallel footprint batch goes through its engine, which owns the
+determinism contract (chunking, ordered merge, worker-telemetry
+folding) and the artifact cache.  A stray ``multiprocessing`` pool
+elsewhere would bypass all three — results could arrive in worker
+order, spans would be silently dropped in forked children, and cached
+artifacts would be recomputed.  REP601 makes the boundary structural:
+outside ``repro.exec``, process-level parallelism is banned at the
+import level.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..registry import Rule, RuleMeta, register
+
+#: Top-level modules whose import marks hand-rolled process parallelism.
+BANNED_ROOTS = frozenset({"multiprocessing", "concurrent"})
+
+#: The only unit allowed to schedule processes.
+EXEC_PACKAGE = "repro.exec"
+
+
+def _banned_root(target: str) -> bool:
+    return target.split(".")[0] in BANNED_ROOTS
+
+
+@register
+class NakedMultiprocessingRule(Rule):
+    """Process-pool imports outside ``repro.exec`` bypass the engine's
+    determinism, telemetry and caching contracts."""
+
+    meta = RuleMeta(
+        id="REP601",
+        name="naked-multiprocessing",
+        severity=Severity.ERROR,
+        summary="multiprocessing/concurrent.futures import outside "
+        "repro.exec",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith("repro."):
+            return
+        if ctx.module == EXEC_PACKAGE or ctx.module.startswith(
+            EXEC_PACKAGE + "."
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names if _banned_root(a.name)]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports cannot leave repro
+                names = [node.module] if _banned_root(node.module) else []
+            else:
+                continue
+            for name in names:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"import of {name!r} outside repro.exec: hand-rolled "
+                    "process parallelism bypasses the engine's "
+                    "deterministic chunking, ordered merge, telemetry "
+                    "folding and artifact cache — build FootprintJobs "
+                    "and hand them to repro.exec.FootprintEngine instead",
+                )

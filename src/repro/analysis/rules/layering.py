@@ -34,6 +34,7 @@ LAYER_RANKS = {
     "core": 3,
     "geodb": 3,
     "crawl": 4,
+    "exec": 4,
     "connectivity": 5,
     "pipeline": 5,
     "validation": 5,

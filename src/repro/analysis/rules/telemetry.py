@@ -33,6 +33,7 @@ STAGE_PREFIXES = ("run_", "build_", "generate_")
 TAXONOMY_PREFIXES = (
     "cli",
     "crawl",
+    "exec",
     "footprint",
     "kde",
     "pipeline",

@@ -2,7 +2,7 @@
 
 ::
 
-    repro-eyeball table1   [--preset small|default]
+    repro-eyeball table1   [--preset small|default] [--workers N] [--cache-dir DIR]
     repro-eyeball figure1  [--scale 0.01]
     repro-eyeball figure2  [--preset small|default] [--reference-ases 45]
     repro-eyeball section5 [--preset small|default]
@@ -33,6 +33,17 @@ Global observability flags (see ``docs/OBSERVABILITY.md``):
     ``tracemalloc`` (``memory.peak_kib.*``); a no-op otherwise.
 ``--version``
     Print the package version and exit.
+
+Execution-engine flags (see ``docs/PERFORMANCE.md``):
+
+``--workers N``
+    Fan per-AS footprint batches over N worker processes via the
+    ``repro.exec`` engine.  ``1`` (the default) is the serial
+    in-process path; results are identical for every N.
+``--cache-dir PATH``
+    Content-addressed artifact cache for footprint results.  A re-run
+    with unchanged inputs serves footprints from disk (watch the
+    ``exec.cache.*`` counters in ``--metrics-out`` reports).
 """
 
 from __future__ import annotations
@@ -51,6 +62,7 @@ from .analysis import (
     render_json,
     render_text,
 )
+from .exec import MAX_WORKERS, ParallelConfig
 from .experiments.figure1 import run_figure1
 from .experiments.figure2 import run_figure2
 from .experiments.scenario import (
@@ -84,6 +96,18 @@ def _scenario(args):
     return cached_scenario(_scenario_config(args))
 
 
+def _parallel_config(args) -> Optional[ParallelConfig]:
+    """The engine config implied by --workers/--cache-dir, if any.
+
+    ``None`` (no flag given) keeps every experiment on its historical
+    inline code path; any flag routes footprint batches through the
+    ``repro.exec`` engine (still bit-identical output).
+    """
+    if args.workers == 1 and args.cache_dir is None:
+        return None
+    return ParallelConfig(workers=args.workers, cache_dir=args.cache_dir)
+
+
 def _reference_config(args) -> ReferenceConfig:
     count = args.reference_ases
     if count is None:
@@ -108,8 +132,25 @@ def _emit(args, text: str, checks=None) -> int:
     return 0
 
 
+#: Bandwidth of the table1 footprint warm stage (the paper's city scale).
+WARM_BANDWIDTH_KM = 40.0
+
+
 def cmd_table1(args) -> int:
-    result = run_table1(_scenario(args))
+    scenario = _scenario(args)
+    parallel = _parallel_config(args)
+    if parallel is not None:
+        # Table 1 itself is footprint-free; with engine flags set we
+        # additionally warm the per-AS footprint artifacts through the
+        # exec engine so --workers scales the heavy stage and a second
+        # run against the same --cache-dir hits instead of recomputing.
+        # The rendered table is untouched either way.
+        scenario.pop_footprints(
+            scenario.eyeball_target_asns(),
+            WARM_BANDWIDTH_KM,
+            parallel=parallel,
+        )
+    result = run_table1(scenario)
     return _emit(args, result.render(), result.shape_checks())
 
 
@@ -119,13 +160,19 @@ def cmd_figure1(args) -> int:
 
 
 def cmd_figure2(args) -> int:
-    result = run_figure2(_scenario(args), reference_config=_reference_config(args))
+    result = run_figure2(
+        _scenario(args),
+        reference_config=_reference_config(args),
+        parallel=_parallel_config(args),
+    )
     return _emit(args, result.render(), result.shape_checks())
 
 
 def cmd_section5(args) -> int:
     result = run_section5(
-        _scenario(args), reference_config=_reference_config(args)
+        _scenario(args),
+        reference_config=_reference_config(args),
+        parallel=_parallel_config(args),
     )
     return _emit(args, result.render(), result.shape_checks())
 
@@ -268,8 +315,9 @@ def cmd_stats(args) -> int:
 def _run_profiled(config: ScenarioConfig, args):
     scenario = build_scenario(config)
     asns = scenario.eyeball_target_asns()[: args.profile_ases]
-    for asn in asns:
-        scenario.pop_footprint(asn, bandwidth_km=40.0)
+    scenario.pop_footprints(
+        asns, WARM_BANDWIDTH_KM, parallel=_parallel_config(args)
+    )
     return scenario
 
 
@@ -357,6 +405,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="gauge per-span peak heap via tracemalloc "
              "(memory.peak_kib.*); no-op unless telemetry is enabled",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=f"worker processes for per-AS footprint batches, 1-"
+             f"{MAX_WORKERS} (default: 1 = serial; output is identical "
+             "for every N)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="content-addressed footprint artifact cache directory "
+             "(default: no caching)",
     )
     parser.add_argument(
         "--preset",
@@ -540,7 +604,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not 1 <= args.workers <= MAX_WORKERS:
+        parser.error(f"--workers must be in [1, {MAX_WORKERS}]")
     configure_logging(args.log_level)
     if args.metrics_out is None and args.trace_out is None:
         # No telemetry sink requested; --memory alone is a documented

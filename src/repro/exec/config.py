@@ -1,0 +1,100 @@
+"""Execution configuration for the per-AS footprint engine.
+
+One frozen :class:`ParallelConfig` describes *how* a batch of footprint
+jobs runs: how many worker processes fan the jobs out (``workers=1`` is
+the serial in-process fallback, bit-identical to calling the Section
+3-4 functions directly), how jobs are chunked for dispatch, and where
+the content-addressed artifact cache lives (``cache_dir=None`` disables
+caching).  The config carries no open resources, so it pickles cleanly
+and can be embedded in experiment presets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, TypeVar
+
+#: Upper bound on worker processes; a fan-out wider than this is almost
+#: certainly a configuration mistake on current hardware.
+MAX_WORKERS = 128
+
+#: Target number of chunks per worker when ``chunk_size`` is automatic.
+#: Several chunks per worker smooths load imbalance (per-AS KDE cost
+#: varies with footprint extent) without drowning in dispatch overhead.
+AUTO_CHUNKS_PER_WORKER = 4
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of one engine invocation.
+
+    ``workers``
+        Worker-process count.  ``1`` (the default) selects the serial
+        in-process path — no pool, no pickling, bit-identical to the
+        unparallelised pipeline.
+    ``chunk_size``
+        Jobs per dispatched chunk, or ``None`` to derive it from the
+        job count (about :data:`AUTO_CHUNKS_PER_WORKER` chunks per
+        worker).  Chunking is deterministic: job order never depends on
+        worker scheduling.
+    ``cache_dir``
+        Directory of the content-addressed artifact cache, or ``None``
+        to recompute everything.
+    ``cache_salt``
+        Extra string folded into every cache key; bump it to invalidate
+        a cache tree without deleting it (the code-version salt
+        :data:`repro.exec.cache.CODE_SALT` is always included on top).
+    """
+
+    workers: int = 1
+    chunk_size: Optional[int] = None
+    cache_dir: Optional[str] = None
+    cache_salt: str = ""
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.workers <= MAX_WORKERS:
+            raise ValueError(
+                f"workers must be in [1, {MAX_WORKERS}], got {self.workers}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive when given")
+
+    @property
+    def is_serial(self) -> bool:
+        """Whether this config selects the in-process fallback path."""
+        return self.workers == 1
+
+    @property
+    def caching(self) -> bool:
+        return self.cache_dir is not None
+
+    def resolved_chunk_size(self, job_count: int) -> int:
+        """The chunk size used for ``job_count`` jobs (always >= 1)."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if job_count <= 0:
+            return 1
+        target_chunks = self.workers * AUTO_CHUNKS_PER_WORKER
+        return max(1, math.ceil(job_count / target_chunks))
+
+    def chunk(self, items: Sequence[T]) -> List[Tuple[T, ...]]:
+        """Deterministically split ``items`` into dispatch chunks.
+
+        Plain contiguous slicing: chunk ``k`` holds items
+        ``[k*size, (k+1)*size)``.  The split depends only on the item
+        order and this config — never on worker timing — which is what
+        makes the ordered result merge reproducible.
+        """
+        size = self.resolved_chunk_size(len(items))
+        return [
+            tuple(items[start:start + size])
+            for start in range(0, len(items), size)
+        ]
+
+    @classmethod
+    def serial(cls, cache_dir: Optional[str] = None) -> "ParallelConfig":
+        """The explicit serial fallback (optionally still cached)."""
+        return cls(workers=1, cache_dir=cache_dir)

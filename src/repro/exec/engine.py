@@ -1,0 +1,204 @@
+"""The work-scheduling layer: fan footprint jobs out, merge results in.
+
+The paper's per-AS computation (KDE → contours → peaks → PoP mapping)
+is embarrassingly parallel across target ASes.  :class:`FootprintEngine`
+exploits that without giving up determinism:
+
+* jobs are **chunked deterministically** (contiguous slices whose size
+  depends only on the job count and config — never on worker timing),
+* chunks run on a ``concurrent.futures.ProcessPoolExecutor`` whose
+  results are **merged in submission order**, so the output list/dict
+  order is identical to the serial path's,
+* ``workers=1`` short-circuits to an **in-process serial fallback**
+  that calls :func:`repro.exec.jobs.execute_job` inline — bit-identical
+  to the unparallelised pipeline by construction,
+* each worker captures telemetry into its own registry and ships the
+  snapshot home; the parent folds every snapshot into the live registry
+  (:meth:`repro.obs.telemetry.Telemetry.merge_snapshot`), so a parallel
+  run's report carries the same spans and counters as a serial run's.
+
+With a :class:`~repro.exec.cache.ArtifactCache` configured, the parent
+probes the cache before dispatching anything: across re-runs where only
+a fraction of ASes changed, only that fraction is recomputed.
+
+This module is the only place in ``repro`` allowed to touch
+``multiprocessing``/``concurrent.futures`` (reprolint REP601).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..geo.gazetteer import Gazetteer
+from ..obs import telemetry as obs
+from .cache import ArtifactCache, gazetteer_fingerprint, job_key
+from .config import ParallelConfig
+from .jobs import FootprintArtifact, FootprintJob, execute_job
+
+#: Worker-process state installed by :func:`_init_worker` (one gazetteer
+#: per worker, shipped once via the pool initializer instead of once per
+#: chunk).
+_WORKER_GAZETTEER: Optional[Gazetteer] = None
+
+
+def _init_worker(gazetteer: Gazetteer) -> None:
+    """Pool initializer: pin the gazetteer, detach inherited telemetry.
+
+    Under the ``fork`` start method the child inherits the parent's
+    active registry; recording into it would be silently lost (the
+    fork's copy never returns home).  Workers therefore start with the
+    null registry and do all recording inside an explicit capture in
+    :func:`_run_chunk`.
+    """
+    global _WORKER_GAZETTEER
+    _WORKER_GAZETTEER = gazetteer
+    obs.set_telemetry(None)
+
+
+def _run_chunk(
+    jobs: Sequence[FootprintJob],
+) -> Tuple[List[FootprintArtifact], Dict[str, Any]]:
+    """Execute one chunk in a worker; return artifacts + telemetry."""
+    gazetteer = _WORKER_GAZETTEER
+    if gazetteer is None:
+        raise RuntimeError("worker initialised without a gazetteer")
+    with obs.capture() as telemetry:
+        artifacts = [execute_job(job, gazetteer) for job in jobs]
+    return artifacts, telemetry.snapshot()
+
+
+class FootprintEngine:
+    """Executes batches of footprint jobs for one gazetteer.
+
+    The engine is cheap to construct; the gazetteer fingerprint (part
+    of every cache key) is computed lazily on first cached lookup.
+    """
+
+    def __init__(
+        self,
+        gazetteer: Gazetteer,
+        config: Optional[ParallelConfig] = None,
+    ) -> None:
+        self.gazetteer = gazetteer
+        self.config = config if config is not None else ParallelConfig()
+        self._cache: Optional[ArtifactCache] = (
+            ArtifactCache(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
+        self._gazetteer_digest: Optional[str] = None
+
+    @property
+    def cache(self) -> Optional[ArtifactCache]:
+        return self._cache
+
+    def gazetteer_digest(self) -> str:
+        """Fingerprint of this engine's gazetteer (memoised)."""
+        if self._gazetteer_digest is None:
+            self._gazetteer_digest = gazetteer_fingerprint(self.gazetteer)
+        return self._gazetteer_digest
+
+    def run(self, jobs: Iterable[FootprintJob]) -> List[FootprintArtifact]:
+        """Execute ``jobs``; results are returned in job order.
+
+        Cached jobs are served without dispatch; the rest run serially
+        or on the pool per the config.  The returned list is positional:
+        ``result[i]`` belongs to ``jobs[i]`` regardless of which worker
+        computed it or whether it came from the cache.
+        """
+        job_list = list(jobs)
+        with obs.span("exec.run"):
+            obs.count("exec.jobs", len(job_list))
+            artifacts: List[Optional[FootprintArtifact]] = [None] * len(job_list)
+            keys: List[Optional[str]] = [None] * len(job_list)
+            pending: List[Tuple[int, FootprintJob]] = []
+            if self._cache is not None:
+                with obs.span("exec.cache_lookup"):
+                    digest = self.gazetteer_digest()
+                    for index, job in enumerate(job_list):
+                        key = job_key(
+                            job, digest, salt=self.config.cache_salt
+                        )
+                        keys[index] = key
+                        cached = self._cache.get(key)
+                        if cached is None:
+                            pending.append((index, job))
+                        else:
+                            artifacts[index] = cached
+            else:
+                pending = list(enumerate(job_list))
+
+            if pending:
+                computed = self._execute([job for _, job in pending])
+                for (index, _), artifact in zip(pending, computed):
+                    artifacts[index] = artifact
+                    if self._cache is not None:
+                        key = keys[index]
+                        assert key is not None
+                        self._cache.put(key, artifact)
+            assert all(a is not None for a in artifacts)
+            return [a for a in artifacts if a is not None]
+
+    def run_by_asn(
+        self, jobs: Iterable[FootprintJob]
+    ) -> Dict[int, FootprintArtifact]:
+        """Like :meth:`run`, keyed by ASN in job order."""
+        job_list = list(jobs)
+        return {
+            artifact.asn: artifact
+            for artifact in self.run(job_list)
+        }
+
+    # -- execution strategies -----------------------------------------
+
+    def _execute(
+        self, jobs: Sequence[FootprintJob]
+    ) -> List[FootprintArtifact]:
+        if self.config.is_serial:
+            return self._execute_serial(jobs)
+        return self._execute_parallel(jobs)
+
+    def _execute_serial(
+        self, jobs: Sequence[FootprintJob]
+    ) -> List[FootprintArtifact]:
+        """The bit-identical fallback: inline calls, in order."""
+        with obs.span("exec.serial_map"):
+            return [execute_job(job, self.gazetteer) for job in jobs]
+
+    def _execute_parallel(
+        self, jobs: Sequence[FootprintJob]
+    ) -> List[FootprintArtifact]:
+        """Chunked fan-out over a process pool, ordered merge.
+
+        Futures are collected in submission order (not completion
+        order), so the concatenated result is exactly the serial
+        ordering; worker telemetry snapshots merge under this span in
+        the same deterministic order.
+        """
+        chunks = self.config.chunk(jobs)
+        results: List[FootprintArtifact] = []
+        with obs.span("exec.parallel_map"):
+            obs.count("exec.chunks", len(chunks))
+            obs.gauge("exec.workers", self.config.workers)
+            max_workers = min(self.config.workers, len(chunks))
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_init_worker,
+                initargs=(self.gazetteer,),
+            ) as pool:
+                futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+                for future in futures:
+                    artifacts, snapshot = future.result()
+                    results.extend(artifacts)
+                    obs.merge_snapshot(snapshot)
+        return results
+
+
+def run_footprint_jobs(
+    jobs: Iterable[FootprintJob],
+    gazetteer: Gazetteer,
+    config: Optional[ParallelConfig] = None,
+) -> Dict[int, FootprintArtifact]:
+    """One-shot convenience: build an engine, run, key results by ASN."""
+    return FootprintEngine(gazetteer, config).run_by_asn(jobs)

@@ -17,9 +17,10 @@ Paper shape targets:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.bandwidth import FIGURE2_BANDWIDTHS_KM
+from ..exec import ParallelConfig
 from ..geo.regions import RegionLevel
 from ..validation.matching import (
     MATCH_RADIUS_KM,
@@ -140,13 +141,20 @@ def run_figure2(
     bandwidths_km: Tuple[float, ...] = FIGURE2_BANDWIDTHS_KM,
     reference_config: ReferenceConfig = ReferenceConfig(),
     match_radius_km: float = MATCH_RADIUS_KM,
+    parallel: Optional[ParallelConfig] = None,
 ) -> Figure2Result:
-    """Reproduce Figure 2 over a scenario."""
+    """Reproduce Figure 2 over a scenario.
+
+    ``parallel`` (worker fan-out / artifact cache) applies to the
+    per-bandwidth footprint batches; results are identical either way.
+    """
     reference = reference_for_scenario(scenario, reference_config)
     asns = sorted(reference.pops)
     reports: Dict[float, ValidationReport] = {}
     for bandwidth in bandwidths_km:
-        inferred_sets = scenario.peak_location_sets(asns, bandwidth)
+        inferred_sets = scenario.peak_location_sets(
+            asns, bandwidth, parallel=parallel
+        )
         results = {}
         for asn in asns:
             results[asn] = match_pop_sets(

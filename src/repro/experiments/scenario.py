@@ -19,6 +19,7 @@ from ..core.footprint import GeoFootprint, estimate_geo_footprint
 from ..core.pop import DEFAULT_ALPHA, PoPFootprint, extract_pop_footprint
 from ..crawl.crawler import CrawlConfig, PeerSample, run_crawl
 from ..crawl.population import PopulationConfig, UserPopulation, generate_population
+from ..exec import ParallelConfig
 from ..geo.gazetteer import Gazetteer
 from ..geo.world import World, WorldConfig, generate_world
 from ..geodb.database import GeoDatabase
@@ -36,6 +37,7 @@ from ..pipeline.dataset import (
     TargetDataset,
     build_target_dataset,
 )
+from ..pipeline.footprints import run_footprint_stage
 
 
 @dataclass(frozen=True)
@@ -143,11 +145,29 @@ class Scenario:
         asns: Sequence[int],
         bandwidth_km: float,
         alpha: float = DEFAULT_ALPHA,
+        parallel: Optional[ParallelConfig] = None,
     ) -> Dict[int, PoPFootprint]:
-        """PoP footprints for many ASes at one bandwidth."""
-        return {
-            asn: self.pop_footprint(asn, bandwidth_km, alpha=alpha) for asn in asns
-        }
+        """PoP footprints for many ASes at one bandwidth.
+
+        ``parallel`` routes the batch through the ``repro.exec``
+        engine (worker fan-out and/or artifact caching); ``None`` keeps
+        the historical inline loop.  Both paths produce identical
+        footprints in identical order.
+        """
+        if parallel is None:
+            return {
+                asn: self.pop_footprint(asn, bandwidth_km, alpha=alpha)
+                for asn in asns
+            }
+        artifacts = run_footprint_stage(
+            self.dataset,
+            self.gazetteer,
+            asns,
+            bandwidth_km,
+            alpha=alpha,
+            parallel=parallel,
+        )
+        return {asn: artifacts[asn].pop_footprint for asn in asns}
 
     def peak_locations(
         self,
@@ -167,11 +187,28 @@ class Scenario:
         asns: Sequence[int],
         bandwidth_km: float,
         alpha: float = DEFAULT_ALPHA,
+        parallel: Optional[ParallelConfig] = None,
     ) -> Dict[int, List[tuple]]:
-        """Peak-level PoP location sets for many ASes."""
-        return {
-            asn: self.peak_locations(asn, bandwidth_km, alpha=alpha) for asn in asns
-        }
+        """Peak-level PoP location sets for many ASes.
+
+        Accepts the same optional ``parallel`` engine config as
+        :meth:`pop_footprints`, with the same identical-output
+        guarantee.
+        """
+        if parallel is None:
+            return {
+                asn: self.peak_locations(asn, bandwidth_km, alpha=alpha)
+                for asn in asns
+            }
+        artifacts = run_footprint_stage(
+            self.dataset,
+            self.gazetteer,
+            asns,
+            bandwidth_km,
+            alpha=alpha,
+            parallel=parallel,
+        )
+        return {asn: artifacts[asn].peak_locations() for asn in asns}
 
     def eyeball_target_asns(self) -> List[int]:
         """Target-dataset ASNs that are ground-truth eyeball/content ASes

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..core.bandwidth import CITY_BANDWIDTH_KM, FIGURE2_BANDWIDTHS_KM
+from ..exec import ParallelConfig
 from ..validation.dimes import (
     DimesComparison,
     DimesConfig,
@@ -112,16 +113,23 @@ def run_section5(
     reference_config: ReferenceConfig = ReferenceConfig(),
     dimes_config: DimesConfig = DimesConfig(),
     figure2: Optional[Figure2Result] = None,
+    parallel: Optional[ParallelConfig] = None,
 ) -> Section5Result:
     """Run both Section 5 comparisons (reusing a Figure 2 result when
-    the caller already computed one)."""
+    the caller already computed one).  ``parallel`` applies the
+    ``repro.exec`` engine config to every footprint batch."""
     if figure2 is None:
         figure2 = run_figure2(
-            scenario, bandwidths_km=bandwidths_km, reference_config=reference_config
+            scenario,
+            bandwidths_km=bandwidths_km,
+            reference_config=reference_config,
+            parallel=parallel,
         )
     target_asns = scenario.eyeball_target_asns()
     dimes = run_dimes_campaign(scenario.ecosystem, target_asns, dimes_config)
     common = sorted(set(target_asns) & set(dimes.pops))
-    kde_pops = scenario.peak_location_sets(common, CITY_BANDWIDTH_KM)
+    kde_pops = scenario.peak_location_sets(
+        common, CITY_BANDWIDTH_KM, parallel=parallel
+    )
     comparison = compare_with_dimes(kde_pops, dimes)
     return Section5Result(figure2=figure2, dimes=dimes, comparison=comparison)

@@ -43,6 +43,7 @@ from .telemetry import (
     count,
     gauge,
     get_telemetry,
+    merge_snapshot,
     set_telemetry,
     span,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "get_logger",
     "get_telemetry",
     "kv",
+    "merge_snapshot",
     "set_telemetry",
     "span",
     "trace_from_report",

@@ -101,9 +101,18 @@ class Telemetry:
     """A live instrumentation registry.
 
     ``clock`` is injectable for deterministic tests; it must be a
-    monotonically non-decreasing ``() -> float`` in seconds.  The
-    registry is designed for the single-threaded pipeline — concurrent
-    spans from multiple threads would interleave on one stack.
+    monotonically non-decreasing ``() -> float`` in seconds.
+
+    **Concurrency contract.**  A registry instance is single-threaded:
+    one process, one span stack.  Parallel work (the ``repro.exec``
+    engine's worker processes) does not share a registry — each worker
+    captures into its *own* fresh registry, snapshots it, and ships the
+    snapshot back; the parent then folds every child snapshot into its
+    live registry with :meth:`merge_snapshot`.  Merged spans land under
+    the span open at merge time, counters add, and gauges keep their
+    maximum (the only order-independent reduction for level-style
+    gauges such as memory peaks) — so a parallel run's report has the
+    same shape as a serial run's, regardless of worker scheduling.
     """
 
     enabled = True
@@ -153,6 +162,41 @@ class Telemetry:
             "gauges": dict(self.gauges),
         }
 
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a child registry's :meth:`snapshot` into this registry.
+
+        The worker-merge half of the concurrency contract: ``spans``
+        are grafted under the currently-open span (so worker time nests
+        inside whatever stage dispatched the work) with counts/totals
+        accumulated and min/max widened; ``counters`` add; ``gauges``
+        keep the maximum of the existing and incoming values, which is
+        the only commutative reduction that makes sense for level-style
+        gauges (peaks, sizes) and keeps parallel reports independent of
+        worker completion order.
+        """
+        parent = self._stack[-1]
+        for span_dict in snapshot.get("spans", ()):
+            _merge_span_dict(parent, span_dict)
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            existing = self.gauges.get(name)
+            merged = value if existing is None else max(existing, value)
+            self.gauges[name] = float(merged)
+
+
+def _merge_span_dict(parent: SpanNode, data: Dict[str, Any]) -> None:
+    """Recursively accumulate one serialised span node under ``parent``."""
+    node = parent.child(str(data["name"]))
+    count = int(data.get("count", 0))
+    node.count += count
+    node.total_s += float(data.get("total_s", 0.0))
+    if count:
+        node.min_s = min(node.min_s, float(data.get("min_s", 0.0)))
+        node.max_s = max(node.max_s, float(data.get("max_s", 0.0)))
+    for child in data.get("children", ()):
+        _merge_span_dict(node, child)
+
 
 class _NullSpan:
     """A reusable no-op context manager (one shared instance)."""
@@ -188,6 +232,9 @@ class NullTelemetry:
 
     def snapshot(self) -> Dict[str, Any]:
         return {"spans": [], "counters": {}, "gauges": {}}
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        return None
 
 
 #: The process-wide null registry (also the default active one).
@@ -243,3 +290,9 @@ def count(name: str, value: float = 1) -> None:
 def gauge(name: str, value: float) -> None:
     """Set a gauge on the active registry (no-op when disabled)."""
     _current.gauge(name, value)
+
+
+def merge_snapshot(snapshot: Dict[str, Any]) -> None:
+    """Fold a worker snapshot into the active registry (no-op when
+    disabled) — see :meth:`Telemetry.merge_snapshot`."""
+    _current.merge_snapshot(snapshot)

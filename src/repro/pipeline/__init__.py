@@ -17,6 +17,7 @@ from .filtering import (
     filter_geo_error,
     filter_min_peers,
 )
+from .footprints import build_footprint_jobs, run_footprint_stage
 from .grouping import ASPeerGroup, GroupingStats, group_by_as
 from .mapping import MappedPeers, MappingStats, map_peers
 from .profile import DatasetProfile, RegionProfile, profile_dataset
@@ -41,6 +42,7 @@ __all__ = [
     "RegionProfile",
     "TargetAS",
     "TargetDataset",
+    "build_footprint_jobs",
     "build_target_dataset",
     "classify_group",
     "filter_error_percentile",
@@ -49,5 +51,6 @@ __all__ = [
     "group_by_as",
     "map_peers",
     "profile_dataset",
+    "run_footprint_stage",
     "summarize_dataset",
 ]

@@ -1,0 +1,98 @@
+"""REP601: multiprocessing/concurrent.futures stay inside repro.exec."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.registry import get_rule
+from repro.analysis.rules.concurrency import BANNED_ROOTS
+
+
+def check(source, module):
+    return lint_source(
+        textwrap.dedent(source),
+        module=module,
+        rules=[get_rule("REP601")],
+    )
+
+
+class TestFlagged:
+    def test_plain_multiprocessing_import(self):
+        findings = check("import multiprocessing\n", module="repro.core.kde")
+        assert [f.rule_id for f in findings] == ["REP601"]
+        assert "repro.exec" in findings[0].message
+
+    def test_submodule_import(self):
+        findings = check(
+            "import multiprocessing.pool\n", module="repro.pipeline.dataset"
+        )
+        assert [f.rule_id for f in findings] == ["REP601"]
+
+    def test_from_concurrent_futures(self):
+        findings = check(
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            module="repro.experiments.scenario",
+        )
+        assert [f.rule_id for f in findings] == ["REP601"]
+
+    def test_from_concurrent_root(self):
+        findings = check(
+            "from concurrent import futures\n", module="repro.crawl.crawler"
+        )
+        assert [f.rule_id for f in findings] == ["REP601"]
+
+    def test_aliased_import(self):
+        findings = check(
+            "import multiprocessing as mp\n", module="repro.cli"
+        )
+        assert [f.rule_id for f in findings] == ["REP601"]
+
+    def test_one_finding_per_banned_alias(self):
+        findings = check(
+            "import json, multiprocessing\n", module="repro.core.kde"
+        )
+        assert [f.rule_id for f in findings] == ["REP601"]
+
+
+class TestExempt:
+    def test_exec_package_itself(self):
+        findings = check(
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            module="repro.exec.engine",
+        )
+        assert findings == []
+
+    def test_exec_package_init(self):
+        findings = check(
+            "import multiprocessing\n", module="repro.exec"
+        )
+        assert findings == []
+
+    def test_non_repro_modules(self):
+        findings = check(
+            "import multiprocessing\n", module="benchmarks.bench_parallel"
+        )
+        assert findings == []
+
+    def test_harmless_imports(self):
+        findings = check(
+            """
+            import threading
+            from concurrency_toolkit import pool
+            from .jobs import execute_job
+            """,
+            module="repro.core.kde",
+        )
+        assert findings == []
+
+    def test_relative_imports_never_flagged(self):
+        # Relative imports cannot leave repro, so they cannot reach the
+        # stdlib concurrency packages.
+        findings = check(
+            "from . import futures\n", module="repro.core.kde"
+        )
+        assert findings == []
+
+
+class TestBannedSet:
+    def test_covers_both_stdlib_roots(self):
+        assert BANNED_ROOTS == {"multiprocessing", "concurrent"}

@@ -1,0 +1,142 @@
+"""FootprintEngine: serial/parallel equivalence, caching, telemetry.
+
+The acceptance bar for the whole execution layer is here: a parallel
+run must produce artifacts indistinguishable from the serial path on a
+fixed-seed dataset, and a cached re-run must serve every job from disk.
+Parallel tests use 2 workers and a handful of jobs to stay fast.
+"""
+
+import pytest
+
+from repro.exec import FootprintEngine, ParallelConfig, run_footprint_jobs
+from repro.obs import telemetry as obs
+from repro.pipeline import build_footprint_jobs
+
+BANDWIDTH_KM = 40.0
+
+
+@pytest.fixture(scope="module")
+def jobs(small_scenario):
+    asns = small_scenario.eyeball_target_asns()[:6]
+    return build_footprint_jobs(small_scenario.dataset, asns, BANDWIDTH_KM)
+
+
+@pytest.fixture(scope="module")
+def serial_artifacts(small_scenario, jobs):
+    return FootprintEngine(small_scenario.gazetteer).run(jobs)
+
+
+def assert_same_artifacts(actual, expected):
+    assert len(actual) == len(expected)
+    for got, want in zip(actual, expected):
+        assert got.asn == want.asn
+        assert got.bandwidth_km == want.bandwidth_km
+        assert got.peak_latlons == want.peak_latlons
+        assert got.pop_footprint == want.pop_footprint
+
+
+class TestSerialPath:
+    def test_results_in_job_order(self, jobs, serial_artifacts):
+        assert [a.asn for a in serial_artifacts] == [j.asn for j in jobs]
+
+    def test_matches_inline_pipeline(self, small_scenario, jobs, serial_artifacts):
+        # The engine's serial path must be the unparallelised pipeline.
+        for job, artifact in zip(jobs, serial_artifacts):
+            inline = small_scenario.pop_footprint(job.asn, BANDWIDTH_KM)
+            assert artifact.pop_footprint == inline
+
+    def test_run_by_asn_preserves_job_order(self, small_scenario, jobs):
+        engine = FootprintEngine(small_scenario.gazetteer)
+        by_asn = engine.run_by_asn(jobs)
+        assert list(by_asn) == [j.asn for j in jobs]
+
+    def test_empty_batch(self, small_scenario):
+        assert FootprintEngine(small_scenario.gazetteer).run([]) == []
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial(self, small_scenario, jobs, serial_artifacts):
+        engine = FootprintEngine(
+            small_scenario.gazetteer, ParallelConfig(workers=2, chunk_size=2)
+        )
+        assert_same_artifacts(engine.run(jobs), serial_artifacts)
+
+    def test_more_workers_than_chunks(self, small_scenario, jobs, serial_artifacts):
+        # max_workers is clamped to the chunk count; one big chunk is fine.
+        engine = FootprintEngine(
+            small_scenario.gazetteer,
+            ParallelConfig(workers=4, chunk_size=len(jobs)),
+        )
+        assert_same_artifacts(engine.run(jobs), serial_artifacts)
+
+    def test_worker_telemetry_comes_home(self, small_scenario, jobs):
+        engine = FootprintEngine(
+            small_scenario.gazetteer, ParallelConfig(workers=2, chunk_size=2)
+        )
+        with obs.capture() as telemetry:
+            engine.run(jobs)
+        snapshot = telemetry.snapshot()
+        (run_span,) = snapshot["spans"]
+        assert run_span["name"] == "exec.run"
+        (parallel_span,) = run_span["children"]
+        assert parallel_span["name"] == "exec.parallel_map"
+        # Worker-side spans must be grafted under the map span.
+        child_names = {c["name"] for c in parallel_span["children"]}
+        assert "kde.evaluate" in child_names
+        assert "pop.extract" in child_names
+        assert telemetry.counters["exec.jobs"] == len(jobs)
+        assert telemetry.counters["exec.chunks"] == 3
+        assert telemetry.gauges["exec.workers"] == 2
+
+
+class TestCaching:
+    def test_second_run_is_all_hits(self, small_scenario, jobs, tmp_path):
+        config = ParallelConfig(cache_dir=str(tmp_path))
+        with obs.capture() as telemetry:
+            first = FootprintEngine(small_scenario.gazetteer, config).run(jobs)
+        assert telemetry.counters["exec.cache.misses"] == len(jobs)
+        assert telemetry.counters["exec.cache.writes"] == len(jobs)
+
+        with obs.capture() as telemetry:
+            second = FootprintEngine(small_scenario.gazetteer, config).run(jobs)
+        assert telemetry.counters["exec.cache.hits"] == len(jobs)
+        assert "exec.cache.misses" not in telemetry.counters
+        assert_same_artifacts(second, first)
+
+    def test_partial_hit_batch_recomputes_only_the_rest(
+        self, small_scenario, jobs, tmp_path
+    ):
+        config = ParallelConfig(cache_dir=str(tmp_path))
+        warm, cold = jobs[:2], jobs[2:]
+        FootprintEngine(small_scenario.gazetteer, config).run(warm)
+        with obs.capture() as telemetry:
+            merged = FootprintEngine(small_scenario.gazetteer, config).run(jobs)
+        assert telemetry.counters["exec.cache.hits"] == len(warm)
+        assert telemetry.counters["exec.cache.misses"] == len(cold)
+        # Order is positional even when hits and misses interleave.
+        assert [a.asn for a in merged] == [j.asn for j in jobs]
+
+    def test_salt_partitions_the_cache(self, small_scenario, jobs, tmp_path):
+        base = ParallelConfig(cache_dir=str(tmp_path))
+        FootprintEngine(small_scenario.gazetteer, base).run(jobs)
+        salted = ParallelConfig(cache_dir=str(tmp_path), cache_salt="ablation")
+        with obs.capture() as telemetry:
+            FootprintEngine(small_scenario.gazetteer, salted).run(jobs)
+        assert telemetry.counters["exec.cache.misses"] == len(jobs)
+
+    def test_cache_with_parallel_workers(
+        self, small_scenario, jobs, serial_artifacts, tmp_path
+    ):
+        config = ParallelConfig(workers=2, chunk_size=2, cache_dir=str(tmp_path))
+        engine = FootprintEngine(small_scenario.gazetteer, config)
+        assert_same_artifacts(engine.run(jobs), serial_artifacts)
+        with obs.capture() as telemetry:
+            assert_same_artifacts(engine.run(jobs), serial_artifacts)
+        assert telemetry.counters["exec.cache.hits"] == len(jobs)
+
+
+class TestConvenience:
+    def test_run_footprint_jobs(self, small_scenario, jobs, serial_artifacts):
+        by_asn = run_footprint_jobs(jobs, small_scenario.gazetteer)
+        assert list(by_asn) == [j.asn for j in jobs]
+        assert_same_artifacts(list(by_asn.values()), serial_artifacts)

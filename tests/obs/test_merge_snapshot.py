@@ -1,0 +1,128 @@
+"""Worker-snapshot merging: the Telemetry.merge_snapshot contract.
+
+The exec engine's workers capture telemetry into their own registries
+and ship snapshots back; the parent folds them in.  These tests pin the
+reduction semantics: child span trees graft (and aggregate) under the
+currently open span, counters add, gauges keep the maximum, and the
+null registry ignores everything.
+"""
+
+import pytest
+
+from repro.obs import telemetry as obs
+from repro.obs.telemetry import NullTelemetry, Telemetry
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def child_snapshot(clock, counter=3, gauge=2.0):
+    """A worker-style snapshot: one span with a nested child."""
+    worker = Telemetry(clock=clock)
+    with worker.span("kde.evaluate"):
+        clock.advance(1.0)
+        with worker.span("pop.extract"):
+            clock.advance(0.5)
+    worker.count("exec.jobs", counter)
+    worker.gauge("exec.workers", gauge)
+    return worker.snapshot()
+
+
+class TestSpanGrafting:
+    def test_spans_graft_under_the_open_span(self, clock):
+        parent = Telemetry(clock=clock)
+        with parent.span("exec.parallel_map"):
+            parent.merge_snapshot(child_snapshot(clock))
+        (root,) = parent.snapshot()["spans"]
+        assert root["name"] == "exec.parallel_map"
+        (kde,) = root["children"]
+        assert kde["name"] == "kde.evaluate"
+        assert kde["total_s"] == pytest.approx(1.5)
+        (pop,) = kde["children"]
+        assert pop["name"] == "pop.extract"
+        assert pop["total_s"] == pytest.approx(0.5)
+
+    def test_merge_outside_any_span_grafts_at_root(self, clock):
+        parent = Telemetry(clock=clock)
+        parent.merge_snapshot(child_snapshot(clock))
+        (kde,) = parent.snapshot()["spans"]
+        assert kde["name"] == "kde.evaluate"
+
+    def test_same_name_snapshots_aggregate(self, clock):
+        parent = Telemetry(clock=clock)
+        with parent.span("exec.parallel_map"):
+            parent.merge_snapshot(child_snapshot(clock))
+            parent.merge_snapshot(child_snapshot(clock))
+        (root,) = parent.snapshot()["spans"]
+        (kde,) = root["children"]
+        assert kde["count"] == 2
+        assert kde["total_s"] == pytest.approx(3.0)
+        assert kde["min_s"] == pytest.approx(1.5)
+        assert kde["max_s"] == pytest.approx(1.5)
+
+    def test_merge_preserves_existing_children(self, clock):
+        parent = Telemetry(clock=clock)
+        with parent.span("exec.parallel_map"):
+            with parent.span("exec.cache_lookup"):
+                clock.advance(0.1)
+            parent.merge_snapshot(child_snapshot(clock))
+        (root,) = parent.snapshot()["spans"]
+        names = sorted(c["name"] for c in root["children"])
+        assert names == ["exec.cache_lookup", "kde.evaluate"]
+
+
+class TestMetricReduction:
+    def test_counters_add(self, clock):
+        parent = Telemetry(clock=clock)
+        parent.count("exec.jobs", 10)
+        parent.merge_snapshot(child_snapshot(clock, counter=3))
+        parent.merge_snapshot(child_snapshot(clock, counter=4))
+        assert parent.counters["exec.jobs"] == 17
+
+    def test_gauges_keep_the_maximum(self, clock):
+        parent = Telemetry(clock=clock)
+        parent.merge_snapshot(child_snapshot(clock, gauge=4.0))
+        parent.merge_snapshot(child_snapshot(clock, gauge=2.0))
+        assert parent.gauges["exec.workers"] == 4.0
+
+    def test_gauge_absent_in_parent_is_adopted(self, clock):
+        parent = Telemetry(clock=clock)
+        parent.merge_snapshot(child_snapshot(clock, gauge=1.5))
+        assert parent.gauges["exec.workers"] == 1.5
+
+    def test_empty_snapshot_is_a_noop(self, clock):
+        parent = Telemetry(clock=clock)
+        parent.merge_snapshot({"spans": [], "counters": {}, "gauges": {}})
+        snapshot = parent.snapshot()
+        assert snapshot["spans"] == []
+        assert snapshot["counters"] == {}
+
+
+class TestRegistryPlumbing:
+    def test_null_registry_ignores_snapshots(self, clock):
+        null = NullTelemetry()
+        null.merge_snapshot(child_snapshot(clock))
+        assert null.snapshot()["spans"] == []
+
+    def test_module_function_targets_active_registry(self, clock):
+        with obs.capture() as telemetry:
+            obs.merge_snapshot(child_snapshot(clock))
+        assert telemetry.counters["exec.jobs"] == 3
+
+    def test_module_function_is_noop_by_default(self, clock):
+        # No registry installed: must not raise, must not record.
+        obs.merge_snapshot(child_snapshot(clock))
+        assert obs.get_telemetry().snapshot()["spans"] == []
