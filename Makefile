@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench examples experiments profile lint smoke \
-        smoke-baseline smoke-parallel history clean
+        smoke-baseline smoke-parallel history funnel clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -29,11 +29,13 @@ profile:
 lint:
 	$(PYTHON) -m repro.cli lint
 
-# The CI perf gate, runnable locally: instrumented smoke run, then a
-# noise-aware diff against the committed baseline (exit 1 on regression).
+# The CI perf + data gate, runnable locally: instrumented smoke run,
+# funnel conservation check, then a noise-aware diff against the
+# committed baseline (exit 1 on regression or data drift).
 smoke:
 	$(PYTHON) -m repro.cli --metrics-out smoke-report.json \
 		--trace-out smoke-trace.json --memory table1
+	$(PYTHON) -m repro.cli stats funnel smoke-report.json
 	$(PYTHON) -m repro.cli stats diff benchmarks/baselines/smoke.json \
 		smoke-report.json --max-ratio 4.0 --noise-floor-ms 50
 
@@ -64,6 +66,12 @@ smoke-baseline:
 
 history:
 	$(PYTHON) -m repro.cli stats history
+
+# Render the smoke run's data-lineage funnel waterfall (exits 1 if any
+# stage violates the in == out + dropped conservation law).
+funnel:
+	$(PYTHON) -m repro.cli --metrics-out smoke-report.json table1 > /dev/null
+	$(PYTHON) -m repro.cli stats funnel smoke-report.json
 
 clean:
 	rm -rf .pytest_cache benchmarks/results .benchmarks

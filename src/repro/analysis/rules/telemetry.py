@@ -7,7 +7,11 @@ half is enforced by REP202's isolation of ``repro.obs``).  PR 3 added
 the span *naming* contract: every literal span name uses one of the
 ``layer.step`` taxonomy prefixes documented in
 ``docs/OBSERVABILITY.md``, so reports, diffs and traces from different
-runs always line up.
+runs always line up.  PR 5 added the *lineage* contract: drop counts
+go through ``repro.obs.lineage.record_stage`` (with a declared
+:class:`~repro.obs.lineage.DropReason`) so every drop is subject to
+the funnel's conservation law — a raw ``obs.count("*dropped*")`` call
+site is a drop the data-quality gate cannot see.
 """
 
 from __future__ import annotations
@@ -176,3 +180,58 @@ class SpanTaxonomyRule(Rule):
                     f"span name {literal!r} is not of the form "
                     "'<layer>.<step>' (see docs/OBSERVABILITY.md)",
                 )
+
+
+def _counter_name_literal(call: ast.Call) -> Optional[str]:
+    """The static counter name of a ``count(...)`` call, if literal."""
+    node: Optional[ast.AST] = call.args[0] if call.args else None
+    if node is None:
+        for keyword in call.keywords:
+            if keyword.arg == "name":
+                node = keyword.value
+                break
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+@register
+class LineageDropCounterRule(Rule):
+    """Drop accounting must go through the lineage API, not raw
+    counters, so the funnel's conservation law covers every drop."""
+
+    meta = RuleMeta(
+        id="REP403",
+        name="lineage-drop-counter",
+        severity=Severity.WARNING,
+        summary="raw drop counter bypasses the lineage funnel "
+        "(repro.obs.lineage.record_stage)",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith("repro."):
+            return
+        # The side-car itself is exempt: record_stage's legacy-counter
+        # emission is the one sanctioned "dropped" counter writer.
+        if ctx.module == "repro.obs" or ctx.module.startswith("repro.obs."):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_count = (
+                isinstance(func, ast.Attribute) and func.attr == "count"
+            ) or (isinstance(func, ast.Name) and func.id == "count")
+            if not is_count:
+                continue
+            name = _counter_name_literal(node)
+            if name is None or "dropped" not in name:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"counter {name!r} records drops outside the lineage "
+                "funnel; call repro.obs.lineage.record_stage(...) with "
+                "a DropReason instead (it can keep emitting the legacy "
+                "counter via legacy_counters=...)",
+            )

@@ -10,7 +10,8 @@
     repro-eyeball all      [--preset small]
     repro-eyeball stats    [--preset small] [--top 10]
     repro-eyeball stats diff OLD.json NEW.json [--max-ratio 1.5]
-    repro-eyeball stats history [--last 10] [--name table1]
+    repro-eyeball stats funnel REPORT.json [--format text|json]
+    repro-eyeball stats history [--limit 10] [--name table1] [--format json]
     repro-eyeball lint     [PATH ...] [--format text|json] [--list-rules]
 
 Each subcommand prints the same rendered table/figure the benchmark
@@ -49,6 +50,7 @@ Execution-engine flags (see ``docs/PERFORMANCE.md``):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -77,9 +79,14 @@ from .experiments.table1 import run_table1
 from .obs import telemetry as obs
 from .obs.diff import DiffThresholds, diff_reports
 from .obs.history import RunHistory
+from .obs.lineage import (
+    FunnelConservationError,
+    FunnelStage,
+    render_funnel,
+)
 from .obs.logconfig import LEVELS, configure_logging
 from .obs.memory import capture_memory
-from .obs.report import RunReport
+from .obs.report import DATA_QUALITY_SCHEMA, RunReport
 from .obs.trace import write_trace
 from .validation.reference import ReferenceConfig
 
@@ -339,6 +346,9 @@ def cmd_stats_diff(args) -> int:
         counter_rel_tol=args.counter_tolerance,
         gauge_rel_tol=args.gauge_tolerance,
         fail_on_drift=args.fail_on_drift,
+        retention_abs_tol=args.retention_tolerance,
+        quantile_rel_tol=args.quantile_tolerance,
+        fail_on_data_drift=not args.no_fail_on_data_drift,
     )
     result = diff_reports(old, new, thresholds)
     if args.format == "json":
@@ -348,21 +358,67 @@ def cmd_stats_diff(args) -> int:
         print(f"new: {args.new}")
         print(result.render_text())
     if result.verdict != "ok":
-        print(
-            "perf regression gate FAILED: "
-            + ", ".join(d.path for d in result.regressions)
-            if result.regressions
-            else "perf regression gate FAILED: metric drift",
-            file=sys.stderr,
-        )
+        if result.regressions:
+            detail = ", ".join(d.path for d in result.regressions)
+        elif result.data_drifts:
+            detail = "data drift (" + ", ".join(
+                d.stage if hasattr(d, "stage") else f"{d.name}.{d.quantile}"
+                for d in result.data_drifts
+            ) + ")"
+        else:
+            detail = "metric drift"
+        print(f"perf regression gate FAILED: {detail}", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_stats_funnel(args) -> int:
+    """Render a report's data funnel; exit 1 on conservation violation."""
+    try:
+        report = RunReport.load(args.report)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load run report: {exc}", file=sys.stderr)
+        return 2
+    stages = report.funnel()
+    violations: List[str] = []
+    for raw in stages:
+        try:
+            FunnelStage.from_dict(raw).check_conservation()
+        except FunnelConservationError as exc:
+            violations.append(str(exc))
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "schema": DATA_QUALITY_SCHEMA,
+                "funnel": stages,
+                "quality": report.quality_digests(),
+                "conserved": not violations,
+                "violations": violations,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    elif not stages:
+        print("(report carries no data-quality funnel; re-run with "
+              "--metrics-out on this version)")
+    else:
+        print(render_funnel(stages))
+    for violation in violations:
+        print(f"funnel conservation VIOLATED: {violation}", file=sys.stderr)
+    return 1 if violations else 0
 
 
 def cmd_stats_history(args) -> int:
     """Summarise the append-only run history (most recent last)."""
     history = RunHistory(args.path)
-    print(history.render_summary(last=args.last, name=args.name))
+    limit = args.limit if args.limit is not None else args.last
+    if args.format == "json":
+        entries = history.entries(name=args.name)[-limit:]
+        print(json.dumps(
+            [entry.to_dict() for entry in entries], indent=2, sort_keys=True
+        ))
+    else:
+        print(history.render_summary(last=limit, name=args.name))
     skipped = history.skipped_lines()
     if skipped:
         print(f"({skipped} unreadable line(s) skipped)", file=sys.stderr)
@@ -524,12 +580,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="counter/gauge drift also fails the gate",
     )
     diff.add_argument(
+        "--retention-tolerance",
+        type=float,
+        default=0.05,
+        help="absolute funnel-retention change that counts as data "
+             "drift (default: 0.05)",
+    )
+    diff.add_argument(
+        "--quantile-tolerance",
+        type=float,
+        default=0.25,
+        help="relative distribution-quantile change that counts as "
+             "data drift (default: 0.25)",
+    )
+    diff.add_argument(
+        "--no-fail-on-data-drift",
+        action="store_true",
+        help="report funnel/quantile data drift without failing the "
+             "gate (it fails by default)",
+    )
+    diff.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
         help="diff output format (default: text)",
     )
     diff.set_defaults(handler=cmd_stats_diff)
+    funnel = stats_sub.add_parser(
+        "funnel",
+        help="render a run report's data-lineage funnel; exit 1 if any "
+             "stage violates conservation",
+    )
+    funnel.add_argument(
+        "report", metavar="REPORT.json", help="run report to inspect"
+    )
+    funnel.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="waterfall output format (default: text)",
+    )
+    funnel.set_defaults(handler=cmd_stats_funnel)
     history = stats_sub.add_parser(
         "history",
         help="summarise the append-only run history",
@@ -546,9 +637,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many most-recent entries to show (default: 10)",
     )
     history.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="synonym for --last (takes precedence when both are given)",
+    )
+    history.add_argument(
         "--name",
         default=None,
         help="only show entries for this run name",
+    )
+    history.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="history output format (default: text); json emits the "
+             "raw repro.run-history/v1 entries",
     )
     history.set_defaults(handler=cmd_stats_history)
     lint = subparsers.add_parser(
@@ -612,7 +717,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.metrics_out is None and args.trace_out is None:
         # No telemetry sink requested; --memory alone is a documented
         # no-op (the null registry stays installed, tracemalloc never
-        # starts).
+        # starts) — but say so, because a silent no-op reads as a bug.
+        if args.memory:
+            print(
+                "warning: --memory does nothing without a telemetry "
+                "sink; add --metrics-out PATH or --trace-out PATH",
+                file=sys.stderr,
+            )
         return args.handler(args)
     enable = capture_memory if args.memory else obs.capture
     with enable() as telemetry:

@@ -17,7 +17,9 @@ from typing import List, Tuple
 import numpy as np
 
 from ..net.ecosystem import ASEcosystem
+from ..obs import lineage
 from ..obs import telemetry as obs
+from ..obs.lineage import DropReason
 from .apps import P2PApp, default_apps
 from .crawler import PeerSample
 from .population import UserPopulation
@@ -158,6 +160,13 @@ def _run_campaign(
 
     union_seen = union_membership.any(axis=1)
     union_index = np.flatnonzero(union_seen)
+    lineage.record_stage(
+        "crawl.campaign",
+        unit="users",
+        records_in=n_users,
+        records_out=int(union_index.size),
+        drops={DropReason.NOT_OBSERVED: n_users - int(union_index.size)},
+    )
     union = PeerSample(
         population=population,
         app_names=tuple(app.name for app in apps),

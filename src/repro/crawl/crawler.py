@@ -16,7 +16,9 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..net.ecosystem import ASEcosystem
+from ..obs import lineage
 from ..obs import telemetry as obs
+from ..obs.lineage import DropReason
 from .apps import P2PApp, default_apps
 from .population import UserPopulation
 
@@ -121,6 +123,13 @@ def run_crawl(
         user_index = np.flatnonzero(seen)
         obs.gauge("crawl.users", n_users)
         obs.count("crawl.peers_sampled", int(user_index.size))
+        lineage.record_stage(
+            "crawl.run",
+            unit="users",
+            records_in=n_users,
+            records_out=int(user_index.size),
+            drops={DropReason.NOT_OBSERVED: n_users - int(user_index.size)},
+        )
         for app_column, app in enumerate(apps):
             obs.count(
                 f"crawl.peers.{app.name}", int(membership[:, app_column].sum())

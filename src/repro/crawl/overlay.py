@@ -22,7 +22,9 @@ from typing import List, Tuple
 import numpy as np
 
 from ..net.ecosystem import ASEcosystem
+from ..obs import lineage
 from ..obs import telemetry as obs
+from ..obs.lineage import DropReason
 from .apps import P2PApp, default_apps
 from .crawler import PeerSample
 from .population import UserPopulation
@@ -187,6 +189,13 @@ def _run_overlay_crawl(
 
     seen = membership.any(axis=1)
     index = np.flatnonzero(seen)
+    lineage.record_stage(
+        "crawl.overlay",
+        unit="users",
+        records_in=n_users,
+        records_out=int(index.size),
+        drops={DropReason.NOT_OBSERVED: n_users - int(index.size)},
+    )
     return PeerSample(
         population=population,
         app_names=tuple(app.name for app in apps),

@@ -20,6 +20,8 @@ import numpy as np
 from ..core.footprint import estimate_geo_footprint
 from ..core.pop import DEFAULT_ALPHA, PoPFootprint, extract_pop_footprint
 from ..geo.gazetteer import Gazetteer
+from ..obs import lineage, quality
+from ..obs.lineage import DropReason
 
 #: The footprint-contour level :func:`estimate_geo_footprint` defaults
 #: to; spelled out here so job digests never depend on a default
@@ -116,6 +118,14 @@ def execute_job(job: FootprintJob, gazetteer: Gazetteer) -> FootprintArtifact:
     peaks = tuple(
         (p.lat, p.lon) for p in footprint.peaks_above(job.alpha)
     )
+    lineage.record_stage(
+        "exec.peak_selection",
+        unit="peaks",
+        records_in=len(footprint.peaks),
+        records_out=len(peaks),
+        drops={DropReason.BELOW_ALPHA: len(footprint.peaks) - len(peaks)},
+    )
+    quality.observe("footprint_peak_count", (float(len(peaks)),))
     return FootprintArtifact(
         asn=job.asn,
         bandwidth_km=job.bandwidth_km,

@@ -13,6 +13,13 @@ Zero-dependency pieces, layered in two tiers.  Capture:
     run's telemetry plus a human summary table.
 ``repro.obs.logconfig``
     Structured ``key=value`` logging under the ``repro.`` namespace.
+``repro.obs.lineage``
+    :class:`~repro.obs.lineage.FunnelStage` — dataset-lineage funnel
+    accounting under a conservation law, with the closed
+    :class:`~repro.obs.lineage.DropReason` vocabulary.
+``repro.obs.quality``
+    :class:`~repro.obs.quality.QuantileDigest` — fixed-size streaming
+    quantile sketches of data-quality distributions.
 
 And the longitudinal tier built on run reports:
 
@@ -29,11 +36,27 @@ See ``docs/OBSERVABILITY.md`` for the span taxonomy, metric names,
 the report/history/diff schemas and the trace walkthrough.
 """
 
-from .diff import DiffThresholds, MetricDrift, ReportDiff, SpanDelta, diff_reports
+from .diff import (
+    DiffThresholds,
+    MetricDrift,
+    QuantileDrift,
+    ReportDiff,
+    RetentionDrift,
+    SpanDelta,
+    diff_reports,
+)
 from .history import HISTORY_SCHEMA, HistoryEntry, RunHistory, utc_timestamp
+from .lineage import (
+    DropReason,
+    FunnelConservationError,
+    FunnelStage,
+    record_stage,
+    render_funnel,
+)
 from .logconfig import configure_logging, get_logger, kv
 from .memory import MEMORY_GAUGE_PREFIX, MemoryTelemetry, capture_memory
-from .report import SCHEMA, RunReport
+from .quality import QUALITY_GAUGE_PREFIX, QuantileDigest, observe
+from .report import DATA_QUALITY_SCHEMA, SCHEMA, RunReport
 from .telemetry import (
     NULL,
     NullTelemetry,
@@ -50,7 +73,11 @@ from .telemetry import (
 from .trace import trace_from_report, validate_trace, write_trace
 
 __all__ = [
+    "DATA_QUALITY_SCHEMA",
     "DiffThresholds",
+    "DropReason",
+    "FunnelConservationError",
+    "FunnelStage",
     "HISTORY_SCHEMA",
     "HistoryEntry",
     "MEMORY_GAUGE_PREFIX",
@@ -58,7 +85,11 @@ __all__ = [
     "MetricDrift",
     "NULL",
     "NullTelemetry",
+    "QUALITY_GAUGE_PREFIX",
+    "QuantileDigest",
+    "QuantileDrift",
     "ReportDiff",
+    "RetentionDrift",
     "RunHistory",
     "RunReport",
     "SCHEMA",
@@ -75,6 +106,9 @@ __all__ = [
     "get_telemetry",
     "kv",
     "merge_snapshot",
+    "observe",
+    "record_stage",
+    "render_funnel",
     "set_telemetry",
     "span",
     "trace_from_report",

@@ -20,6 +20,16 @@ Noise handling:
   ``counter_rel_tol`` / ``gauge_rel_tol``; drift is reported and only
   fails the verdict when ``fail_on_drift`` is set (counter drift on a
   fixed seed usually means the experiment changed, not slowed).
+
+Beyond wall time, reports carrying a ``repro.data-quality/v1`` section
+are also compared as *datasets*: per-stage funnel **retention rates**
+(absolute tolerance ``retention_abs_tol``) and headline **quantiles**
+of every distribution digest (relative tolerance ``quantile_rel_tol``).
+Data drift fails the verdict by default — unlike counter drift, a
+shifted drop rate or error distribution on a fixed seed means the
+*input data* changed, which is exactly the silent failure this gate
+exists to catch.  ``fail_on_data_drift=False`` downgrades it to a
+report-only signal.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from .quality import QUALITY_GAUGE_PREFIX
 from .report import RunReport, _walk_span_dicts
 
 #: Schema identifier embedded in every serialised diff.
@@ -56,6 +67,12 @@ class DiffThresholds:
     gauge_rel_tol: float = 0.25
     #: when set, counter/gauge drift also fails the verdict.
     fail_on_drift: bool = False
+    #: absolute funnel-retention change above which a stage drifts.
+    retention_abs_tol: float = 0.05
+    #: relative headline-quantile change above which a digest drifts.
+    quantile_rel_tol: float = 0.25
+    #: data drift (funnel/quantile) fails the verdict — the data gate.
+    fail_on_data_drift: bool = True
 
 
 @dataclass
@@ -114,12 +131,68 @@ class MetricDrift:
 
 
 @dataclass
+class RetentionDrift:
+    """One funnel stage whose retention rate moved beyond tolerance."""
+
+    stage: str
+    unit: str
+    old_retention: Optional[float]
+    new_retention: Optional[float]
+    old_out: Optional[int]
+    new_out: Optional[int]
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.old_retention is None or self.new_retention is None:
+            return None
+        return self.new_retention - self.old_retention
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "unit": self.unit,
+            "old_retention": self.old_retention,
+            "new_retention": self.new_retention,
+            "old_out": self.old_out,
+            "new_out": self.new_out,
+            "delta": self.delta,
+        }
+
+
+@dataclass
+class QuantileDrift:
+    """One distribution quantile that moved beyond tolerance."""
+
+    name: str  # distribution name, e.g. "geo_error_km"
+    quantile: str  # "p50" | "p90" | "p99"
+    old: Optional[float]
+    new: Optional[float]
+
+    @property
+    def rel_change(self) -> Optional[float]:
+        if self.old is None or self.new is None or self.old == 0:
+            return None
+        return (self.new - self.old) / abs(self.old)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "quantile": self.quantile,
+            "old": self.old,
+            "new": self.new,
+            "rel_change": self.rel_change,
+        }
+
+
+@dataclass
 class ReportDiff:
     """The full comparison; ``verdict`` is the machine-readable gate."""
 
     thresholds: DiffThresholds
     spans: List[SpanDelta] = field(default_factory=list)
     drifts: List[MetricDrift] = field(default_factory=list)
+    retention_drifts: List[RetentionDrift] = field(default_factory=list)
+    quantile_drifts: List[QuantileDrift] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[SpanDelta]:
@@ -130,8 +203,20 @@ class ReportDiff:
         return [d for d in self.spans if d.status == STATUS_FASTER]
 
     @property
+    def data_drifts(self) -> List[Any]:
+        """Every data-quality drift (funnel retention + quantiles)."""
+        return list(self.retention_drifts) + list(self.quantile_drifts)
+
+    @property
+    def data_verdict(self) -> str:
+        """The data gate alone: ``"ok"`` or ``"data-drift"``."""
+        return "data-drift" if self.data_drifts else "ok"
+
+    @property
     def verdict(self) -> str:
         if self.regressions:
+            return "regression"
+        if self.thresholds.fail_on_data_drift and self.data_drifts:
             return "regression"
         if self.thresholds.fail_on_drift and self.drifts:
             return "regression"
@@ -141,16 +226,24 @@ class ReportDiff:
         return {
             "schema": DIFF_SCHEMA,
             "verdict": self.verdict,
+            "data_verdict": self.data_verdict,
             "thresholds": {
                 "max_ratio": self.thresholds.max_ratio,
                 "noise_floor_s": self.thresholds.noise_floor_s,
                 "counter_rel_tol": self.thresholds.counter_rel_tol,
                 "gauge_rel_tol": self.thresholds.gauge_rel_tol,
                 "fail_on_drift": self.thresholds.fail_on_drift,
+                "retention_abs_tol": self.thresholds.retention_abs_tol,
+                "quantile_rel_tol": self.thresholds.quantile_rel_tol,
+                "fail_on_data_drift": self.thresholds.fail_on_data_drift,
             },
             "regressions": [d.path for d in self.regressions],
             "spans": [d.to_dict() for d in self.spans],
             "drifts": [d.to_dict() for d in self.drifts],
+            "retention_drifts": [
+                d.to_dict() for d in self.retention_drifts
+            ],
+            "quantile_drifts": [d.to_dict() for d in self.quantile_drifts],
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -190,6 +283,34 @@ class ReportDiff:
             lines.append("structural changes:")
             for delta in structural:
                 lines.append(f"  {delta.status:<8} {delta.path}")
+        if self.retention_drifts:
+            lines.append("")
+            lines.append(
+                "funnel retention drift (|delta| over "
+                f"{self.thresholds.retention_abs_tol:g}):"
+            )
+            for rd in self.retention_drifts:
+                delta = rd.delta
+                delta_text = f"{delta:+.1%}" if delta is not None else "n/a"
+                lines.append(
+                    f"  {rd.stage:<36} {rd.unit:<7} "
+                    f"{_fmt_pct(rd.old_retention):>8} -> "
+                    f"{_fmt_pct(rd.new_retention):>8} ({delta_text})"
+                )
+        if self.quantile_drifts:
+            lines.append("")
+            lines.append(
+                "distribution quantile drift (relative change over "
+                f"{self.thresholds.quantile_rel_tol:g}):"
+            )
+            for qd in self.quantile_drifts:
+                rel = qd.rel_change
+                rel_text = f"{rel:+.1%}" if rel is not None else "n/a"
+                lines.append(
+                    f"  {qd.name + '.' + qd.quantile:<44} "
+                    f"{_fmt(qd.old):>12} -> {_fmt(qd.new):>12} "
+                    f"({rel_text})"
+                )
         if self.drifts:
             lines.append("")
             lines.append("metric drift:")
@@ -203,7 +324,7 @@ class ReportDiff:
                 )
         if len(lines) == 1:
             lines.append("no spans over the noise floor changed; "
-                         "no metric drift")
+                         "no metric or data drift")
         return "\n".join(lines)
 
 
@@ -231,6 +352,10 @@ def _fmt(value: Optional[float]) -> str:
     if float(value).is_integer():
         return f"{int(value):d}"
     return f"{value:.4g}"
+
+
+def _fmt_pct(value: Optional[float]) -> str:
+    return f"{value:.1%}" if value is not None else "-"
 
 
 def _flatten(report: RunReport) -> Dict[str, Tuple[float, int]]:
@@ -292,9 +417,105 @@ def diff_reports(
         )
     drifts = _metric_drift("counter", old.counters, new.counters,
                            limits.counter_rel_tol)
-    drifts += _metric_drift("gauge", old.gauges, new.gauges,
-                            limits.gauge_rel_tol)
-    return ReportDiff(thresholds=limits, spans=deltas, drifts=drifts)
+    # quality.* gauges are digest-derived; the quantile-drift comparison
+    # below judges them with its own tolerance, so they are excluded
+    # here rather than double-reported as plain gauge drift.
+    drifts += _metric_drift(
+        "gauge",
+        _without_quality_gauges(old.gauges),
+        _without_quality_gauges(new.gauges),
+        limits.gauge_rel_tol,
+    )
+    return ReportDiff(
+        thresholds=limits,
+        spans=deltas,
+        drifts=drifts,
+        retention_drifts=_retention_drift(old, new, limits),
+        quantile_drifts=_quantile_drift(old, new, limits),
+    )
+
+
+def _without_quality_gauges(gauges: Dict[str, float]) -> Dict[str, float]:
+    return {
+        name: value for name, value in gauges.items()
+        if not name.startswith(QUALITY_GAUGE_PREFIX)
+    }
+
+
+def _retention_drift(
+    old: RunReport,
+    new: RunReport,
+    limits: DiffThresholds,
+) -> List[RetentionDrift]:
+    """Per-stage funnel retention comparison (absolute tolerance).
+
+    A stage present in only one report is reported (its missing side is
+    ``None``) so the funnel's shape change is visible, and it drifts:
+    a stage appearing or vanishing is a dataset change.
+    """
+    old_stages = {s["stage"]: s for s in old.funnel()}
+    new_stages = {s["stage"]: s for s in new.funnel()}
+    if not old_stages and not new_stages:
+        return []
+    drifts: List[RetentionDrift] = []
+    for name in sorted(set(old_stages) | set(new_stages)):
+        old_stage = old_stages.get(name)
+        new_stage = new_stages.get(name)
+        unit = str((new_stage or old_stage or {}).get("unit", ""))
+        old_ret = (
+            float(old_stage["retention"]) if old_stage is not None else None
+        )
+        new_ret = (
+            float(new_stage["retention"]) if new_stage is not None else None
+        )
+        old_out = (
+            int(old_stage["records_out"]) if old_stage is not None else None
+        )
+        new_out = (
+            int(new_stage["records_out"]) if new_stage is not None else None
+        )
+        if old_ret is not None and new_ret is not None:
+            if abs(new_ret - old_ret) <= limits.retention_abs_tol:
+                continue
+        drifts.append(
+            RetentionDrift(name, unit, old_ret, new_ret, old_out, new_out)
+        )
+    return drifts
+
+
+def _quantile_drift(
+    old: RunReport,
+    new: RunReport,
+    limits: DiffThresholds,
+) -> List[QuantileDrift]:
+    """Headline-quantile comparison of every distribution digest.
+
+    Like :func:`_metric_drift`, a quantile moving off an exact zero is
+    reported (relative change is undefined there), and a distribution
+    present in only one report surfaces through its quantiles with the
+    missing side ``None``.
+    """
+    old_digests = old.quality_digests()
+    new_digests = new.quality_digests()
+    drifts: List[QuantileDrift] = []
+    for name in sorted(set(old_digests) | set(new_digests)):
+        old_q = dict(old_digests.get(name, {}).get("quantiles", {}))
+        new_q = dict(new_digests.get(name, {}).get("quantiles", {}))
+        for label in sorted(set(old_q) | set(new_q)):
+            old_value = old_q.get(label)
+            new_value = new_q.get(label)
+            if old_value is None or new_value is None:
+                drifts.append(QuantileDrift(name, label, old_value, new_value))
+                continue
+            if old_value == new_value:
+                continue
+            if old_value == 0:
+                drifts.append(QuantileDrift(name, label, old_value, new_value))
+                continue
+            rel = abs(new_value - old_value) / abs(old_value)
+            if rel > limits.quantile_rel_tol:
+                drifts.append(QuantileDrift(name, label, old_value, new_value))
+    return drifts
 
 
 def _metric_drift(

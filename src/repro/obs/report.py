@@ -15,10 +15,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Tuple, Union
 
+from .lineage import render_funnel
 from .telemetry import Telemetry
 
 #: Schema identifier embedded in every report.
 SCHEMA = "repro.run-report/v1"
+
+#: Schema identifier of the nested dataset-lineage/data-quality section.
+DATA_QUALITY_SCHEMA = "repro.data-quality/v1"
 
 
 def _walk_span_dicts(
@@ -38,6 +42,9 @@ class RunReport:
     spans: List[Dict[str, Any]] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
+    #: The ``repro.data-quality/v1`` section: dataset lineage (the
+    #: funnel) and distribution digests.  Empty for pre-lineage reports.
+    data_quality: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def from_telemetry(cls, telemetry: Telemetry, **meta: Any) -> "RunReport":
@@ -48,18 +55,36 @@ class RunReport:
             spans=snapshot["spans"],
             counters=snapshot["counters"],
             gauges=snapshot["gauges"],
+            data_quality={
+                "schema": DATA_QUALITY_SCHEMA,
+                "funnel": snapshot.get("funnel", []),
+                "quality": snapshot.get("quality", {}),
+            },
         )
+
+    # -- data-quality accessors ---------------------------------------
+
+    def funnel(self) -> List[Dict[str, Any]]:
+        """The funnel stages in recording order (empty if absent)."""
+        return list(self.data_quality.get("funnel", []))
+
+    def quality_digests(self) -> Dict[str, Dict[str, Any]]:
+        """The serialised quantile digests by distribution name."""
+        return dict(self.data_quality.get("quality", {}))
 
     # -- serialisation ------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        document = {
             "schema": SCHEMA,
             "meta": self.meta,
             "spans": self.spans,
             "counters": self.counters,
             "gauges": self.gauges,
         }
+        if self.data_quality:
+            document["data_quality"] = self.data_quality
+        return document
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -71,11 +96,22 @@ class RunReport:
                 f"not a run report (schema={data.get('schema')!r}, "
                 f"expected {SCHEMA!r})"
             )
+        data_quality = dict(data.get("data_quality", {}))
+        if (
+            data_quality
+            and data_quality.get("schema") != DATA_QUALITY_SCHEMA
+        ):
+            raise ValueError(
+                "unknown data-quality section "
+                f"(schema={data_quality.get('schema')!r}, expected "
+                f"{DATA_QUALITY_SCHEMA!r})"
+            )
         return cls(
             meta=dict(data.get("meta", {})),
             spans=list(data.get("spans", [])),
             counters=dict(data.get("counters", {})),
             gauges=dict(data.get("gauges", {})),
+            data_quality=data_quality,
         )
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -136,6 +172,10 @@ class RunReport:
                     f"{rank:>3}. {_fmt_seconds(node['total_s']):>9}"
                     f"  ×{node['count']:<6} {path}"
                 )
+        if self.funnel():
+            lines.append("")
+            lines.append("data funnel:")
+            lines.append(render_funnel(self.funnel(), indent="  "))
         if self.counters:
             lines.append("")
             lines.append("counters:")

@@ -31,7 +31,20 @@ from __future__ import annotations
 import math
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from .lineage import FunnelStage, ReasonLike
+from .quality import QuantileDigest
 
 
 class SpanNode:
@@ -123,6 +136,8 @@ class Telemetry:
         self._stack: List[SpanNode] = [self.root]
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
+        self.funnel: Dict[str, FunnelStage] = {}  # insertion = run order
+        self.quality: Dict[str, QuantileDigest] = {}
 
     @contextmanager
     def span(self, name: str) -> Iterator[SpanNode]:
@@ -144,6 +159,35 @@ class Telemetry:
         """Set the named gauge to ``value`` (last write wins)."""
         self.gauges[name] = float(value)
 
+    def funnel_record(
+        self,
+        name: str,
+        *,
+        unit: str,
+        records_in: int,
+        records_out: int,
+        drops: Optional[Mapping[ReasonLike, int]] = None,
+    ) -> None:
+        """Accumulate one funnel-stage observation (lineage layer).
+
+        Stages aggregate by name like spans do; each call must balance
+        (``in == out + sum(drops)``) or it raises immediately — see
+        :mod:`repro.obs.lineage`.
+        """
+        stage = self.funnel.get(name)
+        if stage is None:
+            stage = FunnelStage(name=name, unit=unit)
+            self.funnel[name] = stage
+        stage.record(records_in, records_out, drops)
+
+    def quality_observe(self, name: str, values: Iterable[float]) -> None:
+        """Stream values into the named data-quality quantile digest."""
+        digest = self.quality.get(name)
+        if digest is None:
+            digest = QuantileDigest()
+            self.quality[name] = digest
+        digest.observe_many(values)
+
     def top_spans(self, n: int = 10) -> List[Tuple[str, SpanNode]]:
         """The ``n`` span nodes with the largest total time, descending.
 
@@ -155,11 +199,25 @@ class Telemetry:
         return nodes[:n]
 
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-ready dump of the span tree, counters and gauges."""
+        """JSON-ready dump of spans, counters, gauges, funnel, quality.
+
+        Funnel stages are conservation-checked here (``to_dict``
+        raises on imbalance), and every digest's headline quantiles are
+        folded into the gauges as ``quality.*`` — derived values that
+        overwrite any stale copies merged in from worker snapshots.
+        """
+        gauges = dict(self.gauges)
+        for name, digest in self.quality.items():
+            gauges.update(digest.gauges(name))
         return {
             "spans": [child.to_dict() for child in self.root.children.values()],
             "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
+            "gauges": gauges,
+            "funnel": [stage.to_dict() for stage in self.funnel.values()],
+            "quality": {
+                name: digest.to_dict()
+                for name, digest in self.quality.items()
+            },
         }
 
     def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
@@ -183,6 +241,19 @@ class Telemetry:
             existing = self.gauges.get(name)
             merged = value if existing is None else max(existing, value)
             self.gauges[name] = float(merged)
+        for stage_dict in snapshot.get("funnel", ()):
+            stage = self.funnel.get(str(stage_dict.get("stage", "")))
+            if stage is None:
+                stage = FunnelStage.from_dict(stage_dict)
+                self.funnel[stage.name] = stage
+            else:
+                stage.merge(stage_dict)
+        for name, digest_dict in snapshot.get("quality", {}).items():
+            digest = self.quality.get(name)
+            if digest is None:
+                digest = QuantileDigest()
+                self.quality[name] = digest
+            digest.merge_dict(digest_dict)
 
 
 def _merge_span_dict(parent: SpanNode, data: Dict[str, Any]) -> None:
@@ -227,11 +298,23 @@ class NullTelemetry:
     def gauge(self, name: str, value: float) -> None:
         return None
 
+    def funnel_record(self, name: str, **observation: Any) -> None:
+        return None
+
+    def quality_observe(self, name: str, values: Iterable[float]) -> None:
+        return None
+
     def top_spans(self, n: int = 10) -> List[Tuple[str, SpanNode]]:
         return []
 
     def snapshot(self) -> Dict[str, Any]:
-        return {"spans": [], "counters": {}, "gauges": {}}
+        return {
+            "spans": [],
+            "counters": {},
+            "gauges": {},
+            "funnel": [],
+            "quality": {},
+        }
 
     def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
         return None

@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..geo.regions import RegionLevel
+from ..obs import quality
 from ..obs import telemetry as obs
 from .grouping import ASPeerGroup
 
@@ -66,6 +67,8 @@ def classify_group(
         name, share = _majority(values)
         if share > threshold:
             obs.count(f"pipeline.classified.{level.name.lower()}")
+            quality.observe("classification_containment", (share,))
             return ASClassification(level=level, region_name=name, containment=share)
     obs.count("pipeline.classified.global")
+    quality.observe("classification_containment", (1.0,))
     return ASClassification(level=RegionLevel.GLOBAL, region_name=None, containment=1.0)

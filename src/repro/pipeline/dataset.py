@@ -14,6 +14,7 @@ from ..crawl.crawler import PeerSample
 from ..geo.regions import RegionLevel
 from ..geodb.database import GeoDatabase
 from ..net.bgp import RoutingTable
+from ..obs import lineage
 from ..obs import telemetry as obs
 from .classify import ASClassification, classify_group
 from .filtering import (
@@ -143,6 +144,14 @@ def build_target_dataset(
                 ases[asn] = TargetAS(
                     asn=asn, group=group, classification=classification
                 )
+        # Classification keeps every AS; the lossless stage still goes
+        # on the funnel so the waterfall runs gap-free end to end.
+        lineage.record_stage(
+            "pipeline.classify",
+            unit="ases",
+            records_in=len(groups),
+            records_out=len(ases),
+        )
     stats = PipelineStats(
         crawled_peers=mapping_stats.input_peers,
         dropped_missing_record=mapping_stats.dropped_missing,

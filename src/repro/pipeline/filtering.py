@@ -19,7 +19,8 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from ..obs import telemetry as obs
+from ..obs import lineage
+from ..obs.lineage import DropReason
 from .grouping import ASPeerGroup
 from .mapping import MappedPeers
 
@@ -47,7 +48,16 @@ def filter_geo_error(
         raise ValueError("error threshold must be positive")
     keep = np.flatnonzero(mapped.error_km <= max_error_km)
     dropped = len(mapped) - keep.size
-    obs.count("pipeline.peers_dropped_geo_error", int(dropped))
+    lineage.record_stage(
+        "pipeline.filter_geo_error",
+        unit="peers",
+        records_in=len(mapped),
+        records_out=int(keep.size),
+        drops={DropReason.GEO_ERROR: int(dropped)},
+        legacy_counters={
+            DropReason.GEO_ERROR: "pipeline.peers_dropped_geo_error"
+        },
+    )
     return mapped.subset(keep), int(dropped)
 
 
@@ -58,7 +68,16 @@ def filter_min_peers(
     if min_peers < 1:
         raise ValueError("minimum peer count must be at least 1")
     kept = {asn: g for asn, g in groups.items() if len(g) >= min_peers}
-    obs.count("pipeline.ases_dropped_small", len(groups) - len(kept))
+    lineage.record_stage(
+        "pipeline.filter_min_peers",
+        unit="ases",
+        records_in=len(groups),
+        records_out=len(kept),
+        drops={DropReason.AS_TOO_SMALL: len(groups) - len(kept)},
+        legacy_counters={
+            DropReason.AS_TOO_SMALL: "pipeline.ases_dropped_small"
+        },
+    )
     return kept, len(groups) - len(kept)
 
 
@@ -75,5 +94,15 @@ def filter_error_percentile(
         for asn, g in groups.items()
         if g.error_percentile(percentile) <= max_km
     }
-    obs.count("pipeline.ases_dropped_error_percentile", len(groups) - len(kept))
+    lineage.record_stage(
+        "pipeline.filter_error_percentile",
+        unit="ases",
+        records_in=len(groups),
+        records_out=len(kept),
+        drops={DropReason.AS_ERROR_PERCENTILE: len(groups) - len(kept)},
+        legacy_counters={
+            DropReason.AS_ERROR_PERCENTILE:
+                "pipeline.ases_dropped_error_percentile"
+        },
+    )
     return kept, len(groups) - len(kept)

@@ -13,7 +13,9 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..net.bgp import RoutingTable
+from ..obs import lineage, quality
 from ..obs import telemetry as obs
+from ..obs.lineage import DropReason
 from .mapping import MappedPeers
 
 
@@ -102,6 +104,18 @@ def _group_by_as(
         dropped_unrouted=int(n - routed.sum()),
         as_count=len(groups),
     )
-    obs.count("pipeline.peers_dropped_unrouted", stats.dropped_unrouted)
+    lineage.record_stage(
+        "pipeline.grouping",
+        unit="peers",
+        records_in=stats.input_peers,
+        records_out=stats.grouped_peers,
+        drops={DropReason.UNROUTED: stats.dropped_unrouted},
+        legacy_counters={
+            DropReason.UNROUTED: "pipeline.peers_dropped_unrouted"
+        },
+    )
+    quality.observe(
+        "as_peer_count", (float(len(group)) for group in groups.values())
+    )
     obs.gauge("pipeline.ases_grouped", stats.as_count)
     return groups, stats

@@ -18,7 +18,9 @@ from ..crawl.crawler import PeerSample
 from ..geo.coords import haversine_km
 from ..geodb.database import GeoDatabase
 from ..geodb.records import GeoRecord
+from ..obs import lineage, quality
 from ..obs import telemetry as obs
+from ..obs.lineage import DropReason
 
 
 @dataclass
@@ -179,5 +181,16 @@ def _map_peers(
     )
     obs.count("pipeline.peers_in", stats.input_peers)
     obs.count("pipeline.peers_mapped", stats.mapped_peers)
-    obs.count("pipeline.peers_dropped_missing_record", stats.dropped_missing)
+    lineage.record_stage(
+        "pipeline.mapping",
+        unit="peers",
+        records_in=stats.input_peers,
+        records_out=stats.mapped_peers,
+        drops={DropReason.MISSING_RECORD: stats.dropped_missing},
+        legacy_counters={
+            DropReason.MISSING_RECORD:
+                "pipeline.peers_dropped_missing_record"
+        },
+    )
+    quality.observe("geo_error_km", mapped.error_km)
     return mapped, stats

@@ -122,6 +122,47 @@ class TestRender:
         assert "abc" in text
 
 
+class TestCliStatsHistory:
+    @pytest.fixture()
+    def history_path(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        history = RunHistory(path)
+        for index in range(5):
+            history.append_benchmark(
+                {"name": f"bench{index}", "wall_time_s": float(index)},
+                git_rev="abc", timestamp="2026-08-05T00:00:00+00:00",
+            )
+        return path
+
+    def test_limit_flag_caps_entries(self, history_path, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "history", "--path", str(history_path),
+                     "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bench4" in out and "bench3" in out
+        assert "bench2" not in out
+
+    def test_limit_takes_precedence_over_last(self, history_path, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "history", "--path", str(history_path),
+                     "--last", "5", "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "bench4" in out
+        assert "bench3" not in out
+
+    def test_json_format_emits_raw_entries(self, history_path, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "history", "--path", str(history_path),
+                     "--limit", "2", "--format", "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 2
+        assert all(e["schema"] == HISTORY_SCHEMA for e in entries)
+        assert entries[-1]["name"] == "bench4"
+
+
 def test_utc_timestamp_is_isoformat():
     stamp = utc_timestamp()
     assert "T" in stamp and stamp.endswith("+00:00")

@@ -1,0 +1,90 @@
+"""Structured logging configuration (repro.obs.logconfig)."""
+
+import logging
+
+import pytest
+
+from repro.obs.logconfig import (
+    DATE_FORMAT,
+    LEVELS,
+    LOG_FORMAT,
+    configure_logging,
+    get_logger,
+    kv,
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_root_logging():
+    root = logging.getLogger()
+    handlers = root.handlers[:]
+    level = root.level
+    yield
+    root.handlers[:] = handlers
+    root.setLevel(level)
+
+
+class TestConfigureLogging:
+    def test_level_names_resolve(self):
+        for name in LEVELS:
+            configure_logging(name)
+            expected = getattr(logging, name.upper())
+            assert logging.getLogger().level == expected
+
+    def test_level_names_are_case_insensitive(self):
+        configure_logging("DEBUG")
+        assert logging.getLogger().level == logging.DEBUG
+
+    def test_numeric_levels_accepted(self):
+        configure_logging(logging.ERROR)
+        assert logging.getLogger().level == logging.ERROR
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("loud")
+
+    def test_reconfiguring_replaces_handlers(self):
+        configure_logging("info")
+        configure_logging("error")
+        # force=True keeps exactly one root handler per reconfiguration.
+        assert len(logging.getLogger().handlers) == 1
+
+    def test_installed_handler_uses_structured_format(self):
+        configure_logging("warning")
+        [handler] = logging.getLogger().handlers
+        assert handler.formatter._fmt == LOG_FORMAT
+        assert handler.formatter.datefmt == DATE_FORMAT
+
+
+class TestGetLogger:
+    def test_prefixes_the_repro_namespace(self):
+        assert get_logger("experiments.scenario").name == (
+            "repro.experiments.scenario"
+        )
+
+    def test_existing_prefix_kept_as_is(self):
+        assert get_logger("repro.crawl").name == "repro.crawl"
+        assert get_logger("repro").name == "repro"
+
+    def test_loggers_nest_under_the_repro_root(self):
+        child = get_logger("pipeline.mapping")
+        assert child.parent.name.startswith("repro")
+
+
+class TestKv:
+    def test_renders_key_value_pairs(self):
+        assert kv(peers=5, stage="mapping") == "peers=5 stage=mapping"
+
+    def test_empty_call_renders_empty_string(self):
+        assert kv() == ""
+
+    def test_values_render_via_str(self):
+        assert kv(ratio=0.5, ok=True) == "ratio=0.5 ok=True"
+
+
+def test_log_lines_are_grepable(capsys):
+    configure_logging("info")
+    get_logger("obs.test").info("stage_done %s", kv(records_in=10, out=8))
+    captured = capsys.readouterr().err
+    assert "repro.obs.test" in captured
+    assert "stage_done records_in=10 out=8" in captured

@@ -12,6 +12,7 @@ import tracemalloc
 import pytest
 
 from repro.cli import main
+from repro.obs import lineage, quality
 from repro.obs import telemetry as obs
 from repro.obs.telemetry import _NULL_SPAN, NullTelemetry, _NullSpan
 
@@ -29,11 +30,16 @@ class TestNoPerCallState:
         registry = NullTelemetry()
         assert registry.count("pipeline.peers_in", 5) is None
         assert registry.gauge("pipeline.target_ases", 3.0) is None
+        assert registry.funnel_record(
+            "pipeline.mapping", unit="peers", records_in=3, records_out=3
+        ) is None
+        assert registry.quality_observe("geo_error_km", [1.0, 2.0]) is None
         registry.span("crawl.run")
         # No instance attributes appear, ever: nothing accumulates.
         assert vars(registry) == {}
         assert registry.snapshot() == {
-            "spans": [], "counters": {}, "gauges": {}
+            "spans": [], "counters": {}, "gauges": {},
+            "funnel": [], "quality": {},
         }
 
     def test_null_calls_allocate_no_lasting_memory(self):
@@ -58,14 +64,47 @@ class TestNoPerCallState:
             "10k calls"
         )
 
+    def test_null_lineage_and_quality_allocate_no_lasting_memory(self):
+        # The PR 5 lineage/quality helpers share the same budget: a
+        # disabled registry must neither digest values nor build stages.
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        try:
+            baseline, _ = tracemalloc.get_traced_memory()
+            for _ in range(10_000):
+                lineage.record_stage(
+                    "pipeline.filter_geo_error", unit="peers",
+                    records_in=10, records_out=9,
+                    drops={"geo_error": 1},
+                    legacy_counters={
+                        "geo_error": "pipeline.peers_dropped_geo_error"
+                    },
+                )
+                quality.observe("geo_error_km", (1.0, 2.0))
+            current, _ = tracemalloc.get_traced_memory()
+        finally:
+            if not was_tracing:
+                tracemalloc.stop()
+        assert current - baseline < 4096, (
+            f"null lineage/quality leaked {current - baseline} bytes "
+            "over 10k calls"
+        )
+
     def test_module_helpers_hit_the_null_registry(self):
         assert obs.get_telemetry() is obs.NULL
         with obs.span("anything.here"):
             pass
         obs.count("anything.counter")
         obs.gauge("anything.gauge", 1.0)
+        lineage.record_stage(
+            "anything.stage", unit="peers", records_in=2, records_out=1,
+            drops={"geo_error": 1},
+        )
+        quality.observe("anything.digest", [1.0, 2.0, 3.0])
         assert obs.NULL.snapshot() == {
-            "spans": [], "counters": {}, "gauges": {}
+            "spans": [], "counters": {}, "gauges": {},
+            "funnel": [], "quality": {},
         }
 
 

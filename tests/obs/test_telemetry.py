@@ -128,7 +128,10 @@ class TestNullMode:
         with null.span("anything"):
             null.count("c", 5)
             null.gauge("g", 1)
-        assert null.snapshot() == {"spans": [], "counters": {}, "gauges": {}}
+        assert null.snapshot() == {
+            "spans": [], "counters": {}, "gauges": {},
+            "funnel": [], "quality": {},
+        }
         assert null.top_spans() == []
 
     def test_null_span_is_shared_singleton(self):
