@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench examples experiments profile lint smoke \
-        smoke-baseline smoke-parallel history funnel clean
+        smoke-baseline smoke-parallel history funnel events clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -72,6 +72,13 @@ history:
 funnel:
 	$(PYTHON) -m repro.cli --metrics-out smoke-report.json table1 > /dev/null
 	$(PYTHON) -m repro.cli stats funnel smoke-report.json
+
+# Stream a live repro.events/v1 event log from an instrumented run,
+# then render + validate it (exits 1 on gaps, truncation or any other
+# schema violation).
+events:
+	$(PYTHON) -m repro.cli --events-out smoke-events.jsonl table1 > /dev/null
+	$(PYTHON) -m repro.cli stats events smoke-events.jsonl
 
 clean:
 	rm -rf .pytest_cache benchmarks/results .benchmarks

@@ -11,7 +11,10 @@ runs always line up.  PR 5 added the *lineage* contract: drop counts
 go through ``repro.obs.lineage.record_stage`` (with a declared
 :class:`~repro.obs.lineage.DropReason`) so every drop is subject to
 the funnel's conservation law — a raw ``obs.count("*dropped*")`` call
-site is a drop the data-quality gate cannot see.
+site is a drop the data-quality gate cannot see.  PR 6 added the
+*liveness* contract: a stage entry point that loops over records/jobs
+registers a :class:`~repro.obs.progress.ProgressTracker`, so a running
+stage is never a silent black box on the live event stream.
 """
 
 from __future__ import annotations
@@ -179,6 +182,70 @@ class SpanTaxonomyRule(Rule):
                     name_node,
                     f"span name {literal!r} is not of the form "
                     "'<layer>.<step>' (see docs/OBSERVABILITY.md)",
+                )
+
+
+def _has_loop(fn: ast.AST) -> bool:
+    """True if the function body contains a for/while loop (or a
+    comprehension, which is the same iteration in expression form)."""
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            return True
+    return False
+
+
+def _registers_tracker(fn: ast.AST) -> bool:
+    """True if the body calls ``tracker(...)``/``progress.tracker(...)``
+    or constructs a ``ProgressTracker`` directly."""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "tracker", "ProgressTracker"
+        ):
+            return True
+        if isinstance(func, ast.Name) and func.id in (
+            "tracker", "ProgressTracker"
+        ):
+            return True
+    return False
+
+
+@register
+class StageProgressRule(Rule):
+    """Stage entry points that loop over records/jobs must register a
+    ``ProgressTracker`` so the live event stream sees them advance."""
+
+    meta = RuleMeta(
+        id="REP404",
+        name="stage-progress",
+        severity=Severity.WARNING,
+        summary="looping stage entry point registers no ProgressTracker "
+        "(repro.obs.progress)",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(INSTRUMENTED_PACKAGES):
+            return
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not node.name.startswith(STAGE_PREFIXES):
+                continue
+            if not _has_loop(node):
+                continue
+            if not _registers_tracker(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"stage entry point {node.name}() loops without a "
+                    "ProgressTracker; register one with "
+                    "repro.obs.progress.tracker(stage, total, unit) so "
+                    "the live event stream sees it advance (see "
+                    "docs/OBSERVABILITY.md, 'Live progress & events')",
                 )
 
 

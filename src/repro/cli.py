@@ -12,6 +12,7 @@
     repro-eyeball stats diff OLD.json NEW.json [--max-ratio 1.5]
     repro-eyeball stats funnel REPORT.json [--format text|json]
     repro-eyeball stats history [--limit 10] [--name table1] [--format json]
+    repro-eyeball stats events EVENTS.jsonl [--format text|json]
     repro-eyeball lint     [PATH ...] [--format text|json] [--list-rules]
 
 Each subcommand prints the same rendered table/figure the benchmark
@@ -32,6 +33,12 @@ Global observability flags (see ``docs/OBSERVABILITY.md``):
 ``--memory``
     With telemetry enabled, additionally gauge per-span peak heap via
     ``tracemalloc`` (``memory.peak_kib.*``); a no-op otherwise.
+``--events-out PATH.jsonl``
+    Stream live ``repro.events/v1`` events (stage progress, heartbeats,
+    stall warnings) to PATH while the run executes — independent of the
+    post-hoc report sinks.  Validate with ``stats events``.
+``--progress``
+    Render live per-stage progress bars with rate/ETA on stderr.
 ``--version``
     Print the package version and exit.
 
@@ -52,6 +59,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import ExitStack
 from pathlib import Path
 from typing import List, Optional
 
@@ -76,6 +84,7 @@ from .experiments.scenario import (
 from .experiments.section5 import run_section5
 from .experiments.section6 import run_section6
 from .experiments.table1 import run_table1
+from .obs import events as obs_events
 from .obs import telemetry as obs
 from .obs.diff import DiffThresholds, diff_reports
 from .obs.history import RunHistory
@@ -350,7 +359,18 @@ def cmd_stats_diff(args) -> int:
         quantile_rel_tol=args.quantile_tolerance,
         fail_on_data_drift=not args.no_fail_on_data_drift,
     )
-    result = diff_reports(old, new, thresholds)
+    try:
+        result = diff_reports(old, new, thresholds)
+    except (KeyError, TypeError, ValueError) as exc:
+        # A report missing an expected section (e.g. written by an
+        # older version) must name the problem, not traceback.
+        print(
+            f"error: cannot diff reports: {exc!r} — one report may "
+            "predate the current repro.run-report/v1 sections; "
+            "regenerate it with --metrics-out on this version",
+            file=sys.stderr,
+        )
+        return 2
     if args.format == "json":
         print(result.to_json())
     else:
@@ -379,6 +399,14 @@ def cmd_stats_funnel(args) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: cannot load run report: {exc}", file=sys.stderr)
         return 2
+    if not report.data_quality:
+        print(
+            f"error: {args.report} has no {DATA_QUALITY_SCHEMA} section "
+            "(written by an older version?); regenerate it with "
+            "--metrics-out on this version",
+            file=sys.stderr,
+        )
+        return 2
     stages = report.funnel()
     violations: List[str] = []
     for raw in stages:
@@ -386,6 +414,8 @@ def cmd_stats_funnel(args) -> int:
             FunnelStage.from_dict(raw).check_conservation()
         except FunnelConservationError as exc:
             violations.append(str(exc))
+        except (KeyError, TypeError, ValueError) as exc:
+            violations.append(f"malformed funnel stage: {exc!r}")
     if args.format == "json":
         print(json.dumps(
             {
@@ -398,14 +428,80 @@ def cmd_stats_funnel(args) -> int:
             indent=2,
             sort_keys=True,
         ))
-    elif not stages:
-        print("(report carries no data-quality funnel; re-run with "
-              "--metrics-out on this version)")
     else:
         print(render_funnel(stages))
     for violation in violations:
         print(f"funnel conservation VIOLATED: {violation}", file=sys.stderr)
     return 1 if violations else 0
+
+
+def cmd_stats_events(args) -> int:
+    """Render and validate a stored ``repro.events/v1`` stream.
+
+    Exit 0 on a schema-valid stream, 1 on sequence gaps, truncation or
+    any other schema violation, 2 when the file cannot be read.
+    """
+    try:
+        text = Path(args.stream).read_text()
+    except OSError as exc:
+        print(f"error: cannot read event stream: {exc}", file=sys.stderr)
+        return 2
+    parsed, problems = obs_events.parse_events(text)
+    problems = problems + obs_events.validate_events(parsed)
+    if args.format == "json":
+        summary = obs_events.summarize_events(parsed)
+        summary["valid"] = not problems
+        summary["problems"] = problems
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(obs_events.render_events(parsed))
+    for problem in problems:
+        print(f"event stream INVALID: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+class _ProgressRenderer:
+    """Stderr listener for ``--progress``: per-stage bars, rate, ETA."""
+
+    BAR_WIDTH = 24
+
+    def __init__(self, out=None) -> None:
+        self._out = out if out is not None else sys.stderr
+
+    def __call__(self, event) -> None:
+        type_ = event.get("type")
+        if type_ == "progress":
+            self._render_bar(event)
+        elif type_ == "stall_warning":
+            print(
+                f"STALL: {event.get('source')} chunk {event.get('chunk')} "
+                f"at {event.get('duration_s')}s "
+                f"(threshold {event.get('threshold_s')}s)",
+                file=self._out,
+            )
+        elif type_ == "stage_end":
+            print(
+                f"[{event.get('stage')}] done: {event.get('done')} "
+                f"in {event.get('duration_s')}s",
+                file=self._out,
+            )
+
+    def _render_bar(self, event) -> None:
+        done = event.get("done") or 0
+        total = event.get("total") or 0
+        fraction = min(done / total, 1.0) if total > 0 else 0.0
+        filled = int(fraction * self.BAR_WIDTH)
+        bar = "#" * filled + "-" * (self.BAR_WIDTH - filled)
+        rate = event.get("rate_per_s")
+        eta = event.get("eta_s")
+        tail = f"  {rate:.1f}/s" if isinstance(rate, (int, float)) else ""
+        if isinstance(eta, (int, float)):
+            tail += f"  eta {eta:.1f}s"
+        print(
+            f"[{event.get('stage')}] |{bar}| "
+            f"{done}/{total} {event.get('unit') or ''}{tail}",
+            file=self._out,
+        )
 
 
 def cmd_stats_history(args) -> int:
@@ -461,6 +557,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="gauge per-span peak heap via tracemalloc "
              "(memory.peak_kib.*); no-op unless telemetry is enabled",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH.jsonl",
+        default=None,
+        help="stream live repro.events/v1 JSONL events (progress, "
+             "heartbeats, stall warnings) to PATH while the run "
+             "executes; validate with 'stats events'",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live per-stage progress bars with rate/ETA on "
+             "stderr",
     )
     parser.add_argument(
         "--workers",
@@ -656,6 +766,21 @@ def build_parser() -> argparse.ArgumentParser:
              "raw repro.run-history/v1 entries",
     )
     history.set_defaults(handler=cmd_stats_history)
+    events = stats_sub.add_parser(
+        "events",
+        help="render and validate a stored repro.events/v1 stream; "
+             "exit 1 on sequence gaps or schema violations",
+    )
+    events.add_argument(
+        "stream", metavar="EVENTS.jsonl", help="event stream to inspect"
+    )
+    events.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="summary output format (default: text)",
+    )
+    events.set_defaults(handler=cmd_stats_events)
     lint = subparsers.add_parser(
         "lint",
         help="run reprolint, the repo's AST-based static analyser",
@@ -714,21 +839,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not 1 <= args.workers <= MAX_WORKERS:
         parser.error(f"--workers must be in [1, {MAX_WORKERS}]")
     configure_logging(args.log_level)
-    if args.metrics_out is None and args.trace_out is None:
-        # No telemetry sink requested; --memory alone is a documented
-        # no-op (the null registry stays installed, tracemalloc never
-        # starts) — but say so, because a silent no-op reads as a bug.
-        if args.memory:
-            print(
-                "warning: --memory does nothing without a telemetry "
-                "sink; add --metrics-out PATH or --trace-out PATH",
-                file=sys.stderr,
-            )
+    telemetry_on = args.metrics_out is not None or args.trace_out is not None
+    events_on = args.events_out is not None or args.progress
+    if args.memory and not telemetry_on:
+        # --memory alone is a documented no-op (the null registry stays
+        # installed, tracemalloc never starts) — but say so, because a
+        # silent no-op reads as a bug.
+        print(
+            "warning: --memory does nothing without a telemetry "
+            "sink; add --metrics-out PATH or --trace-out PATH",
+            file=sys.stderr,
+        )
+    if not telemetry_on and not events_on:
         return args.handler(args)
-    enable = capture_memory if args.memory else obs.capture
-    with enable() as telemetry:
-        with obs.span(f"cli.{args.command}"):
+    stream = None
+    telemetry = None
+    try:
+        with ExitStack() as stack:
+            if events_on:
+                # The event stream is independent of the report sinks:
+                # --events-out/--progress alone still get live events
+                # (and an in-memory tail for the trace exporter).
+                listeners = (_ProgressRenderer(),) if args.progress else ()
+                stream = stack.enter_context(
+                    obs_events.stream_events(
+                        args.events_out, listeners=listeners
+                    )
+                )
+            if telemetry_on:
+                enable = capture_memory if args.memory else obs.capture
+                telemetry = stack.enter_context(enable())
+                stack.enter_context(obs.span(f"cli.{args.command}"))
             status = args.handler(args)
+    except OSError as exc:
+        print(
+            f"error: cannot write observability output: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.events_out is not None:
+        print(f"event stream written to {args.events_out}", file=sys.stderr)
+    if telemetry is None:
+        return status
     report = RunReport.from_telemetry(
         telemetry,
         command=args.command,
@@ -743,7 +895,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             path = report.write(args.metrics_out)
             print(f"run report written to {path}", file=sys.stderr)
         if args.trace_out is not None:
-            path = write_trace(report, args.trace_out)
+            path = write_trace(
+                report,
+                args.trace_out,
+                events=stream.events if stream is not None else None,
+            )
             print(f"chrome trace written to {path}", file=sys.stderr)
     except OSError as exc:
         print(

@@ -20,6 +20,7 @@ from ..net.ecosystem import ASEcosystem
 from ..obs import lineage
 from ..obs import telemetry as obs
 from ..obs.lineage import DropReason
+from ..obs.progress import tracker
 from .apps import P2PApp, default_apps
 from .crawler import PeerSample
 from .population import UserPopulation
@@ -134,29 +135,33 @@ def _run_campaign(
 
     monthly: List[PeerSample] = []
     union_membership = np.zeros((n_users, len(apps)), dtype=bool)
-    for _month in range(config.months):
-        observed = adoption & (
-            rng.random((n_users, len(apps))) < config.monthly_observation
-        )
-        union_membership |= observed
-        seen = observed.any(axis=1)
-        index = np.flatnonzero(seen)
-        monthly.append(
-            PeerSample(
-                population=population,
-                app_names=tuple(app.name for app in apps),
-                user_index=index,
-                membership=observed[index],
+    with tracker(
+        "crawl.campaign", total=config.months, unit="months"
+    ) as progress:
+        for _month in range(config.months):
+            observed = adoption & (
+                rng.random((n_users, len(apps))) < config.monthly_observation
             )
-        )
-        # Churn between months, per app and AS (stationary rates).
-        for column in range(len(apps)):
-            for asn in asns:
-                rate = rates[(column, int(asn))]
-                mask = user_asn == asn
-                adoption[mask, column] = _evolve_adoption(
-                    adoption[mask, column], rate, config.churn, rng
+            union_membership |= observed
+            seen = observed.any(axis=1)
+            index = np.flatnonzero(seen)
+            monthly.append(
+                PeerSample(
+                    population=population,
+                    app_names=tuple(app.name for app in apps),
+                    user_index=index,
+                    membership=observed[index],
                 )
+            )
+            # Churn between months, per app and AS (stationary rates).
+            for column in range(len(apps)):
+                for asn in asns:
+                    rate = rates[(column, int(asn))]
+                    mask = user_asn == asn
+                    adoption[mask, column] = _evolve_adoption(
+                        adoption[mask, column], rate, config.churn, rng
+                    )
+            progress.advance()
 
     union_seen = union_membership.any(axis=1)
     union_index = np.flatnonzero(union_seen)

@@ -19,6 +19,7 @@ from ..net.ecosystem import ASEcosystem
 from ..obs import lineage
 from ..obs import telemetry as obs
 from ..obs.lineage import DropReason
+from ..obs.progress import tracker
 from .apps import P2PApp, default_apps
 from .population import UserPopulation
 
@@ -104,20 +105,26 @@ def run_crawl(
         bias_multiplier = bias.per_user(population) if bias is not None else None
 
         asns = np.unique(user_asn)
-        for app_column, app in enumerate(apps):
-            draws = rng.random(n_users)
-            for asn in asns:
-                node = ecosystem.as_nodes[int(asn)]
-                rate = app.rate_for_as(int(asn), node.continent_code, config.seed)
-                if rate <= 0.0:
-                    continue
-                mask = user_asn == asn
-                if bias_multiplier is None:
-                    membership[mask, app_column] = draws[mask] < rate
-                else:
-                    membership[mask, app_column] = draws[mask] < np.minimum(
-                        rate * bias_multiplier[mask], 1.0
+        with tracker(
+            "crawl.run", total=len(apps) * int(asns.size), unit="as-apps"
+        ) as progress:
+            for app_column, app in enumerate(apps):
+                draws = rng.random(n_users)
+                for asn in asns:
+                    progress.advance()
+                    node = ecosystem.as_nodes[int(asn)]
+                    rate = app.rate_for_as(
+                        int(asn), node.continent_code, config.seed
                     )
+                    if rate <= 0.0:
+                        continue
+                    mask = user_asn == asn
+                    if bias_multiplier is None:
+                        membership[mask, app_column] = draws[mask] < rate
+                    else:
+                        membership[mask, app_column] = draws[mask] < np.minimum(
+                            rate * bias_multiplier[mask], 1.0
+                        )
 
         seen = membership.any(axis=1)
         user_index = np.flatnonzero(seen)

@@ -25,6 +25,7 @@ from ..net.ecosystem import ASEcosystem
 from ..obs import lineage
 from ..obs import telemetry as obs
 from ..obs.lineage import DropReason
+from ..obs.progress import tracker
 from .apps import P2PApp, default_apps
 from .crawler import PeerSample
 from .population import UserPopulation
@@ -166,26 +167,31 @@ def _run_overlay_crawl(
     membership = np.zeros((n_users, len(apps)), dtype=bool)
 
     asns = np.unique(user_asn)
-    for column, app in enumerate(apps):
-        draws = rng.random(n_users)
-        adoption = np.zeros(n_users, dtype=bool)
-        for asn in asns:
-            node = ecosystem.as_nodes[int(asn)]
-            rate = app.adoption_rate_for_as(
-                int(asn), node.continent_code, config.seed
-            )
-            if rate <= 0.0:
+    with tracker(
+        "crawl.overlay", total=len(apps), unit="apps"
+    ) as progress:
+        for column, app in enumerate(apps):
+            draws = rng.random(n_users)
+            adoption = np.zeros(n_users, dtype=bool)
+            for asn in asns:
+                node = ecosystem.as_nodes[int(asn)]
+                rate = app.adoption_rate_for_as(
+                    int(asn), node.continent_code, config.seed
+                )
+                if rate <= 0.0:
+                    continue
+                mask = user_asn == asn
+                adoption[mask] = draws[mask] < rate
+            adopters = np.flatnonzero(adoption)
+            if adopters.size == 0:
+                progress.advance()
                 continue
-            mask = user_asn == asn
-            adoption[mask] = draws[mask] < rate
-        adopters = np.flatnonzero(adoption)
-        if adopters.size == 0:
-            continue
-        neighbours = _build_overlay(
-            adopters, user_asn[adopters], config, rng
-        )
-        observed_local = _crawl_overlay(neighbours, config, rng)
-        membership[adopters[observed_local], column] = True
+            neighbours = _build_overlay(
+                adopters, user_asn[adopters], config, rng
+            )
+            observed_local = _crawl_overlay(neighbours, config, rng)
+            membership[adopters[observed_local], column] = True
+            progress.advance()
 
     seen = membership.any(axis=1)
     index = np.flatnonzero(seen)

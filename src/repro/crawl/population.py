@@ -28,6 +28,7 @@ from ..net.asn import ASNode
 from ..net.ecosystem import ASEcosystem
 from ..net.ip import MAX_IPV4, Prefix
 from ..obs import telemetry as obs
+from ..obs.progress import tracker
 
 
 @dataclass(frozen=True)
@@ -173,7 +174,13 @@ def _generate_population(
     ip_chunks: List[np.ndarray] = []
     block_chunks: List[np.ndarray] = []
 
+    progress = tracker(
+        "crawl.generate_population",
+        total=len(ecosystem.as_nodes),
+        unit="ases",
+    )
     for asn in sorted(ecosystem.as_nodes):
+        progress.advance()
         node: ASNode = ecosystem.as_nodes[asn]
         if node.user_count <= 0:
             continue
@@ -212,6 +219,7 @@ def _generate_population(
                     block_chunks.append(np.full(take, block_index, dtype=np.int64))
                     remaining -= take
 
+    progress.finish()
     if ip_chunks:
         user_ips = np.concatenate(ip_chunks)
         user_block = np.concatenate(block_chunks)

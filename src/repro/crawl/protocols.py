@@ -30,6 +30,7 @@ from ..net.ecosystem import ASEcosystem
 from ..obs import lineage
 from ..obs import telemetry as obs
 from ..obs.lineage import DropReason
+from ..obs.progress import tracker
 from .apps import P2PApp, default_apps
 from .crawler import PeerSample
 from .population import UserPopulation
@@ -238,22 +239,26 @@ def _run_protocol_crawl(
     asns = np.unique(user_asn)
     membership = np.zeros((n_users, len(apps)), dtype=bool)
 
-    for column, app in enumerate(apps):
-        draws = rng.random(n_users)
-        adoption = np.zeros(n_users, dtype=bool)
-        for asn in asns:
-            node = ecosystem.as_nodes[int(asn)]
-            rate = app.adoption_rate_for_as(
-                int(asn), node.continent_code, config.seed
-            )
-            if rate <= 0.0:
-                continue
-            mask = user_asn == asn
-            adoption[mask] = draws[mask] < rate
-        adopters = np.flatnonzero(adoption)
-        protocol = config.protocol_for(app.name)
-        observed_local = protocol.observe(adopters.size, rng)
-        membership[adopters[observed_local], column] = True
+    with tracker(
+        "crawl.protocol", total=len(apps), unit="apps"
+    ) as progress:
+        for column, app in enumerate(apps):
+            draws = rng.random(n_users)
+            adoption = np.zeros(n_users, dtype=bool)
+            for asn in asns:
+                node = ecosystem.as_nodes[int(asn)]
+                rate = app.adoption_rate_for_as(
+                    int(asn), node.continent_code, config.seed
+                )
+                if rate <= 0.0:
+                    continue
+                mask = user_asn == asn
+                adoption[mask] = draws[mask] < rate
+            adopters = np.flatnonzero(adoption)
+            protocol = config.protocol_for(app.name)
+            observed_local = protocol.observe(adopters.size, rng)
+            membership[adopters[observed_local], column] = True
+            progress.advance()
 
     seen = membership.any(axis=1)
     index = np.flatnonzero(seen)

@@ -20,6 +20,14 @@ Zero-dependency pieces, layered in two tiers.  Capture:
 ``repro.obs.quality``
     :class:`~repro.obs.quality.QuantileDigest` — fixed-size streaming
     quantile sketches of data-quality distributions.
+``repro.obs.events``
+    The live ``repro.events/v1`` stream — append-only JSONL of
+    ``stage_start``/``stage_end``/``progress``/``heartbeat``/
+    ``stall_warning`` events with monotonic sequence numbers.
+``repro.obs.progress``
+    :class:`~repro.obs.progress.ProgressTracker` (rate/ETA per stage)
+    and :class:`~repro.obs.progress.StallWatchdog` (chunk-latency
+    stall detection) feeding the event stream.
 
 And the longitudinal tier built on run reports:
 
@@ -45,6 +53,16 @@ from .diff import (
     SpanDelta,
     diff_reports,
 )
+from .events import (
+    EVENTS_SCHEMA,
+    EventStream,
+    load_events,
+    parse_events,
+    render_events,
+    stream_events,
+    summarize_events,
+    validate_events,
+)
 from .history import HISTORY_SCHEMA, HistoryEntry, RunHistory, utc_timestamp
 from .lineage import (
     DropReason,
@@ -55,6 +73,13 @@ from .lineage import (
 )
 from .logconfig import configure_logging, get_logger, kv
 from .memory import MEMORY_GAUGE_PREFIX, MemoryTelemetry, capture_memory
+from .progress import (
+    NULL_TRACKER,
+    NullProgressTracker,
+    ProgressTracker,
+    StallWatchdog,
+    tracker,
+)
 from .quality import QUALITY_GAUGE_PREFIX, QuantileDigest, observe
 from .report import DATA_QUALITY_SCHEMA, SCHEMA, RunReport
 from .telemetry import (
@@ -76,6 +101,8 @@ __all__ = [
     "DATA_QUALITY_SCHEMA",
     "DiffThresholds",
     "DropReason",
+    "EVENTS_SCHEMA",
+    "EventStream",
     "FunnelConservationError",
     "FunnelStage",
     "HISTORY_SCHEMA",
@@ -84,7 +111,11 @@ __all__ = [
     "MemoryTelemetry",
     "MetricDrift",
     "NULL",
+    "NULL_TRACKER",
+    "NullProgressTracker",
     "NullTelemetry",
+    "ProgressTracker",
+    "StallWatchdog",
     "QUALITY_GAUGE_PREFIX",
     "QuantileDigest",
     "QuantileDrift",
@@ -105,13 +136,20 @@ __all__ = [
     "get_logger",
     "get_telemetry",
     "kv",
+    "load_events",
     "merge_snapshot",
     "observe",
+    "parse_events",
     "record_stage",
+    "render_events",
     "render_funnel",
     "set_telemetry",
     "span",
+    "stream_events",
+    "summarize_events",
     "trace_from_report",
+    "tracker",
+    "validate_events",
     "utc_timestamp",
     "validate_trace",
     "write_trace",

@@ -1,0 +1,313 @@
+"""Progress tracking and the stall watchdog.
+
+Stages register with a known total (records, chunks or jobs) and get a
+:class:`ProgressTracker`: rate and ETA estimation, throttled
+``progress`` events on the live stream (:mod:`repro.obs.events`), a
+``stage_start``/``stage_end`` bracket, and a final
+``progress.<stage>.total`` gauge on the telemetry registry.  Typical
+usage::
+
+    from repro.obs import progress
+
+    with progress.tracker("pipeline.mapping", total=n, unit="peers") as p:
+        for record in records:
+            ...
+            p.advance()
+
+Progress is **off by default**: :func:`tracker` returns the shared
+:data:`NULL_TRACKER` singleton when neither an event stream nor a
+telemetry registry is active, so instrumented loops pay one no-op
+method call per step and allocate nothing (the null-overhead guard in
+``tests/obs/test_null_overhead.py`` pins this).
+
+The :class:`StallWatchdog` is the liveness half: the driver marks
+chunks started/finished and the watchdog raises a ``stall_warning``
+event plus an ``exec.stalls`` counter when a chunk's duration exceeds
+``k×`` the rolling median of completed chunk durations — the signal a
+paper-scale run needs to distinguish "slow but alive" from "wedged".
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from statistics import median
+from typing import Any, Callable, Deque, Dict, Optional
+
+from . import events
+from .telemetry import get_telemetry
+
+#: Gauge-name prefix of the terminal per-stage totals.
+PROGRESS_GAUGE_PREFIX = "progress."
+
+#: Default seconds between throttled ``progress`` events.
+DEFAULT_THROTTLE_S = 0.5
+
+
+class ProgressTracker:
+    """Rate/ETA accounting for one stage with a known total.
+
+    Emits ``stage_start`` at construction, throttled ``progress``
+    events while :meth:`advance`/:meth:`update` move the needle, and —
+    always — a terminal ``progress`` event, a ``stage_end`` event and
+    the ``progress.<stage>.total`` gauge from :meth:`finish` (or
+    context-manager exit).  ``clock`` must be monotonic; it is used
+    only for rate/ETA/throttling, never for event timestamps (the
+    stream owns those).
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        total: int,
+        unit: str = "records",
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        throttle_s: float = DEFAULT_THROTTLE_S,
+    ) -> None:
+        if total < 0:
+            raise ValueError("total must be non-negative")
+        self.stage = stage
+        self.total = int(total)
+        self.unit = unit
+        self.throttle_s = throttle_s
+        self._clock = clock
+        self._t0 = clock()
+        self._done = 0
+        self._finished = False
+        # Cheap pre-filter: only consult the clock roughly every 1% of
+        # the total, so per-record advance() stays one comparison.
+        self._step = max(1, self.total // 100)
+        self._next_check = self._step
+        self._last_emit_t = self._t0
+        self._last_emit_done: Optional[int] = None
+        events.emit(
+            "stage_start", stage=stage, total=self.total, unit=unit
+        )
+
+    # -- accounting ---------------------------------------------------
+
+    @property
+    def done(self) -> int:
+        return self._done
+
+    def elapsed_s(self) -> float:
+        return max(self._clock() - self._t0, 0.0)
+
+    def rate_per_s(self) -> float:
+        """Processed units per second so far (0 before any time passes)."""
+        elapsed = self.elapsed_s()
+        return self._done / elapsed if elapsed > 0 else 0.0
+
+    def eta_s(self) -> Optional[float]:
+        """Estimated seconds to completion (``None`` when unknowable)."""
+        rate = self.rate_per_s()
+        if rate <= 0.0:
+            return None
+        return max(self.total - self._done, 0) / rate
+
+    def advance(self, n: int = 1) -> None:
+        """Record ``n`` more units done; may emit a throttled event."""
+        self._done += n
+        if self._done < self._next_check and self._done < self.total:
+            return
+        self._next_check = self._done + self._step
+        now = self._clock()
+        if now - self._last_emit_t >= self.throttle_s or (
+            self._done >= self.total
+        ):
+            self._emit_progress(now)
+
+    def update(self, done: int) -> None:
+        """Set the absolute ``done`` count (monotone callers only)."""
+        self.advance(done - self._done)
+
+    def finish(self) -> None:
+        """Close the stage: terminal progress, ``stage_end``, gauge.
+
+        Idempotent; the context manager calls it on exit.  The terminal
+        ``progress`` event is emitted even if nothing advanced, so
+        every registered stage is guaranteed one.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        if self._last_emit_done != self._done:
+            self._emit_progress(self._clock())
+        events.emit(
+            "stage_end",
+            stage=self.stage,
+            done=self._done,
+            duration_s=round(self.elapsed_s(), 6),
+        )
+        get_telemetry().gauge(
+            f"{PROGRESS_GAUGE_PREFIX}{self.stage}.total", self._done
+        )
+
+    # -- plumbing -----------------------------------------------------
+
+    def _emit_progress(self, now: float) -> None:
+        self._last_emit_t = now
+        self._last_emit_done = self._done
+        eta = self.eta_s()
+        events.emit(
+            "progress",
+            stage=self.stage,
+            done=self._done,
+            total=self.total,
+            unit=self.unit,
+            rate_per_s=round(self.rate_per_s(), 3),
+            eta_s=None if eta is None else round(eta, 3),
+        )
+
+    def __enter__(self) -> "ProgressTracker":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.finish()
+        return False
+
+
+class NullProgressTracker:
+    """The disabled tracker: every operation is a cheap no-op."""
+
+    __slots__ = ()
+
+    stage = ""
+    total = 0
+    unit = ""
+    done = 0
+
+    def advance(self, n: int = 1) -> None:
+        return None
+
+    def update(self, done: int) -> None:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+    def elapsed_s(self) -> float:
+        return 0.0
+
+    def rate_per_s(self) -> float:
+        return 0.0
+
+    def eta_s(self) -> Optional[float]:
+        return None
+
+    def __enter__(self) -> "NullProgressTracker":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+#: The shared no-op tracker handed out while progress is disabled.
+NULL_TRACKER = NullProgressTracker()
+
+
+def tracker(
+    stage: str,
+    total: int,
+    unit: str = "records",
+    *,
+    clock: Optional[Callable[[], float]] = None,
+    throttle_s: float = DEFAULT_THROTTLE_S,
+) -> Any:
+    """A tracker for ``stage``, or :data:`NULL_TRACKER` when disabled.
+
+    Progress is live when *either* an event stream is installed (the
+    events go there) or telemetry is enabled (the terminal gauge still
+    lands in the report).  ``clock`` defaults to the stream's clock so
+    ETA math and event timestamps share a timebase.
+    """
+    stream = events.get_stream()
+    if stream is None and not get_telemetry().enabled:
+        return NULL_TRACKER
+    if clock is None:
+        clock = stream.clock if stream is not None else time.perf_counter
+    return ProgressTracker(
+        stage, total, unit, clock=clock, throttle_s=throttle_s
+    )
+
+
+class StallWatchdog:
+    """Driver-side chunk-stall detection over a rolling median.
+
+    The driver calls :meth:`started` when it dispatches a chunk and
+    :meth:`finished` when the chunk's result is collected.  A finished
+    chunk whose duration exceeds ``max(k × rolling-median, floor_s)``
+    — judged against the median of previously *completed* chunks, once
+    at least ``min_samples`` have completed — raises a
+    ``stall_warning`` event on the live stream and bumps the
+    ``exec.stalls`` counter on the active telemetry registry.
+
+    The clock is injected (deterministic tests script it); all calls
+    happen in the driver process, so call order — every ``started``
+    and ``finished`` — is deterministic under the engine's ordered
+    merge.
+    """
+
+    def __init__(
+        self,
+        *,
+        k: float = 4.0,
+        min_samples: int = 3,
+        floor_s: float = 0.0,
+        window: int = 64,
+        source: str = "exec",
+        counter: str = "exec.stalls",
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if k <= 1.0:
+            raise ValueError("k must exceed 1.0")
+        if min_samples < 1:
+            raise ValueError("min_samples must be positive")
+        self.k = k
+        self.min_samples = min_samples
+        self.floor_s = floor_s
+        self.source = source
+        self.counter = counter
+        self._clock = clock
+        self._starts: Dict[Any, float] = {}
+        self._durations: Deque[float] = deque(maxlen=window)
+        self.stalls = 0
+
+    def started(self, chunk_id: Any) -> None:
+        """Mark ``chunk_id`` dispatched now."""
+        self._starts[chunk_id] = self._clock()
+
+    def threshold_s(self) -> Optional[float]:
+        """The current stall threshold (``None`` before enough data)."""
+        if len(self._durations) < self.min_samples:
+            return None
+        return max(self.k * median(self._durations), self.floor_s)
+
+    def finished(self, chunk_id: Any, jobs: Optional[int] = None) -> bool:
+        """Mark ``chunk_id`` complete; returns whether it stalled.
+
+        The chunk is judged against the durations recorded *before*
+        it, then added to the rolling window — so one slow chunk
+        cannot raise the median that judges it.
+        """
+        start = self._starts.pop(chunk_id, None)
+        if start is None:
+            raise KeyError(f"chunk {chunk_id!r} was never started")
+        duration = max(self._clock() - start, 0.0)
+        threshold = self.threshold_s()
+        stalled = threshold is not None and duration > threshold
+        if stalled:
+            self.stalls += 1
+            get_telemetry().count(self.counter)
+            events.emit(
+                "stall_warning",
+                source=self.source,
+                chunk=chunk_id,
+                duration_s=round(duration, 6),
+                threshold_s=round(threshold, 6),
+                median_s=round(median(self._durations), 6),
+                jobs=jobs,
+            )
+        self._durations.append(duration)
+        return stalled

@@ -43,6 +43,7 @@ from typing import (
     Tuple,
 )
 
+from . import events as _events
 from .lineage import FunnelStage, ReasonLike
 from .quality import QuantileDigest
 
@@ -231,7 +232,17 @@ class Telemetry:
         the only commutative reduction that makes sense for level-style
         gauges (peaks, sizes) and keeps parallel reports independent of
         worker completion order.
+
+        Each merged snapshot also piggybacks a ``heartbeat`` event on
+        the live stream (:mod:`repro.obs.events`): a worker result
+        arriving home *is* the liveness signal, so parallel runs get
+        heartbeats for free without any cross-process channel.
         """
+        _events.heartbeat(
+            "exec.worker",
+            spans=len(snapshot.get("spans", ())),
+            counters=len(snapshot.get("counters", {})),
+        )
         parent = self._stack[-1]
         for span_dict in snapshot.get("spans", ()):
             _merge_span_dict(parent, span_dict)

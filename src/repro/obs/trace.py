@@ -10,16 +10,20 @@ end-to-end.  The file loads directly in Perfetto
 
 Counters are exported as one "C" event each so they show up as counter
 tracks, and process/thread metadata ("M" events) label the single
-synthetic track.  :func:`validate_trace` checks a document against the
-subset of the trace-event schema we emit, and is what the unit tests
-(and the CI artifact step) rely on.
+synthetic track.  Live ``repro.events/v1`` events (see
+:mod:`repro.obs.events`) fold in as instant ("i") marks — their real
+relative timestamps line up with the synthetic span timeline only
+loosely, but a stall warning is still findable at a glance in Perfetto.
+:func:`validate_trace` checks a document against the subset of the
+trace-event schema we emit, and is what the unit tests (and the CI
+artifact step) rely on.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from .report import RunReport
 
@@ -28,7 +32,10 @@ TRACE_PID = 1
 TRACE_TID = 1
 
 #: Event phases this exporter emits.
-_PHASES_EMITTED = ("X", "C", "M")
+_PHASES_EMITTED = ("X", "C", "M", "i")
+
+#: Instant-event scopes the trace-event format allows.
+_INSTANT_SCOPES = frozenset(["g", "p", "t"])
 
 #: All phases the validator accepts (the trace-event format's set:
 #: duration, complete, instant, counter, async, flow, sample, object,
@@ -39,8 +46,19 @@ _KNOWN_PHASES = frozenset(
 )
 
 
-def trace_from_report(report: RunReport) -> Dict[str, Any]:
-    """The report as a Chrome trace-event document (object form)."""
+def trace_from_report(
+    report: RunReport,
+    live_events: Optional[Sequence[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """The report as a Chrome trace-event document (object form).
+
+    ``live_events`` is an optional ``repro.events/v1`` sequence (the
+    stream's in-memory tail or a :func:`repro.obs.events.load_events`
+    result); each folds in as an instant ("i") mark at its real
+    ``t_s`` offset, named ``event.<type>`` with the full event in
+    ``args`` — stall warnings get the process-wide scope so Perfetto
+    draws them across every track.
+    """
     events: List[Dict[str, Any]] = [
         {
             "name": "process_name",
@@ -70,6 +88,23 @@ def trace_from_report(report: RunReport) -> Dict[str, Any]:
                 "pid": TRACE_PID,
                 "tid": TRACE_TID,
                 "args": {"value": report.counters[name]},
+            }
+        )
+    for live in live_events or ():
+        type_ = str(live.get("type", "event"))
+        t_s = live.get("t_s")
+        events.append(
+            {
+                "name": f"event.{type_}",
+                "cat": "events",
+                "ph": "i",
+                # Process scope makes stall warnings span every track.
+                "s": "p" if type_ == "stall_warning" else "t",
+                "ts": max(float(t_s), 0.0) * 1e6
+                if isinstance(t_s, (int, float)) else 0.0,
+                "pid": TRACE_PID,
+                "tid": TRACE_TID,
+                "args": dict(live),
             }
         )
     return {
@@ -118,13 +153,19 @@ def _emit_span(
 
 
 def write_trace(
-    report: RunReport, path: Union[str, Path]
+    report: RunReport,
+    path: Union[str, Path],
+    events: Optional[Sequence[Dict[str, Any]]] = None,
 ) -> Path:
-    """Serialise the report's trace to ``path`` (parents created)."""
+    """Serialise the report's trace to ``path`` (parents created).
+
+    ``events`` is forwarded to :func:`trace_from_report` as the live
+    ``repro.events/v1`` tail to fold in as instant marks.
+    """
     target = Path(path)
     if target.parent != Path(""):
         target.parent.mkdir(parents=True, exist_ok=True)
-    document = trace_from_report(report)
+    document = trace_from_report(report, live_events=events)
     target.write_text(json.dumps(document, sort_keys=True) + "\n")
     return target
 
@@ -134,8 +175,9 @@ def validate_trace(document: Any) -> List[str]:
 
     Checks the object-form envelope and, per event, the field types the
     trace-event format requires: a known ``ph``, string ``name``,
-    numeric non-negative ``ts``, integer ``pid``/``tid``, and a
-    ``dur >= 0`` on every complete ("X") event.
+    numeric non-negative ``ts``, integer ``pid``/``tid``, a
+    ``dur >= 0`` on every complete ("X") event, and a legal scope on
+    every instant ("i"/"I") event.
     """
     problems: List[str] = []
     if not isinstance(document, dict):
@@ -164,6 +206,12 @@ def validate_trace(document: Any) -> List[str]:
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"{where}: X event needs dur >= 0")
+        if phase in ("i", "I") and "s" in event:
+            if event["s"] not in _INSTANT_SCOPES:
+                problems.append(
+                    f"{where}: instant event scope must be one of "
+                    f"g/p/t, got {event['s']!r}"
+                )
         if "args" in event and not isinstance(event["args"], dict):
             problems.append(f"{where}: args is not an object")
     try:

@@ -16,6 +16,7 @@ from ..geodb.database import GeoDatabase
 from ..net.bgp import RoutingTable
 from ..obs import lineage
 from ..obs import telemetry as obs
+from ..obs.progress import tracker
 from .classify import ASClassification, classify_group
 from .filtering import (
     GEO_ERROR_GATE_KM,
@@ -136,14 +137,18 @@ def build_target_dataset(
             )
         ases: Dict[int, TargetAS] = {}
         with obs.span("pipeline.classify"):
-            for asn in sorted(groups):
-                group = groups[asn]
-                classification = classify_group(
-                    group, config.containment_threshold
-                )
-                ases[asn] = TargetAS(
-                    asn=asn, group=group, classification=classification
-                )
+            with tracker(
+                "pipeline.classify", total=len(groups), unit="ases"
+            ) as progress:
+                for asn in sorted(groups):
+                    group = groups[asn]
+                    classification = classify_group(
+                        group, config.containment_threshold
+                    )
+                    ases[asn] = TargetAS(
+                        asn=asn, group=group, classification=classification
+                    )
+                    progress.advance()
         # Classification keeps every AS; the lossless stage still goes
         # on the funnel so the waterfall runs gap-free end to end.
         lineage.record_stage(

@@ -20,6 +20,7 @@ from ..core.pop import DEFAULT_ALPHA
 from ..exec import FootprintArtifact, FootprintEngine, FootprintJob, ParallelConfig
 from ..geo.gazetteer import Gazetteer
 from ..obs import telemetry as obs
+from ..obs.progress import tracker
 from .dataset import TargetDataset
 
 
@@ -33,18 +34,22 @@ def build_footprint_jobs(
     """One :class:`FootprintJob` per AS, in ``asns`` order."""
     jobs = []
     with obs.span("pipeline.footprint_jobs"):
-        for asn in asns:
-            target = dataset.ases[asn]
-            jobs.append(
-                FootprintJob(
-                    asn=asn,
-                    lats=target.group.lat,
-                    lons=target.group.lon,
-                    bandwidth_km=bandwidth_km,
-                    alpha=alpha,
-                    cell_km=cell_km,
+        with tracker(
+            "pipeline.footprint_jobs", total=len(asns), unit="jobs"
+        ) as progress:
+            for asn in asns:
+                target = dataset.ases[asn]
+                jobs.append(
+                    FootprintJob(
+                        asn=asn,
+                        lats=target.group.lat,
+                        lons=target.group.lon,
+                        bandwidth_km=bandwidth_km,
+                        alpha=alpha,
+                        cell_km=cell_km,
+                    )
                 )
-            )
+                progress.advance()
     return jobs
 
 

@@ -21,6 +21,7 @@ from ..geodb.records import GeoRecord
 from ..obs import lineage, quality
 from ..obs import telemetry as obs
 from ..obs.lineage import DropReason
+from ..obs.progress import tracker
 
 
 @dataclass
@@ -141,23 +142,25 @@ def _map_peers(
 
     lookup1 = _CachedLookup(primary)
     lookup2 = _CachedLookup(secondary)
-    for i in range(n):
-        address = int(ips[i])
-        record1 = lookup1.lookup(address)
-        if record1 is None:
-            continue
-        record2 = lookup2.lookup(address)
-        if record2 is None:
-            continue
-        keep[i] = True
-        lat[i] = record1.lat
-        lon[i] = record1.lon
-        lat2[i] = record2.lat
-        lon2[i] = record2.lon
-        city[i] = record1.city
-        state[i] = record1.state
-        country[i] = record1.country
-        continent[i] = record1.continent
+    with tracker("pipeline.mapping", total=n, unit="peers") as progress:
+        for i in range(n):
+            progress.advance()
+            address = int(ips[i])
+            record1 = lookup1.lookup(address)
+            if record1 is None:
+                continue
+            record2 = lookup2.lookup(address)
+            if record2 is None:
+                continue
+            keep[i] = True
+            lat[i] = record1.lat
+            lon[i] = record1.lon
+            lat2[i] = record2.lat
+            lon2[i] = record2.lon
+            city[i] = record1.city
+            state[i] = record1.state
+            country[i] = record1.country
+            continent[i] = record1.continent
 
     indices = np.flatnonzero(keep)
     error = haversine_km(lat[indices], lon[indices], lat2[indices], lon2[indices])

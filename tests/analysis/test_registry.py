@@ -22,7 +22,7 @@ def test_all_shipped_rule_families_present():
         "REP101", "REP102", "REP103",  # determinism
         "REP201", "REP202",  # layering
         "REP301", "REP302",  # coordinate safety
-        "REP401",  # telemetry hygiene
+        "REP401", "REP402", "REP403", "REP404",  # telemetry hygiene
         "REP501", "REP502", "REP503",  # generic hygiene
     }
     assert expected <= ids

@@ -1,0 +1,120 @@
+"""REP404: looping stage entry points must register a ProgressTracker."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.registry import get_rule
+
+
+def check(source, module="repro.crawl.fixture"):
+    return lint_source(
+        textwrap.dedent(source), module=module, rules=[get_rule("REP404")]
+    )
+
+
+def test_flags_looping_stage_without_tracker():
+    findings = check(
+        """
+        def run_crawl(ecosystem, config):
+            samples = []
+            for app in config.apps:
+                samples.append(crawl_app(app))
+            return samples
+        """
+    )
+    assert [f.rule_id for f in findings] == ["REP404"]
+    assert "run_crawl" in findings[0].message
+    assert "ProgressTracker" in findings[0].message
+    assert "docs/OBSERVABILITY.md" in findings[0].message
+
+
+def test_while_loops_count_as_loops():
+    findings = check(
+        """
+        def build_dataset(records):
+            while records:
+                records.pop()
+        """
+    )
+    assert [f.rule_id for f in findings] == ["REP404"]
+
+
+def test_clean_when_tracker_registered():
+    findings = check(
+        """
+        from ..obs.progress import tracker
+
+        def run_crawl(ecosystem, config):
+            with tracker("crawl.run", total=len(config.apps)) as progress:
+                for app in config.apps:
+                    crawl_app(app)
+                    progress.advance()
+        """
+    )
+    assert findings == []
+
+
+def test_clean_with_qualified_tracker_call():
+    findings = check(
+        """
+        from repro.obs import progress
+
+        def build_dataset(groups):
+            with progress.tracker("pipeline.classify", total=len(groups)) as p:
+                for group in groups:
+                    p.advance()
+        """
+    )
+    assert findings == []
+
+
+def test_clean_with_direct_progress_tracker_construction():
+    findings = check(
+        """
+        from repro.obs.progress import ProgressTracker
+
+        def generate_population(ecosystem):
+            progress = ProgressTracker("crawl.generate_population", total=3)
+            for node in ecosystem.as_nodes:
+                progress.advance()
+            progress.finish()
+        """
+    )
+    assert findings == []
+
+
+def test_loopless_stage_entry_points_exempt():
+    findings = check(
+        """
+        def run_table1(scenario):
+            return scenario.table1()
+        """,
+        module="repro.pipeline.table1",
+    )
+    assert findings == []
+
+
+def test_private_and_non_stage_functions_exempt():
+    findings = check(
+        """
+        def _run_helper(items):
+            for item in items:
+                use(item)
+
+        def summarise(items):
+            for item in items:
+                use(item)
+        """
+    )
+    assert findings == []
+
+
+def test_only_instrumented_packages_checked():
+    source = """
+        def run_experiment(scenario):
+            for trial in scenario.trials:
+                trial.run()
+        """
+    assert check(source, module="repro.experiments.table1") == []
+    assert check(source, module="repro.pipeline.table1") != []
+    assert check(source, module="repro.crawl.campaign") != []

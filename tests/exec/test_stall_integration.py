@@ -1,0 +1,131 @@
+"""Engine-level stall detection: a delayed chunk in a real run.
+
+The watchdog's clock is injected, so "an artificially delayed chunk"
+is scripted, not slept: the driver-side call sequence (every chunk
+``started`` at submission, ``finished`` at ordered collection) is
+deterministic, and the scripted clock assigns each call the timestamp
+we choose.
+"""
+
+import pytest
+
+from repro.exec import FootprintEngine, ParallelConfig
+from repro.obs import events
+from repro.obs import telemetry as obs
+from repro.obs.events import EventStream
+from repro.obs.progress import StallWatchdog
+from repro.pipeline import build_footprint_jobs
+
+BANDWIDTH_KM = 40.0
+
+
+class ScriptedClock:
+    """Returns one pre-scripted timestamp per call, in order."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def __call__(self) -> float:
+        return self._values.pop(0)
+
+
+@pytest.fixture(scope="module")
+def jobs(small_scenario):
+    asns = small_scenario.eyeball_target_asns()[:4]
+    return build_footprint_jobs(small_scenario.dataset, asns, BANDWIDTH_KM)
+
+
+@pytest.fixture()
+def stream():
+    active = EventStream()
+    previous = events.set_stream(active)
+    yield active
+    events.set_stream(previous)
+
+
+def test_parallel_delayed_chunk_emits_stall_warning(
+    small_scenario, jobs, stream
+):
+    # The parallel path marks all 4 chunks started at submission, then
+    # finished in submission order: 4 start reads, then 4 finish reads.
+    # Durations come out as 1s, 2s, 3s, 103s; median(1,2,3)=2 with k=4
+    # puts the threshold at 8s, so only the delayed last chunk stalls.
+    clock = ScriptedClock(
+        [0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 103.0]
+    )
+    watchdog = StallWatchdog(k=4.0, min_samples=3, clock=clock)
+    engine = FootprintEngine(
+        small_scenario.gazetteer,
+        ParallelConfig(workers=2, chunk_size=1),
+        watchdog=watchdog,
+    )
+    with obs.capture() as telemetry:
+        artifacts = engine.run(jobs)
+    assert [a.asn for a in artifacts] == [j.asn for j in jobs]
+    assert watchdog.stalls == 1
+    assert telemetry.counters["exec.stalls"] == 1
+    (warning,) = [
+        e for e in stream.events if e["type"] == "stall_warning"
+    ]
+    assert warning["source"] == "exec"
+    assert warning["chunk"] == 3
+    assert warning["duration_s"] == 103.0
+    assert warning["threshold_s"] == 8.0
+    assert warning["jobs"] == 1
+    # Worker snapshots coming home heartbeat the stream, one per chunk.
+    beats = [
+        e for e in stream.events
+        if e["type"] == "heartbeat" and e["source"] == "exec.worker"
+    ]
+    assert len(beats) == 4
+
+
+def test_serial_delayed_chunk_emits_stall_warning(
+    small_scenario, jobs, stream
+):
+    # The serial path interleaves started/finished per chunk; same
+    # durations, same verdict — serial runs get stall coverage too.
+    clock = ScriptedClock(
+        [0.0, 1.0, 1.0, 3.0, 3.0, 6.0, 6.0, 109.0]
+    )
+    watchdog = StallWatchdog(k=4.0, min_samples=3, clock=clock)
+    engine = FootprintEngine(
+        small_scenario.gazetteer,
+        ParallelConfig(chunk_size=1),
+        watchdog=watchdog,
+    )
+    with obs.capture() as telemetry:
+        engine.run(jobs)
+    # median(1, 2, 3) = 2 -> threshold 8s; the 103s final chunk stalls.
+    assert watchdog.stalls == 1
+    assert telemetry.counters["exec.stalls"] == 1
+    (warning,) = [
+        e for e in stream.events if e["type"] == "stall_warning"
+    ]
+    assert warning["chunk"] == 3
+    assert warning["duration_s"] == 103.0
+
+
+def test_steady_run_raises_no_stalls(small_scenario, jobs, stream):
+    # A 60s floor makes "no stall" deterministic on a loaded test host:
+    # real chunk latencies stay far below it.
+    engine = FootprintEngine(
+        small_scenario.gazetteer,
+        ParallelConfig(workers=2, chunk_size=1),
+        watchdog=StallWatchdog(floor_s=60.0),
+    )
+    with obs.capture() as telemetry:
+        engine.run(jobs)
+    assert engine.watchdog.stalls == 0
+    assert "exec.stalls" not in telemetry.counters
+    assert [
+        e for e in stream.events if e["type"] == "stall_warning"
+    ] == []
+    # The chunk walk registers progress: a stage_start/stage_end pair
+    # and a terminal progress event for exec.parallel_map.
+    stages = [e for e in stream.events if e.get("stage") == "exec.parallel_map"]
+    types = [e["type"] for e in stages]
+    assert types[0] == "stage_start"
+    assert types[-1] == "stage_end"
+    terminal = [e for e in stages if e["type"] == "progress"][-1]
+    assert terminal["done"] == terminal["total"] == 4

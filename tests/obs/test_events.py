@@ -1,0 +1,298 @@
+"""The live event stream: emit, round-trip, validation, merge liveness.
+
+The ``repro.events/v1`` contract pinned here: dense monotonic ``seq``
+from 0, injected-clock ``t_s``, a closed type vocabulary, JSONL that
+survives crashes as a readable prefix, and ``validate_events`` catching
+every kind of damage ``stats events`` must fail on.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import events
+from repro.obs import telemetry as obs
+from repro.obs.events import (
+    EVENT_TYPES,
+    EVENTS_SCHEMA,
+    EventStream,
+    load_events,
+    parse_events,
+    render_events,
+    stream_events,
+    summarize_events,
+    validate_events,
+)
+
+
+class FakeClock:
+    """A hand-advanced monotonic clock."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestEmit:
+    def test_envelope_fields(self):
+        clock = FakeClock(100.0)
+        stream = EventStream(clock=clock)
+        clock.advance(1.5)
+        event = stream.emit("heartbeat", source="test")
+        assert event == {
+            "schema": EVENTS_SCHEMA,
+            "seq": 0,
+            "t_s": 1.5,
+            "type": "heartbeat",
+            "source": "test",
+        }
+
+    def test_seq_is_dense_from_zero(self):
+        stream = EventStream(clock=FakeClock())
+        assert stream.next_seq == 0
+        for expected in range(5):
+            assert stream.emit("heartbeat", source="s")["seq"] == expected
+        assert stream.next_seq == 5
+        assert [e["seq"] for e in stream.events] == list(range(5))
+
+    def test_unknown_type_rejected(self):
+        stream = EventStream(clock=FakeClock())
+        with pytest.raises(ValueError, match="unknown event type"):
+            stream.emit("surprise")
+        assert stream.events == []
+        assert stream.next_seq == 0
+
+    def test_envelope_collision_rejected(self):
+        stream = EventStream(clock=FakeClock())
+        with pytest.raises(ValueError, match="owned by the envelope"):
+            stream.emit("heartbeat", source="s", seq=99)
+
+    def test_sink_gets_one_sorted_json_line_per_event(self):
+        sink = io.StringIO()
+        stream = EventStream(sink, clock=FakeClock())
+        stream.emit("heartbeat", source="s")
+        stream.emit("stage_start", stage="crawl.run", total=3, unit="apps")
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert line == json.dumps(json.loads(line), sort_keys=True)
+
+    def test_listeners_see_every_event(self):
+        seen = []
+        stream = EventStream(clock=FakeClock(), listeners=[seen.append])
+        stream.heartbeat("a")
+        stream.emit("stage_end", stage="x", done=1)
+        assert [e["type"] for e in seen] == ["heartbeat", "stage_end"]
+
+    def test_taxonomy_is_alphabetical_and_closed(self):
+        assert list(EVENT_TYPES) == sorted(EVENT_TYPES)
+        assert len(set(EVENT_TYPES)) == len(EVENT_TYPES)
+
+
+class TestModuleHelpers:
+    def test_disabled_by_default(self):
+        assert events.get_stream() is None
+        # No stream installed: these must be silent no-ops.
+        events.emit("heartbeat", source="nobody")
+        events.heartbeat("nobody")
+
+    def test_set_stream_returns_previous(self):
+        stream = EventStream(clock=FakeClock())
+        assert events.set_stream(stream) is None
+        try:
+            assert events.get_stream() is stream
+            events.heartbeat("test")
+            assert stream.events[-1]["source"] == "test"
+        finally:
+            assert events.set_stream(None) is stream
+        assert events.get_stream() is None
+
+
+class TestStreamEventsRoundTrip:
+    def test_file_round_trip_validates(self, tmp_path):
+        path = tmp_path / "sub" / "events.jsonl"
+        clock = FakeClock()
+        with stream_events(path, clock=clock) as stream:
+            clock.advance(0.25)
+            events.emit(
+                "stage_start", stage="crawl.run", total=2, unit="apps"
+            )
+            events.emit(
+                "progress", stage="crawl.run", done=2, total=2, unit="apps"
+            )
+            events.emit("stage_end", stage="crawl.run", done=2)
+        stored = load_events(path)
+        assert stored == stream.events
+        assert validate_events(stored) == []
+
+    def test_stream_brackets_with_heartbeats(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with stream_events(path, clock=FakeClock()):
+            pass
+        stored = load_events(path)
+        # Even an empty run proves the driver was alive, twice.
+        assert [(e["type"], e["source"], e["phase"]) for e in stored] == [
+            ("heartbeat", "stream", "start"),
+            ("heartbeat", "stream", "end"),
+        ]
+        assert validate_events(stored) == []
+
+    def test_none_path_stays_in_memory(self):
+        with stream_events(clock=FakeClock()) as stream:
+            events.heartbeat("test")
+        assert [e["type"] for e in stream.events] == ["heartbeat"] * 3
+
+    def test_previous_stream_restored(self):
+        outer = EventStream(clock=FakeClock())
+        events.set_stream(outer)
+        try:
+            with stream_events(clock=FakeClock()) as inner:
+                assert events.get_stream() is inner
+            assert events.get_stream() is outer
+        finally:
+            events.set_stream(None)
+
+
+class TestMergeSnapshotLiveness:
+    """Worker results arriving home are the parallel heartbeat."""
+
+    def _snapshot(self):
+        return {
+            "spans": [], "counters": {"kde.evaluations": 1}, "gauges": {},
+            "funnel": [], "quality": {},
+        }
+
+    def test_each_merge_heartbeats_with_monotonic_seq(self):
+        with stream_events(clock=FakeClock()) as stream:
+            with obs.capture() as telemetry:
+                telemetry.merge_snapshot(self._snapshot())
+                telemetry.merge_snapshot(self._snapshot())
+        beats = [
+            e for e in stream.events
+            if e["type"] == "heartbeat" and e["source"] == "exec.worker"
+        ]
+        assert len(beats) == 2
+        assert beats[0]["seq"] < beats[1]["seq"]
+        assert beats[0]["counters"] == 1
+        assert validate_events(stream.events) == []
+
+    def test_null_telemetry_merge_does_not_heartbeat(self):
+        with stream_events(clock=FakeClock()) as stream:
+            obs.NULL.merge_snapshot(self._snapshot())
+        # Only the stream's own start/end brackets — no worker beat.
+        assert [e["source"] for e in stream.events] == ["stream", "stream"]
+
+
+class TestParseEvents:
+    def test_truncated_final_line_is_named_not_raised(self):
+        stream = EventStream(clock=FakeClock())
+        lines = [
+            json.dumps(stream.emit("heartbeat", source="s"))
+            for _ in range(3)
+        ]
+        text = "\n".join(lines)[:-10]
+        parsed, problems = parse_events(text)
+        assert len(parsed) == 2
+        assert problems == ["line 3: not valid JSON (truncated?)"]
+
+    def test_non_object_line_flagged(self):
+        parsed, problems = parse_events('[1, 2]\n')
+        assert parsed == []
+        assert problems == ["line 1: not a JSON object"]
+
+    def test_blank_lines_skipped(self):
+        parsed, problems = parse_events("\n\n")
+        assert (parsed, problems) == ([], [])
+
+
+def _valid_stream():
+    stream = EventStream(clock=FakeClock())
+    stream.heartbeat("stream", phase="start")
+    stream.emit("stage_start", stage="crawl.run", total=10, unit="apps")
+    stream.emit("progress", stage="crawl.run", done=10, total=10, unit="apps")
+    stream.emit("stage_end", stage="crawl.run", done=10)
+    stream.heartbeat("stream", phase="end")
+    return stream.events
+
+
+class TestValidateEvents:
+    def test_valid_stream_has_no_problems(self):
+        assert validate_events(_valid_stream()) == []
+
+    def test_empty_stream_is_invalid(self):
+        assert validate_events([]) == ["stream is empty (no events)"]
+
+    def test_sequence_gap_detected(self):
+        stream = _valid_stream()
+        del stream[2]
+        problems = validate_events(stream)
+        assert any("sequence gap (seq=3, expected 2)" in p for p in problems)
+
+    def test_wrong_schema_detected(self):
+        stream = _valid_stream()
+        stream[0] = dict(stream[0], schema="repro.events/v0")
+        assert any("schema" in p for p in validate_events(stream))
+
+    def test_backwards_t_s_detected(self):
+        stream = _valid_stream()
+        stream[1] = dict(stream[1], t_s=5.0)
+        assert any("went backwards" in p for p in validate_events(stream))
+
+    def test_unknown_type_detected(self):
+        stream = _valid_stream()
+        stream[0] = dict(stream[0], type="mystery")
+        assert any(
+            "unknown event type 'mystery'" in p
+            for p in validate_events(stream)
+        )
+
+    def test_missing_required_field_detected(self):
+        stream = _valid_stream()
+        event = dict(stream[1])
+        del event["total"]
+        stream[1] = event
+        problems = validate_events(stream)
+        assert any("stage_start event needs total" in p for p in problems)
+
+    def test_bool_does_not_satisfy_int_fields(self):
+        stream = _valid_stream()
+        stream[3] = dict(stream[3], done=True)
+        problems = validate_events(stream)
+        assert any("stage_end event needs done" in p for p in problems)
+
+
+class TestSummaries:
+    def test_summary_counts_and_stages(self):
+        summary = summarize_events(_valid_stream())
+        assert summary["schema"] == EVENTS_SCHEMA
+        assert summary["events"] == 5
+        assert summary["by_type"] == {
+            "heartbeat": 2, "progress": 1,
+            "stage_end": 1, "stage_start": 1,
+        }
+        assert summary["stages"]["crawl.run"]["total"] == 10
+        assert summary["stages"]["crawl.run"]["done"] == 10
+        assert summary["stalls"] == []
+
+    def test_stalls_surface_in_summary_and_render(self):
+        stream = EventStream(clock=FakeClock())
+        stream.emit(
+            "stall_warning", source="exec", chunk=3,
+            duration_s=9.0, threshold_s=2.0,
+        )
+        summary = summarize_events(stream.events)
+        assert len(summary["stalls"]) == 1
+        text = render_events(stream.events)
+        assert "STALL: exec chunk 3 took 9.000s" in text
+
+    def test_render_mentions_counts_and_stage_table(self):
+        text = render_events(_valid_stream())
+        assert "5 event(s)" in text
+        assert "heartbeat=2" in text
+        assert "crawl.run" in text

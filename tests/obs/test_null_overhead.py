@@ -12,8 +12,9 @@ import tracemalloc
 import pytest
 
 from repro.cli import main
-from repro.obs import lineage, quality
+from repro.obs import events, lineage, progress, quality
 from repro.obs import telemetry as obs
+from repro.obs.progress import NULL_TRACKER, NullProgressTracker
 from repro.obs.telemetry import _NULL_SPAN, NullTelemetry, _NullSpan
 
 
@@ -149,3 +150,48 @@ class TestMemoryFlagIsNullSafe:
 def test_null_registry_is_the_default():
     assert isinstance(obs.get_telemetry(), NullTelemetry)
     assert not obs.get_telemetry().enabled
+
+
+class TestProgressAndEventsAreNullSafe:
+    """The PR 6 live layer shares the zero-overhead budget: with no
+    stream installed and telemetry off, instrumented loops pay one
+    global read per tracker and one no-op method call per step."""
+
+    def test_tracker_returns_the_shared_singleton(self):
+        assert events.get_stream() is None
+        assert progress.tracker("crawl.run", total=1_000) is NULL_TRACKER
+        assert progress.tracker("a", total=1) is progress.tracker(
+            "b", total=2
+        )
+
+    def test_null_tracker_is_slotted_and_stateless(self):
+        assert NullProgressTracker.__slots__ == ()
+        assert not hasattr(NULL_TRACKER, "__dict__")
+
+    def test_disabled_progress_and_events_allocate_no_lasting_memory(self):
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        try:
+            baseline, _ = tracemalloc.get_traced_memory()
+            for _ in range(10_000):
+                with progress.tracker(
+                    "pipeline.mapping", total=100, unit="peers"
+                ) as tracked:
+                    tracked.advance()
+                events.emit("heartbeat", source="nobody")
+                events.heartbeat("nobody")
+            current, _ = tracemalloc.get_traced_memory()
+        finally:
+            if not was_tracing:
+                tracemalloc.stop()
+        assert current - baseline < 4096, (
+            f"null progress/events leaked {current - baseline} bytes "
+            "over 10k calls"
+        )
+
+    def test_cli_run_without_events_flags_installs_no_stream(self, capsys):
+        assert events.get_stream() is None
+        status = main(["--seed", "91", "table1"])
+        assert status == 0
+        assert events.get_stream() is None

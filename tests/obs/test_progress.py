@@ -1,0 +1,272 @@
+"""ProgressTracker (rate/ETA, throttling, terminal guarantees) and the
+StallWatchdog (rolling-median chunk-stall detection).
+
+Every test scripts the clock, so rate/ETA arithmetic and throttle
+decisions are exact, and a "slow chunk" is a number we chose — no
+sleeping, no flakiness.
+"""
+
+import pytest
+
+from repro.obs import events
+from repro.obs import telemetry as obs
+from repro.obs.events import EventStream, validate_events
+from repro.obs.progress import (
+    NULL_TRACKER,
+    NullProgressTracker,
+    ProgressTracker,
+    StallWatchdog,
+    tracker,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture()
+def stream():
+    clock = FakeClock()
+    active = EventStream(clock=clock)
+    active.fake_clock = clock
+    previous = events.set_stream(active)
+    yield active
+    events.set_stream(previous)
+
+
+def _of_type(stream, type_):
+    return [e for e in stream.events if e["type"] == type_]
+
+
+class TestProgressTracker:
+    def test_stage_start_emitted_at_construction(self, stream):
+        ProgressTracker("crawl.run", total=7, unit="apps",
+                        clock=stream.fake_clock)
+        (start,) = _of_type(stream, "stage_start")
+        assert start["stage"] == "crawl.run"
+        assert start["total"] == 7
+        assert start["unit"] == "apps"
+
+    def test_rate_and_eta_math(self, stream):
+        clock = stream.fake_clock
+        progress = ProgressTracker("pipeline.mapping", total=100,
+                                   clock=clock)
+        clock.advance(2.0)
+        progress.advance(10)
+        # 10 units over 2s: 5/s, 90 left -> 18s.
+        assert progress.rate_per_s() == 5.0
+        assert progress.eta_s() == 18.0
+
+    def test_eta_unknowable_before_time_passes(self, stream):
+        progress = ProgressTracker("pipeline.mapping", total=100,
+                                   clock=stream.fake_clock)
+        assert progress.rate_per_s() == 0.0
+        assert progress.eta_s() is None
+
+    def test_progress_events_are_clock_throttled(self, stream):
+        clock = stream.fake_clock
+        progress = ProgressTracker(
+            "pipeline.mapping", total=100, clock=clock, throttle_s=1.0
+        )
+        # 50 fast steps: the 1% pre-filter consults the clock, but the
+        # throttle window never elapses -> no events.
+        for _ in range(50):
+            progress.advance()
+        assert _of_type(stream, "progress") == []
+        clock.advance(1.5)
+        progress.advance()
+        (event,) = _of_type(stream, "progress")
+        assert event["done"] == 51
+        assert event["total"] == 100
+        assert event["rate_per_s"] == pytest.approx(51 / 1.5, rel=1e-3)
+
+    def test_reaching_total_bypasses_the_throttle(self, stream):
+        progress = ProgressTracker(
+            "pipeline.mapping", total=3, clock=stream.fake_clock,
+            throttle_s=60.0,
+        )
+        progress.advance(3)
+        (event,) = _of_type(stream, "progress")
+        assert event["done"] == 3
+
+    def test_update_sets_absolute_done(self, stream):
+        progress = ProgressTracker("crawl.run", total=10,
+                                   clock=stream.fake_clock)
+        progress.update(4)
+        progress.update(10)
+        assert progress.done == 10
+
+    def test_finish_guarantees_terminal_progress_and_gauge(self, stream):
+        with obs.capture() as telemetry:
+            progress = ProgressTracker(
+                "crawl.run", total=5, unit="apps",
+                clock=stream.fake_clock, throttle_s=60.0,
+            )
+            progress.advance(2)  # throttled away
+            progress.finish()
+        (terminal,) = _of_type(stream, "progress")
+        assert terminal["done"] == 2
+        (end,) = _of_type(stream, "stage_end")
+        assert end["stage"] == "crawl.run"
+        assert end["done"] == 2
+        assert telemetry.gauges["progress.crawl.run.total"] == 2
+
+    def test_finish_emits_terminal_progress_even_when_idle(self, stream):
+        progress = ProgressTracker("crawl.run", total=5,
+                                   clock=stream.fake_clock)
+        progress.finish()
+        (terminal,) = _of_type(stream, "progress")
+        assert terminal["done"] == 0
+
+    def test_finish_is_idempotent(self, stream):
+        progress = ProgressTracker("crawl.run", total=1,
+                                   clock=stream.fake_clock)
+        progress.finish()
+        progress.finish()
+        assert len(_of_type(stream, "stage_end")) == 1
+
+    def test_context_manager_finishes(self, stream):
+        with ProgressTracker("crawl.run", total=1,
+                             clock=stream.fake_clock) as progress:
+            progress.advance()
+        assert len(_of_type(stream, "stage_end")) == 1
+
+    def test_emitted_stream_is_schema_valid(self, stream):
+        with ProgressTracker("crawl.run", total=200,
+                             clock=stream.fake_clock) as progress:
+            for _ in range(200):
+                stream.fake_clock.advance(0.01)
+                progress.advance()
+        assert validate_events(stream.events) == []
+
+    def test_negative_total_rejected(self, stream):
+        with pytest.raises(ValueError, match="non-negative"):
+            ProgressTracker("crawl.run", total=-1)
+
+
+class TestTrackerFactory:
+    def test_disabled_returns_the_null_singleton(self):
+        assert events.get_stream() is None
+        assert not obs.get_telemetry().enabled
+        assert tracker("crawl.run", total=10) is NULL_TRACKER
+        assert tracker("other.stage", total=99) is NULL_TRACKER
+
+    def test_live_when_stream_installed(self, stream):
+        live = tracker("crawl.run", total=10)
+        assert isinstance(live, ProgressTracker)
+        # The tracker shares the stream's timebase by default.
+        assert live._clock is stream.fake_clock
+        live.finish()
+
+    def test_live_when_only_telemetry_enabled(self):
+        with obs.capture() as telemetry:
+            with tracker("crawl.run", total=3) as live:
+                assert isinstance(live, ProgressTracker)
+                live.advance(3)
+        assert telemetry.gauges["progress.crawl.run.total"] == 3
+
+    def test_null_tracker_is_slotted_and_inert(self):
+        assert NullProgressTracker.__slots__ == ()
+        assert not hasattr(NULL_TRACKER, "__dict__")
+        with NULL_TRACKER as progress:
+            progress.advance(5)
+            progress.update(9)
+            progress.finish()
+        assert progress.done == 0
+        assert progress.eta_s() is None
+        assert progress.rate_per_s() == 0.0
+
+
+class TestStallWatchdog:
+    def _feed(self, watchdog, clock, durations):
+        """Run chunks back-to-back with the given durations."""
+        outcomes = []
+        for index, duration in enumerate(durations):
+            watchdog.started(index)
+            clock.advance(duration)
+            outcomes.append(watchdog.finished(index, jobs=1))
+        return outcomes
+
+    def test_no_threshold_before_min_samples(self):
+        clock = FakeClock()
+        watchdog = StallWatchdog(k=4.0, min_samples=3, clock=clock)
+        assert watchdog.threshold_s() is None
+        self._feed(watchdog, clock, [1.0, 100.0])
+        # Two samples: still warming up, even the 100s chunk passes.
+        assert watchdog.stalls == 0
+        assert watchdog.threshold_s() is None
+
+    def test_slow_chunk_stalls_and_counts(self, stream):
+        clock = FakeClock()
+        watchdog = StallWatchdog(k=4.0, min_samples=3, clock=clock)
+        with obs.capture() as telemetry:
+            outcomes = self._feed(
+                watchdog, clock, [1.0, 2.0, 3.0, 103.0]
+            )
+        # median(1, 2, 3) = 2 -> threshold 8s; the 103s chunk stalls.
+        assert outcomes == [False, False, False, True]
+        assert watchdog.stalls == 1
+        assert telemetry.counters["exec.stalls"] == 1
+        (warning,) = [
+            e for e in stream.events if e["type"] == "stall_warning"
+        ]
+        assert warning["source"] == "exec"
+        assert warning["chunk"] == 3
+        assert warning["duration_s"] == 103.0
+        assert warning["threshold_s"] == 8.0
+        assert warning["median_s"] == 2.0
+        assert warning["jobs"] == 1
+
+    def test_slow_chunk_judged_before_joining_the_window(self):
+        clock = FakeClock()
+        watchdog = StallWatchdog(k=4.0, min_samples=3, clock=clock)
+        self._feed(watchdog, clock, [1.0, 2.0, 3.0])
+        assert watchdog.threshold_s() == 8.0
+        self._feed(watchdog, clock, [103.0])
+        # The stalled duration now sits in the window and moves the
+        # median: a later 9s chunk is judged against median(1,2,3,103).
+        assert watchdog.threshold_s() == 4.0 * 2.5
+
+    def test_normal_chunks_after_warmup_pass(self):
+        clock = FakeClock()
+        watchdog = StallWatchdog(k=4.0, min_samples=3, clock=clock)
+        outcomes = self._feed(
+            watchdog, clock, [1.0, 1.0, 1.0, 1.5, 2.0]
+        )
+        assert outcomes == [False] * 5
+        assert watchdog.stalls == 0
+
+    def test_floor_suppresses_microbenchmark_stalls(self):
+        clock = FakeClock()
+        watchdog = StallWatchdog(
+            k=2.0, min_samples=2, floor_s=10.0, clock=clock
+        )
+        outcomes = self._feed(
+            watchdog, clock, [0.001, 0.001, 0.05]
+        )
+        # 0.05s is 50x the median but under the 10s floor: not a stall.
+        assert outcomes == [False, False, False]
+
+    def test_unstarted_chunk_is_an_error(self):
+        watchdog = StallWatchdog(clock=FakeClock())
+        with pytest.raises(KeyError, match="never started"):
+            watchdog.finished(42)
+
+    def test_constructor_validates_parameters(self):
+        with pytest.raises(ValueError, match="k must exceed"):
+            StallWatchdog(k=1.0)
+        with pytest.raises(ValueError, match="min_samples"):
+            StallWatchdog(min_samples=0)
+
+    def test_no_stream_no_telemetry_still_counts_locally(self):
+        clock = FakeClock()
+        watchdog = StallWatchdog(k=2.0, min_samples=1, clock=clock)
+        self._feed(watchdog, clock, [1.0, 50.0])
+        assert watchdog.stalls == 1

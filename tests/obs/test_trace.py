@@ -102,6 +102,72 @@ class TestExport:
         assert _events_by_name(document)["pop.extract"]["dur"] == 0.3e6
 
 
+def _live_events():
+    return [
+        {"schema": "repro.events/v1", "seq": 0, "t_s": 0.0,
+         "type": "heartbeat", "source": "stream"},
+        {"schema": "repro.events/v1", "seq": 1, "t_s": 0.5,
+         "type": "progress", "stage": "crawl.run", "done": 5,
+         "total": 10, "unit": "apps"},
+        {"schema": "repro.events/v1", "seq": 2, "t_s": 1.25,
+         "type": "stall_warning", "source": "exec", "chunk": 3,
+         "duration_s": 9.0, "threshold_s": 2.0},
+    ]
+
+
+class TestInstantEvents:
+    def test_live_events_become_instant_marks(self):
+        document = trace_from_report(_report(), live_events=_live_events())
+        assert validate_trace(document) == []
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == [
+            "event.heartbeat", "event.progress", "event.stall_warning"
+        ]
+        assert all(e["cat"] == "events" for e in instants)
+
+    def test_timestamps_scale_to_microseconds(self):
+        document = trace_from_report(_report(), live_events=_live_events())
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert instants[1]["ts"] == 0.5e6
+        assert instants[2]["ts"] == 1.25e6
+
+    def test_stall_warnings_get_process_scope(self):
+        document = trace_from_report(_report(), live_events=_live_events())
+        scopes = {
+            e["name"]: e["s"]
+            for e in document["traceEvents"] if e["ph"] == "i"
+        }
+        assert scopes["event.stall_warning"] == "p"
+        assert scopes["event.heartbeat"] == "t"
+        assert scopes["event.progress"] == "t"
+
+    def test_full_event_rides_in_args(self):
+        document = trace_from_report(_report(), live_events=_live_events())
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert instants[2]["args"]["chunk"] == 3
+        assert instants[2]["args"]["threshold_s"] == 2.0
+
+    def test_bad_timestamps_clamp_instead_of_invalidating(self):
+        weird = [
+            {"type": "heartbeat", "t_s": -2.0},
+            {"type": "heartbeat", "t_s": "soon"},
+        ]
+        document = trace_from_report(_report(), live_events=weird)
+        assert validate_trace(document) == []
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert [e["ts"] for e in instants] == [0.0, 0.0]
+
+    def test_write_trace_forwards_events(self, tmp_path):
+        path = write_trace(
+            _report(), tmp_path / "trace.json", events=_live_events()
+        )
+        document = json.loads(path.read_text())
+        assert validate_trace(document) == []
+        assert sum(
+            1 for e in document["traceEvents"] if e["ph"] == "i"
+        ) == 3
+
+
 class TestValidator:
     def test_rejects_non_object(self):
         assert validate_trace([]) == ["document is not a JSON object"]
@@ -130,6 +196,20 @@ class TestValidator:
 
     def test_empty_trace_is_valid(self):
         assert validate_trace({"traceEvents": []}) == []
+
+    def test_flags_illegal_instant_scope(self):
+        problems = validate_trace(
+            {
+                "traceEvents": [
+                    {"name": "x", "ph": "i", "ts": 0, "s": "q",
+                     "pid": 1, "tid": 1},
+                    {"name": "y", "ph": "i", "ts": 0, "s": "g",
+                     "pid": 1, "tid": 1},
+                ]
+            }
+        )
+        assert len(problems) == 1
+        assert "scope must be one of g/p/t" in problems[0]
 
 
 class TestCliTraceOut:
