@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments profile lint smoke \
-        smoke-baseline smoke-parallel history funnel events clean
+.PHONY: install test bench examples experiments profile lint lint-tests \
+        smoke smoke-baseline smoke-parallel history funnel events clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,12 @@ profile:
 
 lint:
 	$(PYTHON) -m repro.cli lint
+
+# Test and benchmark code gets the relaxed subset: API-hygiene rules
+# (REP5xx) only — fixtures may freely use bare randomness, wall clocks
+# and lat/lon argument orders that the source tree bans.
+lint-tests:
+	$(PYTHON) -m repro.cli lint tests benchmarks --select REP5 --no-baseline
 
 # The CI perf + data gate, runnable locally: instrumented smoke run,
 # funnel conservation check, then a noise-aware diff against the

@@ -12,7 +12,14 @@ machine-checks the guardrails the reproduction's results depend on:
   convention and distance parameters carry an explicit unit (``REP3xx``),
 * **telemetry hygiene** — pipeline/crawl stage entry points open a span
   (``REP4xx``),
-* plus generic hygiene rules (``REP5xx``).
+* plus generic hygiene rules (``REP5xx``),
+* **whole-program invariants** — import-time cycles in the resolved
+  import graph (``REP203``) and dead public API (``REP701``), checked
+  by project-scope rules against a :class:`ProjectContext` built from
+  one shared parse pass,
+* **scale hygiene** — O(population) materialisation and accumulator
+  sites (``REP8xx``), whose committed baseline is the columnar-refactor
+  burn-down list.
 
 Run it as ``repro-eyeball lint`` (or ``make lint``); see
 ``docs/STATIC_ANALYSIS.md`` for the rule catalogue, the
@@ -21,26 +28,48 @@ workflow.
 """
 
 from .baseline import Baseline, BaselineEntry
-from .context import ModuleContext
+from .context import ImportEdge, ModuleContext, ProjectContext, SymbolDef
 from .engine import LintResult, iter_python_files, lint_paths, lint_source
-from .findings import Finding, Severity
-from .registry import Rule, RuleMeta, all_rules, get_rule
-from .reporters import render_json, render_text
+from .findings import Finding, Severity, SuppressedFinding
+from .registry import (
+    ProjectRule,
+    Rule,
+    RuleMeta,
+    all_rules,
+    get_rule,
+    select_rules,
+)
+from .reporters import (
+    GRAPH_SCHEMA,
+    import_graph_document,
+    render_import_graph,
+    render_json,
+    render_text,
+)
 
 __all__ = [
     "Baseline",
     "BaselineEntry",
     "Finding",
+    "GRAPH_SCHEMA",
+    "ImportEdge",
     "LintResult",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "RuleMeta",
     "Severity",
+    "SuppressedFinding",
+    "SymbolDef",
     "all_rules",
     "get_rule",
+    "import_graph_document",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "render_import_graph",
     "render_json",
     "render_text",
+    "select_rules",
 ]

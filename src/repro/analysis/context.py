@@ -1,11 +1,21 @@
-"""Per-module context handed to every rule: path, dotted name, AST."""
+"""Rule contexts: the per-module view and the whole-program view.
+
+:class:`ModuleContext` is what every per-module rule receives — one
+parsed source file plus its dotted name and relative-import resolution.
+:class:`ProjectContext` is the phase-1 artefact of a whole-program run:
+every module parsed exactly once, a project symbol table (public
+module-level defs and their def sites), the fully resolved ``repro.*``
+import graph, and a name-reference index spanning the lint targets and
+the reference tree (tests, benchmarks, examples).  Project-scope rules
+(:class:`~repro.analysis.registry.ProjectRule`) receive it in phase 2.
+"""
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 
 def infer_module_name(path: Path) -> str:
@@ -107,3 +117,324 @@ class ModuleContext:
         suffix = node.module.split(".") if node.module else []
         resolved = list(base) + suffix
         return ".".join(resolved) if resolved else None
+
+
+# -- whole-program context --------------------------------------------
+
+
+@dataclass(frozen=True)
+class SymbolDef:
+    """One public module-level definition and its def site."""
+
+    module: str
+    name: str
+    path: str
+    line: int
+    col: int
+    kind: str  # "function" | "class" | "constant"
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One resolved ``repro.*`` import: ``src`` imports ``dst``.
+
+    ``deferred`` marks imports that do not execute at module import
+    time (inside a function body or an ``if TYPE_CHECKING:`` guard);
+    they are real architectural edges but cannot create import cycles.
+    """
+
+    src: str
+    dst: str
+    path: str
+    line: int
+    col: int
+    deferred: bool
+
+
+#: Decorators that only transform the decorated object in place.  Any
+#: *other* decorator is assumed to consume/register it (``@register``,
+#: ``@app.route``, ``@pytest.fixture``, ...), which keeps the symbol
+#: alive even when its name is never referenced again.
+INERT_DECORATORS = frozenset(
+    {"dataclass", "total_ordering", "contextmanager", "lru_cache", "cache"}
+)
+
+
+def _decorator_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_registered(decorators: List[ast.AST]) -> bool:
+    """True when any decorator may consume the def (side-effect
+    registration), making name-reference liveness undecidable."""
+    return any(
+        _decorator_name(dec) not in INERT_DECORATORS for dec in decorators
+    )
+
+
+def _public_defs(ctx: ModuleContext) -> Iterator[SymbolDef]:
+    """Public module-level defs (functions, classes, constants)."""
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_") and not _is_registered(
+                node.decorator_list
+            ):
+                yield SymbolDef(
+                    module=ctx.module, name=node.name, path=ctx.path,
+                    line=node.lineno, col=node.col_offset, kind="function",
+                )
+        elif isinstance(node, ast.ClassDef):
+            if not node.name.startswith("_") and not _is_registered(
+                node.decorator_list
+            ):
+                yield SymbolDef(
+                    module=ctx.module, name=node.name, path=ctx.path,
+                    line=node.lineno, col=node.col_offset, kind="class",
+                )
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    yield SymbolDef(
+                        module=ctx.module, name=target.id, path=ctx.path,
+                        line=target.lineno, col=target.col_offset,
+                        kind="constant",
+                    )
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            if (
+                isinstance(target, ast.Name)
+                and not target.id.startswith("_")
+                and node.value is not None
+            ):
+                yield SymbolDef(
+                    module=ctx.module, name=target.id, path=ctx.path,
+                    line=target.lineno, col=target.col_offset,
+                    kind="constant",
+                )
+
+
+def _deferred_import_nodes(tree: ast.Module) -> Set[int]:
+    """``id()`` of every import node that does not run at import time.
+
+    Imports inside function bodies are lazy; imports under an
+    ``if TYPE_CHECKING:`` guard never run at all.  Both are excluded
+    from cycle detection (REP203) and marked ``deferred`` in the graph.
+    """
+    deferred: Set[int] = set()
+    for node in ast.walk(tree):
+        guarded: Optional[ast.AST] = None
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            guarded = node
+        elif isinstance(node, ast.If):
+            test = node.test
+            name = (
+                test.id if isinstance(test, ast.Name)
+                else test.attr if isinstance(test, ast.Attribute)
+                else None
+            )
+            if name == "TYPE_CHECKING":
+                guarded = node
+        if guarded is None:
+            continue
+        for sub in ast.walk(guarded):
+            if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                deferred.add(id(sub))
+    return deferred
+
+
+def _collect_references(ctx: ModuleContext, into: Set[str]) -> None:
+    """Add every name ``ctx`` references to ``into``.
+
+    A reference is a loaded ``Name``, any attribute access, a
+    ``from X import name`` alias, or a string listed in ``__all__``.
+    Store-context names (assignment targets) are definitions, not
+    references, so a symbol's own def site never keeps it alive.
+    """
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Name):
+            if not isinstance(node.ctx, ast.Store):
+                into.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            into.add(node.attr)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    into.add(alias.name)
+        elif isinstance(node, ast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if "__all__" in targets and isinstance(
+                node.value, (ast.List, ast.Tuple)
+            ):
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        into.add(element.value)
+
+
+@dataclass
+class ProjectContext:
+    """Whole-program view handed to every :class:`ProjectRule`.
+
+    Built once per run from contexts that were each parsed exactly
+    once; the same :class:`ModuleContext` objects the per-module rules
+    saw (no re-parse between phases).
+    """
+
+    #: ``repro.*`` lint-target modules by dotted name.
+    modules: Dict[str, "ModuleContext"] = field(default_factory=dict)
+    #: Every parsed context: lint targets first, then reference-only
+    #: contexts (tests/benchmarks/examples) used for the name index.
+    contexts: List["ModuleContext"] = field(default_factory=list)
+    #: Public module-level defs per ``repro.*`` module.
+    symbols: Dict[str, List[SymbolDef]] = field(default_factory=dict)
+    #: Resolved ``repro.*`` import edges out of the target modules.
+    edges: List[ImportEdge] = field(default_factory=list)
+    #: Every name referenced anywhere in :attr:`contexts`.
+    references: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def build(
+        cls,
+        target_contexts: Sequence["ModuleContext"],
+        reference_contexts: Sequence["ModuleContext"] = (),
+    ) -> "ProjectContext":
+        project = cls()
+        project.contexts = list(target_contexts) + list(reference_contexts)
+        for ctx in target_contexts:
+            if ctx.module.split(".")[0] == "repro":
+                project.modules[ctx.module] = ctx
+        for module, ctx in project.modules.items():
+            project.symbols[module] = list(_public_defs(ctx))
+        for ctx in project.contexts:
+            _collect_references(ctx, project.references)
+        for module, ctx in sorted(project.modules.items()):
+            project.edges.extend(cls._module_edges(ctx, project.modules))
+        return project
+
+    @classmethod
+    def _module_edges(
+        cls, ctx: "ModuleContext", modules: Dict[str, "ModuleContext"]
+    ) -> Iterator[ImportEdge]:
+        deferred_nodes = _deferred_import_nodes(ctx.tree)
+        seen: Set[Tuple[str, int, bool]] = set()
+        for node in ast.walk(ctx.tree):
+            targets: List[str] = []
+            if isinstance(node, ast.Import):
+                targets = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name.split(".")[0] == "repro"
+                ]
+            elif isinstance(node, ast.ImportFrom):
+                base = ctx.resolve_import_from(node)
+                if base is None or base.split(".")[0] != "repro":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        targets.append(base)
+                        continue
+                    # ``from repro.pkg import sub``: prefer the
+                    # submodule when one exists, else it's a symbol
+                    # import from ``base`` itself.
+                    candidate = f"{base}.{alias.name}"
+                    targets.append(
+                        candidate if candidate in modules else base
+                    )
+            else:
+                continue
+            deferred = id(node) in deferred_nodes
+            for dst in targets:
+                if dst == ctx.module:
+                    continue
+                key = (dst, node.lineno, deferred)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield ImportEdge(
+                    src=ctx.module,
+                    dst=dst,
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    deferred=deferred,
+                )
+
+    # -- queries -------------------------------------------------------
+
+    def import_graph(
+        self, include_deferred: bool = False
+    ) -> Dict[str, Set[str]]:
+        """Adjacency between project modules (edges to known nodes)."""
+        graph: Dict[str, Set[str]] = {name: set() for name in self.modules}
+        for edge in self.edges:
+            if edge.deferred and not include_deferred:
+                continue
+            if edge.dst in graph and edge.src in graph:
+                graph[edge.src].add(edge.dst)
+        return graph
+
+    def import_cycles(self) -> List[List[str]]:
+        """Strongly connected components of size > 1, sorted.
+
+        Only import-time (non-deferred) edges participate: a lazy
+        in-function import cannot deadlock module initialisation.
+        """
+        graph = self.import_graph()
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        counter = [0]
+        cycles: List[List[str]] = []
+
+        def strongconnect(root: str) -> None:
+            # Iterative Tarjan: (node, iterator over successors).
+            work = [(root, iter(sorted(graph[root])))]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(graph[succ]))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        cycles.append(sorted(component))
+
+        for name in sorted(graph):
+            if name not in index:
+                strongconnect(name)
+        return sorted(cycles)

@@ -1,9 +1,21 @@
-"""The lint engine: file discovery, rule execution, result assembly.
+"""The lint engine: discovery, the two-phase run, result assembly.
 
-The flow for each file is parse → run every rule → drop findings a
-``# reprolint: disable`` comment covers → split the remainder against
-the committed baseline.  Everything still standing is an *active*
-finding and fails the run (subject to the severity threshold).
+A whole-program run has two phases sharing one parse pass:
+
+* **Phase 1** parses every file exactly once into a
+  :class:`ModuleContext` and assembles the :class:`ProjectContext`
+  (symbol table, resolved import graph, name-reference index).  Files
+  under ``reference_paths`` (tests, benchmarks, examples) are parsed
+  into the reference index only — they feed REP701's liveness evidence
+  but are not themselves linted.
+* **Phase 2** runs the per-module :class:`Rule`s over each context and
+  the :class:`ProjectRule`s over the project context.
+
+Findings a ``# reprolint: disable`` comment covers are set aside (with
+the directive that silenced them, for ``--show-suppressed``); the
+remainder splits against the committed baseline.  Everything still
+standing is an *active* finding and fails the run (subject to the
+severity threshold).
 """
 
 from __future__ import annotations
@@ -11,14 +23,15 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .baseline import Baseline
-from .context import ModuleContext
-from .findings import Finding, Severity
+from .context import ModuleContext, ProjectContext
+from .findings import Finding, Severity, SuppressedFinding
 from .registry import (
     PARSE_ERROR_ID,
     PARSE_ERROR_NAME,
+    ProjectRule,
     Rule,
     all_rules,
 )
@@ -34,8 +47,15 @@ class LintResult:
 
     findings: List[Finding] = field(default_factory=list)
     baselined: List[Finding] = field(default_factory=list)
-    suppressed_count: int = 0
+    suppressed: List[SuppressedFinding] = field(default_factory=list)
     files_scanned: int = 0
+    #: Phase-1 artefact of a whole-program run (``None`` when no
+    #: project rule ran and no graph export was requested).
+    project: Optional[ProjectContext] = None
+
+    @property
+    def suppressed_count(self) -> int:
+        return len(self.suppressed)
 
     def failed(self, threshold: Severity = Severity.WARNING) -> bool:
         return any(f.severity >= threshold for f in self.findings)
@@ -76,6 +96,15 @@ def _display_path(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def split_rules(
+    rules: Sequence[Rule],
+) -> Tuple[List[Rule], List[ProjectRule]]:
+    """Partition ``rules`` into (per-module, project-scope)."""
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    return module_rules, project_rules
+
+
 def lint_source(
     source: str,
     module: str = "<snippet>",
@@ -87,6 +116,9 @@ def lint_source(
 
     The primary entry point for rule tests: feed a fixture snippet and
     an (optional) pretend module name, get the surviving findings.
+    Only per-module rules run — a single snippet has no whole-program
+    context; exercise :class:`ProjectRule`s through :func:`lint_paths`
+    or :meth:`ProjectContext.build`.
     """
     try:
         ctx = ModuleContext.from_source(
@@ -94,8 +126,17 @@ def lint_source(
         )
     except SyntaxError as exc:
         return [_parse_error_finding(path, exc)]
-    checked = _check_module(ctx, all_rules() if rules is None else rules)
-    return checked.findings
+    module_rules, _ = split_rules(
+        all_rules() if rules is None else list(rules)
+    )
+    suppressions = Suppressions.from_source(source)
+    kept: List[Finding] = []
+    for rule in module_rules:
+        for finding in rule.check(ctx):
+            if not suppressions.is_suppressed(finding):
+                kept.append(finding)
+    kept.sort(key=lambda f: f.sort_key)
+    return kept
 
 
 def lint_paths(
@@ -103,17 +144,34 @@ def lint_paths(
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
     root: Optional[Union[str, Path]] = None,
+    reference_paths: Sequence[Union[str, Path]] = (),
+    build_project: Optional[bool] = None,
 ) -> LintResult:
     """Lint files/directories and assemble a :class:`LintResult`.
 
     ``root`` (default: the current directory) anchors the relative
-    paths used in findings and baseline entries.
+    paths used in findings and baseline entries.  ``reference_paths``
+    name extra trees (tests, benchmarks, examples) whose files join the
+    project's name-reference index without being linted; files already
+    covered by ``paths`` are not parsed twice.  ``build_project``
+    forces (``True``) or suppresses (``False``) the phase-1 project
+    build; the default builds it exactly when a project rule is
+    selected.
     """
     anchor = Path.cwd() if root is None else Path(root)
-    active_rules = all_rules() if rules is None else list(rules)
+    module_rules, project_rules = split_rules(
+        all_rules() if rules is None else list(rules)
+    )
+    if build_project is None:
+        build_project = bool(project_rules)
     result = LintResult()
     raw: List[Finding] = []
-    for file_path in iter_python_files(paths):
+
+    # Phase 1: one parse per file, shared by both phases.
+    target_files = iter_python_files(paths)
+    contexts: List[ModuleContext] = []
+    suppressions_by_path: Dict[str, Suppressions] = {}
+    for file_path in target_files:
         result.files_scanned += 1
         display = _display_path(file_path, anchor)
         try:
@@ -122,9 +180,41 @@ def lint_paths(
             raw.append(_parse_error_finding(display, exc))
             continue
         ctx.path = display
-        checked = _check_module(ctx, active_rules)
-        result.suppressed_count += checked.suppressed
-        raw.extend(checked.findings)
+        contexts.append(ctx)
+        suppressions_by_path[display] = Suppressions.from_source(ctx.source)
+
+    project: Optional[ProjectContext] = None
+    if build_project:
+        reference_contexts: List[ModuleContext] = []
+        if reference_paths:
+            already = {path.resolve() for path in target_files}
+            for file_path in iter_python_files(reference_paths):
+                if file_path.resolve() in already:
+                    continue
+                try:
+                    ref = ModuleContext.from_path(file_path)
+                except SyntaxError:
+                    continue  # reference-only files contribute nothing
+                ref.path = _display_path(file_path, anchor)
+                reference_contexts.append(ref)
+        project = ProjectContext.build(contexts, reference_contexts)
+        result.project = project
+
+    # Phase 2a: per-module rules.
+    for ctx in contexts:
+        suppressions = suppressions_by_path[ctx.path]
+        for rule in module_rules:
+            for finding in rule.check(ctx):
+                _route(finding, suppressions, raw, result.suppressed)
+
+    # Phase 2b: project-scope rules.
+    if project is not None:
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                suppressions = suppressions_by_path.get(finding.path)
+                _route(finding, suppressions, raw, result.suppressed)
+
+    result.suppressed.sort(key=lambda s: s.sort_key)
     if baseline is not None:
         active, grandfathered = baseline.apply(raw)
         result.findings = active
@@ -134,26 +224,22 @@ def lint_paths(
     return result
 
 
-@dataclass
-class _CheckedModule:
-    findings: List[Finding]
-    suppressed: int
-
-
-def _check_module(
-    ctx: ModuleContext, rules: Sequence[Rule]
-) -> "_CheckedModule":
-    suppressions = Suppressions.from_source(ctx.source)
-    kept: List[Finding] = []
-    suppressed = 0
-    for rule in rules:
-        for finding in rule.check(ctx):
-            if suppressions.is_suppressed(finding):
-                suppressed += 1
-            else:
-                kept.append(finding)
-    kept.sort(key=lambda f: f.sort_key)
-    return _CheckedModule(findings=kept, suppressed=suppressed)
+def _route(
+    finding: Finding,
+    suppressions: Optional[Suppressions],
+    raw: List[Finding],
+    suppressed: List[SuppressedFinding],
+) -> None:
+    """File ``finding`` as active or suppressed."""
+    directive_line = (
+        suppressions.suppressing_line(finding)
+        if suppressions is not None
+        else None
+    )
+    if directive_line is None:
+        raw.append(finding)
+    else:
+        suppressed.append(SuppressedFinding(finding, directive_line))
 
 
 def _parse_error_finding(path: str, exc: SyntaxError) -> Finding:

@@ -57,3 +57,21 @@ class Finding:
             "col": self.col,
             "message": self.message,
         }
+
+
+@dataclass(frozen=True)
+class SuppressedFinding:
+    """A finding an inline directive silenced, and where the directive
+    sits (so ``--show-suppressed`` can point at the silencer)."""
+
+    finding: Finding
+    directive_line: int
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return self.finding.sort_key
+
+    def to_dict(self) -> Dict[str, Any]:
+        document = self.finding.to_dict()
+        document["directive_line"] = self.directive_line
+        return document

@@ -6,7 +6,7 @@ import ast
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
-from .context import ModuleContext
+from .context import ModuleContext, ProjectContext
 from .findings import Finding, Severity
 
 #: Rule id reserved for files that fail to parse (not a registered rule).
@@ -61,6 +61,47 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program (project-scope) rules.
+
+    Registered through the same :func:`register` decorator and subject
+    to the same suppression/baseline machinery as per-module rules, but
+    checked once per *run* against the phase-1 :class:`ProjectContext`
+    instead of once per module.  The per-module :meth:`Rule.check` hook
+    is a no-op.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self,
+        path: str,
+        node: Union[ast.AST, int],
+        message: str,
+        col: Optional[int] = None,
+    ) -> Finding:
+        """Build a finding at an explicit path (project rules have no
+        single :class:`ModuleContext` to borrow one from)."""
+        if isinstance(node, int):
+            line, column = node, 0 if col is None else col
+        else:
+            line = getattr(node, "lineno", 1)
+            column = getattr(node, "col_offset", 0) if col is None else col
+        return Finding(
+            rule_id=self.meta.id,
+            rule_name=self.meta.name,
+            severity=self.meta.severity,
+            path=path,
+            line=line,
+            col=column,
+            message=message,
+        )
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 
@@ -100,6 +141,44 @@ def get_rule(id_or_name: str) -> Rule:
         if rule.meta.name == lowered:
             return rule
     raise KeyError(f"no rule with id or name {id_or_name!r}")
+
+
+def select_rules(spec: str) -> List[Rule]:
+    """Resolve a ``--select`` spec to rules, sorted by id.
+
+    The spec is comma-separated; each token is a rule id (``REP501``),
+    a rule name (``mutable-default``), or an id prefix selecting a
+    family — ``REP5`` and the catalogue spelling ``REP5xx`` both match
+    every REP5 rule.  Unknown tokens raise ``KeyError``.
+    """
+    _ensure_loaded()
+    chosen: Dict[str, Rule] = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        prefix = token.upper().rstrip("X")
+        family = [
+            rule for rule_id, rule in _REGISTRY.items()
+            if rule_id.startswith(prefix)
+        ]
+        if family and prefix != token.upper():
+            for rule in family:
+                chosen[rule.meta.id] = rule
+            continue
+        try:
+            rule = get_rule(token)
+        except KeyError:
+            if not family:
+                raise KeyError(
+                    f"--select token {token!r} matches no rule id, name "
+                    "or family prefix"
+                ) from None
+            for rule in family:
+                chosen[rule.meta.id] = rule
+            continue
+        chosen[rule.meta.id] = rule
+    return [chosen[rule_id] for rule_id in sorted(chosen)]
 
 
 def known_tokens() -> Iterable[str]:

@@ -1,26 +1,39 @@
-"""Text and JSON reporters for lint results.
+"""Text and JSON reporters for lint results, plus the graph export.
 
 The text reporter follows the same fixed-width table idiom as
 ``repro.obs.report`` (a findings listing, then a per-rule summary
 table, then one totals line); the JSON reporter emits a stable
-document (schema :data:`SCHEMA`) for CI and tooling.
+document (schema :data:`SCHEMA`) for CI and tooling.  The import-graph
+exporter serialises the phase-1 :class:`ProjectContext` as a stable
+``repro.import-graph/v1`` document — the layer map in
+``docs/ARCHITECTURE.md`` is generated from it, not hand-maintained.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
+from .context import ProjectContext
 from .engine import LintResult
 from .findings import Severity
+from .rules.layering import LAYER_RANKS
 
 
-#: Schema identifier embedded in every JSON report.
-SCHEMA = "repro.lint-report/v1"
+#: Schema identifier embedded in every JSON report.  v2 added the
+#: ``summary.per_rule`` counts and the suppressed-findings listing.
+SCHEMA = "repro.lint-report/v2"
+
+#: Schema identifier embedded in every import-graph export.
+GRAPH_SCHEMA = "repro.import-graph/v1"
 
 
-def render_text(result: LintResult, verbose: bool = False) -> str:
+def render_text(
+    result: LintResult,
+    verbose: bool = False,
+    show_suppressed: bool = False,
+) -> str:
     """Human-readable report: findings, per-rule table, totals line."""
     lines: List[str] = []
     for finding in result.findings:
@@ -31,18 +44,28 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
         )
     if result.findings:
         lines.append("")
-        lines.append(f"{'rule':<26}{'id':<9}{'severity':<10}{'findings':>9}")
+        lines.append(f"{'rule':<28}{'id':<9}{'severity':<10}{'findings':>9}")
         by_rule = Counter(
             (f.rule_id, f.rule_name, str(f.severity)) for f in result.findings
         )
         for (rule_id, name, severity), count in sorted(by_rule.items()):
-            lines.append(f"{name:<26}{rule_id:<9}{severity:<10}{count:>9}")
+            lines.append(f"{name:<28}{rule_id:<9}{severity:<10}{count:>9}")
         lines.append("")
     if verbose and result.baselined:
         lines.append("baselined (grandfathered, not failing):")
         for finding in result.baselined:
             lines.append(
                 f"  {finding.location()}: {finding.rule_id} {finding.message}"
+            )
+        lines.append("")
+    if show_suppressed and result.suppressed:
+        lines.append("suppressed (inline directives, not failing):")
+        for item in result.suppressed:
+            finding = item.finding
+            lines.append(
+                f"  {finding.location()}: {finding.rule_id} "
+                f"{finding.message}  "
+                f"(directive at line {item.directive_line})"
             )
         lines.append("")
     lines.append(
@@ -54,19 +77,92 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
     return "\n".join(lines)
 
 
+def summarize(result: LintResult) -> Dict[str, Any]:
+    """The ``summary`` block of a v2 report."""
+    per_rule: Counter = Counter(f.rule_id for f in result.findings)
+    return {
+        "files_scanned": result.files_scanned,
+        "findings": len(result.findings),
+        "baselined": len(result.baselined),
+        "suppressed": result.suppressed_count,
+        "failed": result.failed(Severity.WARNING),
+        "per_rule": {
+            rule_id: count for rule_id, count in sorted(per_rule.items())
+        },
+    }
+
+
 def render_json(result: LintResult, **meta: Any) -> str:
     """Stable JSON report; ``meta`` lands in the document verbatim."""
     document: Dict[str, Any] = {
         "schema": SCHEMA,
         "meta": dict(meta),
-        "summary": {
-            "files_scanned": result.files_scanned,
-            "findings": len(result.findings),
-            "baselined": len(result.baselined),
-            "suppressed": result.suppressed_count,
-            "failed": result.failed(Severity.WARNING),
-        },
+        "summary": summarize(result),
         "findings": [finding.to_dict() for finding in result.findings],
         "baselined": [finding.to_dict() for finding in result.baselined],
+        "suppressed": [item.to_dict() for item in result.suppressed],
     }
     return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _module_unit(module: str) -> Optional[str]:
+    """The layering unit a ``repro.*`` module belongs to (cf.
+    :meth:`ModuleContext.subpackage`)."""
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return None
+    return parts[1] if len(parts) > 1 else ""
+
+
+def import_graph_document(
+    project: ProjectContext, **meta: Any
+) -> Dict[str, Any]:
+    """The ``repro.import-graph/v1`` document for ``project``.
+
+    Nodes are every ``repro.*`` module the run parsed, each carrying
+    its layering unit and REP201 rank (``None`` for unranked units such
+    as the root package).  Edges are the resolved imports between those
+    nodes, de-duplicated to the first def site per ``(src, dst,
+    deferred)``.
+    """
+    nodes = []
+    for module in sorted(project.modules):
+        unit = _module_unit(module)
+        nodes.append(
+            {
+                "module": module,
+                "path": project.modules[module].path,
+                "unit": unit,
+                "rank": LAYER_RANKS.get(unit) if unit is not None else None,
+            }
+        )
+    known = set(project.modules)
+    first_sites: Dict[tuple, Dict[str, Any]] = {}
+    for edge in project.edges:
+        if edge.src not in known or edge.dst not in known:
+            continue
+        key = (edge.src, edge.dst, edge.deferred)
+        record = {
+            "src": edge.src,
+            "dst": edge.dst,
+            "path": edge.path,
+            "line": edge.line,
+            "deferred": edge.deferred,
+        }
+        existing = first_sites.get(key)
+        if existing is None or record["line"] < existing["line"]:
+            first_sites[key] = record
+    edges = [first_sites[key] for key in sorted(first_sites)]
+    return {
+        "schema": GRAPH_SCHEMA,
+        "meta": dict(meta),
+        "nodes": nodes,
+        "edges": edges,
+    }
+
+
+def render_import_graph(project: ProjectContext, **meta: Any) -> str:
+    """Serialise :func:`import_graph_document` as stable JSON."""
+    return json.dumps(
+        import_graph_document(project, **meta), indent=2, sort_keys=True
+    )

@@ -10,5 +10,7 @@ from . import (  # noqa: F401
     determinism,
     generic,
     layering,
+    project,
+    scale,
     telemetry,
 )

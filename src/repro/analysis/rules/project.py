@@ -1,0 +1,87 @@
+"""Project-scope rules (REP203, REP7xx): checks no single module can
+answer.
+
+Both run in phase 2 against the :class:`~repro.analysis.context.
+ProjectContext` built in phase 1.  REP203 closes the gap REP201 leaves
+open: the rank DAG only catches *cross*-layer violations, so two
+modules inside one layering unit can still import each other — a real
+initialisation hazard the per-module rule cannot see.  REP701 is the
+dead-code ratchet: a public symbol nobody in ``src``/``tests``/
+``benchmarks``/``examples`` references is untested, undocumented API
+surface that every refactor must drag along for free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..context import ProjectContext
+from ..findings import Finding, Severity
+from ..registry import ProjectRule, RuleMeta, register
+
+
+@register
+class ImportCycleRule(ProjectRule):
+    """No import-time cycles in the resolved ``repro.*`` import graph."""
+
+    meta = RuleMeta(
+        id="REP203",
+        name="import-cycle",
+        severity=Severity.ERROR,
+        summary="modules form an import-time cycle (intra-layer tangle "
+        "REP201 cannot see)",
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for cycle in project.import_cycles():
+            members = set(cycle)
+            anchor = cycle[0]  # cycles come sorted; first is stable
+            edge = next(
+                edge
+                for edge in project.edges
+                if edge.src == anchor
+                and edge.dst in members
+                and not edge.deferred
+            )
+            ring = " -> ".join(cycle + [anchor])
+            yield self.finding_at(
+                edge.path,
+                edge.line,
+                f"import cycle: {ring}; break it by moving the shared "
+                "code down a layer or deferring one import into the "
+                "function that needs it",
+                col=edge.col,
+            )
+
+
+@register
+class DeadPublicApiRule(ProjectRule):
+    """Public ``src/repro`` symbols must be referenced somewhere in
+    src/tests/benchmarks/examples (baselined as a shrink-only ratchet)."""
+
+    meta = RuleMeta(
+        id="REP701",
+        name="dead-public-api",
+        severity=Severity.WARNING,
+        summary="public symbol referenced nowhere in src/tests/"
+        "benchmarks/examples",
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for module in sorted(project.symbols):
+            for symbol in project.symbols[module]:
+                if symbol.name in project.references:
+                    continue
+                findings.append(
+                    self.finding_at(
+                        symbol.path,
+                        symbol.line,
+                        f"public {symbol.kind} {symbol.name!r} in "
+                        f"{module} is referenced nowhere in src/tests/"
+                        "benchmarks/examples; delete it, use it, or "
+                        "rename it with a leading underscore",
+                        col=symbol.col,
+                    )
+                )
+        return iter(findings)

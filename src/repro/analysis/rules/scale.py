@@ -1,0 +1,207 @@
+"""Scale-hygiene rules (REP8xx): the columnar-refactor burn-down list.
+
+The paper's input is 89.1M IPs; ROADMAP item 1 moves the pipeline onto
+a columnar, out-of-core batch representation so peak memory is
+O(chunk), not O(population).  These rules enumerate every site that
+holds the population in Python objects today: REP801 flags
+materialising an iterable of records inside a stage body, REP802 flags
+the grow-a-list-in-a-loop accumulator pattern.  Their committed
+baseline *is* the refactor burn-down list — each entry a site that must
+move to the batch representation — and the ratchet test in
+``tests/analysis/test_self_lint.py`` guarantees the list only shrinks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..registry import Rule, RuleMeta, register
+
+#: Packages whose stages carry the record population (same scoping as
+#: the REP4xx telemetry rules).
+SCALE_PACKAGES = ("repro.pipeline.", "repro.crawl.")
+
+#: Public module-level functions with these prefixes are stage bodies.
+STAGE_PREFIXES = ("run_", "build_", "generate_")
+
+#: Builtins that materialise their (potentially population-sized)
+#: argument into one in-memory list.
+MATERIALISING_BUILTINS = frozenset({"list", "sorted"})
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp)
+
+
+def _is_stage_def(node: ast.AST) -> bool:
+    return (
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and not node.name.startswith("_")
+        and node.name.startswith(STAGE_PREFIXES)
+    )
+
+
+@register
+class PopulationMaterialisationRule(Rule):
+    """Stage bodies must stream records, not materialise them.
+
+    ``list(records)``, ``sorted(records)`` and list/set/dict
+    comprehensions inside a ``run_*``/``build_*``/``generate_*`` stage
+    body each hold one full pass of the population in memory at once.
+    On paper-scale input that is O(population) peak memory; the
+    columnar refactor replaces each site with a batch operation.
+    """
+
+    meta = RuleMeta(
+        id="REP801",
+        name="population-materialisation",
+        severity=Severity.WARNING,
+        summary="stage body materialises a record iterable "
+        "(list()/sorted()/comprehension); stream or batch it",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(SCALE_PACKAGES):
+            return
+        for fn in ctx.tree.body:
+            if not _is_stage_def(fn):
+                continue
+            for node in ast.walk(fn):
+                if isinstance(node, _COMPREHENSIONS):
+                    kind = type(node).__name__.replace("Comp", "").lower()
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{kind} comprehension in stage {fn.name}() "
+                        "materialises its iterable; on paper-scale "
+                        "input this is O(population) memory — use a "
+                        "generator or move the site to the columnar "
+                        "batch representation",
+                    )
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in MATERIALISING_BUILTINS
+                    and node.args
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{node.func.id}(...) in stage {fn.name}() "
+                        "materialises its argument; on paper-scale "
+                        "input this is O(population) memory — stream "
+                        "it or move the site to the columnar batch "
+                        "representation",
+                    )
+
+
+def _walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function scopes."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not root
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _empty_list_target(stmt: ast.AST) -> Iterator[str]:
+    """Names ``stmt`` binds to a fresh empty list (``x = []``/``list()``)."""
+    if isinstance(stmt, ast.Assign):
+        value, targets = stmt.value, stmt.targets
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        value, targets = stmt.value, [stmt.target]
+    else:
+        return
+    empty = isinstance(value, ast.List) and not value.elts
+    empty = empty or (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "list"
+        and not value.args
+        and not value.keywords
+    )
+    if not empty:
+        return
+    for target in targets:
+        if isinstance(target, ast.Name):
+            yield target.id
+
+
+def _grow_calls(loop: ast.AST) -> Iterator[ast.Call]:
+    """``x.append(...)``/``x.extend(...)`` calls on a bare name inside
+    ``loop``, excluding nested function scopes."""
+    for node in _walk_scope(loop):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("append", "extend")
+            and isinstance(func.value, ast.Name)
+        ):
+            yield node
+
+
+@register
+class UnboundedAccumulatorRule(Rule):
+    """No growing a pre-loop list per record in the scale packages.
+
+    ``out = []`` followed by ``out.append(record)`` inside a loop is
+    the canonical O(population) accumulator.  The columnar refactor
+    replaces it with a pre-sized array or per-chunk batches.
+    """
+
+    meta = RuleMeta(
+        id="REP802",
+        name="unbounded-accumulator",
+        severity=Severity.WARNING,
+        summary="pre-loop list grows per record inside a loop "
+        "(append/extend); pre-size or batch it",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(SCALE_PACKAGES):
+            return
+        scopes: List[ast.AST] = [ctx.tree]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            yield from self._check_scope(ctx, scope)
+
+    def _check_scope(
+        self, ctx: ModuleContext, scope: ast.AST
+    ) -> Iterator[Finding]:
+        # First line at which each name is bound to a fresh empty list
+        # in this scope (nested functions are their own scopes).
+        bound: Dict[str, int] = {}
+        loops: List[ast.AST] = []
+        for node in _walk_scope(scope):
+            for name in _empty_list_target(node):
+                line = node.lineno  # type: ignore[attr-defined]
+                bound[name] = min(bound.get(name, line), line)
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                loops.append(node)
+        flagged: Set[int] = set()
+        for loop in sorted(loops, key=lambda n: (n.lineno, n.col_offset)):
+            for call in _grow_calls(loop):
+                name = call.func.value.id  # type: ignore[union-attr]
+                if name not in bound or bound[name] >= loop.lineno:
+                    continue  # not a *pre-loop* accumulator
+                if id(call) in flagged:
+                    continue  # already reported for an outer loop
+                flagged.add(id(call))
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"list {name!r} (created empty on line "
+                    f"{bound[name]}) grows per record inside a loop; "
+                    "on paper-scale input this is O(population) "
+                    "memory — pre-size it or emit per-chunk batches",
+                )

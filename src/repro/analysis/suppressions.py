@@ -21,7 +21,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Set, Tuple
+from typing import Dict, Iterator, Optional, Set, Tuple
 
 from .findings import Finding
 
@@ -53,6 +53,9 @@ class Suppressions:
 
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
     whole_file: Set[str] = field(default_factory=set)
+    #: First directive line claiming each whole-file token (so a
+    #: suppressed finding can name the directive that silenced it).
+    whole_file_lines: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_source(cls, source: str) -> "Suppressions":
@@ -66,18 +69,29 @@ class Suppressions:
                 }
                 if match.group("kind") == "disable-file":
                     parsed.whole_file |= tokens
+                    for token in tokens:
+                        parsed.whole_file_lines.setdefault(token, lineno)
                 else:
                     parsed.by_line.setdefault(lineno, set()).update(tokens)
         return parsed
 
+    def _tokens_for(self, finding: Finding) -> Set[str]:
+        return {ALL, finding.rule_id.lower(), finding.rule_name.lower()}
+
     def _matches(self, tokens: Set[str], finding: Finding) -> bool:
-        return bool(
-            tokens
-            & {ALL, finding.rule_id.lower(), finding.rule_name.lower()}
-        )
+        return bool(tokens & self._tokens_for(finding))
 
     def is_suppressed(self, finding: Finding) -> bool:
-        if self._matches(self.whole_file, finding):
-            return True
+        return self.suppressing_line(finding) is not None
+
+    def suppressing_line(self, finding: Finding) -> Optional[int]:
+        """Line of the directive suppressing ``finding``, or ``None``."""
+        matched = self.whole_file & self._tokens_for(finding)
+        if matched:
+            return min(
+                self.whole_file_lines.get(token, 1) for token in matched
+            )
         tokens = self.by_line.get(finding.line, set())
-        return self._matches(tokens, finding)
+        if self._matches(tokens, finding):
+            return finding.line
+        return None

@@ -14,6 +14,8 @@
     repro-eyeball stats history [--limit 10] [--name table1] [--format json]
     repro-eyeball stats events EVENTS.jsonl [--format text|json]
     repro-eyeball lint     [PATH ...] [--format text|json] [--list-rules]
+                           [--select RULES] [--graph-out GRAPH.json]
+                           [--show-suppressed]
 
 Each subcommand prints the same rendered table/figure the benchmark
 harness archives, with the paper's numbers alongside.  ``--preset
@@ -69,8 +71,10 @@ from .analysis import (
     Severity,
     all_rules,
     lint_paths,
+    render_import_graph,
     render_json,
     render_text,
+    select_rules,
 )
 from .exec import MAX_WORKERS, ParallelConfig
 from .experiments.figure1 import run_figure1
@@ -241,6 +245,10 @@ def cmd_all(args) -> int:
 #: Baseline file the lint subcommand looks for when --baseline is absent.
 DEFAULT_BASELINE = ".reprolint.json"
 
+#: Trees whose files feed the whole-program reference index (REP701's
+#: liveness evidence) without being linted themselves.
+REFERENCE_ROOTS = ("src", "tests", "benchmarks", "examples")
+
 
 def _lint_targets(args) -> List[str]:
     if args.paths:
@@ -250,6 +258,10 @@ def _lint_targets(args) -> List[str]:
     if Path("src/repro").is_dir():
         return ["src/repro"]
     return [str(Path(__file__).parent)]
+
+
+def _lint_reference_paths() -> List[str]:
+    return [root for root in REFERENCE_ROOTS if Path(root).is_dir()]
 
 
 def cmd_lint(args) -> int:
@@ -263,15 +275,40 @@ def cmd_lint(args) -> int:
                 f"{meta.summary}"
             )
         return 0
+    rules = None
+    if args.select:
+        try:
+            rules = select_rules(args.select)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
     baseline_path = Path(args.baseline or DEFAULT_BASELINE)
     baseline = None
     if not args.no_baseline and not args.write_baseline:
         baseline = Baseline.load(baseline_path)
     try:
-        result = lint_paths(_lint_targets(args), baseline=baseline)
+        result = lint_paths(
+            _lint_targets(args),
+            rules=rules,
+            baseline=baseline,
+            reference_paths=_lint_reference_paths(),
+            build_project=True if args.graph_out else None,
+        )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.graph_out and result.project is not None:
+        Path(args.graph_out).write_text(
+            render_import_graph(
+                result.project, targets=_lint_targets(args)
+            )
+            + "\n"
+        )
+        print(
+            f"import graph ({len(result.project.modules)} modules) "
+            f"written to {args.graph_out}",
+            file=sys.stderr,
+        )
     if args.write_baseline:
         saved = Baseline.from_findings(result.findings).save(baseline_path)
         print(
@@ -290,7 +327,13 @@ def cmd_lint(args) -> int:
             )
         )
     else:
-        print(render_text(result, verbose=args.verbose))
+        print(
+            render_text(
+                result,
+                verbose=args.verbose,
+                show_suppressed=args.show_suppressed,
+            )
+        )
     return result.exit_status(threshold)
 
 
@@ -828,6 +871,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="also list baselined (grandfathered) findings",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by inline directives, with "
+        "the suppressing directive's line",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="run only these rules: comma-separated ids, names or "
+        "family prefixes (e.g. 'REP5xx,REP203')",
+    )
+    lint.add_argument(
+        "--graph-out",
+        metavar="PATH",
+        default=None,
+        help="write the resolved repro.import-graph/v1 document "
+        "(nodes with layer ranks, edges with def sites) to PATH",
     )
     lint.set_defaults(handler=cmd_lint)
     return parser

@@ -126,7 +126,11 @@ def test_render_text_and_json_shapes(tmp_path):
     assert "REP201" in text
     assert "files scanned" in text
     document = json.loads(render_json(result, targets=["repro"]))
-    assert document["schema"] == "repro.lint-report/v1"
+    assert document["schema"] == "repro.lint-report/v2"
     assert document["summary"]["failed"] is True
     assert document["meta"]["targets"] == ["repro"]
     assert len(document["findings"]) == len(result.findings)
+    per_rule = document["summary"]["per_rule"]
+    assert per_rule["REP201"] >= 1
+    assert sum(per_rule.values()) == len(result.findings)
+    assert document["suppressed"] == []

@@ -1,0 +1,295 @@
+"""Phase 1: ProjectContext assembly, the single parse pass, and the
+import-graph export — including the committed-schema check and the
+module-name/import-resolution round-trip against the real tree."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import (
+    ModuleContext,
+    ProjectContext,
+    import_graph_document,
+    iter_python_files,
+    lint_paths,
+    render_import_graph,
+)
+from repro.analysis.context import infer_module_name
+from repro.analysis.rules.layering import LAYER_RANKS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SOURCE = REPO_ROOT / "src" / "repro"
+
+
+def ctx(source, module, path=None):
+    return ModuleContext.from_source(
+        textwrap.dedent(source),
+        module=module,
+        path=path or module.replace(".", "/") + ".py",
+        is_package_init=module.endswith("__init__"),
+    )
+
+
+def write_tree(root, files):
+    for relative, content in files.items():
+        target = root / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(content))
+    return root
+
+
+# -- symbol table ------------------------------------------------------
+
+
+def test_symbol_table_collects_public_module_level_defs():
+    project = ProjectContext.build(
+        [
+            ctx(
+                """
+                CONSTANT = 1
+                _private = 2
+
+                def helper():
+                    pass
+
+                def _hidden():
+                    pass
+
+                class Widget:
+                    inner = 3  # class-level, not module-level
+
+                annotated: int = 4
+                """,
+                "repro.geo.fixture",
+            )
+        ]
+    )
+    names = {
+        (s.name, s.kind) for s in project.symbols["repro.geo.fixture"]
+    }
+    assert names == {
+        ("CONSTANT", "constant"),
+        ("helper", "function"),
+        ("Widget", "class"),
+        ("annotated", "constant"),
+    }
+
+
+def test_registered_defs_are_exempt_but_dataclasses_are_not():
+    project = ProjectContext.build(
+        [
+            ctx(
+                """
+                from dataclasses import dataclass
+
+                @register
+                class Registered:
+                    pass
+
+                @dataclass(frozen=True)
+                class Plain:
+                    x: int = 0
+                """,
+                "repro.geo.fixture",
+            )
+        ]
+    )
+    names = {s.name for s in project.symbols["repro.geo.fixture"]}
+    assert names == {"Plain"}
+
+
+def test_non_repro_modules_hold_no_symbols():
+    project = ProjectContext.build([ctx("def loose():\n    pass\n", "loose")])
+    assert project.symbols == {}
+    assert project.modules == {}
+
+
+# -- reference index ---------------------------------------------------
+
+
+def test_references_cover_loads_attrs_imports_and_all():
+    project = ProjectContext.build(
+        [
+            ctx(
+                """
+                from repro.geo.fixture import imported_name
+
+                __all__ = ["exported_name"]
+
+                def use():
+                    loaded_name()
+                    obj.attr_name
+                    written_name = 1
+                """,
+                "repro.core.fixture",
+            )
+        ]
+    )
+    refs = project.references
+    assert {"imported_name", "exported_name", "loaded_name", "attr_name"} <= refs
+    # Assignment targets are definitions, not references.
+    assert "written_name" not in refs
+
+
+# -- import graph ------------------------------------------------------
+
+
+def test_edges_resolve_submodules_and_mark_deferred():
+    project = ProjectContext.build(
+        [
+            ctx(
+                """
+                from typing import TYPE_CHECKING
+                from repro.geo import coords
+
+                if TYPE_CHECKING:
+                    from repro.net.fixture import Thing
+
+                def lazy():
+                    from repro.geodb.fixture import load
+                    return load
+                """,
+                "repro.core.fixture",
+            ),
+            ctx("X = 1\n", "repro.geo.coords"),
+            ctx("class Thing:\n    pass\n", "repro.net.fixture"),
+            ctx("def load():\n    pass\n", "repro.geodb.fixture"),
+        ]
+    )
+    by_dst = {e.dst: e for e in project.edges if e.src == "repro.core.fixture"}
+    # ``from repro.geo import coords`` resolves to the submodule node.
+    assert by_dst["repro.geo.coords"].deferred is False
+    assert by_dst["repro.net.fixture"].deferred is True  # TYPE_CHECKING
+    assert by_dst["repro.geodb.fixture"].deferred is True  # in-function
+
+
+def test_relative_imports_resolve_through_package_parts():
+    project = ProjectContext.build(
+        [
+            ctx(
+                "from .coords import haversine_km\n",
+                "repro.geo.world",
+            ),
+            ctx("def haversine_km():\n    pass\n", "repro.geo.coords"),
+        ]
+    )
+    edges = {(e.src, e.dst) for e in project.edges}
+    assert ("repro.geo.world", "repro.geo.coords") in edges
+
+
+def test_import_cycles_sees_real_cycle_and_ignores_deferred():
+    cyclic = ProjectContext.build(
+        [
+            ctx("import repro.b\n", "repro.a"),
+            ctx("import repro.a\n", "repro.b"),
+        ]
+    )
+    assert cyclic.import_cycles() == [["repro.a", "repro.b"]]
+    lazy = ProjectContext.build(
+        [
+            ctx("import repro.b\n", "repro.a"),
+            ctx(
+                """
+                def late():
+                    import repro.a
+                """,
+                "repro.b",
+            ),
+        ]
+    )
+    assert lazy.import_cycles() == []
+
+
+# -- single parse pass (satellite: no double-parse) --------------------
+
+
+def test_each_file_parsed_exactly_once(tmp_path, monkeypatch):
+    import ast as ast_module
+
+    write_tree(
+        tmp_path,
+        {
+            "repro/__init__.py": "",
+            "repro/geo/__init__.py": "",
+            "repro/geo/coords.py": "def haversine_km():\n    pass\n",
+            "reference/test_usage.py": (
+                "from repro.geo.coords import haversine_km\n"
+            ),
+        },
+    )
+    parsed = []
+    real_parse = ast_module.parse
+
+    def counting_parse(source, *args, **kwargs):
+        parsed.append(kwargs.get("filename") or "<memory>")
+        return real_parse(source, *args, **kwargs)
+
+    monkeypatch.setattr("repro.analysis.context.ast.parse", counting_parse)
+    result = lint_paths(
+        [tmp_path / "repro"],
+        root=tmp_path,
+        # Overlapping reference paths must not re-parse target files.
+        reference_paths=[tmp_path / "repro", tmp_path / "reference"],
+    )
+    assert result.project is not None
+    assert result.files_scanned == 3
+    assert len(parsed) == 4, parsed  # 3 targets + 1 reference, once each
+
+
+# -- graph export: committed schema check ------------------------------
+
+
+def test_import_graph_document_schema_on_real_tree():
+    result = lint_paths(
+        [SOURCE], root=REPO_ROOT, baseline=None, build_project=True
+    )
+    document = import_graph_document(result.project)
+    assert document["schema"] == "repro.import-graph/v1"
+    modules = [node["module"] for node in document["nodes"]]
+    assert modules == sorted(modules)
+    assert set(modules) == set(result.project.modules)
+    ranked_units = set()
+    for node in document["nodes"]:
+        assert set(node) == {"module", "path", "unit", "rank"}
+        if node["unit"] in LAYER_RANKS:
+            assert node["rank"] == LAYER_RANKS[node["unit"]]
+            ranked_units.add(node["unit"])
+        else:
+            assert node["rank"] is None
+    # Every layering unit in the map is present in the tree.
+    assert ranked_units == set(LAYER_RANKS)
+    node_set = set(modules)
+    for edge in document["edges"]:
+        assert set(edge) == {"src", "dst", "path", "line", "deferred"}
+        assert edge["src"] in node_set and edge["dst"] in node_set
+        assert edge["line"] >= 1
+    # Serialisation is stable: same tree, same bytes.
+    assert render_import_graph(result.project) == render_import_graph(
+        result.project
+    )
+    json.loads(render_import_graph(result.project))
+
+
+# -- real-tree resolution round-trip (satellite) -----------------------
+
+
+def test_module_names_round_trip_with_graph_nodes():
+    files = iter_python_files([SOURCE])
+    result = lint_paths(
+        [SOURCE], root=REPO_ROOT, baseline=None, build_project=True
+    )
+    inferred = {infer_module_name(path) for path in files}
+    assert set(result.project.modules) == inferred
+
+
+def test_every_resolved_repro_import_targets_an_existing_module():
+    result = lint_paths(
+        [SOURCE], root=REPO_ROOT, baseline=None, build_project=True
+    )
+    known = set(result.project.modules)
+    stale = [
+        f"{edge.path}:{edge.line}: {edge.src} -> {edge.dst}"
+        for edge in result.project.edges
+        if edge.dst not in known
+    ]
+    assert stale == [], "stale repro.* imports:\n" + "\n".join(stale)

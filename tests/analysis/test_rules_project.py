@@ -1,0 +1,200 @@
+"""Project-scope rules: REP203 import cycles, REP701 dead public API."""
+
+import textwrap
+
+from repro.analysis import ModuleContext, ProjectContext, lint_paths
+from repro.analysis.rules.project import DeadPublicApiRule, ImportCycleRule
+
+
+def ctx(source, module):
+    return ModuleContext.from_source(
+        textwrap.dedent(source),
+        module=module,
+        path=module.replace(".", "/") + ".py",
+        is_package_init=False,
+    )
+
+
+def build(*contexts, references=()):
+    return ProjectContext.build(list(contexts), list(references))
+
+
+# -- REP203 import-cycle ----------------------------------------------
+
+
+def test_two_module_cycle_is_reported_once():
+    project = build(
+        ctx("from repro.geo.b import thing\n", "repro.geo.a"),
+        ctx("from repro.geo.a import other\n", "repro.geo.b"),
+    )
+    findings = list(ImportCycleRule().check_project(project))
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule_id == "REP203"
+    assert "repro.geo.a -> repro.geo.b -> repro.geo.a" in finding.message
+    # Anchored at the first member's import-time edge into the ring.
+    assert finding.path == "repro/geo/a.py"
+    assert finding.line == 1
+
+
+def test_three_module_ring_reports_full_ring():
+    project = build(
+        ctx("import repro.core.b\n", "repro.core.a"),
+        ctx("import repro.core.c\n", "repro.core.b"),
+        ctx("import repro.core.a\n", "repro.core.c"),
+    )
+    findings = list(ImportCycleRule().check_project(project))
+    assert len(findings) == 1
+    for member in ("repro.core.a", "repro.core.b", "repro.core.c"):
+        assert member in findings[0].message
+
+
+def test_deferred_edge_breaks_the_cycle():
+    project = build(
+        ctx("from repro.geo.b import thing\n", "repro.geo.a"),
+        ctx(
+            """
+            def late():
+                from repro.geo.a import other
+                return other
+            """,
+            "repro.geo.b",
+        ),
+    )
+    assert list(ImportCycleRule().check_project(project)) == []
+
+
+def test_type_checking_edge_breaks_the_cycle():
+    project = build(
+        ctx("from repro.geo.b import thing\n", "repro.geo.a"),
+        ctx(
+            """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.geo.a import Other
+            """,
+            "repro.geo.b",
+        ),
+    )
+    assert list(ImportCycleRule().check_project(project)) == []
+
+
+def test_acyclic_chain_is_clean():
+    project = build(
+        ctx("from repro.geo.b import thing\n", "repro.geo.a"),
+        ctx("from repro.geo.c import deeper\n", "repro.geo.b"),
+        ctx("DEEPER = 1\ndeeper = DEEPER\n", "repro.geo.c"),
+    )
+    assert list(ImportCycleRule().check_project(project)) == []
+
+
+def test_cycle_surfaces_as_error_through_lint_paths(tmp_path):
+    package = tmp_path / "repro"
+    geo = package / "geo"
+    geo.mkdir(parents=True)
+    (package / "__init__.py").write_text("")
+    (geo / "__init__.py").write_text("")
+    (geo / "a.py").write_text("from repro.geo.b import thing\nuse = thing\n")
+    (geo / "b.py").write_text("from repro.geo.a import use\nthing = use\n")
+    result = lint_paths([package], root=tmp_path)
+    cycles = [f for f in result.findings if f.rule_id == "REP203"]
+    assert len(cycles) == 1
+    assert str(cycles[0].severity) == "error"
+    assert result.exit_status() == 1
+
+
+# -- REP701 dead-public-api -------------------------------------------
+
+
+def test_unreferenced_public_symbols_are_dead():
+    project = build(
+        ctx(
+            """
+            LIVE_CONSTANT = 1
+
+            def live():
+                pass
+
+            def dead():
+                pass
+
+            class DeadWidget:
+                pass
+            """,
+            "repro.geo.api",
+        ),
+        ctx(
+            "from repro.geo.api import live\n_x = live() + LIVE_CONSTANT\n",
+            "repro.core.user",
+        ),
+    )
+    findings = list(DeadPublicApiRule().check_project(project))
+    dead = {f.message.split("'")[1] for f in findings}
+    assert dead == {"dead", "DeadWidget"}
+    assert all(f.rule_id == "REP701" for f in findings)
+    assert all(f.path == "repro/geo/api.py" for f in findings)
+
+
+def test_reference_only_contexts_keep_symbols_alive():
+    api = ctx("def covered():\n    pass\n", "repro.geo.api")
+    test_file = ctx(
+        "from repro.geo.api import covered\ncovered()\n", "test_api"
+    )
+    assert list(
+        DeadPublicApiRule().check_project(build(api))
+    ), "symbol should be dead without the reference tree"
+    assert (
+        list(
+            DeadPublicApiRule().check_project(
+                build(api, references=[test_file])
+            )
+        )
+        == []
+    )
+
+
+def test_attribute_access_and_all_exports_count_as_references():
+    project = build(
+        ctx(
+            "def by_attr():\n    pass\n\ndef by_all():\n    pass\n",
+            "repro.geo.api",
+        ),
+        ctx(
+            """
+            import repro.geo.api
+
+            __all__ = ["by_all"]
+
+            _value = repro.geo.api.by_attr()
+            """,
+            "repro.core.user",
+        ),
+    )
+    assert list(DeadPublicApiRule().check_project(project)) == []
+
+
+def test_private_and_registered_defs_are_never_reported():
+    project = build(
+        ctx(
+            """
+            def _internal():
+                pass
+
+            @register
+            class Plugin:
+                pass
+            """,
+            "repro.geo.api",
+        )
+    )
+    assert list(DeadPublicApiRule().check_project(project)) == []
+
+
+def test_own_def_site_does_not_keep_symbol_alive():
+    # The def statement binds the name (Store context); only a *load*
+    # somewhere else counts as a reference.
+    project = build(ctx("def lonely():\n    pass\n", "repro.geo.api"))
+    findings = list(DeadPublicApiRule().check_project(project))
+    assert [f.rule_id for f in findings] == ["REP701"]
+    assert "'lonely'" in findings[0].message

@@ -1,0 +1,193 @@
+"""Scale-hygiene rules: REP801 stage materialisation, REP802
+accumulators.  Both scope to ``repro.pipeline``/``repro.crawl``."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.rules.scale import (
+    PopulationMaterialisationRule,
+    UnboundedAccumulatorRule,
+)
+
+
+def findings_for(rule, source, module="repro.pipeline.fixture"):
+    return lint_source(
+        textwrap.dedent(source), module=module, rules=[rule]
+    )
+
+
+# -- REP801 population-materialisation ---------------------------------
+
+
+def test_list_sorted_and_comprehensions_flagged_in_stage_body():
+    findings = findings_for(
+        PopulationMaterialisationRule(),
+        """
+        def run_map(records):
+            snapshot = list(records)
+            ordered = sorted(records)
+            squares = [r.x for r in records]
+            keys = {r.key for r in records}
+            table = {r.key: r for r in records}
+            return snapshot, ordered, squares, keys, table
+        """,
+    )
+    assert [f.rule_id for f in findings] == ["REP801"] * 5
+    assert all("run_map()" in f.message for f in findings)
+
+
+def test_stage_prefixes_and_private_helpers_scope_the_rule():
+    source = """
+        def shuffle(records):
+            return list(records)
+
+        def _build_hidden(records):
+            return sorted(records)
+
+        def build_dataset(records):
+            return [r for r in records]
+
+        def generate_report(records):
+            return sorted(records)
+    """
+    findings = findings_for(PopulationMaterialisationRule(), source)
+    # Only the two stage-prefixed public defs are in scope.
+    stages = {f.message.split(" in stage ")[1].split("(")[0] for f in findings}
+    assert stages == {"build_dataset", "generate_report"}
+
+
+def test_generators_and_argless_calls_are_fine():
+    findings = findings_for(
+        PopulationMaterialisationRule(),
+        """
+        def run_map(records):
+            lazy = (r.x for r in records)
+            fresh = list()
+            return lazy, fresh
+        """,
+    )
+    assert findings == []
+
+
+def test_rule_ignores_modules_outside_scale_packages():
+    source = """
+        def run_map(records):
+            return list(records)
+    """
+    assert findings_for(
+        PopulationMaterialisationRule(), source, module="repro.core.kde"
+    ) == []
+    assert findings_for(
+        PopulationMaterialisationRule(), source, module="repro.crawl.fixture"
+    ) != []
+
+
+# -- REP802 unbounded-accumulator --------------------------------------
+
+
+def test_pre_loop_accumulator_flagged_for_append_and_extend():
+    findings = findings_for(
+        UnboundedAccumulatorRule(),
+        """
+        def collect(records):
+            out = []
+            extra = list()
+            for record in records:
+                out.append(record)
+                extra.extend(record.parts)
+            return out, extra
+        """,
+    )
+    assert [f.rule_id for f in findings] == ["REP802", "REP802"]
+    assert "'out'" in findings[0].message
+    assert "'extra'" in findings[1].message
+
+
+def test_while_loop_counts_as_a_loop():
+    findings = findings_for(
+        UnboundedAccumulatorRule(),
+        """
+        def drain(queue):
+            seen = []
+            while queue:
+                seen.append(queue.pop())
+            return seen
+        """,
+    )
+    assert [f.rule_id for f in findings] == ["REP802"]
+
+
+def test_list_created_inside_loop_is_bounded():
+    findings = findings_for(
+        UnboundedAccumulatorRule(),
+        """
+        def group(records):
+            for record in records:
+                row = []
+                row.append(record.x)
+                yield row
+        """,
+    )
+    assert findings == []
+
+
+def test_nested_function_scope_is_independent():
+    findings = findings_for(
+        UnboundedAccumulatorRule(),
+        """
+        def outer(records):
+            out = []
+
+            def inner(batch):
+                local = []
+                for item in batch:
+                    local.append(item)
+                return local
+
+            return inner
+        """,
+    )
+    # ``local`` is flagged (pre-loop in *its* scope); ``out`` never
+    # grows, and the outer scope must not see inner's loop.
+    assert len(findings) == 1
+    assert "'local'" in findings[0].message
+
+
+def test_nested_loops_report_each_call_once():
+    findings = findings_for(
+        UnboundedAccumulatorRule(),
+        """
+        def flatten(groups):
+            out = []
+            for group in groups:
+                for item in group:
+                    out.append(item)
+            return out
+        """,
+    )
+    assert len(findings) == 1
+
+
+def test_module_level_accumulator_is_in_scope():
+    findings = findings_for(
+        UnboundedAccumulatorRule(),
+        """
+        ROWS = []
+        for i in range(3):
+            ROWS.append(i)
+        """,
+    )
+    assert [f.rule_id for f in findings] == ["REP802"]
+
+
+def test_accumulator_rule_ignores_modules_outside_scale_packages():
+    source = """
+        def collect(records):
+            out = []
+            for record in records:
+                out.append(record)
+            return out
+    """
+    assert findings_for(
+        UnboundedAccumulatorRule(), source, module="repro.geo.coords"
+    ) == []
