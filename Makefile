@@ -24,7 +24,8 @@ experiments:
 	$(PYTHON) -m repro.cli all
 
 profile:
-	$(PYTHON) -m repro.cli --log-level info stats --top 10
+	$(PYTHON) -m repro.cli --log-level info --profile-resources \
+		stats --top 10
 
 lint:
 	$(PYTHON) -m repro.cli lint
@@ -35,15 +36,20 @@ lint:
 lint-tests:
 	$(PYTHON) -m repro.cli lint tests benchmarks --select REP5 --no-baseline
 
-# The CI perf + data gate, runnable locally: instrumented smoke run,
-# funnel conservation check, then a noise-aware diff against the
-# committed baseline (exit 1 on regression or data drift).
+# The CI perf + data + resource gate, runnable locally: instrumented
+# smoke run, funnel conservation check, resource-profile validation
+# against the committed budget, then a noise-aware diff against the
+# committed baseline (exit 1 on regression or drift of any kind).
 smoke:
 	$(PYTHON) -m repro.cli --metrics-out smoke-report.json \
-		--trace-out smoke-trace.json --memory table1
+		--trace-out smoke-trace.json --memory \
+		--profile-resources table1
 	$(PYTHON) -m repro.cli stats funnel smoke-report.json
+	$(PYTHON) -m repro.cli stats resources smoke-report.json \
+		--budget benchmarks/baselines/resource-budget.json
 	$(PYTHON) -m repro.cli stats diff benchmarks/baselines/smoke.json \
-		smoke-report.json --max-ratio 4.0 --noise-floor-ms 50
+		smoke-report.json --max-ratio 4.0 --noise-floor-ms 50 \
+		--cpu-util-tolerance 0.75
 
 # The CI engine gate, runnable locally: the rendered table1 must be
 # byte-identical with the engine off, cold and warm; the warm re-run
@@ -68,7 +74,7 @@ smoke-parallel:
 # Refresh the committed perf baseline (only for understood changes).
 smoke-baseline:
 	$(PYTHON) -m repro.cli --metrics-out benchmarks/baselines/smoke.json \
-		--memory table1
+		--memory --profile-resources table1
 
 history:
 	$(PYTHON) -m repro.cli stats history

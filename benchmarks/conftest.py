@@ -23,8 +23,12 @@ import pytest
 from repro.experiments.scenario import ScenarioConfig, cached_scenario
 from repro.obs import telemetry as obs
 from repro.obs.history import RunHistory, utc_timestamp
+from repro.obs.resources import sample_resources
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Sampling rate of the per-benchmark resource profiler.
+BENCH_PROFILE_HZ = 10.0
 
 #: The longitudinal archive every record is appended to.
 HISTORY_PATH = RESULTS_DIR / "history.jsonl"
@@ -66,10 +70,15 @@ def archive(request):
 
     Telemetry is captured for the duration of the test, embedded in the
     JSON record under ``"telemetry"``, and the whole record is appended
-    to ``results/history.jsonl``.
+    to ``results/history.jsonl``.  A resource sampler runs alongside
+    (rollups only) and embeds its per-stage accounting under
+    ``"resources"`` — the numbers ``benchmarks/baselines/``'s resource
+    budget is calibrated against.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
-    with obs.capture() as telemetry:
+    with obs.capture() as telemetry, sample_resources(
+        BENCH_PROFILE_HZ, telemetry=telemetry, keep_samples=False
+    ) as sampler:
         start = time.perf_counter()
 
         def write(name: str, text: str, **extra) -> None:
@@ -84,6 +93,7 @@ def archive(request):
                 "git_rev": _git_rev(),
                 "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
                 "telemetry": telemetry.snapshot(),
+                "resources": sampler.rollups(),
             }
             record.update(extra)
             (RESULTS_DIR / f"{name}.json").write_text(

@@ -10,9 +10,12 @@
     repro-eyeball all      [--preset small]
     repro-eyeball stats    [--preset small] [--top 10]
     repro-eyeball stats diff OLD.json NEW.json [--max-ratio 1.5]
+                           [--max-rss-ratio 1.5]
     repro-eyeball stats funnel REPORT.json [--format text|json]
     repro-eyeball stats history [--limit 10] [--name table1] [--format json]
-    repro-eyeball stats events EVENTS.jsonl [--format text|json]
+    repro-eyeball stats events EVENTS.jsonl [--format text|json] [--limit N]
+    repro-eyeball stats resources REPORT.json [--format text|json]
+                           [--budget BUDGET.json]
     repro-eyeball lint     [PATH ...] [--format text|json] [--list-rules]
                            [--select RULES] [--graph-out GRAPH.json]
                            [--show-suppressed]
@@ -35,6 +38,11 @@ Global observability flags (see ``docs/OBSERVABILITY.md``):
 ``--memory``
     With telemetry enabled, additionally gauge per-span peak heap via
     ``tracemalloc`` (``memory.peak_kib.*``); a no-op otherwise.
+``--profile-resources[=HZ]``
+    With telemetry enabled, sample RSS/CPU/heap on a background thread
+    (default 10 Hz) into a ``repro.resource-profile/v1`` section of the
+    run report, rendered as counter tracks in ``--trace-out`` traces;
+    inspect with ``stats resources``.  A no-op otherwise.
 ``--events-out PATH.jsonl``
     Stream live ``repro.events/v1`` events (stage progress, heartbeats,
     stall warnings) to PATH while the run executes — independent of the
@@ -63,7 +71,7 @@ import json
 import sys
 from contextlib import ExitStack
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from . import __version__
 from .analysis import (
@@ -89,6 +97,7 @@ from .experiments.section5 import run_section5
 from .experiments.section6 import run_section6
 from .experiments.table1 import run_table1
 from .obs import events as obs_events
+from .obs import resources as obs_resources
 from .obs import telemetry as obs
 from .obs.diff import DiffThresholds, diff_reports
 from .obs.history import RunHistory
@@ -125,7 +134,11 @@ def _parallel_config(args) -> Optional[ParallelConfig]:
     """
     if args.workers == 1 and args.cache_dir is None:
         return None
-    return ParallelConfig(workers=args.workers, cache_dir=args.cache_dir)
+    return ParallelConfig(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        profile_hz=getattr(args, "profile_resources", None),
+    )
 
 
 def _reference_config(args) -> ReferenceConfig:
@@ -347,13 +360,19 @@ def cmd_stats(args) -> int:
     config = _scenario_config(args)
     active = obs.get_telemetry()
     if active.enabled:  # --metrics-out/--trace-out installed a registry
-        telemetry = active
+        telemetry = active  # main() already armed the sampler, if any
         scenario = _run_profiled(config, args)
-    elif args.memory:
-        with capture_memory() as telemetry:
-            scenario = _run_profiled(config, args)
     else:
-        with obs.capture() as telemetry:
+        enable = capture_memory if args.memory else obs.capture
+        with ExitStack() as stack:
+            telemetry = stack.enter_context(enable())
+            profile_hz = getattr(args, "profile_resources", None)
+            if profile_hz:
+                stack.enter_context(
+                    obs_resources.sample_resources(
+                        profile_hz, telemetry=telemetry
+                    )
+                )
             scenario = _run_profiled(config, args)
     report = RunReport.from_telemetry(
         telemetry,
@@ -401,6 +420,9 @@ def cmd_stats_diff(args) -> int:
         retention_abs_tol=args.retention_tolerance,
         quantile_rel_tol=args.quantile_tolerance,
         fail_on_data_drift=not args.no_fail_on_data_drift,
+        max_rss_ratio=args.max_rss_ratio,
+        cpu_util_abs_tol=args.cpu_util_tolerance,
+        fail_on_resource_drift=not args.no_fail_on_resource_drift,
     )
     try:
         result = diff_reports(old, new, thresholds)
@@ -427,6 +449,10 @@ def cmd_stats_diff(args) -> int:
             detail = "data drift (" + ", ".join(
                 d.stage if hasattr(d, "stage") else f"{d.name}.{d.quantile}"
                 for d in result.data_drifts
+            ) + ")"
+        elif result.resource_drifts:
+            detail = "resource drift (" + ", ".join(
+                f"{d.scope}.{d.metric}" for d in result.resource_drifts
             ) + ")"
         else:
             detail = "metric drift"
@@ -491,16 +517,83 @@ def cmd_stats_events(args) -> int:
         return 2
     parsed, problems = obs_events.parse_events(text)
     problems = problems + obs_events.validate_events(parsed)
+    # --limit trims what is *shown*, never what is validated: sequence
+    # gaps in the untrimmed head must still fail the gate.
+    shown = parsed
+    if args.limit is not None:
+        if args.limit < 0:
+            print("error: --limit must be non-negative", file=sys.stderr)
+            return 2
+        shown = parsed[len(parsed) - args.limit:] if args.limit else []
     if args.format == "json":
-        summary = obs_events.summarize_events(parsed)
+        summary = obs_events.summarize_events(shown)
         summary["valid"] = not problems
         summary["problems"] = problems
+        if args.limit is not None:
+            summary["total_events"] = len(parsed)
+            summary["shown_events"] = len(shown)
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
-        print(obs_events.render_events(parsed))
+        if len(shown) < len(parsed):
+            print(
+                f"(showing last {len(shown)} of {len(parsed)} events)"
+            )
+        print(obs_events.render_events(shown))
     for problem in problems:
         print(f"event stream INVALID: {problem}", file=sys.stderr)
     return 1 if problems else 0
+
+
+def cmd_stats_resources(args) -> int:
+    """Render and validate a report's resource profile.
+
+    Exit 0 on a valid (and within-budget) profile, 1 on schema damage
+    or a budget breach, 2 when the report/budget cannot be loaded or
+    the report carries no resource-profile section.
+    """
+    try:
+        report = RunReport.load(args.report)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load run report: {exc}", file=sys.stderr)
+        return 2
+    profile = report.resource_profile
+    if not profile:
+        print(
+            f"error: {args.report} has no "
+            f"{obs_resources.RESOURCE_PROFILE_SCHEMA} section; "
+            "regenerate it with --profile-resources",
+            file=sys.stderr,
+        )
+        return 2
+    problems = obs_resources.validate_profile(profile)
+    breaches: List[str] = []
+    if args.budget is not None:
+        try:
+            budget = json.loads(Path(args.budget).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load budget: {exc}", file=sys.stderr)
+            return 2
+        breaches = obs_resources.check_budget(profile, budget)
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "schema": obs_resources.RESOURCE_PROFILE_SCHEMA,
+                "profile": profile,
+                "valid": not problems,
+                "problems": problems,
+                "budget": args.budget,
+                "budget_breaches": breaches,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        print(obs_resources.render_profile(profile))
+    for problem in problems:
+        print(f"resource profile INVALID: {problem}", file=sys.stderr)
+    for breach in breaches:
+        print(f"resource budget EXCEEDED: {breach}", file=sys.stderr)
+    return 1 if problems or breaches else 0
 
 
 class _ProgressRenderer:
@@ -600,6 +693,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="gauge per-span peak heap via tracemalloc "
              "(memory.peak_kib.*); no-op unless telemetry is enabled",
+    )
+    parser.add_argument(
+        "--profile-resources",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="sample RSS/CPU/heap at HZ into the run report's "
+             f"resource profile (bare flag = {obs_resources.DEFAULT_HZ:g} "
+             "Hz); workers sample themselves and ship rollups home",
     )
     parser.add_argument(
         "--events-out",
@@ -753,6 +855,27 @@ def build_parser() -> argparse.ArgumentParser:
              "gate (it fails by default)",
     )
     diff.add_argument(
+        "--max-rss-ratio",
+        type=float,
+        default=1.5,
+        help="new/old peak-RSS ratio that counts as resource drift "
+             "(default: 1.5); judged only when both reports carry a "
+             "resource profile",
+    )
+    diff.add_argument(
+        "--cpu-util-tolerance",
+        type=float,
+        default=0.25,
+        help="absolute cpu_util change that counts as resource drift "
+             "(default: 0.25)",
+    )
+    diff.add_argument(
+        "--no-fail-on-resource-drift",
+        action="store_true",
+        help="report RSS/cpu_util resource drift without failing the "
+             "gate (it fails by default)",
+    )
+    diff.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -823,7 +946,39 @@ def build_parser() -> argparse.ArgumentParser:
         default="text",
         help="summary output format (default: text)",
     )
+    events.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the last N events (the full stream is still "
+             "validated)",
+    )
     events.set_defaults(handler=cmd_stats_events)
+    resources = stats_sub.add_parser(
+        "resources",
+        help="render and validate a run report's resource profile; "
+             "exit 1 on schema damage or a budget breach",
+    )
+    resources.add_argument(
+        "report", metavar="REPORT.json",
+        help="run report (written with --profile-resources) to inspect",
+    )
+    resources.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="profile output format (default: text)",
+    )
+    resources.add_argument(
+        "--budget",
+        metavar="BUDGET.json",
+        default=None,
+        help="repro.resource-budget/v1 file to gate the profile's "
+             "totals against (e.g. benchmarks/baselines/"
+             "resource-budget.json)",
+    )
+    resources.set_defaults(handler=cmd_stats_resources)
     lint = subparsers.add_parser(
         "lint",
         help="run reprolint, the repo's AST-based static analyser",
@@ -896,11 +1051,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _expand_bare_profile_flag(argv: List[str]) -> List[str]:
+    """Give a bare ``--profile-resources`` its default rate.
+
+    The flag takes an optional HZ; with plain argparse an HZ-less use
+    would greedily eat the next token (usually the subcommand).  A
+    bare occurrence — one whose following token is not a number — is
+    rewritten to ``--profile-resources=<DEFAULT_HZ>`` before parsing.
+    """
+    expanded: List[str] = []
+    for index, token in enumerate(argv):
+        if token == "--profile-resources":
+            following = argv[index + 1] if index + 1 < len(argv) else ""
+            try:
+                float(following)
+            except ValueError:
+                token = f"--profile-resources={obs_resources.DEFAULT_HZ:g}"
+        expanded.append(token)
+    return expanded
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    args = parser.parse_args(_expand_bare_profile_flag(argv))
     if not 1 <= args.workers <= MAX_WORKERS:
         parser.error(f"--workers must be in [1, {MAX_WORKERS}]")
+    if args.profile_resources is not None:
+        if not 0 < args.profile_resources <= 1000:
+            parser.error("--profile-resources HZ must be in (0, 1000]")
     configure_logging(args.log_level)
     telemetry_on = args.metrics_out is not None or args.trace_out is not None
     events_on = args.events_out is not None or args.progress
@@ -911,6 +1090,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "warning: --memory does nothing without a telemetry "
             "sink; add --metrics-out PATH or --trace-out PATH",
+            file=sys.stderr,
+        )
+    if (
+        args.profile_resources is not None
+        and not telemetry_on
+        and args.command != "stats"  # stats arms its own capture
+    ):
+        print(
+            "warning: --profile-resources does nothing without a "
+            "telemetry sink; add --metrics-out PATH or --trace-out PATH",
             file=sys.stderr,
         )
     if not telemetry_on and not events_on:
@@ -932,6 +1121,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             if telemetry_on:
                 enable = capture_memory if args.memory else obs.capture
                 telemetry = stack.enter_context(enable())
+                if args.profile_resources is not None:
+                    # Started before the cli.* span opens and stopped
+                    # after it closes, so every sample lands inside a
+                    # known stage (or the synthetic top-level bucket).
+                    stack.enter_context(
+                        obs_resources.sample_resources(
+                            args.profile_resources, telemetry=telemetry
+                        )
+                    )
                 stack.enter_context(obs.span(f"cli.{args.command}"))
             status = args.handler(args)
     except OSError as exc:
@@ -944,8 +1142,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"event stream written to {args.events_out}", file=sys.stderr)
     if telemetry is None:
         return status
-    report = RunReport.from_telemetry(
-        telemetry,
+    meta: Dict[str, Any] = dict(
         command=args.command,
         preset=getattr(args, "preset", None),
         seed=args.seed,
@@ -953,6 +1150,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         exit_status=status,
         memory=args.memory,
     )
+    if args.profile_resources is not None:
+        meta["profile_hz"] = args.profile_resources
+    report = RunReport.from_telemetry(telemetry, **meta)
     try:
         if args.metrics_out is not None:
             path = report.write(args.metrics_out)

@@ -47,12 +47,19 @@ class ParallelConfig:
         Extra string folded into every cache key; bump it to invalidate
         a cache tree without deleting it (the code-version salt
         :data:`repro.exec.cache.CODE_SALT` is always included on top).
+    ``profile_hz``
+        Sampling rate of the per-worker resource profiler
+        (:mod:`repro.obs.resources`), or ``None`` (the default) for no
+        worker-side sampling.  When set, every worker samples its own
+        RSS/CPU and ships the rollups home with its telemetry
+        snapshot; profiling never changes job results.
     """
 
     workers: int = 1
     chunk_size: Optional[int] = None
     cache_dir: Optional[str] = None
     cache_salt: str = ""
+    profile_hz: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.workers <= MAX_WORKERS:
@@ -61,6 +68,8 @@ class ParallelConfig:
             )
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be positive when given")
+        if self.profile_hz is not None and not self.profile_hz > 0:
+            raise ValueError("profile_hz must be positive when given")
 
     @property
     def is_serial(self) -> bool:

@@ -34,6 +34,7 @@ from ..geo.gazetteer import Gazetteer
 from ..obs import progress as obs_progress
 from ..obs import telemetry as obs
 from ..obs.progress import StallWatchdog
+from ..obs.resources import sample_resources
 from .cache import ArtifactCache, gazetteer_fingerprint, job_key
 from .config import ParallelConfig
 from .jobs import FootprintArtifact, FootprintJob, execute_job
@@ -43,30 +44,47 @@ from .jobs import FootprintArtifact, FootprintJob, execute_job
 #: chunk).
 _WORKER_GAZETTEER: Optional[Gazetteer] = None
 
+#: Worker-side resource-sampling rate (None = profiling off).
+_WORKER_PROFILE_HZ: Optional[float] = None
 
-def _init_worker(gazetteer: Gazetteer) -> None:
+
+def _init_worker(
+    gazetteer: Gazetteer, profile_hz: Optional[float] = None
+) -> None:
     """Pool initializer: pin the gazetteer, detach inherited telemetry.
 
     Under the ``fork`` start method the child inherits the parent's
     active registry; recording into it would be silently lost (the
     fork's copy never returns home).  Workers therefore start with the
     null registry and do all recording inside an explicit capture in
-    :func:`_run_chunk`.
+    :func:`_run_chunk`.  ``profile_hz`` arms the per-worker resource
+    sampler (:class:`~repro.exec.config.ParallelConfig.profile_hz`).
     """
-    global _WORKER_GAZETTEER
+    global _WORKER_GAZETTEER, _WORKER_PROFILE_HZ
     _WORKER_GAZETTEER = gazetteer
+    _WORKER_PROFILE_HZ = profile_hz
     obs.set_telemetry(None)
 
 
 def _run_chunk(
     jobs: Sequence[FootprintJob],
 ) -> Tuple[List[FootprintArtifact], Dict[str, Any]]:
-    """Execute one chunk in a worker; return artifacts + telemetry."""
+    """Execute one chunk in a worker; return artifacts + telemetry.
+
+    With profiling armed, the worker samples itself for the chunk's
+    duration and ships the rollups home inside the snapshot (rollups
+    only — ``keep_samples=False`` keeps the pickle bounded); the parent
+    folds them under the host profile's ``workers`` list in
+    :meth:`repro.obs.telemetry.Telemetry.merge_snapshot`.
+    """
     gazetteer = _WORKER_GAZETTEER
     if gazetteer is None:
         raise RuntimeError("worker initialised without a gazetteer")
     with obs.capture() as telemetry:
-        artifacts = [execute_job(job, gazetteer) for job in jobs]
+        with sample_resources(
+            _WORKER_PROFILE_HZ, telemetry=telemetry, keep_samples=False
+        ):
+            artifacts = [execute_job(job, gazetteer) for job in jobs]
     return artifacts, telemetry.snapshot()
 
 
@@ -216,7 +234,7 @@ class FootprintEngine:
                 with ProcessPoolExecutor(
                     max_workers=max_workers,
                     initializer=_init_worker,
-                    initargs=(self.gazetteer,),
+                    initargs=(self.gazetteer, self.config.profile_hz),
                 ) as pool:
                     futures = []
                     for index, chunk in enumerate(chunks):

@@ -28,6 +28,11 @@ Zero-dependency pieces, layered in two tiers.  Capture:
     :class:`~repro.obs.progress.ProgressTracker` (rate/ETA per stage)
     and :class:`~repro.obs.progress.StallWatchdog` (chunk-latency
     stall detection) feeding the event stream.
+``repro.obs.resources``
+    :class:`~repro.obs.resources.ResourceSampler` — background-thread
+    RSS/CPU/heap sampling into ``repro.resource-profile/v1`` documents
+    (per-sample rows + per-stage rollups), with a committed-budget
+    gate (:func:`~repro.obs.resources.check_budget`).
 
 And the longitudinal tier built on run reports:
 
@@ -49,6 +54,7 @@ from .diff import (
     MetricDrift,
     QuantileDrift,
     ReportDiff,
+    ResourceDrift,
     RetentionDrift,
     SpanDelta,
     diff_reports,
@@ -82,6 +88,20 @@ from .progress import (
 )
 from .quality import QUALITY_GAUGE_PREFIX, QuantileDigest, observe
 from .report import DATA_QUALITY_SCHEMA, SCHEMA, RunReport
+from .resources import (
+    NULL_SAMPLER,
+    RESOURCE_BUDGET_SCHEMA,
+    RESOURCE_GAUGE_PREFIX,
+    RESOURCE_PROFILE_SCHEMA,
+    ROLLUP_GAUGES,
+    NullResourceSampler,
+    ResourceSampler,
+    check_budget,
+    profile_gauges,
+    render_profile,
+    sample_resources,
+    validate_profile,
+)
 from .telemetry import (
     NULL,
     NullTelemetry,
@@ -111,15 +131,23 @@ __all__ = [
     "MemoryTelemetry",
     "MetricDrift",
     "NULL",
+    "NULL_SAMPLER",
     "NULL_TRACKER",
     "NullProgressTracker",
+    "NullResourceSampler",
     "NullTelemetry",
     "ProgressTracker",
     "StallWatchdog",
     "QUALITY_GAUGE_PREFIX",
     "QuantileDigest",
     "QuantileDrift",
+    "RESOURCE_BUDGET_SCHEMA",
+    "RESOURCE_GAUGE_PREFIX",
+    "RESOURCE_PROFILE_SCHEMA",
+    "ROLLUP_GAUGES",
     "ReportDiff",
+    "ResourceDrift",
+    "ResourceSampler",
     "RetentionDrift",
     "RunHistory",
     "RunReport",
@@ -129,6 +157,7 @@ __all__ = [
     "Telemetry",
     "capture",
     "capture_memory",
+    "check_budget",
     "configure_logging",
     "count",
     "diff_reports",
@@ -140,11 +169,15 @@ __all__ = [
     "merge_snapshot",
     "observe",
     "parse_events",
+    "profile_gauges",
     "record_stage",
     "render_events",
     "render_funnel",
+    "render_profile",
+    "sample_resources",
     "set_telemetry",
     "span",
+    "validate_profile",
     "stream_events",
     "summarize_events",
     "trace_from_report",

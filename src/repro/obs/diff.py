@@ -30,6 +30,16 @@ shifted drop rate or error distribution on a fixed seed means the
 *input data* changed, which is exactly the silent failure this gate
 exists to catch.  ``fail_on_data_drift=False`` downgrades it to a
 report-only signal.
+
+Reports carrying a ``repro.resource-profile/v1`` section (see
+:mod:`repro.obs.resources`) are additionally compared as *resource
+consumers*: peak RSS may not grow past ``max_rss_ratio`` and
+``cpu_util`` may not move by more than ``cpu_util_abs_tol``, judged on
+the profile totals and on every stage present in both runs.  Resource
+drift fails the verdict by default (``fail_on_resource_drift``) — a
+memory regression is exactly what the future out-of-core work needs
+this gate to catch — and is only judged when *both* reports carry a
+profile, so old baselines stay comparable.
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .quality import QUALITY_GAUGE_PREFIX
 from .report import RunReport, _walk_span_dicts
+from .resources import RESOURCE_GAUGE_PREFIX
 
 #: Schema identifier embedded in every serialised diff.
 DIFF_SCHEMA = "repro.report-diff/v1"
@@ -73,6 +84,12 @@ class DiffThresholds:
     quantile_rel_tol: float = 0.25
     #: data drift (funnel/quantile) fails the verdict — the data gate.
     fail_on_data_drift: bool = True
+    #: new/old peak-RSS ratio above which a profiled run drifts.
+    max_rss_ratio: float = 1.5
+    #: absolute cpu_util change above which a profiled run drifts.
+    cpu_util_abs_tol: float = 0.25
+    #: resource drift (RSS/cpu_util) fails the verdict — the memory gate.
+    fail_on_resource_drift: bool = True
 
 
 @dataclass
@@ -185,6 +202,38 @@ class QuantileDrift:
 
 
 @dataclass
+class ResourceDrift:
+    """One resource-profile rollup that moved beyond tolerance."""
+
+    metric: str  # "rss_peak_kib" | "cpu_util"
+    scope: str  # "totals" or a stage name
+    old: Optional[float]
+    new: Optional[float]
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if not self.old or self.new is None:
+            return None
+        return self.new / self.old
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.old is None or self.new is None:
+            return None
+        return self.new - self.old
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "scope": self.scope,
+            "old": self.old,
+            "new": self.new,
+            "ratio": self.ratio,
+            "delta": self.delta,
+        }
+
+
+@dataclass
 class ReportDiff:
     """The full comparison; ``verdict`` is the machine-readable gate."""
 
@@ -193,6 +242,7 @@ class ReportDiff:
     drifts: List[MetricDrift] = field(default_factory=list)
     retention_drifts: List[RetentionDrift] = field(default_factory=list)
     quantile_drifts: List[QuantileDrift] = field(default_factory=list)
+    resource_drifts: List[ResourceDrift] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[SpanDelta]:
@@ -213,10 +263,17 @@ class ReportDiff:
         return "data-drift" if self.data_drifts else "ok"
 
     @property
+    def resource_verdict(self) -> str:
+        """The resource gate alone: ``"ok"`` or ``"resource-drift"``."""
+        return "resource-drift" if self.resource_drifts else "ok"
+
+    @property
     def verdict(self) -> str:
         if self.regressions:
             return "regression"
         if self.thresholds.fail_on_data_drift and self.data_drifts:
+            return "regression"
+        if self.thresholds.fail_on_resource_drift and self.resource_drifts:
             return "regression"
         if self.thresholds.fail_on_drift and self.drifts:
             return "regression"
@@ -227,6 +284,7 @@ class ReportDiff:
             "schema": DIFF_SCHEMA,
             "verdict": self.verdict,
             "data_verdict": self.data_verdict,
+            "resource_verdict": self.resource_verdict,
             "thresholds": {
                 "max_ratio": self.thresholds.max_ratio,
                 "noise_floor_s": self.thresholds.noise_floor_s,
@@ -236,6 +294,10 @@ class ReportDiff:
                 "retention_abs_tol": self.thresholds.retention_abs_tol,
                 "quantile_rel_tol": self.thresholds.quantile_rel_tol,
                 "fail_on_data_drift": self.thresholds.fail_on_data_drift,
+                "max_rss_ratio": self.thresholds.max_rss_ratio,
+                "cpu_util_abs_tol": self.thresholds.cpu_util_abs_tol,
+                "fail_on_resource_drift":
+                    self.thresholds.fail_on_resource_drift,
             },
             "regressions": [d.path for d in self.regressions],
             "spans": [d.to_dict() for d in self.spans],
@@ -244,6 +306,7 @@ class ReportDiff:
                 d.to_dict() for d in self.retention_drifts
             ],
             "quantile_drifts": [d.to_dict() for d in self.quantile_drifts],
+            "resource_drifts": [d.to_dict() for d in self.resource_drifts],
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -311,6 +374,24 @@ class ReportDiff:
                     f"{_fmt(qd.old):>12} -> {_fmt(qd.new):>12} "
                     f"({rel_text})"
                 )
+        if self.resource_drifts:
+            lines.append("")
+            lines.append(
+                "resource drift (rss over "
+                f"{self.thresholds.max_rss_ratio:g}x or |cpu_util| over "
+                f"{self.thresholds.cpu_util_abs_tol:g}):"
+            )
+            for rd in self.resource_drifts:
+                if rd.metric == "rss_peak_kib":
+                    ratio = rd.ratio
+                    change = f"{ratio:.2f}x" if ratio is not None else "n/a"
+                else:
+                    delta = rd.delta
+                    change = f"{delta:+.2f}" if delta is not None else "n/a"
+                lines.append(
+                    f"  {rd.scope:<36} {rd.metric:<14} "
+                    f"{_fmt(rd.old):>12} -> {_fmt(rd.new):>12} ({change})"
+                )
         if self.drifts:
             lines.append("")
             lines.append("metric drift:")
@@ -324,7 +405,7 @@ class ReportDiff:
                 )
         if len(lines) == 1:
             lines.append("no spans over the noise floor changed; "
-                         "no metric or data drift")
+                         "no metric, data or resource drift")
         return "\n".join(lines)
 
 
@@ -417,13 +498,14 @@ def diff_reports(
         )
     drifts = _metric_drift("counter", old.counters, new.counters,
                            limits.counter_rel_tol)
-    # quality.* gauges are digest-derived; the quantile-drift comparison
-    # below judges them with its own tolerance, so they are excluded
-    # here rather than double-reported as plain gauge drift.
+    # quality.* gauges are digest-derived and resources.* gauges are
+    # profile-derived; the quantile- and resource-drift comparisons
+    # below judge them with their own tolerances, so both families are
+    # excluded here rather than double-reported as plain gauge drift.
     drifts += _metric_drift(
         "gauge",
-        _without_quality_gauges(old.gauges),
-        _without_quality_gauges(new.gauges),
+        _without_owned_gauges(old.gauges),
+        _without_owned_gauges(new.gauges),
         limits.gauge_rel_tol,
     )
     return ReportDiff(
@@ -432,14 +514,74 @@ def diff_reports(
         drifts=drifts,
         retention_drifts=_retention_drift(old, new, limits),
         quantile_drifts=_quantile_drift(old, new, limits),
+        resource_drifts=_resource_drift(old, new, limits),
     )
 
 
-def _without_quality_gauges(gauges: Dict[str, float]) -> Dict[str, float]:
+_OWNED_GAUGE_PREFIXES = (QUALITY_GAUGE_PREFIX, RESOURCE_GAUGE_PREFIX)
+
+
+def _without_owned_gauges(gauges: Dict[str, float]) -> Dict[str, float]:
     return {
         name: value for name, value in gauges.items()
-        if not name.startswith(QUALITY_GAUGE_PREFIX)
+        if not name.startswith(_OWNED_GAUGE_PREFIXES)
     }
+
+
+def _resource_drift(
+    old: RunReport,
+    new: RunReport,
+    limits: DiffThresholds,
+) -> List[ResourceDrift]:
+    """Peak-RSS and cpu_util comparison of two resource profiles.
+
+    Judged only when *both* reports carry a profile (an unprofiled
+    baseline stays comparable), on the totals and on every stage name
+    present in both — a stage appearing or vanishing is already visible
+    as span structure change, not a resource regression.
+    """
+    old_profile = old.resource_profile or {}
+    new_profile = new.resource_profile or {}
+    if not old_profile or not new_profile:
+        return []
+    drifts: List[ResourceDrift] = []
+
+    def judge(scope: str, old_roll: Dict[str, Any],
+              new_roll: Dict[str, Any]) -> None:
+        old_rss = old_roll.get("rss_peak_kib")
+        new_rss = new_roll.get("rss_peak_kib")
+        if (
+            isinstance(old_rss, (int, float))
+            and isinstance(new_rss, (int, float))
+            and old_rss > 0
+            and new_rss / old_rss > limits.max_rss_ratio
+        ):
+            drifts.append(
+                ResourceDrift("rss_peak_kib", scope,
+                              float(old_rss), float(new_rss))
+            )
+        old_util = old_roll.get("cpu_util")
+        new_util = new_roll.get("cpu_util")
+        if (
+            isinstance(old_util, (int, float))
+            and isinstance(new_util, (int, float))
+            and abs(new_util - old_util) > limits.cpu_util_abs_tol
+        ):
+            drifts.append(
+                ResourceDrift("cpu_util", scope,
+                              float(old_util), float(new_util))
+            )
+
+    judge("totals", old_profile.get("totals") or {},
+          new_profile.get("totals") or {})
+    old_stages = old_profile.get("stages") or {}
+    new_stages = new_profile.get("stages") or {}
+    for name in sorted(set(old_stages) & set(new_stages)):
+        old_roll = old_stages[name]
+        new_roll = new_stages[name]
+        if isinstance(old_roll, dict) and isinstance(new_roll, dict):
+            judge(name, old_roll, new_roll)
+    return drifts
 
 
 def _retention_drift(

@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Tuple, Union
 
 from .lineage import render_funnel
+from .resources import RESOURCE_PROFILE_SCHEMA, render_profile
 from .telemetry import Telemetry
 
 #: Schema identifier embedded in every report.
@@ -45,6 +46,9 @@ class RunReport:
     #: The ``repro.data-quality/v1`` section: dataset lineage (the
     #: funnel) and distribution digests.  Empty for pre-lineage reports.
     data_quality: Dict[str, Any] = field(default_factory=dict)
+    #: The ``repro.resource-profile/v1`` section: sampled RSS/CPU/heap
+    #: rows and per-stage rollups.  Empty for unprofiled runs.
+    resource_profile: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def from_telemetry(cls, telemetry: Telemetry, **meta: Any) -> "RunReport":
@@ -60,6 +64,7 @@ class RunReport:
                 "funnel": snapshot.get("funnel", []),
                 "quality": snapshot.get("quality", {}),
             },
+            resource_profile=dict(snapshot.get("resource_profile") or {}),
         )
 
     # -- data-quality accessors ---------------------------------------
@@ -84,6 +89,8 @@ class RunReport:
         }
         if self.data_quality:
             document["data_quality"] = self.data_quality
+        if self.resource_profile:
+            document["resource_profile"] = self.resource_profile
         return document
 
     def to_json(self, indent: int = 2) -> str:
@@ -106,12 +113,23 @@ class RunReport:
                 f"(schema={data_quality.get('schema')!r}, expected "
                 f"{DATA_QUALITY_SCHEMA!r})"
             )
+        resource_profile = dict(data.get("resource_profile", {}))
+        if (
+            resource_profile
+            and resource_profile.get("schema") != RESOURCE_PROFILE_SCHEMA
+        ):
+            raise ValueError(
+                "unknown resource-profile section "
+                f"(schema={resource_profile.get('schema')!r}, expected "
+                f"{RESOURCE_PROFILE_SCHEMA!r})"
+            )
         return cls(
             meta=dict(data.get("meta", {})),
             spans=list(data.get("spans", [])),
             counters=dict(data.get("counters", {})),
             gauges=dict(data.get("gauges", {})),
             data_quality=data_quality,
+            resource_profile=resource_profile,
         )
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -176,6 +194,10 @@ class RunReport:
             lines.append("")
             lines.append("data funnel:")
             lines.append(render_funnel(self.funnel(), indent="  "))
+        if self.resource_profile:
+            lines.append("")
+            lines.append("resource profile:")
+            lines.append(render_profile(self.resource_profile, indent="  "))
         if self.counters:
             lines.append("")
             lines.append("counters:")

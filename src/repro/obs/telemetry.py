@@ -46,6 +46,16 @@ from typing import (
 from . import events as _events
 from .lineage import FunnelStage, ReasonLike
 from .quality import QuantileDigest
+from .resources import RESOURCE_PROFILE_SCHEMA, profile_gauges
+
+#: The snapshot sections this registry version owns.  Anything else in
+#: a merged worker snapshot is an unknown (newer-version) section and
+#: is preserved verbatim rather than dropped — forward compatibility
+#: for mixed-version worker pools.
+_SNAPSHOT_SECTIONS = frozenset(
+    ["spans", "counters", "gauges", "funnel", "quality",
+     "resource_profile"]
+)
 
 
 class SpanNode:
@@ -139,6 +149,21 @@ class Telemetry:
         self.gauges: Dict[str, float] = {}
         self.funnel: Dict[str, FunnelStage] = {}  # insertion = run order
         self.quality: Dict[str, QuantileDigest] = {}
+        #: ``repro.resource-profile/v1`` document attached by a
+        #: :class:`repro.obs.resources.ResourceSampler` on stop (None
+        #: when the run was not profiled).
+        self.resource_profile: Optional[Dict[str, Any]] = None
+        # Unknown snapshot sections preserved from merged workers.
+        self._extra_sections: Dict[str, Any] = {}
+
+    @property
+    def current_span_name(self) -> str:
+        """Name of the innermost open span ("" at top level).
+
+        Read by the resource sampler's thread to label samples; a bare
+        list-tail read, safe under the GIL.
+        """
+        return self._stack[-1].name
 
     @contextmanager
     def span(self, name: str) -> Iterator[SpanNode]:
@@ -210,7 +235,7 @@ class Telemetry:
         gauges = dict(self.gauges)
         for name, digest in self.quality.items():
             gauges.update(digest.gauges(name))
-        return {
+        snapshot: Dict[str, Any] = {
             "spans": [child.to_dict() for child in self.root.children.values()],
             "counters": dict(self.counters),
             "gauges": gauges,
@@ -220,6 +245,12 @@ class Telemetry:
                 for name, digest in self.quality.items()
             },
         }
+        if self.resource_profile is not None:
+            snapshot["resource_profile"] = self.resource_profile
+            gauges.update(profile_gauges(self.resource_profile))
+        for key, value in self._extra_sections.items():
+            snapshot.setdefault(key, value)
+        return snapshot
 
     def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
         """Fold a child registry's :meth:`snapshot` into this registry.
@@ -265,6 +296,66 @@ class Telemetry:
                 digest = QuantileDigest()
                 self.quality[name] = digest
             digest.merge_dict(digest_dict)
+        profile = snapshot.get("resource_profile")
+        if isinstance(profile, dict) and profile:
+            self._fold_worker_profile(profile)
+        # Forward compatibility: a worker built by a newer version may
+        # ship sections this registry does not know.  Preserve them
+        # (dicts update, lists extend, anything else last-write-wins)
+        # so re-serialising the merged snapshot never drops data.
+        for key, value in snapshot.items():
+            if key in _SNAPSHOT_SECTIONS:
+                continue
+            existing = self._extra_sections.get(key)
+            if isinstance(existing, dict) and isinstance(value, dict):
+                existing.update(value)
+            elif isinstance(existing, list) and isinstance(value, list):
+                existing.extend(value)
+            elif isinstance(value, dict):
+                self._extra_sections[key] = dict(value)
+            elif isinstance(value, list):
+                self._extra_sections[key] = list(value)
+            else:
+                self._extra_sections[key] = value
+
+    def _fold_worker_profile(self, profile: Dict[str, Any]) -> None:
+        """Fold a worker's resource profile under ``workers``.
+
+        Workers ship rollups only (no sample rows); each becomes one
+        numbered entry in the host profile's ``workers`` list.  When
+        the host itself is not being sampled, a shell document is
+        created so the rollups still reach reports — and a host sampler
+        stopping later preserves the list (see
+        :meth:`repro.obs.resources.ResourceSampler.stop`).
+        """
+        host = self.resource_profile
+        if host is None:
+            host = {
+                "schema": RESOURCE_PROFILE_SCHEMA,
+                "hz": float(profile.get("hz", 0.0)),
+                "sample_count": 0,
+                "dropped_samples": 0,
+                "samples": [],
+                "stages": {},
+                "totals": {},
+            }
+            self.resource_profile = host
+        workers: List[Dict[str, Any]] = host.setdefault("workers", [])
+        for nested in profile.get("workers", ()):
+            if isinstance(nested, dict):
+                entry = dict(nested)
+                entry["worker"] = len(workers)
+                workers.append(entry)
+        workers.append({
+            "worker": len(workers),
+            "sample_count": int(profile.get("sample_count", 0)),
+            "stages": {
+                name: dict(rollup)
+                for name, rollup in (profile.get("stages") or {}).items()
+                if isinstance(rollup, dict)
+            },
+            "totals": dict(profile.get("totals") or {}),
+        })
 
 
 def _merge_span_dict(parent: SpanNode, data: Dict[str, Any]) -> None:
@@ -299,6 +390,8 @@ class NullTelemetry:
     """The disabled registry: every operation is a cheap no-op."""
 
     enabled = False
+    current_span_name = ""
+    resource_profile = None
 
     def span(self, name: str) -> _NullSpan:
         return _NULL_SPAN

@@ -10,10 +10,15 @@ end-to-end.  The file loads directly in Perfetto
 
 Counters are exported as one "C" event each so they show up as counter
 tracks, and process/thread metadata ("M" events) label the single
-synthetic track.  Live ``repro.events/v1`` events (see
-:mod:`repro.obs.events`) fold in as instant ("i") marks — their real
-relative timestamps line up with the synthetic span timeline only
-loosely, but a stall warning is still findable at a glance in Perfetto.
+synthetic track.  A ``repro.resource-profile/v1`` section (see
+:mod:`repro.obs.resources`) becomes *time-series* counter tracks: one
+"C" event per sample for ``resources.rss_kib``/``resources.heap_kib``
+and a derivative ``resources.cpu_util`` track, so RSS and CPU render
+as graphs under the span flame.  Live ``repro.events/v1`` events (see
+:mod:`repro.obs.events`) fold in as instant ("i") marks — like the
+resource samples, their real relative timestamps line up with the
+synthetic span timeline only loosely, but a stall warning or an RSS
+spike is still findable at a glance in Perfetto.
 :func:`validate_trace` checks a document against the subset of the
 trace-event schema we emit, and is what the unit tests (and the CI
 artifact step) rely on.
@@ -90,6 +95,9 @@ def trace_from_report(
                 "args": {"value": report.counters[name]},
             }
         )
+    _emit_resource_counters(
+        events, getattr(report, "resource_profile", None) or {}
+    )
     for live in live_events or ():
         type_ = str(live.get("type", "event"))
         t_s = live.get("t_s")
@@ -118,6 +126,61 @@ def trace_from_report(
                     "not individual occurrences",
         },
     }
+
+
+def _counter_event(name: str, ts_us: float, value: float) -> Dict[str, Any]:
+    return {
+        "name": name,
+        "cat": "resources",
+        "ph": "C",
+        "ts": ts_us,
+        "pid": TRACE_PID,
+        "tid": TRACE_TID,
+        "args": {"value": value},
+    }
+
+
+def _emit_resource_counters(
+    events: List[Dict[str, Any]], profile: Dict[str, Any]
+) -> None:
+    """Per-sample counter tracks from a resource-profile section.
+
+    RSS and traced heap plot directly; CPU plots as the utilisation
+    *derivative* between consecutive samples (cumulative CPU seconds
+    would render as a ramp, hiding the bursts that matter).
+    """
+    prev_t: Optional[float] = None
+    prev_cpu: Optional[float] = None
+    for sample in profile.get("samples") or ():
+        if not isinstance(sample, dict):
+            continue
+        t_s = sample.get("t_s")
+        if not isinstance(t_s, (int, float)):
+            continue
+        ts_us = max(float(t_s), 0.0) * 1e6
+        rss = sample.get("rss_kib")
+        if isinstance(rss, (int, float)):
+            events.append(
+                _counter_event("resources.rss_kib", ts_us, float(rss))
+            )
+        heap = sample.get("heap_kib")
+        if isinstance(heap, (int, float)):
+            events.append(
+                _counter_event("resources.heap_kib", ts_us, float(heap))
+            )
+        cpu = sample.get("cpu_s")
+        if isinstance(cpu, (int, float)):
+            if prev_t is not None and t_s > prev_t:
+                util = max(float(cpu) - (prev_cpu or 0.0), 0.0) / (
+                    float(t_s) - prev_t
+                )
+                events.append(
+                    _counter_event(
+                        "resources.cpu_util", ts_us, round(util, 4)
+                    )
+                )
+            prev_t = float(t_s)
+            prev_cpu = float(cpu)
 
 
 def _emit_span(

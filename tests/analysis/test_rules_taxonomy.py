@@ -148,3 +148,28 @@ def test_taxonomy_matches_documentation():
         "TAXONOMY_PREFIXES together"
     )
     assert TAXONOMY_PREFIXES == tuple(sorted(TAXONOMY_PREFIXES))
+
+
+def _doc_resource_gauge_names():
+    """Rollup names from the gauge table's `resources.{...}` row."""
+    text = OBSERVABILITY_DOC.read_text()
+    match = re.search(r"`resources\.\{([a-z_,]+)\}`", text)
+    assert match, (
+        "docs/OBSERVABILITY.md lost its resources.{...} gauge-table row"
+    )
+    return set(match.group(1).split(","))
+
+
+def test_resource_gauges_match_documentation():
+    # Same lock-step discipline as the span taxonomy: the headline
+    # resources.* gauges the sampler derives and the gauge table in
+    # docs/OBSERVABILITY.md must never drift apart.
+    from repro.obs.resources import ROLLUP_GAUGES
+
+    documented = _doc_resource_gauge_names()
+    assert documented == set(ROLLUP_GAUGES), (
+        f"sampler gauges {sorted(ROLLUP_GAUGES)} != documented "
+        f"{sorted(documented)}; update docs/OBSERVABILITY.md and "
+        "ROLLUP_GAUGES together"
+    )
+    assert ROLLUP_GAUGES == tuple(sorted(ROLLUP_GAUGES))

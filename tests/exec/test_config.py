@@ -77,3 +77,19 @@ class TestChunking:
 
     def test_single_item(self):
         assert ParallelConfig(workers=2).chunk(["only"]) == [("only",)]
+
+
+class TestProfileHz:
+    def test_defaults_to_off(self):
+        assert ParallelConfig().profile_hz is None
+
+    def test_accepts_positive_rate(self):
+        assert ParallelConfig(workers=2, profile_hz=10.0).profile_hz == 10.0
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(profile_hz=0.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(profile_hz=-5.0)

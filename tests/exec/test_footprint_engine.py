@@ -140,3 +140,33 @@ class TestConvenience:
         by_asn = run_footprint_jobs(jobs, small_scenario.gazetteer)
         assert list(by_asn) == [j.asn for j in jobs]
         assert_same_artifacts(list(by_asn.values()), serial_artifacts)
+
+
+class TestWorkerResourceProfiles:
+    def test_profiled_parallel_run_ships_worker_rollups(
+        self, small_scenario, jobs, serial_artifacts
+    ):
+        engine = FootprintEngine(
+            small_scenario.gazetteer,
+            ParallelConfig(workers=2, chunk_size=2, profile_hz=200.0),
+        )
+        with obs.capture() as telemetry:
+            artifacts = engine.run(jobs)
+        assert_same_artifacts(artifacts, serial_artifacts)
+        profile = telemetry.snapshot()["resource_profile"]
+        # One rollup set per chunk; samples stay worker-side.
+        assert len(profile["workers"]) == 3
+        assert profile["samples"] == []
+        for worker in profile["workers"]:
+            assert worker["sample_count"] >= 1
+            assert worker["totals"].get("rss_peak_kib", 0.0) >= 0.0
+
+    def test_unprofiled_run_has_no_profile_section(
+        self, small_scenario, jobs
+    ):
+        engine = FootprintEngine(
+            small_scenario.gazetteer, ParallelConfig(workers=2, chunk_size=2)
+        )
+        with obs.capture() as telemetry:
+            engine.run(jobs)
+        assert "resource_profile" not in telemetry.snapshot()

@@ -156,6 +156,66 @@ class TestStatsEvents:
         assert "cannot read event stream" in captured.err
 
 
+class TestStatsEventsLimit:
+    """--limit N tails the rendering without weakening validation."""
+
+    def test_limit_tails_the_text_rendering(self, events_run, capsys):
+        events_path, _ = events_run
+        total = len(events_path.read_text().splitlines())
+        status = main([
+            "stats", "events", str(events_path), "--limit", "2",
+        ])
+        captured = capsys.readouterr()
+        assert status == 0
+        assert f"(showing last 2 of {total} events)" in captured.out
+
+    def test_limit_json_reports_shown_and_total(self, events_run, capsys):
+        events_path, _ = events_run
+        total = len(events_path.read_text().splitlines())
+        status = main([
+            "stats", "events", str(events_path),
+            "--format", "json", "--limit", "3",
+        ])
+        summary = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert summary["total_events"] == total
+        assert summary["shown_events"] == min(3, total)
+        assert summary["valid"] is True
+
+    def test_limit_larger_than_stream_shows_everything(
+        self, events_run, capsys
+    ):
+        events_path, _ = events_run
+        status = main([
+            "stats", "events", str(events_path), "--limit", "100000",
+        ])
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "(showing last" not in captured.out
+
+    def test_limit_does_not_mask_early_damage(
+        self, events_run, tmp_path, capsys
+    ):
+        # A sequence gap in the untrimmed head must still fail even
+        # when --limit hides those events from the rendering.
+        events_path, _ = events_run
+        lines = events_path.read_text().splitlines()
+        gapped = tmp_path / "gapped.jsonl"
+        gapped.write_text("\n".join(lines[:2] + lines[3:]) + "\n")
+        status = main(["stats", "events", str(gapped), "--limit", "1"])
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "sequence gap" in captured.err
+
+    def test_negative_limit_is_rejected(self, events_run, capsys):
+        events_path, _ = events_run
+        status = main([
+            "stats", "events", str(events_path), "--limit", "-1",
+        ])
+        assert status == 2
+        assert "--limit must be non-negative" in capsys.readouterr().err
+
+
 class TestDegradedReports:
     """Reports from older versions get one actionable line, exit 2."""
 

@@ -1,0 +1,244 @@
+"""CLI surface of the resource-profile layer.
+
+Covers the ISSUE acceptance paths: an instrumented ``table1`` run with
+``--profile-resources --trace-out`` produces a validating
+``repro.resource-profile/v1`` section whose rollups appear in the run
+report summary, as Perfetto counter tracks, and in ``stats resources``
+output; the budget gate and ``stats diff``'s resource dimensions exit
+1 on doctored damage; degraded inputs exit 2 with one actionable line.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import RunReport
+from repro.obs.resources import RESOURCE_BUDGET_SCHEMA
+from repro.obs.trace import validate_trace
+
+# Fresh seed: the in-process scenario cache must not serve this file's
+# scenario from another test file's build (see test_cli_events.py).
+FRESH_SEED = "913"
+
+
+@pytest.fixture(scope="module")
+def profiled_run(tmp_path_factory):
+    """One instrumented table1 run with resource profiling + trace."""
+    root = tmp_path_factory.mktemp("profiled-run")
+    report_path = root / "run.json"
+    trace_path = root / "trace.json"
+    status = main([
+        "--metrics-out", str(report_path),
+        "--trace-out", str(trace_path),
+        "--profile-resources", "50",
+        "--seed", FRESH_SEED, "table1",
+    ])
+    assert status == 0
+    return report_path, trace_path
+
+
+class TestProfiledRun:
+    def test_report_carries_valid_profile(self, profiled_run):
+        report_path, _ = profiled_run
+        report = RunReport.load(report_path)
+        profile = report.resource_profile
+        assert profile["sample_count"] >= 2
+        assert profile["hz"] == 50.0
+        from repro.obs.resources import validate_profile
+
+        assert validate_profile(profile) == []
+
+    def test_meta_records_profile_hz(self, profiled_run):
+        report_path, _ = profiled_run
+        assert RunReport.load(report_path).meta["profile_hz"] == 50.0
+
+    def test_headline_gauges_present(self, profiled_run):
+        report_path, _ = profiled_run
+        gauges = RunReport.load(report_path).gauges
+        assert gauges["resources.samples"] >= 2
+        assert gauges["resources.rss_peak_kib"] > 0
+
+    def test_summary_renders_rollups(self, profiled_run):
+        report_path, _ = profiled_run
+        summary = RunReport.load(report_path).render_summary()
+        assert "resource profile:" in summary
+        assert "rss peak" in summary
+
+    def test_trace_gains_counter_tracks(self, profiled_run):
+        _, trace_path = profiled_run
+        document = json.loads(trace_path.read_text())
+        assert validate_trace(document) == []
+        names = {
+            e["name"] for e in document["traceEvents"] if e["ph"] == "C"
+        }
+        assert "resources.rss_kib" in names
+        assert "resources.cpu_util" in names
+
+    def test_bare_flag_defaults_to_ten_hz(self, tmp_path):
+        report_path = tmp_path / "bare.json"
+        status = main([
+            "--metrics-out", str(report_path),
+            "--profile-resources",
+            "--seed", FRESH_SEED, "table1",
+        ])
+        assert status == 0
+        report = RunReport.load(report_path)
+        assert report.resource_profile["hz"] == 10.0
+        assert report.meta["profile_hz"] == 10.0
+
+    def test_without_flag_no_profile_section(self, tmp_path):
+        report_path = tmp_path / "plain.json"
+        status = main([
+            "--metrics-out", str(report_path),
+            "--seed", FRESH_SEED, "table1",
+        ])
+        assert status == 0
+        assert RunReport.load(report_path).resource_profile == {}
+
+    def test_flag_without_sink_warns(self, tmp_path, capsys):
+        status = main([
+            "--profile-resources", "--seed", FRESH_SEED, "table1",
+        ])
+        assert status == 0
+        assert "--profile-resources does nothing" in capsys.readouterr().err
+
+    def test_invalid_hz_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--profile-resources", "5000", "table1"])
+        assert exc.value.code == 2
+
+
+class TestStatsResources:
+    def test_text_output_and_exit_zero(self, profiled_run, capsys):
+        report_path, _ = profiled_run
+        assert main(["stats", "resources", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sampled at 50 Hz" in out
+        assert "totals:" in out
+
+    def test_json_output_carries_document(self, profiled_run, capsys):
+        report_path, _ = profiled_run
+        status = main([
+            "stats", "resources", str(report_path), "--format", "json",
+        ])
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["valid"] is True
+        assert payload["problems"] == []
+        assert payload["profile"]["sample_count"] >= 2
+
+    def test_doctored_profile_exits_one(self, profiled_run, tmp_path, capsys):
+        report_path, _ = profiled_run
+        data = json.loads(report_path.read_text())
+        data["resource_profile"]["sample_count"] = -3
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(data))
+        assert main(["stats", "resources", str(bad)]) == 1
+        assert "resource profile INVALID" in capsys.readouterr().err
+
+    def test_missing_section_exits_two(self, tmp_path, capsys):
+        report_path = tmp_path / "plain.json"
+        main(["--metrics-out", str(report_path),
+              "--seed", FRESH_SEED, "table1"])
+        assert main(["stats", "resources", str(report_path)]) == 2
+        assert "--profile-resources" in capsys.readouterr().err
+
+    def test_unreadable_report_exits_two(self, tmp_path, capsys):
+        assert main(["stats", "resources", str(tmp_path / "nope.json")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_budget_within_limits_passes(self, profiled_run, tmp_path):
+        report_path, _ = profiled_run
+        budget = tmp_path / "budget.json"
+        budget.write_text(json.dumps({
+            "schema": RESOURCE_BUDGET_SCHEMA,
+            "max_rss_peak_kib": 10 * 1024 * 1024,
+            "max_cpu_s": 3600.0,
+        }))
+        status = main([
+            "stats", "resources", str(report_path),
+            "--budget", str(budget),
+        ])
+        assert status == 0
+
+    def test_budget_breach_exits_one(self, profiled_run, tmp_path, capsys):
+        report_path, _ = profiled_run
+        budget = tmp_path / "budget.json"
+        budget.write_text(json.dumps({
+            "schema": RESOURCE_BUDGET_SCHEMA,
+            "max_rss_peak_kib": 1.0,
+        }))
+        status = main([
+            "stats", "resources", str(report_path),
+            "--budget", str(budget),
+        ])
+        assert status == 1
+        err = capsys.readouterr().err
+        assert "resource budget EXCEEDED" in err
+        assert "max_rss_peak_kib" in err
+
+    def test_unreadable_budget_exits_two(self, profiled_run, capsys):
+        report_path, _ = profiled_run
+        status = main([
+            "stats", "resources", str(report_path),
+            "--budget", "no-such-budget.json",
+        ])
+        assert status == 2
+        assert "cannot load budget" in capsys.readouterr().err
+
+
+class TestStatsDiffResourceGate:
+    def doctor(self, report_path, tmp_path, name, rss_factor):
+        data = json.loads(report_path.read_text())
+        totals = data["resource_profile"]["totals"]
+        totals["rss_peak_kib"] = totals["rss_peak_kib"] * rss_factor
+        target = tmp_path / name
+        target.write_text(json.dumps(data))
+        return target
+
+    def test_doctored_rss_blowup_fails_the_gate(
+        self, profiled_run, tmp_path, capsys
+    ):
+        report_path, _ = profiled_run
+        fat = self.doctor(report_path, tmp_path, "fat.json", 10.0)
+        status = main([
+            "stats", "diff", str(report_path), str(fat),
+            "--max-ratio", "1000", "--gauge-tolerance", "1000",
+        ])
+        assert status == 1
+        captured = capsys.readouterr()
+        assert "resource drift" in captured.out
+        assert "totals.rss_peak_kib" in captured.err
+
+    def test_no_fail_flag_downgrades_to_report_only(
+        self, profiled_run, tmp_path
+    ):
+        report_path, _ = profiled_run
+        fat = self.doctor(report_path, tmp_path, "fat2.json", 10.0)
+        status = main([
+            "stats", "diff", str(report_path), str(fat),
+            "--max-ratio", "1000", "--gauge-tolerance", "1000",
+            "--no-fail-on-resource-drift",
+        ])
+        assert status == 0
+
+    def test_wider_ratio_tolerates_growth(self, profiled_run, tmp_path):
+        report_path, _ = profiled_run
+        fat = self.doctor(report_path, tmp_path, "fat3.json", 10.0)
+        status = main([
+            "stats", "diff", str(report_path), str(fat),
+            "--max-ratio", "1000", "--gauge-tolerance", "1000",
+            "--max-rss-ratio", "20",
+        ])
+        assert status == 0
+
+    def test_identical_profiles_are_ok(self, profiled_run, capsys):
+        report_path, _ = profiled_run
+        status = main([
+            "stats", "diff", str(report_path), str(report_path),
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "verdict: ok" in out
+        assert "resource drift (" not in out

@@ -214,3 +214,116 @@ class TestCliStatsDiff:
         bogus = tmp_path / "bogus.json"
         bogus.write_text('{"schema": "other"}')
         assert main(["stats", "diff", str(bogus), str(bogus)]) == 2
+
+
+def _profiled_report(rss=1000.0, util=0.5, stages=None):
+    profile = {
+        "schema": "repro.resource-profile/v1",
+        "hz": 10.0,
+        "sample_count": 5,
+        "dropped_samples": 0,
+        "samples": [],
+        "stages": stages or {},
+        "totals": {
+            "duration_s": 1.0, "cpu_s": util, "cpu_util": util,
+            "rss_peak_kib": rss, "rss_mean_kib": rss,
+        },
+    }
+    report = _report()
+    report.resource_profile = profile
+    return report
+
+
+class TestResourceDrift:
+    def test_identical_profiles_are_ok(self):
+        result = diff_reports(_profiled_report(), _profiled_report())
+        assert result.resource_drifts == []
+        assert result.resource_verdict == "ok"
+        assert result.verdict == "ok"
+
+    def test_rss_blowup_fails_by_default(self):
+        result = diff_reports(
+            _profiled_report(rss=1000.0), _profiled_report(rss=2000.0)
+        )
+        (drift,) = result.resource_drifts
+        assert drift.metric == "rss_peak_kib"
+        assert drift.scope == "totals"
+        assert drift.ratio == pytest.approx(2.0)
+        assert result.resource_verdict == "resource-drift"
+        assert result.verdict == "regression"
+
+    def test_rss_within_ratio_is_ok(self):
+        result = diff_reports(
+            _profiled_report(rss=1000.0), _profiled_report(rss=1400.0)
+        )
+        assert result.resource_drifts == []
+
+    def test_cpu_util_swing_fails(self):
+        result = diff_reports(
+            _profiled_report(util=0.3), _profiled_report(util=0.9)
+        )
+        metrics = {d.metric for d in result.resource_drifts}
+        assert "cpu_util" in metrics
+        assert result.verdict == "regression"
+
+    def test_custom_thresholds(self):
+        limits = DiffThresholds(max_rss_ratio=3.0, cpu_util_abs_tol=0.8)
+        result = diff_reports(
+            _profiled_report(rss=1000.0, util=0.3),
+            _profiled_report(rss=2500.0, util=0.9),
+            limits,
+        )
+        assert result.resource_drifts == []
+
+    def test_fail_on_resource_drift_off_reports_without_failing(self):
+        limits = DiffThresholds(fail_on_resource_drift=False)
+        result = diff_reports(
+            _profiled_report(rss=1000.0), _profiled_report(rss=9000.0)
+        , limits)
+        assert result.resource_drifts
+        assert result.resource_verdict == "resource-drift"
+        assert result.verdict == "ok"
+
+    def test_shared_stages_judged_individually(self):
+        old = _profiled_report(stages={
+            "kde.evaluate": {"rss_peak_kib": 1000.0, "cpu_util": 0.5},
+            "only.old": {"rss_peak_kib": 1.0, "cpu_util": 0.1},
+        })
+        new = _profiled_report(stages={
+            "kde.evaluate": {"rss_peak_kib": 5000.0, "cpu_util": 0.5},
+            "only.new": {"rss_peak_kib": 1e9, "cpu_util": 1.0},
+        })
+        scopes = {(d.scope, d.metric) for d in diff_reports(old, new)
+                  .resource_drifts}
+        assert ("kde.evaluate", "rss_peak_kib") in scopes
+        # Stages present on only one side are never judged.
+        assert not any(s in ("only.old", "only.new") for s, _ in scopes)
+
+    def test_profile_on_one_side_only_is_not_judged(self):
+        result = diff_reports(_report(), _profiled_report(rss=1e9))
+        assert result.resource_drifts == []
+        assert result.verdict == "ok"
+
+    def test_resource_gauges_excluded_from_generic_gauge_drift(self):
+        # resources.* gauges are owned by the resource comparison (like
+        # quality.*); a doubled peak must surface once, as resource
+        # drift, not twice.
+        old, new = _profiled_report(rss=1000.0), _profiled_report(rss=2000.0)
+        old.gauges["resources.rss_peak_kib"] = 1000.0
+        new.gauges["resources.rss_peak_kib"] = 2000.0
+        result = diff_reports(old, new)
+        assert [d.name for d in result.drifts] == []
+        assert result.resource_drifts
+
+    def test_serialisation_carries_resource_sections(self):
+        result = diff_reports(
+            _profiled_report(rss=1000.0), _profiled_report(rss=2000.0)
+        )
+        payload = json.loads(result.to_json())
+        assert payload["resource_verdict"] == "resource-drift"
+        assert payload["thresholds"]["max_rss_ratio"] == 1.5
+        (drift,) = payload["resource_drifts"]
+        assert drift["metric"] == "rss_peak_kib"
+        text = result.render_text()
+        assert "resource drift" in text
+        assert "2.00x" in text

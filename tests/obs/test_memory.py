@@ -99,3 +99,47 @@ class TestTracemallocLifecycle:
             del block
         assert telemetry.gauges == {}
         assert telemetry.root.children["crawl.run"].count == 1
+
+
+class TestExceptionExit:
+    def test_raising_span_still_records_its_gauge(self):
+        with capture_memory() as telemetry:
+            try:
+                with telemetry.span("kde.evaluate"):
+                    block = bytearray(2 * 1024 * 1024)
+                    raise RuntimeError("mid-span failure")
+            except RuntimeError:
+                pass
+            del block
+        assert telemetry.gauges[_key("kde.evaluate")] >= 1024
+
+    def test_raising_child_segment_folds_into_ancestors(self):
+        # A child that dies mid-body must not orphan its segment: the
+        # peak it reached still belongs to every open ancestor, and
+        # the parent's own accounting must survive the unwind.
+        with capture_memory() as telemetry:
+            with telemetry.span("scenario.build"):
+                try:
+                    with telemetry.span("kde.evaluate"):
+                        block = bytearray(4 * 1024 * 1024)
+                        raise RuntimeError("mid-span failure")
+                except RuntimeError:
+                    pass
+                del block
+        child = telemetry.gauges[_key("kde.evaluate")]
+        parent = telemetry.gauges[_key("scenario.build")]
+        assert child >= 3 * 1024
+        assert parent >= child
+
+    def test_peak_stack_balanced_after_exception(self):
+        # The per-frame accumulator stack must unwind exactly in step
+        # with the spans; a leak here would misattribute every later
+        # segment.
+        with capture_memory() as telemetry:
+            depth = len(telemetry._peak_stack)
+            try:
+                with telemetry.span("crawl.run"):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            assert len(telemetry._peak_stack) == depth

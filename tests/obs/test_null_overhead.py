@@ -195,3 +195,58 @@ class TestProgressAndEventsAreNullSafe:
         status = main(["--seed", "91", "table1"])
         assert status == 0
         assert events.get_stream() is None
+
+
+class TestResourceSamplingIsNullSafe:
+    """The PR 8 resource layer shares the zero-overhead budget: with
+    no --profile-resources the shared null sampler is the only object
+    in play and experiment output is byte-identical."""
+
+    def test_null_sampler_is_slotted_and_stateless(self):
+        from repro.obs.resources import NULL_SAMPLER, NullResourceSampler
+
+        assert NullResourceSampler.__slots__ == ()
+        assert not hasattr(NULL_SAMPLER, "__dict__")
+
+    def test_falsy_hz_yields_the_shared_singleton(self):
+        from repro.obs.resources import NULL_SAMPLER, sample_resources
+
+        with sample_resources(None) as first:
+            with sample_resources(0.0) as second:
+                assert first is NULL_SAMPLER
+                assert second is NULL_SAMPLER
+
+    def test_null_sampling_allocates_no_lasting_memory(self):
+        from repro.obs.resources import NULL_SAMPLER, sample_resources
+
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        try:
+            baseline, _ = tracemalloc.get_traced_memory()
+            for _ in range(10_000):
+                with sample_resources(None):
+                    NULL_SAMPLER.sample_once()
+            current, _ = tracemalloc.get_traced_memory()
+        finally:
+            if not was_tracing:
+                tracemalloc.stop()
+        assert current - baseline < 4096, (
+            f"null sampler leaked {current - baseline} bytes over "
+            "10k blocks"
+        )
+
+    def test_profile_flag_alone_output_is_byte_identical(self, capsys):
+        import threading
+
+        status_plain = main(["--seed", "91", "table1"])
+        plain = capsys.readouterr().out
+        before = threading.active_count()
+        status_profiled = main(
+            ["--profile-resources", "--seed", "91", "table1"]
+        )
+        instrumented = capsys.readouterr().out
+        assert status_plain == status_profiled == 0
+        assert plain == instrumented
+        assert threading.active_count() == before  # no sampler thread
+        assert obs.get_telemetry() is obs.NULL

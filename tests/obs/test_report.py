@@ -99,3 +99,43 @@ class TestSummary:
         text = RunReport.from_telemetry(telemetry).render_summary()
         lines = [line for line in text.splitlines() if "crawl.run" in line]
         assert lines and lines[0].startswith("  crawl.run")
+
+
+class TestResourceProfileSection:
+    def profile(self):
+        return {
+            "schema": "repro.resource-profile/v1",
+            "hz": 10.0,
+            "sample_count": 2,
+            "dropped_samples": 0,
+            "samples": [],
+            "stages": {"crawl.run": {
+                "samples": 2, "rss_peak_kib": 2048.0, "rss_mean_kib": 2048.0,
+                "cpu_s": 0.5, "wall_s": 1.0, "cpu_util": 0.5,
+            }},
+            "totals": {"duration_s": 1.0, "cpu_s": 0.5, "cpu_util": 0.5,
+                       "rss_peak_kib": 2048.0, "rss_mean_kib": 2048.0},
+        }
+
+    def test_round_trips_through_json(self):
+        report = RunReport(resource_profile=self.profile())
+        clone = RunReport.from_dict(json.loads(report.to_json()))
+        assert clone.resource_profile == self.profile()
+
+    def test_empty_profile_omitted_from_document(self):
+        assert "resource_profile" not in RunReport().to_dict()
+
+    def test_rejects_foreign_profile_schema(self):
+        document = RunReport(resource_profile=self.profile()).to_dict()
+        document["resource_profile"]["schema"] = "bogus/v9"
+        with pytest.raises(ValueError, match="resource-profile"):
+            RunReport.from_dict(document)
+
+    def test_summary_renders_rollup_table(self):
+        text = RunReport(resource_profile=self.profile()).render_summary()
+        assert "resource profile:" in text
+        assert "crawl.run" in text
+        assert "rss peak" in text
+
+    def test_unprofiled_summary_has_no_section(self):
+        assert "resource profile:" not in RunReport().render_summary()

@@ -49,6 +49,15 @@ def test_timing_record_exists_and_is_well_formed(name):
     assert record["wall_time_s"] >= 0
     snapshot = record["telemetry"]
     assert set(snapshot) >= {"spans", "counters", "gauges"}
+    # Records written since the resource layer landed also embed the
+    # sampler's per-stage rollups; validate when present (committed
+    # records from earlier versions legitimately lack the key).
+    if "resources" in record:
+        from repro.obs.resources import validate_profile
+
+        rollups = record["resources"]
+        assert rollups["samples"] == []  # rollups only, bounded size
+        assert validate_profile(rollups) == [], record_path
 
 
 @pytest.mark.parametrize("name", bench_names())
