@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench examples experiments profile lint lint-tests \
-        smoke smoke-baseline smoke-parallel history funnel events clean
+        smoke smoke-baseline smoke-parallel smoke-stream history funnel \
+        events clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -70,6 +71,30 @@ smoke-parallel:
 		assert warm.get('exec.cache.hits', 0) > 0, warm; \
 		assert warm.get('exec.cache.misses', 0) == 0, warm; \
 		print('engine gate ok:', warm.get('exec.cache.hits'), 'hits')"
+
+# The CI streaming gate, runnable locally: the chunk-streamed pipeline
+# (--chunk-size) must render a byte-identical table1, the run must
+# actually have streamed (>1 chunk), and its resource profile must stay
+# inside the committed chunked-path budget (the nested "stream" entry
+# in resource-budget.json — see docs/DATA_MODEL.md for the O(chunk)
+# memory contract it enforces).
+smoke-stream:
+	$(PYTHON) -m repro.cli table1 > table1-serial.txt
+	$(PYTHON) -m repro.cli --chunk-size 4096 \
+		--metrics-out stream-report.json --profile-resources \
+		table1 > table1-chunked.txt
+	diff table1-serial.txt table1-chunked.txt
+	$(PYTHON) -c "import json; \
+		budget = json.load(open('benchmarks/baselines/resource-budget.json'))['stream']; \
+		json.dump(budget, open('stream-budget.json', 'w'), indent=2)"
+	$(PYTHON) -m repro.cli stats resources stream-report.json \
+		--budget stream-budget.json
+	$(PYTHON) -c "import json; \
+		gauges = json.load(open('stream-report.json'))['gauges']; \
+		chunks = gauges.get('pipeline.stream.chunks', 0); \
+		assert chunks > 1, gauges; \
+		print('stream gate ok:', int(chunks), 'chunks, rss peak', \
+			int(gauges['pipeline.stream.rss_peak_kib']), 'KiB')"
 
 # Refresh the committed perf baseline (only for understood changes).
 smoke-baseline:

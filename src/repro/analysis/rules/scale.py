@@ -31,6 +31,14 @@ STAGE_PREFIXES = ("run_", "build_", "generate_")
 #: argument into one in-memory list.
 MATERIALISING_BUILTINS = frozenset({"list", "sorted"})
 
+#: Modules holding the columnar pipeline stages (REP901 scope): these
+#: process per-peer data and must stay vectorised.
+BATCH_FIRST_PACKAGE = "repro.pipeline."
+
+#: Iterator builtins whose ``for`` statements mark an element-at-a-time
+#: sweep (the shape the columnar refactor replaces with array ops).
+ELEMENTWISE_BUILTINS = frozenset({"range", "zip", "enumerate"})
+
 _COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp)
 
 
@@ -204,4 +212,49 @@ class UnboundedAccumulatorRule(Rule):
                     f"{bound[name]}) grows per record inside a loop; "
                     "on paper-scale input this is O(population) "
                     "memory — pre-size it or emit per-chunk batches",
+                )
+
+
+@register
+class ElementwiseLoopRule(Rule):
+    """Pipeline stage modules iterate batches, not elements.
+
+    A ``for`` statement over ``range(...)``/``zip(...)``/
+    ``enumerate(...)`` in a ``repro.pipeline`` module is the signature
+    of an element-at-a-time sweep — the pattern the columnar batch
+    representation (``repro.pipeline.batch``) replaces with one
+    vectorised array operation.  Loops over *groups*, *chunks* or other
+    already-aggregated collections are fine; it is the per-element
+    index/pairing idiom that does not scale to paper-size inputs.
+    Comprehensions are REP801's business and are not flagged here.
+    """
+
+    meta = RuleMeta(
+        id="REP901",
+        name="elementwise-loop",
+        severity=Severity.WARNING,
+        summary="pipeline module loops element-at-a-time "
+        "(for over range/zip/enumerate); vectorise over the batch",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(BATCH_FIRST_PACKAGE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            call = node.iter
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Name)
+                and call.func.id in ELEMENTWISE_BUILTINS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"for-statement over {call.func.id}(...) iterates "
+                    "element-at-a-time in a pipeline stage module; on "
+                    "paper-scale input this is O(population) Python — "
+                    "express it as a columnar batch operation "
+                    "(repro.pipeline.batch) instead",
                 )

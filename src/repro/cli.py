@@ -62,11 +62,17 @@ Execution-engine flags (see ``docs/PERFORMANCE.md``):
     Content-addressed artifact cache for footprint results.  A re-run
     with unchanged inputs serves footprints from disk (watch the
     ``exec.cache.*`` counters in ``--metrics-out`` reports).
+``--chunk-size N``
+    Stream the conditioning pipeline in N-peer chunks instead of one
+    whole-sample pass (see ``docs/DATA_MODEL.md``).  Output is
+    bit-identical; per-stage memory is bounded by the chunk, and the
+    run gains ``pipeline.stream.*`` gauges.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from contextlib import ExitStack
@@ -114,11 +120,22 @@ from .validation.reference import ReferenceConfig
 
 
 def _scenario_config(args) -> ScenarioConfig:
-    return (
+    config = (
         ScenarioConfig.default(seed=args.seed)
         if args.preset == "default"
         else ScenarioConfig.small(seed=args.seed)
     )
+    chunk_size = getattr(args, "chunk_size", None)
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise SystemExit("--chunk-size must be a positive peer count")
+        config = dataclasses.replace(
+            config,
+            pipeline=dataclasses.replace(
+                config.pipeline, chunk_size=chunk_size
+            ),
+        )
+    return config
 
 
 def _scenario(args):
@@ -732,6 +749,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="content-addressed footprint artifact cache directory "
              "(default: no caching)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream the conditioning pipeline in N-peer chunks "
+             "(bit-identical output, bounded per-stage memory; see "
+             "docs/DATA_MODEL.md; default: whole-sample serial path)",
     )
     parser.add_argument(
         "--preset",

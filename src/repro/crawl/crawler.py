@@ -73,6 +73,18 @@ class PeerSample:
         column = self.app_names.index(app_name)
         return self.user_index[self.membership[:, column]]
 
+    def chunks(self, chunk_size: int):
+        """The sample as fixed-size zero-copy chunks, in peer order.
+
+        The streaming-pipeline adapter (see ``repro.pipeline.stream``
+        and ``docs/DATA_MODEL.md``): each yielded
+        :class:`~repro.crawl.chunks.PeerChunk` views this sample's
+        columns, so chunking an in-memory sample allocates nothing.
+        """
+        from .chunks import iter_sample_chunks  # deferred: imports us
+
+        return iter_sample_chunks(self, chunk_size)
+
 
 @dataclass(frozen=True)
 class CrawlConfig:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Tuple
 
 from ..net.ip import Prefix, PrefixTable
+from ..net.lpm import FlatLPMIndex, flatten_entries
 from .records import GeoRecord
 
 
@@ -28,6 +29,7 @@ class GeoDatabase:
         self._table: PrefixTable[Optional[GeoRecord]] = PrefixTable()
         self._record_count = 0
         self._missing_count = 0
+        self._flat: Optional[Tuple[FlatLPMIndex, List[Optional[GeoRecord]]]] = None
 
     def __len__(self) -> int:
         return self._record_count + self._missing_count
@@ -46,6 +48,7 @@ class GeoDatabase:
         if self._table.lookup_exact(prefix) is not None:
             raise ValueError(f"block {prefix} already present in {self.name}")
         self._table.insert(prefix, record)
+        self._flat = None
         if record is None:
             self._missing_count += 1
         else:
@@ -64,6 +67,25 @@ class GeoDatabase:
 
     def blocks(self) -> List[Tuple[Prefix, Optional[GeoRecord]]]:
         return list(self._table.items())
+
+    def flat_index(self) -> Tuple[FlatLPMIndex, List[Optional[GeoRecord]]]:
+        """The block table as disjoint intervals plus a record list.
+
+        The interval payload is a row into the returned record list
+        (``-1`` marks uncovered addresses).  Blocks *without* city-level
+        resolution keep their row — a ``None`` entry in the list — so
+        they shadow any enclosing block exactly as the trie does.  Built
+        lazily and cached until the next :meth:`add_block`; this is the
+        vectorised lookup behind the columnar mapping stage.
+        """
+        if self._flat is None:
+            records: List[Optional[GeoRecord]] = []
+            triples = []
+            for prefix, record in self._table.items():
+                triples.append((prefix.first, prefix.last, len(records)))
+                records.append(record)
+            self._flat = (flatten_entries(triples), records)
+        return self._flat
 
 
 def paired_lookup(

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .ip import Prefix, PrefixTable
+from .lpm import FlatLPMIndex, flatten_entries
 from .relationships import RelationshipGraph
 
 
@@ -58,6 +59,7 @@ class RoutingTable:
 
     def __init__(self) -> None:
         self._table: PrefixTable[int] = PrefixTable()
+        self._flat: Optional[FlatLPMIndex] = None
 
     def __len__(self) -> int:
         return len(self._table)
@@ -69,6 +71,21 @@ class RoutingTable:
         if existing is not None and existing != origin_asn:
             raise ValueError(f"{prefix} already originated by AS{existing}")
         self._table.insert(prefix, origin_asn)
+        self._flat = None
+
+    def flat_index(self) -> FlatLPMIndex:
+        """The table as disjoint intervals with the origin ASN payload.
+
+        Built lazily and cached until the next :meth:`announce`; the
+        vectorised lookup the columnar pipeline's grouping stage uses
+        (payload ``-1`` marks unrouted addresses).
+        """
+        if self._flat is None:
+            self._flat = flatten_entries(
+                (prefix.first, prefix.last, asn)
+                for prefix, asn in self._table.items()
+            )
+        return self._flat
 
     def origin_of(self, address: int) -> Optional[int]:
         """Longest-prefix-match origin AS for an address."""

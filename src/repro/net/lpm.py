@@ -1,0 +1,120 @@
+"""Flattened longest-prefix-match: nested prefixes → disjoint intervals.
+
+The binary-trie :class:`~repro.net.ip.PrefixTable` answers one address
+at a time in Python, which is what made the conditioning pipeline's
+mapping and grouping stages O(population) Python loops.  This module
+flattens a set of (possibly nested) prefix entries into **disjoint,
+sorted address intervals** once, after which a whole column of
+addresses resolves in two vectorised ``np.searchsorted`` passes — the
+lookup primitive of the columnar batch pipeline (see
+``docs/DATA_MODEL.md``).
+
+Flattening uses the classic interval sweep: entries are sorted so a
+covering prefix precedes its more-specifics, and a stack of currently
+open prefixes emits the segment of the *innermost* (longest) prefix
+covering each address range.  Because prefixes nest perfectly (a child
+is entirely inside its parent; siblings are disjoint), the result is
+exactly the longest-prefix-match relation, materialised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from .ip import MAX_IPV4
+
+#: Payload returned for addresses no interval covers.
+NO_MATCH = -1
+
+
+class FlatLPMIndex:
+    """Disjoint sorted intervals with an integer payload per interval.
+
+    ``starts``/``ends`` are parallel ``int64`` arrays of inclusive
+    bounds; ``payloads`` is ``int64`` (``NO_MATCH`` never appears as a
+    stored payload — it is reserved for misses).  Build one with
+    :func:`flatten_entries`.
+    """
+
+    __slots__ = ("starts", "ends", "payloads")
+
+    def __init__(
+        self,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        payloads: np.ndarray,
+    ) -> None:
+        self.starts = np.ascontiguousarray(starts, dtype=np.int64)
+        self.ends = np.ascontiguousarray(ends, dtype=np.int64)
+        self.payloads = np.ascontiguousarray(payloads, dtype=np.int64)
+        if not (self.starts.shape == self.ends.shape == self.payloads.shape):
+            raise ValueError("interval columns must be parallel")
+        if self.starts.size:
+            if np.any(self.ends < self.starts):
+                raise ValueError("interval end before start")
+            if np.any(self.starts[1:] <= self.ends[:-1]):
+                raise ValueError("intervals must be disjoint and sorted")
+
+    def __len__(self) -> int:
+        return int(self.starts.size)
+
+    def lookup_many(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised LPM: payload per address, ``NO_MATCH`` on miss."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if self.starts.size == 0:
+            return np.full(addresses.shape, NO_MATCH, dtype=np.int64)
+        slot = np.searchsorted(self.starts, addresses, side="right") - 1
+        clipped = np.clip(slot, 0, None)
+        hit = (slot >= 0) & (addresses <= self.ends[clipped])
+        return np.where(hit, self.payloads[clipped], NO_MATCH)
+
+    def lookup(self, address: int) -> int:
+        """Scalar convenience wrapper over :meth:`lookup_many`."""
+        return int(self.lookup_many(np.array([address], dtype=np.int64))[0])
+
+
+def flatten_entries(
+    entries: Iterable[Tuple[int, int, int]]
+) -> FlatLPMIndex:
+    """Flatten ``(first, last, payload)`` prefix ranges to an index.
+
+    Ranges must either nest or be disjoint (the prefix property); the
+    most specific (innermost) range wins everywhere it applies, exactly
+    like trie longest-prefix match.
+    """
+    ordered = sorted(entries, key=lambda e: (e[0], -(e[1] - e[0])))
+    for first, last, payload in ordered:
+        if not 0 <= first <= last <= MAX_IPV4:
+            raise ValueError(f"invalid range [{first}, {last}]")
+        if payload == NO_MATCH:
+            raise ValueError(f"payload {NO_MATCH} is reserved for misses")
+    segments: List[Tuple[int, int, int]] = []
+    stack: List[Tuple[int, int, int]] = []  # open (first, last, payload)
+    cursor = 0
+
+    def close_until(limit: int) -> None:
+        # Emit the tail segments of every open range ending before
+        # ``limit``, innermost first.
+        nonlocal cursor
+        while stack and stack[-1][1] < limit:
+            _, last, payload = stack.pop()
+            if cursor <= last:
+                segments.append((cursor, last, payload))
+                cursor = last + 1
+
+    for first, last, payload in ordered:
+        close_until(first)
+        if stack and cursor < first:
+            # The enclosing range owns the gap before this child.
+            segments.append((cursor, first - 1, stack[-1][2]))
+        cursor = first
+        stack.append((first, last, payload))
+    close_until(MAX_IPV4 + 1)
+
+    if not segments:
+        empty = np.empty(0, dtype=np.int64)
+        return FlatLPMIndex(empty, empty.copy(), empty.copy())
+    arr = np.asarray(segments, dtype=np.int64)
+    return FlatLPMIndex(arr[:, 0], arr[:, 1], arr[:, 2])

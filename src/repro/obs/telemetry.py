@@ -214,6 +214,14 @@ class Telemetry:
             self.quality[name] = digest
         digest.observe_many(values)
 
+    def quality_observe_array(self, name: str, values: Any) -> None:
+        """Vectorised :meth:`quality_observe` for whole numpy arrays."""
+        digest = self.quality.get(name)
+        if digest is None:
+            digest = QuantileDigest()
+            self.quality[name] = digest
+        digest.observe_array(values)
+
     def top_spans(self, n: int = 10) -> List[Tuple[str, SpanNode]]:
         """The ``n`` span nodes with the largest total time, descending.
 
@@ -406,6 +414,9 @@ class NullTelemetry:
         return None
 
     def quality_observe(self, name: str, values: Iterable[float]) -> None:
+        return None
+
+    def quality_observe_array(self, name: str, values: Any) -> None:
         return None
 
     def top_spans(self, n: int = 10) -> List[Tuple[str, SpanNode]]:

@@ -33,13 +33,20 @@ from .mapping import map_peers
 
 @dataclass(frozen=True)
 class PipelineConfig:
-    """Thresholds of the conditioning pipeline (paper defaults)."""
+    """Thresholds of the conditioning pipeline (paper defaults).
+
+    ``chunk_size`` selects the chunk-streamed driver
+    (:func:`repro.pipeline.stream.stream_target_dataset`, bit-identical
+    output, bounded per-stage memory); ``None`` keeps the serial
+    whole-sample path.
+    """
 
     max_geo_error_km: float = METRO_DIAMETER_KM
     min_peers_per_as: int = MIN_PEERS_PER_AS
     error_percentile: float = ERROR_PERCENTILE
     error_percentile_max_km: float = GEO_ERROR_GATE_KM
     containment_threshold: float = 0.95
+    chunk_size: Optional[int] = None
 
 
 @dataclass
@@ -111,6 +118,41 @@ class TargetDataset:
         return self.ases.get(asn)
 
 
+def classify_groups(
+    groups: Dict[int, ASPeerGroup], threshold: float = 0.95
+) -> Dict[int, TargetAS]:
+    """Classify the surviving groups into :class:`TargetAS` entries.
+
+    The shared pipeline tail: both the serial
+    :func:`build_target_dataset` and the chunk-streamed driver
+    (:mod:`repro.pipeline.stream`) end here, so span, progress, and
+    funnel records are identical across the two paths.  ASes are
+    classified in ascending-ASN order, which fixes the output dict's
+    insertion order.
+    """
+    ases: Dict[int, TargetAS] = {}
+    with obs.span("pipeline.classify"):
+        with tracker(
+            "pipeline.classify", total=len(groups), unit="ases"
+        ) as progress:
+            for asn in sorted(groups):
+                group = groups[asn]
+                classification = classify_group(group, threshold)
+                ases[asn] = TargetAS(
+                    asn=asn, group=group, classification=classification
+                )
+                progress.advance()
+    # Classification keeps every AS; the lossless stage still goes
+    # on the funnel so the waterfall runs gap-free end to end.
+    lineage.record_stage(
+        "pipeline.classify",
+        unit="ases",
+        records_in=len(groups),
+        records_out=len(ases),
+    )
+    return ases
+
+
 def build_target_dataset(
     sample: PeerSample,
     primary: GeoDatabase,
@@ -118,7 +160,18 @@ def build_target_dataset(
     routing_table: RoutingTable,
     config: PipelineConfig = PipelineConfig(),
 ) -> TargetDataset:
-    """Run the full Section 2 pipeline over a crawl sample."""
+    """Run the full Section 2 pipeline over a crawl sample.
+
+    With ``config.chunk_size`` set, delegates to the chunk-streamed
+    driver — bit-identical output, bounded per-stage memory (see
+    ``docs/DATA_MODEL.md``).
+    """
+    if config.chunk_size is not None:
+        from .stream import stream_target_dataset  # deferred: imports us
+
+        return stream_target_dataset(
+            sample, primary, secondary, routing_table, config
+        )
     with obs.span("pipeline.build_target_dataset"):
         mapped, mapping_stats = map_peers(sample, primary, secondary)
         with obs.span("pipeline.filter_geo_error"):
@@ -135,28 +188,7 @@ def build_target_dataset(
             groups, dropped_percentile = filter_error_percentile(
                 groups, config.error_percentile, config.error_percentile_max_km
             )
-        ases: Dict[int, TargetAS] = {}
-        with obs.span("pipeline.classify"):
-            with tracker(
-                "pipeline.classify", total=len(groups), unit="ases"
-            ) as progress:
-                for asn in sorted(groups):
-                    group = groups[asn]
-                    classification = classify_group(
-                        group, config.containment_threshold
-                    )
-                    ases[asn] = TargetAS(
-                        asn=asn, group=group, classification=classification
-                    )
-                    progress.advance()
-        # Classification keeps every AS; the lossless stage still goes
-        # on the funnel so the waterfall runs gap-free end to end.
-        lineage.record_stage(
-            "pipeline.classify",
-            unit="ases",
-            records_in=len(groups),
-            records_out=len(ases),
-        )
+        ases = classify_groups(groups, config.containment_threshold)
     stats = PipelineStats(
         crawled_peers=mapping_stats.input_peers,
         dropped_missing_record=mapping_stats.dropped_missing,

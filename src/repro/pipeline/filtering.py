@@ -10,6 +10,15 @@ Three filters condition the raw mapped peers into the target dataset:
 * the per-AS error-percentile gate ("we remove all the ASes whose 90th
   percentile of geo error is larger than 80km"), which is what licenses
   a *fixed* 40 km kernel bandwidth across all surviving ASes.
+
+The chunked summary path (:mod:`repro.pipeline.stream`) cannot hold an
+AS's full error column, so its percentile gate runs on the AS's merged
+:class:`~repro.obs.quality.QuantileDigest` instead —
+:func:`digest_error_percentile` /
+:func:`filter_error_percentile_digests` below.  The digest is exact
+(weight-1 centroids) up to its centroid budget and a bounded
+equal-count approximation beyond it; ``docs/DATA_MODEL.md`` states the
+bound.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import numpy as np
 
 from ..obs import lineage
 from ..obs.lineage import DropReason
+from ..obs.quality import QuantileDigest
 from .grouping import ASPeerGroup
 from .mapping import MappedPeers
 
@@ -46,7 +56,10 @@ def filter_geo_error(
     """Drop peers whose inter-database geo error exceeds the threshold."""
     if max_error_km <= 0:
         raise ValueError("error threshold must be positive")
-    keep = np.flatnonzero(mapped.error_km <= max_error_km)
+    # Errors are float32-quantised (see docs/DATA_MODEL.md); rounding
+    # the threshold the same way keeps the object and batch paths'
+    # keep/drop decisions bit-identical for any threshold value.
+    keep = np.flatnonzero(mapped.error_km <= float(np.float32(max_error_km)))
     dropped = len(mapped) - keep.size
     lineage.record_stage(
         "pipeline.filter_geo_error",
@@ -106,3 +119,54 @@ def filter_error_percentile(
         },
     )
     return kept, len(groups) - len(kept)
+
+
+def digest_error_percentile(
+    digest: QuantileDigest, percentile: float = ERROR_PERCENTILE
+) -> float:
+    """Geo-error percentile of one AS read off its merged digest.
+
+    The chunked-path counterpart of
+    :meth:`~repro.pipeline.grouping.ASPeerGroup.error_percentile`: while
+    every observed value is still a weight-1 centroid (AS peer count at
+    or under the digest's centroid budget) this equals ``np.percentile``
+    exactly; beyond that it is the digest's bounded equal-count
+    approximation (see ``docs/DATA_MODEL.md``).
+    """
+    if not 0 < percentile <= 100:
+        raise ValueError("percentile out of range")
+    if digest.count == 0:
+        return 0.0
+    return float(digest.quantile(percentile / 100.0))
+
+
+def filter_error_percentile_digests(
+    digests: Dict[int, QuantileDigest],
+    percentile: float = ERROR_PERCENTILE,
+    max_km: float = GEO_ERROR_GATE_KM,
+) -> Tuple[Dict[int, QuantileDigest], int]:
+    """Digest-based twin of :func:`filter_error_percentile`.
+
+    Applies the paper's percentile gate to per-AS merged geo-error
+    digests (the chunked summary path's bounded-memory stand-in for the
+    full error columns) and records the same
+    ``pipeline.filter_error_percentile`` funnel stage, so chunked and
+    serial runs share one waterfall.
+    """
+    kept = {
+        asn: digest
+        for asn, digest in digests.items()
+        if digest_error_percentile(digest, percentile) <= max_km
+    }
+    lineage.record_stage(
+        "pipeline.filter_error_percentile",
+        unit="ases",
+        records_in=len(digests),
+        records_out=len(kept),
+        drops={DropReason.AS_ERROR_PERCENTILE: len(digests) - len(kept)},
+        legacy_counters={
+            DropReason.AS_ERROR_PERCENTILE:
+                "pipeline.ases_dropped_error_percentile"
+        },
+    )
+    return kept, len(digests) - len(kept)

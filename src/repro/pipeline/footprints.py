@@ -14,13 +14,14 @@ identical to the serial per-AS loop the experiments used to run.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.pop import DEFAULT_ALPHA
 from ..exec import FootprintArtifact, FootprintEngine, FootprintJob, ParallelConfig
 from ..geo.gazetteer import Gazetteer
 from ..obs import telemetry as obs
 from ..obs.progress import tracker
+from .batch import group_slices
 from .dataset import TargetDataset
 
 
@@ -51,6 +52,38 @@ def build_footprint_jobs(
                 )
                 progress.advance()
     return jobs
+
+
+def footprint_jobs_from_batch(
+    batch,
+    bandwidth_km: float,
+    alpha: float = DEFAULT_ALPHA,
+    cell_km: Optional[float] = None,
+    min_peers: int = 1,
+) -> List[FootprintJob]:
+    """One :class:`FootprintJob` per AS group of a routed peer batch.
+
+    The columnar-path feed: jobs are built straight from the batch's
+    float32 coordinate columns (``FootprintJob`` widens them to float64
+    on construction, the documented adapter rule), without decoding to
+    :class:`~repro.pipeline.mapping.MappedPeers` first.  Groups smaller
+    than ``min_peers`` are skipped; ASes come out ascending, matching
+    the serial classify order.
+    """
+    data = batch.data
+    with obs.span("pipeline.footprint_jobs"):
+        return [
+            FootprintJob(
+                asn=asn,
+                lats=data["lat"][rows],
+                lons=data["lon"][rows],
+                bandwidth_km=bandwidth_km,
+                alpha=alpha,
+                cell_km=cell_km,
+            )
+            for asn, rows in group_slices(data["asn"].astype("int64"))
+            if rows.size >= min_peers
+        ]
 
 
 def run_footprint_stage(

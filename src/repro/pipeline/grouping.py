@@ -2,20 +2,26 @@
 
 Resolves each mapped peer's origin AS with a longest-prefix match
 against the Routeviews-style routing table, and partitions the peer
-columns per AS.
+columns per AS.  Since the columnar refactor the match is one
+vectorised pass over the routing table's flattened interval index
+(:meth:`~repro.net.bgp.RoutingTable.flat_index`), not a per-peer trie
+walk, and the partition is a single stable argsort
+(:func:`repro.pipeline.batch.group_slices`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
 from ..net.bgp import RoutingTable
+from ..net.lpm import NO_MATCH
 from ..obs import lineage, quality
 from ..obs import telemetry as obs
 from ..obs.lineage import DropReason
+from .batch import group_slices
 from .mapping import MappedPeers
 
 
@@ -63,6 +69,27 @@ class GroupingStats:
     as_count: int
 
 
+def partition_groups(
+    mapped: MappedPeers, asns: np.ndarray
+) -> Dict[int, ASPeerGroup]:
+    """Partition already-routed peers into per-AS groups.
+
+    ``asns`` is the parallel origin-AS column (no ``NO_MATCH`` rows —
+    drop accounting belongs to the lookup site).  Shared by the serial
+    path below and the chunked driver in
+    :mod:`repro.pipeline.stream`; records the per-AS peer-count quality
+    digest and the ``pipeline.ases_grouped`` gauge in both.
+    """
+    groups: Dict[int, ASPeerGroup] = {}
+    for asn, indices in group_slices(asns):
+        groups[asn] = ASPeerGroup(asn=asn, peers=mapped.subset(indices))
+    quality.observe(
+        "as_peer_count", (float(len(group)) for group in groups.values())
+    )
+    obs.gauge("pipeline.ases_grouped", len(groups))
+    return groups
+
+
 def group_by_as(
     mapped: MappedPeers, routing_table: RoutingTable
 ) -> Tuple[Dict[int, ASPeerGroup], GroupingStats]:
@@ -79,43 +106,25 @@ def _group_by_as(
     mapped: MappedPeers, routing_table: RoutingTable
 ) -> Tuple[Dict[int, ASPeerGroup], GroupingStats]:
     n = len(mapped)
-    asns = np.full(n, -1, dtype=np.int64)
-    last: Optional[Tuple[int, int, int]] = None  # (first, last, asn)
-    for i in range(n):
-        address = int(mapped.ips[i])
-        if last is not None and last[0] <= address <= last[1]:
-            asns[i] = last[2]
-            continue
-        entry = routing_table.origin_block(address)
-        if entry is None:
-            continue
-        prefix, origin = entry
-        asns[i] = origin
-        last = (prefix.first, prefix.last, origin)
-
-    routed = asns >= 0
-    groups: Dict[int, ASPeerGroup] = {}
-    for asn in np.unique(asns[routed]):
-        indices = np.flatnonzero(asns == asn)
-        groups[int(asn)] = ASPeerGroup(asn=int(asn), peers=mapped.subset(indices))
-    stats = GroupingStats(
-        input_peers=n,
-        grouped_peers=int(routed.sum()),
-        dropped_unrouted=int(n - routed.sum()),
-        as_count=len(groups),
-    )
+    asns = routing_table.flat_index().lookup_many(mapped.ips)
+    routed = asns != NO_MATCH
+    kept = int(routed.sum())
     lineage.record_stage(
         "pipeline.grouping",
         unit="peers",
-        records_in=stats.input_peers,
-        records_out=stats.grouped_peers,
-        drops={DropReason.UNROUTED: stats.dropped_unrouted},
+        records_in=n,
+        records_out=kept,
+        drops={DropReason.UNROUTED: n - kept},
         legacy_counters={
             DropReason.UNROUTED: "pipeline.peers_dropped_unrouted"
         },
     )
-    quality.observe(
-        "as_peer_count", (float(len(group)) for group in groups.values())
+    indices = np.flatnonzero(routed)
+    groups = partition_groups(mapped.subset(indices), asns[indices])
+    stats = GroupingStats(
+        input_peers=n,
+        grouped_peers=kept,
+        dropped_unrouted=n - kept,
+        as_count=len(groups),
     )
-    obs.gauge("pipeline.ases_grouped", stats.as_count)
     return groups, stats

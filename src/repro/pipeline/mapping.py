@@ -5,23 +5,28 @@ database's record as the reference location, and computes the per-peer
 *geo error* — the distance between the two databases' answers.  Peers
 lacking a city-level record in either database are dropped here, like
 the paper's 2.4M eliminated peers.
+
+Since the columnar refactor this module is a thin adapter: the lookup
+itself is the vectorised :func:`repro.pipeline.batch.map_batch`
+transform (flattened-interval LPM, no per-peer Python), and
+:class:`MappedPeers` is decoded from the resulting batch.  Coordinates
+and errors therefore carry the batch schema's float32 precision — a
+≲3 m error-distance quantisation documented in ``docs/DATA_MODEL.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
+from ..crawl.chunks import PeerChunk
 from ..crawl.crawler import PeerSample
-from ..geo.coords import haversine_km
 from ..geodb.database import GeoDatabase
-from ..geodb.records import GeoRecord
-from ..obs import lineage, quality
 from ..obs import telemetry as obs
-from ..obs.lineage import DropReason
 from ..obs.progress import tracker
+from .batch import GeoColumns, PeerBatch, RegionVocab, map_batch
 
 
 @dataclass
@@ -85,30 +90,6 @@ class MappingStats:
     dropped_missing: int
 
 
-class _CachedLookup:
-    """Geo-database lookup with a last-block cache.
-
-    Crawled IPs arrive in near-sequential runs (users of a block have
-    consecutive addresses), so remembering the last matching block
-    answers most lookups without touching the trie.
-    """
-
-    def __init__(self, database: GeoDatabase) -> None:
-        self._database = database
-        self._last: Optional[Tuple[int, int, Optional[GeoRecord]]] = None
-
-    def lookup(self, address: int) -> Optional[GeoRecord]:
-        cached = self._last
-        if cached is not None and cached[0] <= address <= cached[1]:
-            return cached[2]
-        entry = self._database.lookup_block(address)
-        if entry is None:
-            return None
-        prefix, record = entry
-        self._last = (prefix.first, prefix.last, record)
-        return record
-
-
 def map_peers(
     sample: PeerSample,
     primary: GeoDatabase,
@@ -128,72 +109,25 @@ def _map_peers(
     primary: GeoDatabase,
     secondary: GeoDatabase,
 ) -> Tuple[MappedPeers, MappingStats]:
-    ips = sample.ips
-    n = ips.size
-    keep = np.zeros(n, dtype=bool)
-    lat = np.empty(n, dtype=float)
-    lon = np.empty(n, dtype=float)
-    lat2 = np.empty(n, dtype=float)
-    lon2 = np.empty(n, dtype=float)
-    city = np.empty(n, dtype=object)
-    state = np.empty(n, dtype=object)
-    country = np.empty(n, dtype=object)
-    continent = np.empty(n, dtype=object)
-
-    lookup1 = _CachedLookup(primary)
-    lookup2 = _CachedLookup(secondary)
-    with tracker("pipeline.mapping", total=n, unit="peers") as progress:
-        for i in range(n):
-            progress.advance()
-            address = int(ips[i])
-            record1 = lookup1.lookup(address)
-            if record1 is None:
-                continue
-            record2 = lookup2.lookup(address)
-            if record2 is None:
-                continue
-            keep[i] = True
-            lat[i] = record1.lat
-            lon[i] = record1.lon
-            lat2[i] = record2.lat
-            lon2[i] = record2.lon
-            city[i] = record1.city
-            state[i] = record1.state
-            country[i] = record1.country
-            continent[i] = record1.continent
-
-    indices = np.flatnonzero(keep)
-    error = haversine_km(lat[indices], lon[indices], lat2[indices], lon2[indices])
-    mapped = MappedPeers(
+    n = int(sample.user_index.size)
+    vocab = RegionVocab()
+    primary_cols = GeoColumns.from_database(primary, vocab)
+    secondary_cols = GeoColumns.from_database(secondary, vocab)
+    chunk = PeerChunk(
         app_names=sample.app_names,
-        user_index=sample.user_index[indices],
-        ips=ips[indices],
-        lat=lat[indices],
-        lon=lon[indices],
-        error_km=np.asarray(error, dtype=float),
-        city=city[indices],
-        state=state[indices],
-        country=country[indices],
-        continent=continent[indices],
-        membership=sample.membership[indices],
+        user_index=sample.user_index,
+        ips=sample.ips,
+        membership=sample.membership,
     )
+    with tracker("pipeline.mapping", total=n, unit="peers") as progress:
+        mapped_batch, dropped = map_batch(
+            PeerBatch.from_chunk(chunk), primary_cols, secondary_cols, vocab
+        )
+        progress.advance(n)
+    mapped = mapped_batch.to_mapped_peers()
     stats = MappingStats(
         input_peers=n,
         mapped_peers=len(mapped),
-        dropped_missing=n - len(mapped),
+        dropped_missing=dropped,
     )
-    obs.count("pipeline.peers_in", stats.input_peers)
-    obs.count("pipeline.peers_mapped", stats.mapped_peers)
-    lineage.record_stage(
-        "pipeline.mapping",
-        unit="peers",
-        records_in=stats.input_peers,
-        records_out=stats.mapped_peers,
-        drops={DropReason.MISSING_RECORD: stats.dropped_missing},
-        legacy_counters={
-            DropReason.MISSING_RECORD:
-                "pipeline.peers_dropped_missing_record"
-        },
-    )
-    quality.observe("geo_error_km", mapped.error_km)
     return mapped, stats

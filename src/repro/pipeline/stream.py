@@ -1,0 +1,476 @@
+"""Chunk-streamed conditioning: the pipeline at paper-scale inputs.
+
+The Section 2 pipeline as shipped materialises every stage over the
+whole crawl at once — fine for seed-scale runs, impossible for the
+paper's 89.1M peers.  This module drives the columnar batch transforms
+(:mod:`repro.pipeline.batch`) over fixed-size
+:class:`~repro.crawl.chunks.PeerChunk` slices instead, in two modes:
+
+* :func:`stream_target_dataset` — the **exact** mode behind the
+  ``--chunk-size`` flag.  Chunks stream through mapping, the geo-error
+  cut and AS resolution; only the *surviving* rows are retained, then
+  the usual grouping/filter/classify tail runs over them.  The result
+  is bit-identical to :func:`~repro.pipeline.dataset.build_target_dataset`
+  (CI byte-diffs the rendered Table 1), and peak memory is
+  O(chunk + survivors) instead of O(population).
+* :func:`stream_summary` — the **bounded-memory** mode.  Nothing
+  per-peer survives a chunk: each AS keeps a fixed-size
+  :class:`ASAggregate` (counts, coordinate sums, a merged geo-error
+  :class:`~repro.obs.quality.QuantileDigest`, region counters), so peak
+  memory is O(chunk + ASes) no matter how many peers stream through.
+  The percentile gate runs on the merged digests
+  (:func:`~repro.pipeline.filtering.filter_error_percentile_digests`)
+  and classification on the merged region counts
+  (:func:`~repro.pipeline.classify.classify_from_counts`).
+
+Both modes record the same lineage funnel stages as the serial path —
+stages aggregate by name, so per-chunk records sum to the serial
+totals and conservation (``in == out + drops``) holds either way.  The
+chunk/merge semantics and the digest approximation bound are specified
+in ``docs/DATA_MODEL.md``; the scale benchmark that pins the O(chunk)
+claim is ``benchmarks/bench_stream.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..crawl.chunks import DEFAULT_CHUNK_SIZE, PeerChunk
+from ..crawl.crawler import PeerSample
+from ..geo.regions import RegionLevel
+from ..geodb.database import GeoDatabase
+from ..net.bgp import RoutingTable
+from ..obs import lineage, quality
+from ..obs import telemetry as obs
+from ..obs.progress import tracker
+from ..obs.quality import QuantileDigest
+from ..obs.resources import default_rss_reader
+from .batch import (
+    GeoColumns,
+    PeerBatch,
+    RegionVocab,
+    assign_asn_batch,
+    concat_batches,
+    filter_geo_error_batch,
+    group_slices,
+    map_batch,
+)
+from .classify import ASClassification, classify_from_counts
+from .dataset import (
+    PipelineConfig,
+    PipelineStats,
+    TargetDataset,
+    classify_groups,
+)
+from .filtering import (
+    digest_error_percentile,
+    filter_error_percentile,
+    filter_error_percentile_digests,
+    filter_min_peers,
+)
+from .grouping import partition_groups
+
+
+class _ChunkTotals:
+    """Running funnel totals across chunks (plain numeric attributes)."""
+
+    __slots__ = ("chunks", "peers_in", "dropped_missing", "dropped_geo_error",
+                 "dropped_unrouted", "rss_peak_kib")
+
+    def __init__(self) -> None:
+        self.chunks = 0
+        self.peers_in = 0
+        self.dropped_missing = 0
+        self.dropped_geo_error = 0
+        self.dropped_unrouted = 0
+        self.rss_peak_kib = 0.0
+
+    def absorb(
+        self, n: int, missing: int, geo_error: int, unrouted: int
+    ) -> None:
+        self.chunks += 1
+        self.peers_in += n
+        self.dropped_missing += missing
+        self.dropped_geo_error += geo_error
+        self.dropped_unrouted += unrouted
+        self.rss_peak_kib = max(self.rss_peak_kib, default_rss_reader())
+
+    def gauges(self, chunk_size: int) -> None:
+        obs.gauge("pipeline.stream.chunks", self.chunks)
+        obs.gauge("pipeline.stream.chunk_size", chunk_size)
+        obs.gauge("pipeline.stream.rss_peak_kib", self.rss_peak_kib)
+
+
+class _StageContext:
+    """Per-run decode context: geo columns + routing index, built once."""
+
+    __slots__ = ("vocab", "primary", "secondary", "routing")
+
+    def __init__(
+        self,
+        primary: GeoDatabase,
+        secondary: GeoDatabase,
+        routing_table: RoutingTable,
+    ) -> None:
+        self.vocab = RegionVocab()
+        self.primary = GeoColumns.from_database(primary, self.vocab)
+        self.secondary = GeoColumns.from_database(secondary, self.vocab)
+        self.routing = routing_table.flat_index()
+
+    def condition_chunk(
+        self, chunk: PeerChunk, config: PipelineConfig
+    ) -> Tuple[PeerBatch, int, int, int]:
+        """Map → error-cut → AS-resolve one chunk (the per-peer stages).
+
+        Spans carry the serial stage names so chunked and serial runs
+        aggregate into the same span tree.
+        """
+        with obs.span("pipeline.mapping"):
+            mapped, dropped_missing = map_batch(
+                PeerBatch.from_chunk(chunk), self.primary, self.secondary,
+                self.vocab,
+            )
+        with obs.span("pipeline.filter_geo_error"):
+            kept, dropped_error = filter_geo_error_batch(
+                mapped, config.max_geo_error_km
+            )
+        with obs.span("pipeline.grouping"):
+            routed, dropped_unrouted = assign_asn_batch(kept, self.routing)
+        return routed, dropped_missing, dropped_error, dropped_unrouted
+
+
+class _SurvivorCollector:
+    """Accumulates the routed batches of the exact mode."""
+
+    __slots__ = ("batches",)
+
+    def __init__(self) -> None:
+        self.batches: List[PeerBatch] = []
+
+    def add(self, batch: PeerBatch) -> None:
+        self.batches.append(batch)
+
+    def concat(self) -> PeerBatch:
+        return concat_batches(self.batches)
+
+
+def stream_target_dataset(
+    sample: PeerSample,
+    primary: GeoDatabase,
+    secondary: GeoDatabase,
+    routing_table: RoutingTable,
+    config: PipelineConfig = PipelineConfig(),
+) -> TargetDataset:
+    """The Section 2 pipeline, chunk-streamed, bit-identical output.
+
+    Exactly :func:`~repro.pipeline.dataset.build_target_dataset` —
+    same :class:`TargetDataset`, same funnel totals, same gauges — but
+    the per-peer stages only ever see ``config.chunk_size`` rows at a
+    time, and dropped rows are released with their chunk.  This is the
+    mode the ``--chunk-size`` CLI flag selects and the one CI byte-diffs
+    against the serial Table 1.
+    """
+    chunk_size = config.chunk_size or DEFAULT_CHUNK_SIZE
+    with obs.span("pipeline.build_target_dataset"):
+        context = _StageContext(primary, secondary, routing_table)
+        totals = _ChunkTotals()
+        survivors = _SurvivorCollector()
+        with tracker(
+            "pipeline.stream", total=len(sample), unit="peers"
+        ) as progress:
+            for chunk in sample.chunks(chunk_size):
+                routed, missing, geo_error, unrouted = (
+                    context.condition_chunk(chunk, config)
+                )
+                totals.absorb(len(chunk), missing, geo_error, unrouted)
+                survivors.add(routed)
+                progress.advance(len(chunk))
+        merged = survivors.concat()
+        mapped = merged.to_mapped_peers()
+        with obs.span("pipeline.grouping"):
+            groups = partition_groups(
+                mapped, merged.data["asn"].astype(np.int64)
+            )
+        ases_before = len(groups)
+        with obs.span("pipeline.filter_min_peers"):
+            groups, dropped_small = filter_min_peers(
+                groups, config.min_peers_per_as
+            )
+        with obs.span("pipeline.filter_error_percentile"):
+            groups, dropped_percentile = filter_error_percentile(
+                groups, config.error_percentile, config.error_percentile_max_km
+            )
+        ases = classify_groups(groups, config.containment_threshold)
+    stats = PipelineStats(
+        crawled_peers=totals.peers_in,
+        dropped_missing_record=totals.dropped_missing,
+        dropped_geo_error=totals.dropped_geo_error,
+        grouped_peers=totals.peers_in - totals.dropped_missing
+        - totals.dropped_geo_error - totals.dropped_unrouted,
+        dropped_unrouted=totals.dropped_unrouted,
+        ases_before_filters=ases_before,
+        ases_dropped_small=dropped_small,
+        ases_dropped_error_percentile=dropped_percentile,
+        target_ases=len(ases),
+        target_peers=sum(len(a) for a in ases.values()),
+    )
+    obs.gauge("pipeline.target_ases", stats.target_ases)
+    obs.gauge("pipeline.target_peers", stats.target_peers)
+    totals.gauges(chunk_size)
+    return TargetDataset(
+        ases=ases, stats=stats, app_names=sample.app_names, config=config
+    )
+
+
+@dataclass
+class ASAggregate:
+    """Fixed-size per-AS state merged across chunks (summary mode).
+
+    Everything here is bounded regardless of how many peers the AS
+    accumulates: scalar counts, per-app counts, float64 coordinate
+    sums, one capped quantile digest and four region counters whose
+    key space is the geo database's block vocabulary.  ``__len__``
+    returns the peer count so the object passes straight through
+    :func:`~repro.pipeline.filtering.filter_min_peers`.
+    """
+
+    asn: int
+    n_apps: int
+    count: int = 0
+    app_counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+    lat_sum: float = 0.0
+    lon_sum: float = 0.0
+    error_digest: QuantileDigest = field(default_factory=QuantileDigest)
+    city_counts: Counter = field(default_factory=Counter)
+    state_counts: Counter = field(default_factory=Counter)
+    country_counts: Counter = field(default_factory=Counter)
+    continent_counts: Counter = field(default_factory=Counter)
+
+    def __post_init__(self) -> None:
+        if self.app_counts is None:
+            self.app_counts = np.zeros(self.n_apps, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def absorb(
+        self, batch: PeerBatch, rows: np.ndarray, membership: np.ndarray
+    ) -> None:
+        """Fold one chunk's rows for this AS into the aggregate."""
+        data = batch.data
+        geo = batch.geo
+        self.count += int(rows.size)
+        self.app_counts += np.count_nonzero(membership[rows], axis=0)
+        self.lat_sum += float(data["lat"][rows].astype(np.float64).sum())
+        self.lon_sum += float(data["lon"][rows].astype(np.float64).sum())
+        self.error_digest.observe_array(data["error_km"][rows])
+        blocks = data["block"][rows].astype(np.int64)
+        self.city_counts.update(_id_counts(geo.city_key_id[blocks]))
+        self.state_counts.update(_id_counts(geo.state_key_id[blocks]))
+        self.country_counts.update(_id_counts(geo.country_id[blocks]))
+        self.continent_counts.update(_id_counts(geo.continent_id[blocks]))
+
+
+def _id_counts(ids: np.ndarray) -> Dict[int, int]:
+    """Occurrence counts of interned region ids, as a plain dict."""
+    uniq, freq = np.unique(ids, return_counts=True)
+    return dict(zip(uniq.tolist(), freq.tolist()))
+
+
+def _named(counter: Counter, vocab: RegionVocab) -> Dict[str, int]:
+    """Region-id counter → region-name counts (names from the vocab)."""
+    return {vocab.name(rid): count for rid, count in counter.items()}
+
+
+@dataclass(frozen=True)
+class StreamTargetAS:
+    """One surviving AS of a summary-mode run — aggregates only."""
+
+    asn: int
+    peer_count: int
+    app_counts: Dict[str, int]
+    lat: float  # peer-coordinate centroid, degrees
+    lon: float
+    error_percentile_km: float  # digest read of the gate percentile
+    classification: ASClassification
+    continent: str  # majority continent (Table 1 binning)
+
+    @property
+    def level(self) -> RegionLevel:
+        return self.classification.level
+
+
+@dataclass
+class StreamSummary:
+    """A summary-mode run's output: per-AS aggregates plus the funnel."""
+
+    ases: Dict[int, StreamTargetAS]
+    stats: PipelineStats
+    app_names: Tuple[str, ...]
+    config: PipelineConfig
+    chunks_processed: int
+    rss_peak_kib: float
+
+    def __len__(self) -> int:
+        return len(self.ases)
+
+    @property
+    def total_peers(self) -> int:
+        return sum(a.peer_count for a in self.ases.values())
+
+    def ases_at_level(self, level: RegionLevel) -> List[StreamTargetAS]:
+        return [a for a in self.ases.values() if a.level is level]
+
+
+def stream_summary(
+    chunks: Iterable[PeerChunk],
+    primary: GeoDatabase,
+    secondary: GeoDatabase,
+    routing_table: RoutingTable,
+    config: PipelineConfig = PipelineConfig(),
+    chunk_size: Optional[int] = None,
+    app_names: Tuple[str, ...] = (),
+) -> StreamSummary:
+    """The bounded-memory Section 2 pipeline over a chunk stream.
+
+    Conditions each chunk with the same batch transforms as the exact
+    mode but keeps only per-AS :class:`ASAggregate` state between
+    chunks, so peak memory is O(chunk + ASes) — the property
+    ``benchmarks/bench_stream.py`` pins across population sizes.  The
+    min-peers gate runs on exact counts; the percentile gate on merged
+    digests (exact up to the centroid budget, bounded beyond — see
+    ``docs/DATA_MODEL.md``); classification on merged region counts via
+    :func:`~repro.pipeline.classify.classify_from_counts`, preserving
+    the serial tie-break.
+
+    ``chunk_size`` is metadata for the ``pipeline.stream.chunk_size``
+    gauge; ``app_names`` seeds the output when the stream is empty.
+    """
+    aggregates: Dict[int, ASAggregate] = {}
+    totals = _ChunkTotals()
+    context = _StageContext(primary, secondary, routing_table)
+    with obs.span("pipeline.stream_summary"):
+        # total=0: a generated chunk stream has no known length upfront;
+        # the tracker still emits throttled progress and the final gauge.
+        with tracker("pipeline.stream", total=0, unit="chunks") as progress:
+            for chunk in chunks:
+                app_names = chunk.app_names
+                routed, missing, geo_error, unrouted = (
+                    context.condition_chunk(chunk, config)
+                )
+                totals.absorb(len(chunk), missing, geo_error, unrouted)
+                membership = routed.membership()
+                for asn, rows in group_slices(
+                    routed.data["asn"].astype(np.int64)
+                ):
+                    aggregate = aggregates.get(asn)
+                    if aggregate is None:
+                        aggregate = ASAggregate(
+                            asn=asn, n_apps=len(app_names)
+                        )
+                        aggregates[asn] = aggregate
+                    aggregate.absorb(routed, rows, membership)
+                progress.advance()
+        quality.observe(
+            "as_peer_count",
+            (float(a.count) for a in aggregates.values()),
+        )
+        obs.gauge("pipeline.ases_grouped", len(aggregates))
+        ases_before = len(aggregates)
+        with obs.span("pipeline.filter_min_peers"):
+            # filter_min_peers only needs len(); ASAggregate provides it.
+            aggregates, dropped_small = filter_min_peers(
+                aggregates, config.min_peers_per_as
+            )
+        with obs.span("pipeline.filter_error_percentile"):
+            kept_digests, dropped_percentile = (
+                filter_error_percentile_digests(
+                    {asn: a.error_digest for asn, a in aggregates.items()},
+                    config.error_percentile,
+                    config.error_percentile_max_km,
+                )
+            )
+        aggregates = {
+            asn: a for asn, a in aggregates.items() if asn in kept_digests
+        }
+        ases: Dict[int, StreamTargetAS] = {}
+        with obs.span("pipeline.classify"):
+            with tracker(
+                "pipeline.classify", total=len(aggregates), unit="ases"
+            ) as progress:
+                for asn in sorted(aggregates):
+                    ases[asn] = _finalise_as(
+                        aggregates[asn], context.vocab, tuple(app_names),
+                        config,
+                    )
+                    progress.advance()
+        lineage.record_stage(
+            "pipeline.classify",
+            unit="ases",
+            records_in=len(aggregates),
+            records_out=len(ases),
+        )
+    stats = PipelineStats(
+        crawled_peers=totals.peers_in,
+        dropped_missing_record=totals.dropped_missing,
+        dropped_geo_error=totals.dropped_geo_error,
+        grouped_peers=totals.peers_in - totals.dropped_missing
+        - totals.dropped_geo_error - totals.dropped_unrouted,
+        dropped_unrouted=totals.dropped_unrouted,
+        ases_before_filters=ases_before,
+        ases_dropped_small=dropped_small,
+        ases_dropped_error_percentile=dropped_percentile,
+        target_ases=len(ases),
+        target_peers=sum(a.peer_count for a in ases.values()),
+    )
+    obs.gauge("pipeline.target_ases", stats.target_ases)
+    obs.gauge("pipeline.target_peers", stats.target_peers)
+    totals.gauges(chunk_size or 0)
+    return StreamSummary(
+        ases=ases,
+        stats=stats,
+        app_names=tuple(app_names),
+        config=config,
+        chunks_processed=totals.chunks,
+        rss_peak_kib=totals.rss_peak_kib,
+    )
+
+
+def _finalise_as(
+    aggregate: ASAggregate,
+    vocab: RegionVocab,
+    app_names: Tuple[str, ...],
+    config: PipelineConfig,
+) -> StreamTargetAS:
+    """Classify one aggregate and freeze its summary row."""
+    level_counts = (
+        (RegionLevel.CITY, _named(aggregate.city_counts, vocab)),
+        (RegionLevel.STATE, _named(aggregate.state_counts, vocab)),
+        (RegionLevel.COUNTRY, _named(aggregate.country_counts, vocab)),
+        (RegionLevel.CONTINENT, _named(aggregate.continent_counts, vocab)),
+    )
+    classification = classify_from_counts(
+        level_counts, aggregate.count, config.containment_threshold
+    )
+    continents = _named(aggregate.continent_counts, vocab)
+    majority = min(continents, key=lambda name: (-continents[name], name))
+    app_counts = {
+        name: int(aggregate.app_counts[i])
+        for i, name in enumerate(app_names)
+    }
+    return StreamTargetAS(
+        asn=aggregate.asn,
+        peer_count=aggregate.count,
+        app_counts=app_counts,
+        lat=aggregate.lat_sum / aggregate.count,
+        lon=aggregate.lon_sum / aggregate.count,
+        error_percentile_km=digest_error_percentile(
+            aggregate.error_digest, config.error_percentile
+        ),
+        classification=classification,
+        continent=majority,
+    )

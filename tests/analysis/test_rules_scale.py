@@ -191,3 +191,65 @@ def test_accumulator_rule_ignores_modules_outside_scale_packages():
     assert findings_for(
         UnboundedAccumulatorRule(), source, module="repro.geo.coords"
     ) == []
+
+
+# -- REP901 elementwise-loop -------------------------------------------
+
+
+def elementwise_findings(source, module="repro.pipeline.fixture"):
+    from repro.analysis.rules.scale import ElementwiseLoopRule
+
+    return findings_for(ElementwiseLoopRule(), source, module=module)
+
+
+def test_for_over_range_zip_enumerate_flagged():
+    findings = elementwise_findings(
+        """
+        def condition(batch, other):
+            for i in range(len(batch)):
+                batch[i] += 1
+            for a, b in zip(batch, other):
+                a.merge(b)
+            for i, row in enumerate(batch):
+                row.index = i
+        """
+    )
+    assert [f.rule_id for f in findings] == ["REP901"] * 3
+
+
+def test_group_and_chunk_loops_are_fine():
+    findings = elementwise_findings(
+        """
+        def condition(sample, groups):
+            for chunk in sample.chunks(1024):
+                chunk.process()
+            for asn, rows in group_slices(chunk.asns):
+                groups[asn] = rows
+            for asn in sorted(groups):
+                groups[asn].finish()
+        """
+    )
+    assert findings == []
+
+
+def test_comprehensions_are_not_flagged():
+    # Comprehension sweeps are REP801's concern; REP901 only reads
+    # ``for`` statements.
+    findings = elementwise_findings(
+        """
+        def condition(names, counts):
+            return {name: count for name, count in zip(names, counts)}
+        """
+    )
+    assert findings == []
+
+
+def test_rule_scopes_to_pipeline_modules_only():
+    source = """
+        def condition(batch):
+            for i in range(len(batch)):
+                batch[i] += 1
+    """
+    assert elementwise_findings(source, module="repro.crawl.fixture") == []
+    assert elementwise_findings(source, module="repro.core.kde") == []
+    assert elementwise_findings(source) != []

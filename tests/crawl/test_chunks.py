@@ -1,0 +1,143 @@
+"""Chunked peer emission (repro.crawl.chunks).
+
+The crawl side of the streaming contract (docs/DATA_MODEL.md): slicing
+an in-memory sample allocates nothing, a generated source is
+deterministic chunk-for-chunk, and its conditioning inputs are sized by
+the block table — never by the user count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crawl.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    PeerChunk,
+    SyntheticChunkSource,
+    iter_sample_chunks,
+)
+
+APPS = ("Kad", "Gnutella")
+
+
+class _Sample:
+    """Duck-typed stand-in carrying the four chunked columns."""
+
+    def __init__(self, n):
+        self.app_names = APPS
+        self.user_index = np.arange(n, dtype=np.int64)
+        self.ips = (0x0C000000 + np.arange(n)).astype(np.int64)
+        self.membership = np.column_stack(
+            (np.ones(n, dtype=bool), np.arange(n) % 3 == 0)
+        )
+
+
+def test_sample_chunks_partition_in_order():
+    sample = _Sample(10)
+    chunks = list(iter_sample_chunks(sample, 4))
+    assert [len(c) for c in chunks] == [4, 4, 2]
+    np.testing.assert_array_equal(
+        np.concatenate([c.ips for c in chunks]), sample.ips
+    )
+    np.testing.assert_array_equal(
+        np.vstack([c.membership for c in chunks]), sample.membership
+    )
+    assert all(c.app_names == APPS for c in chunks)
+
+
+def test_sample_chunks_are_zero_copy_views():
+    sample = _Sample(8)
+    for chunk in iter_sample_chunks(sample, 3):
+        assert np.shares_memory(chunk.user_index, sample.user_index)
+        assert np.shares_memory(chunk.ips, sample.ips)
+        assert np.shares_memory(chunk.membership, sample.membership)
+
+
+def test_empty_sample_yields_one_empty_chunk():
+    chunks = list(iter_sample_chunks(_Sample(0), 4))
+    assert len(chunks) == 1
+    assert len(chunks[0]) == 0
+    assert chunks[0].membership.shape == (0, len(APPS))
+
+
+def test_chunk_size_must_be_positive():
+    with pytest.raises(ValueError):
+        list(iter_sample_chunks(_Sample(4), 0))
+    source = SyntheticChunkSource(100)
+    with pytest.raises(ValueError):
+        list(source.chunks(0))
+
+
+def test_peer_chunk_validates_parallel_columns():
+    with pytest.raises(ValueError):
+        PeerChunk(
+            app_names=APPS,
+            user_index=np.arange(3),
+            ips=np.arange(4),
+            membership=np.zeros((3, 2), dtype=bool),
+        )
+    with pytest.raises(ValueError):
+        PeerChunk(
+            app_names=APPS,
+            user_index=np.arange(3),
+            ips=np.arange(3),
+            membership=np.zeros((3, 3), dtype=bool),
+        )
+
+
+def test_synthetic_source_is_deterministic():
+    first = list(SyntheticChunkSource(10_000).chunks(1 << 10))
+    second = list(SyntheticChunkSource(10_000).chunks(1 << 10))
+    assert len(first) == len(second) == 10
+    for a, b in zip(first, second):
+        np.testing.assert_array_equal(a.ips, b.ips)
+        np.testing.assert_array_equal(a.user_index, b.user_index)
+        np.testing.assert_array_equal(a.membership, b.membership)
+
+
+def test_synthetic_source_covers_population_exactly():
+    source = SyntheticChunkSource(5_000, n_blocks=64)
+    chunks = list(source.chunks(1_024))
+    assert sum(len(c) for c in chunks) == len(source) == 5_000
+    index = np.concatenate([c.user_index for c in chunks])
+    np.testing.assert_array_equal(index, np.arange(5_000))
+    ips = np.concatenate([c.ips for c in chunks])
+    assert ips.min() >= SyntheticChunkSource.BASE_ADDRESS
+    assert ips.max() < (
+        SyntheticChunkSource.BASE_ADDRESS
+        + 64 * SyntheticChunkSource.BLOCK_SIZE
+    )
+    # No two users share an address: block + offset is a bijection.
+    assert np.unique(ips).size == ips.size
+
+
+def test_synthetic_source_validates_shape():
+    with pytest.raises(ValueError):
+        SyntheticChunkSource(0)
+    with pytest.raises(ValueError):
+        SyntheticChunkSource(1_000_000, n_blocks=1)  # over capacity
+
+
+def test_conditioning_inputs_sized_by_blocks_not_users():
+    small = SyntheticChunkSource(1_000, n_blocks=128)
+    large = SyntheticChunkSource(400_000, n_blocks=128)
+    for source in (small, large):
+        primary, secondary, table = source.conditioning_inputs()
+        assert len(primary) == 128
+        assert len(secondary) == 128
+        # Every missing_every-th block has no secondary record and
+        # every unrouted_every-th block is never announced.
+        assert secondary.missing_count == len(
+            range(0, 128, source.missing_every)
+        )
+        assert len(table) == 128 - len(range(0, 128, source.unrouted_every))
+        base = SyntheticChunkSource.BASE_ADDRESS
+        block = SyntheticChunkSource.BLOCK_SIZE
+        assert secondary.lookup(base) is None  # block 0 is a defect block
+        assert table.origin_of(base) is None
+        assert primary.lookup(base + block) is not None
+        assert table.origin_of(base + block) == source.asn_base + 1
+
+
+def test_default_chunk_size_is_power_of_two():
+    assert DEFAULT_CHUNK_SIZE == 262_144
+    assert DEFAULT_CHUNK_SIZE & (DEFAULT_CHUNK_SIZE - 1) == 0

@@ -1,0 +1,138 @@
+"""Flattened longest-prefix-match (repro.net.lpm).
+
+The columnar pipeline resolves whole address columns through
+:class:`FlatLPMIndex` instead of walking the binary trie per address;
+these tests pin the flattening sweep (nesting, gaps, validation) and
+the contract that matters most: the flat index agrees with the
+:class:`~repro.net.ip.PrefixTable` trie on every address, including
+interval boundaries.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.net.ip import Prefix, PrefixTable
+from repro.net.lpm import NO_MATCH, FlatLPMIndex, flatten_entries
+
+
+def _prefix_entry(prefix, payload):
+    return (prefix.network, prefix.network + (~prefix.mask & 0xFFFFFFFF),
+            payload)
+
+
+def test_disjoint_entries_round_trip():
+    a, b = Prefix(0x01000000, 24), Prefix(0x02000000, 24)
+    index = flatten_entries([_prefix_entry(a, 10), _prefix_entry(b, 20)])
+    assert len(index) == 2
+    hits = index.lookup_many(
+        np.array([0x01000000, 0x010000FF, 0x02000080, 0x01000100])
+    )
+    assert hits.tolist() == [10, 10, 20, NO_MATCH]
+    assert index.lookup(0x01000042) == 10
+    assert index.lookup(0) == NO_MATCH
+
+
+def test_nested_child_shadows_parent():
+    parent = Prefix(0x0A000000, 16)  # 10.0.0.0/16
+    child = Prefix(0x0A008000, 17)  # 10.0.128.0/17, the upper half
+    index = flatten_entries(
+        [_prefix_entry(parent, 1), _prefix_entry(child, 2)]
+    )
+    # The sweep splits the parent around the child: segments stay
+    # disjoint and the innermost prefix wins everywhere it applies.
+    assert np.all(index.starts[1:] > index.ends[:-1])
+    assert index.lookup(0x0A000000) == 1
+    assert index.lookup(0x0A007FFF) == 1
+    assert index.lookup(0x0A008000) == 2
+    assert index.lookup(0x0A00FFFF) == 2
+    assert index.lookup(0x0A010000) == NO_MATCH
+
+
+def test_gap_between_siblings_belongs_to_parent():
+    parent = Prefix(0x0A000000, 8)
+    low = Prefix(0x0A100000, 12)
+    high = Prefix(0x0A300000, 12)
+    index = flatten_entries(
+        [_prefix_entry(parent, 7), _prefix_entry(low, 8),
+         _prefix_entry(high, 9)]
+    )
+    # 10.32.0.0/12 sits between the two children: parent's payload.
+    assert index.lookup(0x0A200000) == 7
+    assert index.lookup(0x0A100001) == 8
+    assert index.lookup(0x0A3FFFFF) == 9
+    assert index.lookup(0x0AFFFFFF) == 7
+
+
+def test_empty_index_misses_everything():
+    index = flatten_entries([])
+    assert len(index) == 0
+    out = index.lookup_many(np.array([0, 1, 0xFFFFFFFF]))
+    assert out.tolist() == [NO_MATCH] * 3
+
+
+def test_flatten_validates_ranges_and_payloads():
+    with pytest.raises(ValueError):
+        flatten_entries([(10, 5, 1)])  # end before start
+    with pytest.raises(ValueError):
+        flatten_entries([(0, 2**32, 1)])  # beyond IPv4 space
+    with pytest.raises(ValueError):
+        flatten_entries([(0, 10, NO_MATCH)])  # reserved payload
+
+
+def test_index_constructor_rejects_overlap_and_disorder():
+    with pytest.raises(ValueError):
+        FlatLPMIndex(
+            np.array([0, 5]), np.array([6, 9]), np.array([1, 2])
+        )  # overlapping
+    with pytest.raises(ValueError):
+        FlatLPMIndex(np.array([5]), np.array([4]), np.array([1]))
+    with pytest.raises(ValueError):
+        FlatLPMIndex(np.array([0]), np.array([1, 2]), np.array([1]))
+
+
+def _random_prefixes(rng, depth=8):
+    """A random perfectly-nesting prefix set via recursive splitting."""
+    prefixes = []
+
+    def split(network, length):
+        if rng.random() < 0.4:
+            prefixes.append(Prefix(network, length))
+        if length < depth + 10 and rng.random() < 0.7:
+            half = 1 << (31 - length)
+            split(network, length + 1)
+            split(network | half, length + 1)
+
+    prefixes.append(Prefix(0x0B000000, depth))  # root always present
+    split(0x0B000000, depth)
+    return prefixes
+
+
+def test_flat_index_matches_trie_everywhere():
+    rng = random.Random(0xEB411)
+    prefixes = _random_prefixes(rng)
+    assert prefixes, "degenerate draw"
+    trie = PrefixTable()
+    entries = []
+    for payload, prefix in enumerate(prefixes):
+        trie.insert(prefix, payload)
+        entries.append(_prefix_entry(prefix, payload))
+    index = flatten_entries(entries)
+
+    probes = []
+    for first, last, _ in entries:
+        probes.extend(
+            [first, last, max(first - 1, 0), min(last + 1, 0xFFFFFFFF)]
+        )
+    probes.extend(rng.randrange(0x0B000000, 0x0B400000) for _ in range(500))
+    probes = np.array(sorted(set(probes)), dtype=np.int64)
+
+    flat = index.lookup_many(probes)
+    expected = [
+        trie.lookup(int(address)) for address in probes.tolist()
+    ]
+    expected = np.array(
+        [NO_MATCH if v is None else v for v in expected], dtype=np.int64
+    )
+    np.testing.assert_array_equal(flat, expected)

@@ -242,3 +242,51 @@ class TestStatsDiffResourceGate:
         out = capsys.readouterr().out
         assert "verdict: ok" in out
         assert "resource drift (" not in out
+
+
+class TestCommittedBudgetFile:
+    """The committed CI budget document, including the nested chunked-
+    path entry ``make smoke-stream`` extracts, must stay valid budgets
+    — a malformed edit would silently disarm a CI gate."""
+
+    BUDGET_KEYS = {
+        "max_rss_peak_kib", "max_rss_mean_kib", "max_cpu_s",
+        "max_cpu_util", "max_heap_peak_kib",
+    }
+
+    @pytest.fixture(scope="class")
+    def document(self):
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks" / "baselines" / "resource-budget.json"
+        )
+        return json.loads(path.read_text())
+
+    def _assert_valid(self, budget):
+        assert budget["schema"] == RESOURCE_BUDGET_SCHEMA
+        limits = {
+            key: value
+            for key, value in budget.items()
+            if key.startswith("max_")
+        }
+        assert limits, "budget bounds nothing"
+        assert set(limits) <= self.BUDGET_KEYS
+        assert all(value > 0 for value in limits.values())
+
+    def test_smoke_budget_is_valid(self, document):
+        self._assert_valid(document)
+
+    def test_stream_budget_is_valid(self, document):
+        # The nested entry the smoke-stream gate extracts: it must be a
+        # self-contained budget document in its own right.
+        self._assert_valid(document["stream"])
+
+    def test_stream_budget_caps_rss(self, document):
+        # The O(chunk) contract (docs/DATA_MODEL.md): the chunked path
+        # never needs more memory than the serial smoke run's ceiling.
+        stream = document["stream"]
+        assert (
+            stream["max_rss_peak_kib"] <= document["max_rss_peak_kib"]
+        )

@@ -1,0 +1,202 @@
+"""Columnar peer batches (repro.pipeline.batch).
+
+Pins the schema contract documented in docs/DATA_MODEL.md: field
+layout and sentinels, the apps bitmask round-trip, the interning
+vocabulary's identity guarantee, and the per-stage batch transforms'
+keep/drop semantics and flag bits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crawl.chunks import PeerChunk
+from repro.geodb.database import GeoDatabase
+from repro.geodb.records import GeoRecord
+from repro.net.bgp import RoutingTable
+from repro.net.ip import Prefix
+from repro.pipeline.batch import (
+    ASN_NONE,
+    BLOCK_NONE,
+    FLAG_MAPPED,
+    FLAG_ROUTED,
+    MAX_APPS,
+    PEER_DTYPE,
+    GeoColumns,
+    PeerBatch,
+    RegionVocab,
+    assign_asn_batch,
+    concat_batches,
+    filter_geo_error_batch,
+    group_slices,
+    map_batch,
+)
+
+APPS = ("Kad", "Gnutella", "BitTorrent")
+
+#: Two /24 blocks; the second has ~111 km of inter-database error.
+BLOCK_A = 0x01000000
+BLOCK_B = 0x02000000
+
+
+def _chunk(ips, membership=None):
+    ips = np.asarray(ips, dtype=np.int64)
+    if membership is None:
+        membership = np.ones((ips.size, len(APPS)), dtype=bool)
+    return PeerChunk(
+        app_names=APPS,
+        user_index=np.arange(ips.size, dtype=np.int64),
+        ips=ips,
+        membership=membership,
+    )
+
+
+def _databases():
+    record_a = GeoRecord(
+        city="Springfield", state="IL", country="US", continent="NA",
+        lat=39.78, lon=-89.65,
+    )
+    record_b = GeoRecord(
+        city="Toulouse", state="31", country="FR", continent="EU",
+        lat=43.60, lon=1.44,
+    )
+    primary = GeoDatabase("primary")
+    secondary = GeoDatabase("secondary")
+    primary.add_block(Prefix(BLOCK_A, 24), record_a)
+    primary.add_block(Prefix(BLOCK_B, 24), record_b)
+    secondary.add_block(Prefix(BLOCK_A, 24), record_a)  # zero error
+    secondary.add_block(  # ~111 km north
+        Prefix(BLOCK_B, 24),
+        GeoRecord(
+            city="Toulouse", state="31", country="FR", continent="EU",
+            lat=44.60, lon=1.44,
+        ),
+    )
+    return primary, secondary
+
+
+def _mapped(ips):
+    vocab = RegionVocab()
+    primary, secondary = _databases()
+    batch = PeerBatch.from_chunk(_chunk(ips))
+    cols1 = GeoColumns.from_database(primary, vocab)
+    cols2 = GeoColumns.from_database(secondary, vocab)
+    return map_batch(batch, cols1, cols2, vocab)
+
+
+def test_schema_layout_and_sentinels():
+    assert PEER_DTYPE.names == (
+        "user_index", "ip", "asn", "block", "lat", "lon", "lat2",
+        "lon2", "error_km", "apps", "flags",
+    )
+    # The documented ~44 bytes/peer memory model.
+    assert PEER_DTYPE.itemsize == 46
+    batch = PeerBatch.from_chunk(_chunk([BLOCK_A + 1]))
+    assert batch.data["asn"][0] == ASN_NONE
+    assert batch.data["block"][0] == BLOCK_NONE
+    assert batch.data["flags"][0] == 0
+
+
+def test_apps_bitmask_round_trips():
+    membership = np.array(
+        [[True, False, True], [False, False, False], [True, True, True]]
+    )
+    batch = PeerBatch.from_chunk(_chunk([1, 2, 3], membership))
+    assert batch.data["apps"].tolist() == [0b101, 0, 0b111]
+    np.testing.assert_array_equal(batch.membership(), membership)
+
+
+def test_apps_bitmask_capacity_is_enforced():
+    names = tuple(f"app{i}" for i in range(MAX_APPS + 1))
+    with pytest.raises(ValueError):
+        PeerBatch(
+            app_names=names, data=np.zeros(0, dtype=PEER_DTYPE)
+        )
+
+
+def test_region_vocab_interns_identically():
+    vocab = RegionVocab()
+    rid = vocab.intern("Springfield")
+    assert vocab.intern("Springfield") == rid
+    assert vocab.name(rid) == "Springfield"
+    decoded = vocab.decode(np.array([rid, rid]))
+    # Identity, not just equality: adapter output must carry the same
+    # string objects the object path would.
+    assert decoded[0] is decoded[1]
+    assert len(vocab) == 1
+
+
+def test_map_batch_keeps_only_doubly_resolved_rows():
+    mapped, dropped = _mapped(
+        [BLOCK_A + 1, BLOCK_B + 9, 0x03000000]  # last: in neither DB
+    )
+    assert (len(mapped), dropped) == (2, 1)
+    assert np.all(mapped.data["flags"] & FLAG_MAPPED)
+    assert mapped.data["block"].tolist() != [BLOCK_NONE, BLOCK_NONE]
+    assert mapped.data["error_km"][0] == pytest.approx(0.0, abs=1e-6)
+    assert mapped.data["error_km"][1] == pytest.approx(111.2, abs=1.0)
+    assert mapped.geo is not None and mapped.vocab is not None
+
+
+def test_missing_record_blocks_shadow_but_drop():
+    vocab = RegionVocab()
+    primary, secondary = _databases()
+    # A covered-but-unresolved /25 inside block A: rows landing there
+    # must drop (no city-level record) instead of matching the /24.
+    secondary.add_block(Prefix(BLOCK_A, 25), None)
+    batch = PeerBatch.from_chunk(_chunk([BLOCK_A + 1, BLOCK_A + 0x81]))
+    mapped, dropped = map_batch(
+        batch,
+        GeoColumns.from_database(primary, vocab),
+        GeoColumns.from_database(secondary, vocab),
+        vocab,
+    )
+    assert (len(mapped), dropped) == (1, 1)
+    assert mapped.data["ip"][0] == BLOCK_A + 0x81
+
+
+def test_filter_geo_error_threshold_is_inclusive():
+    mapped, _ = _mapped([BLOCK_A + 1, BLOCK_B + 1])
+    exact = float(mapped.data["error_km"][1])
+    kept, dropped = filter_geo_error_batch(mapped, exact)
+    assert (len(kept), dropped) == (2, 0)
+    kept, dropped = filter_geo_error_batch(mapped, exact - 0.5)
+    assert (len(kept), dropped) == (1, 1)
+    with pytest.raises(ValueError):
+        filter_geo_error_batch(mapped, 0.0)
+
+
+def test_assign_asn_batch_drops_unrouted():
+    table = RoutingTable()
+    table.announce(Prefix(BLOCK_A, 24), 65001)
+    mapped, _ = _mapped([BLOCK_A + 1, BLOCK_B + 1])
+    routed, dropped = assign_asn_batch(mapped, table.flat_index())
+    assert (len(routed), dropped) == (1, 1)
+    assert routed.data["asn"][0] == 65001
+    assert np.all(routed.data["flags"] & FLAG_ROUTED)
+
+
+def test_group_slices_partitions_in_stable_order():
+    asns = np.array([20, 10, 20, 10, 30], dtype=np.int64)
+    groups = group_slices(asns)
+    assert [asn for asn, _ in groups] == [10, 20, 30]
+    assert [rows.tolist() for _, rows in groups] == [[1, 3], [0, 2], [4]]
+
+
+def test_concat_batches_preserves_rows_and_context():
+    mapped, _ = _mapped([BLOCK_A + 1, BLOCK_B + 1])
+    merged = concat_batches([mapped.subset([0]), mapped.subset([1])])
+    np.testing.assert_array_equal(merged.data, mapped.data)
+    assert merged.geo is mapped.geo and merged.vocab is mapped.vocab
+    with pytest.raises(ValueError):
+        concat_batches([])
+
+
+def test_to_mapped_peers_requires_mapping():
+    batch = PeerBatch.from_chunk(_chunk([BLOCK_A + 1]))
+    with pytest.raises(ValueError):
+        batch.to_mapped_peers()
+    mapped, _ = _mapped([BLOCK_A + 1, BLOCK_B + 1])
+    peers = mapped.to_mapped_peers()
+    assert peers.city.tolist() == ["Springfield", "Toulouse"]
+    assert peers.lat.dtype == np.float64
+    assert peers.lat[0] == pytest.approx(39.78, abs=1e-5)

@@ -1,0 +1,202 @@
+"""Object path vs columnar streamed path: the equivalence contract.
+
+docs/DATA_MODEL.md promises that running the conditioning pipeline
+through ``config.chunk_size`` changes *nothing observable*: the same
+TargetAS set, the same classifications, the same funnel totals —
+byte-for-byte on rendered output (CI diffs table1; here we compare the
+datasets structurally at several chunk sizes, including degenerate
+ones).  Summary mode trades the materialised dataset for per-AS
+aggregates; in the regime where its quantile digests are exact (peer
+counts within the centroid budget) it must agree with the exact path
+too.  Finally, the whole point: peak memory must not grow with the
+population at a fixed chunk size.
+"""
+
+import dataclasses
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.crawl.chunks import SyntheticChunkSource
+from repro.obs import telemetry as obs
+from repro.pipeline.dataset import PipelineConfig, build_target_dataset
+from repro.pipeline.stream import stream_summary
+
+#: Chunk sizes the equivalence sweep runs: smaller than any AS, prime
+#: (misaligned with every block structure), and larger than the sample
+#: (one-chunk degenerate case).
+CHUNK_SIZES = (997, 4096, 1 << 30)
+
+
+@pytest.fixture(scope="module")
+def inputs(small_scenario):
+    s = small_scenario
+    return (
+        s.sample,
+        s.primary_db,
+        s.secondary_db,
+        s.ecosystem.routing_table,
+        s.config.pipeline,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial(inputs):
+    sample, primary, secondary, table, config = inputs
+    with obs.capture() as telemetry:
+        dataset = build_target_dataset(
+            sample, primary, secondary, table, config
+        )
+    return dataset, telemetry
+
+
+def _chunked(inputs, chunk_size):
+    sample, primary, secondary, table, config = inputs
+    config = dataclasses.replace(config, chunk_size=chunk_size)
+    with obs.capture() as telemetry:
+        dataset = build_target_dataset(
+            sample, primary, secondary, table, config
+        )
+    return dataset, telemetry
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_chunked_dataset_is_identical(inputs, serial, chunk_size):
+    expected, _ = serial
+    actual, _ = _chunked(inputs, chunk_size)
+    assert set(actual.ases) == set(expected.ases)
+    assert actual.stats == expected.stats
+    assert actual.app_names == expected.app_names
+    for asn, target in expected.ases.items():
+        other = actual.ases[asn]
+        assert other.classification == target.classification
+        np.testing.assert_array_equal(
+            other.group.peers.user_index, target.group.peers.user_index
+        )
+        np.testing.assert_array_equal(other.group.lat, target.group.lat)
+        np.testing.assert_array_equal(other.group.lon, target.group.lon)
+        np.testing.assert_array_equal(
+            other.group.error_km, target.group.error_km
+        )
+        np.testing.assert_array_equal(
+            other.group.peers.membership, target.group.peers.membership
+        )
+        np.testing.assert_array_equal(
+            other.group.peers.city, target.group.peers.city
+        )
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES[:2])
+def test_chunked_funnel_totals_match_serial(inputs, serial, chunk_size):
+    """Per-chunk funnel records aggregate by stage name: the chunked
+    run's totals (and drop reasons) must equal the serial run's."""
+    _, expected = serial
+    _, actual = _chunked(inputs, chunk_size)
+    assert set(actual.funnel) == set(expected.funnel)
+    for name, stage in expected.funnel.items():
+        other = actual.funnel[name]
+        assert other.records_in == stage.records_in, name
+        assert other.records_out == stage.records_out, name
+        assert other.drops == stage.drops, name
+
+
+def test_stream_gauges_present(inputs):
+    sample, *_ = inputs
+    _, telemetry = _chunked(inputs, 997)
+    gauges = telemetry.gauges
+    assert gauges["pipeline.stream.chunk_size"] == 997
+    assert gauges["pipeline.stream.chunks"] == -(-len(sample) // 997)
+    assert gauges["pipeline.stream.rss_peak_kib"] > 0
+
+
+def _synthetic(n_users):
+    # 64 ASes over 4096 blocks: at <=8000 users every AS holds ~125
+    # routed peers — inside the digest's exact regime (docs/
+    # DATA_MODEL.md), so summary mode owes exact percentiles here.
+    return SyntheticChunkSource(n_users)
+
+
+class _MaterialisedSample:
+    """A synthetic source materialised for the object path."""
+
+    def __init__(self, source):
+        parts = list(source.chunks(1 << 20))
+        self.app_names = source.app_names
+        self.user_index = np.concatenate([c.user_index for c in parts])
+        self.ips = np.concatenate([c.ips for c in parts])
+        self.membership = np.vstack([c.membership for c in parts])
+
+    def __len__(self):
+        return int(self.user_index.size)
+
+    def chunks(self, chunk_size):
+        from repro.crawl.chunks import iter_sample_chunks
+
+        return iter_sample_chunks(self, chunk_size)
+
+
+def test_stream_summary_matches_exact_dataset():
+    source = _synthetic(8_000)
+    primary, secondary, table = source.conditioning_inputs()
+    config = PipelineConfig(min_peers_per_as=10)
+    exact = build_target_dataset(
+        _MaterialisedSample(source), primary, secondary, table, config
+    )
+    summary = stream_summary(
+        source.chunks(1_024),
+        primary,
+        secondary,
+        table,
+        config=config,
+        chunk_size=1_024,
+        app_names=source.app_names,
+    )
+    assert set(summary.ases) == set(exact.ases)
+    assert summary.stats == exact.stats
+    for asn, target in exact.ases.items():
+        aggregate = summary.ases[asn]
+        assert aggregate.peer_count == len(target)
+        assert aggregate.classification == target.classification
+        assert aggregate.app_counts == target.peer_count_by_app()
+        assert aggregate.lat == pytest.approx(
+            float(np.mean(target.group.lat)), abs=1e-9
+        )
+        assert aggregate.lon == pytest.approx(
+            float(np.mean(target.group.lon)), abs=1e-9
+        )
+        assert aggregate.error_percentile_km == pytest.approx(
+            target.group.error_percentile(config.error_percentile),
+            abs=1e-6,
+        )
+
+
+def test_summary_memory_is_flat_in_population():
+    """Fixed chunk size, 8x the population: peak *traced* allocation
+    must stay flat — the O(chunk + ASes) claim, measured."""
+    chunk_size = 8_192
+    peaks = []
+    for n_users in (40_000, 320_000):
+        source = _synthetic(n_users)
+        primary, secondary, table = source.conditioning_inputs()
+        tracemalloc.start()
+        try:
+            summary = stream_summary(
+                source.chunks(chunk_size),
+                primary,
+                secondary,
+                table,
+                config=PipelineConfig(min_peers_per_as=10),
+                chunk_size=chunk_size,
+                app_names=source.app_names,
+            )
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert summary.chunks_processed == -(-n_users // chunk_size)
+        peaks.append(peak)
+    small, large = peaks
+    assert large < 2 * small, (
+        f"peak allocation grew {small} -> {large} bytes over an 8x "
+        "population: streaming is holding O(population) state"
+    )

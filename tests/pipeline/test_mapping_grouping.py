@@ -54,7 +54,10 @@ class TestMapPeers:
         for i in range(0, len(mapped), max(1, len(mapped) // 50)):
             r1 = db1.lookup(int(mapped.ips[i]))
             r2 = db2.lookup(int(mapped.ips[i]))
-            assert mapped.error_km[i] == pytest.approx(r1.distance_km(r2), abs=1e-6)
+            # abs=0.05 km: coordinates ride the batch schema's float32
+            # columns (docs/DATA_MODEL.md), quantising the recomputed
+            # distance by a few metres.
+            assert mapped.error_km[i] == pytest.approx(r1.distance_km(r2), abs=0.05)
 
     def test_subset(self, mapped):
         indices = np.arange(0, len(mapped), 2)

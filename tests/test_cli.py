@@ -1,8 +1,13 @@
 """Tests for the repro-eyeball CLI."""
 
+import pathlib
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
+
+README = pathlib.Path(__file__).resolve().parents[1] / "README.md"
 
 
 class TestParser:
@@ -19,6 +24,62 @@ class TestParser:
         assert args.preset == "small"
         assert args.seed == 5
         assert not args.strict
+
+
+def _readme_flag_table():
+    """Flag names from README's "### Global flags" table."""
+    text = README.read_text()
+    match = re.search(
+        r"### Global flags\n(.*?)\n## ", text, flags=re.DOTALL
+    )
+    assert match, "README.md lost its '### Global flags' table"
+    flags = []
+    for line in match.group(1).splitlines():
+        if not line.startswith("|") or line.startswith("|---"):
+            continue
+        cell = line.split("|")[1]
+        found = re.match(r"\s*`(--[a-z-]+)", cell)
+        if found:
+            flags.append(found.group(1))
+    return flags
+
+
+class TestReadmeFlagTable:
+    """README's global-flag table is locked to build_parser(): every
+    documented flag must exist, every real flag must be documented —
+    the same lock-step discipline as the span-taxonomy doc test."""
+
+    #: Flags argparse adds or that are not run-behaviour switches.
+    EXEMPT = {"--help", "--version"}
+
+    def _parser_flags(self):
+        parser = build_parser()
+        return {
+            option
+            for action in parser._actions
+            for option in action.option_strings
+            if option.startswith("--") and option not in self.EXEMPT
+        }
+
+    def test_table_matches_parser(self):
+        documented = _readme_flag_table()
+        assert len(documented) == len(set(documented)), "duplicate rows"
+        assert set(documented) == self._parser_flags(), (
+            "README '### Global flags' table and build_parser() "
+            "drifted apart; update them together"
+        )
+
+    def test_flag_rows_carry_headers_not_prose(self):
+        # Every row's first cell is exactly one backticked flag spec.
+        text = README.read_text()
+        match = re.search(
+            r"### Global flags\n(.*?)\n## ", text, flags=re.DOTALL
+        )
+        rows = [
+            line for line in match.group(1).splitlines()
+            if line.startswith("| `--")
+        ]
+        assert len(rows) == len(_readme_flag_table())
 
 
 class TestCommands:
