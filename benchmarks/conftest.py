@@ -23,12 +23,22 @@ import pytest
 from repro.experiments.scenario import ScenarioConfig, cached_scenario
 from repro.obs import telemetry as obs
 from repro.obs.history import RunHistory, utc_timestamp
+from repro.obs.prof import sample_stacks, top_frames
 from repro.obs.resources import sample_resources
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Sampling rate of the per-benchmark resource profiler.
 BENCH_PROFILE_HZ = 10.0
+
+#: Sampling rate of the per-benchmark stack profiler (prime, so it
+#: never locks step with the resource sampler above).
+BENCH_FLAME_HZ = 97.0
+
+#: Hottest frames embedded per timing record (self/total sample counts
+#: and shares) — enough to spot a shifted hot path in the trajectory
+#: without bloating committed records with whole stack tables.
+BENCH_TOP_FRAMES = 5
 
 #: The longitudinal archive every record is appended to.
 HISTORY_PATH = RESULTS_DIR / "history.jsonl"
@@ -73,12 +83,16 @@ def archive(request):
     to ``results/history.jsonl``.  A resource sampler runs alongside
     (rollups only) and embeds its per-stage accounting under
     ``"resources"`` — the numbers ``benchmarks/baselines/``'s resource
-    budget is calibrated against.
+    budget is calibrated against.  A stack sampler runs too, embedding
+    the run's hottest frames under ``"frames"`` so the trajectory also
+    records *where* each benchmark spent its time.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     with obs.capture() as telemetry, sample_resources(
         BENCH_PROFILE_HZ, telemetry=telemetry, keep_samples=False
-    ) as sampler:
+    ) as sampler, sample_stacks(
+        BENCH_FLAME_HZ, telemetry=telemetry
+    ) as stacks:
         start = time.perf_counter()
 
         def write(name: str, text: str, **extra) -> None:
@@ -94,6 +108,7 @@ def archive(request):
                 "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
                 "telemetry": telemetry.snapshot(),
                 "resources": sampler.rollups(),
+                "frames": top_frames(stacks.profile(), n=BENCH_TOP_FRAMES),
             }
             record.update(extra)
             (RESULTS_DIR / f"{name}.json").write_text(

@@ -16,6 +16,10 @@
     repro-eyeball stats events EVENTS.jsonl [--format text|json] [--limit N]
     repro-eyeball stats resources REPORT.json [--format text|json]
                            [--budget BUDGET.json]
+    repro-eyeball stats flame PROFILE.json [--top 10]
+                           [--format text|json|collapsed|speedscope]
+                           [--diff BASELINE.json] [--share-tolerance 0.1]
+                           [--min-share 0.05]
     repro-eyeball lint     [PATH ...] [--format text|json] [--list-rules]
                            [--select RULES] [--graph-out GRAPH.json]
                            [--show-suppressed]
@@ -43,6 +47,14 @@ Global observability flags (see ``docs/OBSERVABILITY.md``):
     (default 10 Hz) into a ``repro.resource-profile/v1`` section of the
     run report, rendered as counter tracks in ``--trace-out`` traces;
     inspect with ``stats resources``.  A no-op otherwise.
+``--flame-out PATH``
+    Enable telemetry, sample the call stack on a background thread and
+    write the span-attributed ``repro.flame/v1`` collapsed-stack
+    profile to PATH; render, export (flamegraph.pl / speedscope) and
+    diff it with ``stats flame``.
+``--flame-hz HZ``
+    Stack-sampling rate for ``--flame-out`` (default 97 Hz); workers
+    sample themselves and ship their stack tables home.
 ``--events-out PATH.jsonl``
     Stream live ``repro.events/v1`` events (stage progress, heartbeats,
     stall warnings) to PATH while the run executes — independent of the
@@ -103,6 +115,7 @@ from .experiments.section5 import run_section5
 from .experiments.section6 import run_section6
 from .experiments.table1 import run_table1
 from .obs import events as obs_events
+from .obs import prof as obs_prof
 from .obs import resources as obs_resources
 from .obs import telemetry as obs
 from .obs.diff import DiffThresholds, diff_reports
@@ -115,6 +128,7 @@ from .obs.lineage import (
 from .obs.logconfig import LEVELS, configure_logging
 from .obs.memory import capture_memory
 from .obs.report import DATA_QUALITY_SCHEMA, RunReport
+from .obs.report import SCHEMA as RUN_REPORT_SCHEMA
 from .obs.trace import write_trace
 from .validation.reference import ReferenceConfig
 
@@ -155,7 +169,25 @@ def _parallel_config(args) -> Optional[ParallelConfig]:
         workers=args.workers,
         cache_dir=args.cache_dir,
         profile_hz=getattr(args, "profile_resources", None),
+        flame_hz=_effective_flame_hz(args),
     )
+
+
+def _effective_flame_hz(args) -> Optional[float]:
+    """The stack-sampling rate this run profiles at (None = off).
+
+    ``--flame-out`` arms the sampler (at ``--flame-hz`` or the default
+    rate); bare ``stats`` runs additionally honour ``--flame-hz`` on
+    their self-armed capture, mirroring ``--profile-resources``.
+    """
+    if getattr(args, "flame_out", None) is not None:
+        return getattr(args, "flame_hz", None) or obs_prof.DEFAULT_HZ
+    if (
+        getattr(args, "command", None) == "stats"
+        and getattr(args, "flame_hz", None)
+    ):
+        return args.flame_hz
+    return None
 
 
 def _reference_config(args) -> ReferenceConfig:
@@ -390,6 +422,11 @@ def cmd_stats(args) -> int:
                         profile_hz, telemetry=telemetry
                     )
                 )
+            flame_hz = _effective_flame_hz(args)
+            if flame_hz:
+                stack.enter_context(
+                    obs_prof.sample_stacks(flame_hz, telemetry=telemetry)
+                )
             scenario = _run_profiled(config, args)
     report = RunReport.from_telemetry(
         telemetry,
@@ -427,6 +464,19 @@ def cmd_stats_diff(args) -> int:
         new = RunReport.load(args.new)
     except (OSError, ValueError) as exc:
         print(f"error: cannot load run report: {exc}", file=sys.stderr)
+        return 2
+    if bool(old.resource_profile) != bool(new.resource_profile):
+        # Degrade like the funnel/events commands: one profiled and one
+        # unprofiled report cannot be resource-judged — name the bare
+        # one instead of silently skipping (or tripping) the gate.
+        bare = args.old if not old.resource_profile else args.new
+        print(
+            f"error: {bare} has no "
+            f"{obs_resources.RESOURCE_PROFILE_SCHEMA} section while the "
+            "other report does; regenerate it with --profile-resources "
+            "(or diff two unprofiled reports)",
+            file=sys.stderr,
+        )
         return 2
     thresholds = DiffThresholds(
         max_ratio=args.max_ratio,
@@ -613,6 +663,101 @@ def cmd_stats_resources(args) -> int:
     return 1 if problems or breaches else 0
 
 
+def _load_flame_profile(path: str):
+    """Load+validate a flame profile (raw document or run report).
+
+    Returns ``(profile, 0)``, or ``(None, exit_status)`` with the error
+    already printed on stderr.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load flame profile: {exc}", file=sys.stderr)
+        return None, 2
+    profile: Any = data
+    if isinstance(data, dict) and data.get("schema") == RUN_REPORT_SCHEMA:
+        try:
+            profile = RunReport.from_dict(data).flame_profile
+        except ValueError as exc:
+            print(f"error: cannot load run report: {exc}", file=sys.stderr)
+            return None, 2
+        if not profile:
+            print(
+                f"error: {path} has no {obs_prof.FLAME_SCHEMA} section; "
+                "regenerate it with --flame-out",
+                file=sys.stderr,
+            )
+            return None, 2
+    problems = obs_prof.validate_flame(profile)
+    if problems:
+        for problem in problems:
+            print(f"flame profile INVALID: {problem}", file=sys.stderr)
+        return None, 2
+    return profile, 0
+
+
+def cmd_stats_flame(args) -> int:
+    """Render/export a stored flame profile; gate hot-frame drift.
+
+    Exit 0 on a valid profile (and, with ``--diff``, no thresholded
+    hot-frame regression), 1 when ``--diff`` finds one, 2 when either
+    input cannot be read or fails ``repro.flame/v1`` validation.
+    """
+    profile, status = _load_flame_profile(args.profile)
+    if profile is None:
+        return status
+    if args.diff is not None:
+        baseline, status = _load_flame_profile(args.diff)
+        if baseline is None:
+            return status
+        result = obs_prof.diff_flame(
+            baseline,
+            profile,
+            share_tolerance=args.share_tolerance,
+            min_share=args.min_share,
+        )
+        if args.format == "json":
+            print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(f"old: {args.diff}")
+            print(f"new: {args.profile}")
+            print(result.render_text())
+        if result.regressions:
+            detail = ", ".join(
+                f"{shift.stage}: {shift.frame}"
+                for shift in result.regressions
+            )
+            print(
+                f"hot-frame regression gate FAILED: {detail}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "schema": obs_prof.FLAME_SCHEMA,
+                "profile": profile,
+                "valid": True,
+                "problems": [],
+                "top": obs_prof.top_frames(profile, n=args.top),
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    elif args.format == "collapsed":
+        print(obs_prof.render_collapsed(profile))
+    elif args.format == "speedscope":
+        print(json.dumps(
+            obs_prof.render_speedscope(profile, name=args.profile),
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        print(obs_prof.render_flame(profile, top=args.top))
+    return 0
+
+
 class _ProgressRenderer:
     """Stderr listener for ``--progress``: per-stage bars, rate, ETA."""
 
@@ -719,6 +864,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample RSS/CPU/heap at HZ into the run report's "
              f"resource profile (bare flag = {obs_resources.DEFAULT_HZ:g} "
              "Hz); workers sample themselves and ship rollups home",
+    )
+    parser.add_argument(
+        "--flame-out",
+        metavar="PATH",
+        default=None,
+        help="enable telemetry, sample the call stack on a background "
+             "thread and write the span-attributed repro.flame/v1 "
+             "profile to PATH; inspect/export with 'stats flame'",
+    )
+    parser.add_argument(
+        "--flame-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help=f"stack-sampling rate for --flame-out (default: "
+             f"{obs_prof.DEFAULT_HZ:g} Hz); workers sample themselves "
+             "and ship stack tables home",
     )
     parser.add_argument(
         "--events-out",
@@ -1005,6 +1167,51 @@ def build_parser() -> argparse.ArgumentParser:
              "resource-budget.json)",
     )
     resources.set_defaults(handler=cmd_stats_resources)
+    flame = stats_sub.add_parser(
+        "flame",
+        help="render/export a stored repro.flame/v1 stack profile; "
+             "--diff gates per-stage hot-frame drift",
+    )
+    flame.add_argument(
+        "profile", metavar="PROFILE.json",
+        help="flame profile (--flame-out) or a run report carrying a "
+             "flame_profile section",
+    )
+    flame.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many hottest frames to rank (default: 10)",
+    )
+    flame.add_argument(
+        "--format",
+        choices=("text", "json", "collapsed", "speedscope"),
+        default="text",
+        help="output format (default: text); 'collapsed' is "
+             "flamegraph.pl input, 'speedscope' loads in speedscope.app",
+    )
+    flame.add_argument(
+        "--diff",
+        metavar="BASELINE.json",
+        default=None,
+        help="baseline flame profile; exit 1 when any frame's "
+             "per-stage self-time share grew past --share-tolerance",
+    )
+    flame.add_argument(
+        "--share-tolerance",
+        type=float,
+        default=obs_prof.DEFAULT_SHARE_TOLERANCE,
+        help="absolute per-stage self-share growth that fails the "
+             f"--diff gate (default: {obs_prof.DEFAULT_SHARE_TOLERANCE:g})",
+    )
+    flame.add_argument(
+        "--min-share",
+        type=float,
+        default=obs_prof.DEFAULT_MIN_SHARE,
+        help="frames under this share in both runs are never judged "
+             f"(default: {obs_prof.DEFAULT_MIN_SHARE:g})",
+    )
+    flame.set_defaults(handler=cmd_stats_flame)
     lint = subparsers.add_parser(
         "lint",
         help="run reprolint, the repo's AST-based static analyser",
@@ -1106,8 +1313,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.profile_resources is not None:
         if not 0 < args.profile_resources <= 1000:
             parser.error("--profile-resources HZ must be in (0, 1000]")
+    if args.flame_hz is not None:
+        if not 0 < args.flame_hz <= 1000:
+            parser.error("--flame-hz HZ must be in (0, 1000]")
     configure_logging(args.log_level)
-    telemetry_on = args.metrics_out is not None or args.trace_out is not None
+    telemetry_on = (
+        args.metrics_out is not None
+        or args.trace_out is not None
+        or args.flame_out is not None
+    )
     events_on = args.events_out is not None or args.progress
     if args.memory and not telemetry_on:
         # --memory alone is a documented no-op (the null registry stays
@@ -1126,6 +1340,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "warning: --profile-resources does nothing without a "
             "telemetry sink; add --metrics-out PATH or --trace-out PATH",
+            file=sys.stderr,
+        )
+    if (
+        args.flame_hz is not None
+        and args.flame_out is None
+        and args.command != "stats"  # stats arms its own capture
+    ):
+        print(
+            "warning: --flame-hz does nothing without --flame-out PATH",
             file=sys.stderr,
         )
     if not telemetry_on and not events_on:
@@ -1156,6 +1379,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                             args.profile_resources, telemetry=telemetry
                         )
                     )
+                flame_hz = _effective_flame_hz(args)
+                if flame_hz is not None:
+                    stack.enter_context(
+                        obs_prof.sample_stacks(flame_hz, telemetry=telemetry)
+                    )
                 stack.enter_context(obs.span(f"cli.{args.command}"))
             status = args.handler(args)
     except OSError as exc:
@@ -1178,11 +1406,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     if args.profile_resources is not None:
         meta["profile_hz"] = args.profile_resources
+    if args.flame_out is not None:
+        meta["flame_hz"] = _effective_flame_hz(args)
     report = RunReport.from_telemetry(telemetry, **meta)
     try:
         if args.metrics_out is not None:
             path = report.write(args.metrics_out)
             print(f"run report written to {path}", file=sys.stderr)
+        if args.flame_out is not None:
+            flame_path = Path(args.flame_out)
+            if flame_path.parent != Path(""):
+                flame_path.parent.mkdir(parents=True, exist_ok=True)
+            flame_path.write_text(json.dumps(
+                telemetry.flame_profile or {}, indent=2, sort_keys=True
+            ) + "\n")
+            print(
+                f"flame profile written to {flame_path}", file=sys.stderr
+            )
         if args.trace_out is not None:
             path = write_trace(
                 report,

@@ -53,6 +53,14 @@ class ParallelConfig:
         worker-side sampling.  When set, every worker samples its own
         RSS/CPU and ships the rollups home with its telemetry
         snapshot; profiling never changes job results.
+    ``flame_hz``
+        Sampling rate of the per-worker stack profiler
+        (:mod:`repro.obs.prof`), or ``None`` (the default) for no
+        worker-side stack sampling.  When set, every worker folds its
+        own span-attributed collapsed-stack table and ships it home
+        with its telemetry snapshot, where tables merge counts-adding
+        into one run-wide flame profile; sampling never changes job
+        results.
     """
 
     workers: int = 1
@@ -60,6 +68,7 @@ class ParallelConfig:
     cache_dir: Optional[str] = None
     cache_salt: str = ""
     profile_hz: Optional[float] = None
+    flame_hz: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.workers <= MAX_WORKERS:
@@ -70,6 +79,8 @@ class ParallelConfig:
             raise ValueError("chunk_size must be positive when given")
         if self.profile_hz is not None and not self.profile_hz > 0:
             raise ValueError("profile_hz must be positive when given")
+        if self.flame_hz is not None and not self.flame_hz > 0:
+            raise ValueError("flame_hz must be positive when given")
 
     @property
     def is_serial(self) -> bool:

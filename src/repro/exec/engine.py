@@ -34,6 +34,7 @@ from ..geo.gazetteer import Gazetteer
 from ..obs import progress as obs_progress
 from ..obs import telemetry as obs
 from ..obs.progress import StallWatchdog
+from ..obs.prof import sample_stacks
 from ..obs.resources import sample_resources
 from .cache import ArtifactCache, gazetteer_fingerprint, job_key
 from .config import ParallelConfig
@@ -47,9 +48,14 @@ _WORKER_GAZETTEER: Optional[Gazetteer] = None
 #: Worker-side resource-sampling rate (None = profiling off).
 _WORKER_PROFILE_HZ: Optional[float] = None
 
+#: Worker-side stack-sampling rate (None = stack profiling off).
+_WORKER_FLAME_HZ: Optional[float] = None
+
 
 def _init_worker(
-    gazetteer: Gazetteer, profile_hz: Optional[float] = None
+    gazetteer: Gazetteer,
+    profile_hz: Optional[float] = None,
+    flame_hz: Optional[float] = None,
 ) -> None:
     """Pool initializer: pin the gazetteer, detach inherited telemetry.
 
@@ -58,11 +64,14 @@ def _init_worker(
     fork's copy never returns home).  Workers therefore start with the
     null registry and do all recording inside an explicit capture in
     :func:`_run_chunk`.  ``profile_hz`` arms the per-worker resource
-    sampler (:class:`~repro.exec.config.ParallelConfig.profile_hz`).
+    sampler (:class:`~repro.exec.config.ParallelConfig.profile_hz`);
+    ``flame_hz`` the per-worker stack sampler
+    (:class:`~repro.exec.config.ParallelConfig.flame_hz`).
     """
-    global _WORKER_GAZETTEER, _WORKER_PROFILE_HZ
+    global _WORKER_GAZETTEER, _WORKER_PROFILE_HZ, _WORKER_FLAME_HZ
     _WORKER_GAZETTEER = gazetteer
     _WORKER_PROFILE_HZ = profile_hz
+    _WORKER_FLAME_HZ = flame_hz
     obs.set_telemetry(None)
 
 
@@ -75,7 +84,10 @@ def _run_chunk(
     duration and ships the rollups home inside the snapshot (rollups
     only — ``keep_samples=False`` keeps the pickle bounded); the parent
     folds them under the host profile's ``workers`` list in
-    :meth:`repro.obs.telemetry.Telemetry.merge_snapshot`.
+    :meth:`repro.obs.telemetry.Telemetry.merge_snapshot`.  With stack
+    sampling armed, the worker likewise folds its own collapsed-stack
+    table and ships it home, where it merges counts-adding into the
+    host's flame profile.
     """
     gazetteer = _WORKER_GAZETTEER
     if gazetteer is None:
@@ -84,7 +96,8 @@ def _run_chunk(
         with sample_resources(
             _WORKER_PROFILE_HZ, telemetry=telemetry, keep_samples=False
         ):
-            artifacts = [execute_job(job, gazetteer) for job in jobs]
+            with sample_stacks(_WORKER_FLAME_HZ, telemetry=telemetry):
+                artifacts = [execute_job(job, gazetteer) for job in jobs]
     return artifacts, telemetry.snapshot()
 
 
@@ -234,7 +247,11 @@ class FootprintEngine:
                 with ProcessPoolExecutor(
                     max_workers=max_workers,
                     initializer=_init_worker,
-                    initargs=(self.gazetteer, self.config.profile_hz),
+                    initargs=(
+                        self.gazetteer,
+                        self.config.profile_hz,
+                        self.config.flame_hz,
+                    ),
                 ) as pool:
                     futures = []
                     for index, chunk in enumerate(chunks):

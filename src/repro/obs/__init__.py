@@ -33,6 +33,11 @@ Zero-dependency pieces, layered in two tiers.  Capture:
     RSS/CPU/heap sampling into ``repro.resource-profile/v1`` documents
     (per-sample rows + per-stage rollups), with a committed-budget
     gate (:func:`~repro.obs.resources.check_budget`).
+``repro.obs.prof``
+    :class:`~repro.obs.prof.StackSampler` — background-thread wall-
+    clock stack sampling into span-attributed ``repro.flame/v1``
+    collapsed-stack tables, with flamegraph.pl/speedscope export and
+    a hot-frame diff gate (:func:`~repro.obs.prof.diff_flame`).
 
 And the longitudinal tier built on run reports:
 
@@ -79,6 +84,26 @@ from .lineage import (
 )
 from .logconfig import configure_logging, get_logger, kv
 from .memory import MEMORY_GAUGE_PREFIX, MemoryTelemetry, capture_memory
+from .prof import (
+    FLAME_DIFF_SCHEMA,
+    FLAME_GAUGE_PREFIX,
+    FLAME_GAUGES,
+    FLAME_SCHEMA,
+    NULL_STACK_SAMPLER,
+    FlameDiff,
+    FrameShift,
+    NullStackSampler,
+    StackSampler,
+    diff_flame,
+    flame_gauges,
+    merge_flame,
+    render_collapsed,
+    render_flame,
+    render_speedscope,
+    sample_stacks,
+    top_frames,
+    validate_flame,
+)
 from .progress import (
     NULL_TRACKER,
     NullProgressTracker,
@@ -123,6 +148,12 @@ __all__ = [
     "DropReason",
     "EVENTS_SCHEMA",
     "EventStream",
+    "FLAME_DIFF_SCHEMA",
+    "FLAME_GAUGE_PREFIX",
+    "FLAME_GAUGES",
+    "FLAME_SCHEMA",
+    "FlameDiff",
+    "FrameShift",
     "FunnelConservationError",
     "FunnelStage",
     "HISTORY_SCHEMA",
@@ -132,9 +163,11 @@ __all__ = [
     "MetricDrift",
     "NULL",
     "NULL_SAMPLER",
+    "NULL_STACK_SAMPLER",
     "NULL_TRACKER",
     "NullProgressTracker",
     "NullResourceSampler",
+    "NullStackSampler",
     "NullTelemetry",
     "ProgressTracker",
     "StallWatchdog",
@@ -154,29 +187,39 @@ __all__ = [
     "SCHEMA",
     "SpanDelta",
     "SpanNode",
+    "StackSampler",
     "Telemetry",
     "capture",
     "capture_memory",
     "check_budget",
     "configure_logging",
     "count",
+    "diff_flame",
     "diff_reports",
+    "flame_gauges",
     "gauge",
     "get_logger",
     "get_telemetry",
     "kv",
     "load_events",
+    "merge_flame",
     "merge_snapshot",
     "observe",
     "parse_events",
     "profile_gauges",
     "record_stage",
+    "render_collapsed",
     "render_events",
+    "render_flame",
     "render_funnel",
     "render_profile",
+    "render_speedscope",
     "sample_resources",
+    "sample_stacks",
     "set_telemetry",
     "span",
+    "top_frames",
+    "validate_flame",
     "validate_profile",
     "stream_events",
     "summarize_events",

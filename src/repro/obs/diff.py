@@ -48,6 +48,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from .prof import FLAME_GAUGE_PREFIX
 from .quality import QUALITY_GAUGE_PREFIX
 from .report import RunReport, _walk_span_dicts
 from .resources import RESOURCE_GAUGE_PREFIX
@@ -518,7 +519,9 @@ def diff_reports(
     )
 
 
-_OWNED_GAUGE_PREFIXES = (QUALITY_GAUGE_PREFIX, RESOURCE_GAUGE_PREFIX)
+_OWNED_GAUGE_PREFIXES = (
+    QUALITY_GAUGE_PREFIX, RESOURCE_GAUGE_PREFIX, FLAME_GAUGE_PREFIX,
+)
 
 
 def _without_owned_gauges(gauges: Dict[str, float]) -> Dict[str, float]:

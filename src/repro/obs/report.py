@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Tuple, Union
 
 from .lineage import render_funnel
+from .prof import FLAME_SCHEMA, render_flame
 from .resources import RESOURCE_PROFILE_SCHEMA, render_profile
 from .telemetry import Telemetry
 
@@ -49,6 +50,9 @@ class RunReport:
     #: The ``repro.resource-profile/v1`` section: sampled RSS/CPU/heap
     #: rows and per-stage rollups.  Empty for unprofiled runs.
     resource_profile: Dict[str, Any] = field(default_factory=dict)
+    #: The ``repro.flame/v1`` section: the span-attributed collapsed
+    #: stack table.  Empty when stacks were not sampled.
+    flame_profile: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def from_telemetry(cls, telemetry: Telemetry, **meta: Any) -> "RunReport":
@@ -65,6 +69,7 @@ class RunReport:
                 "quality": snapshot.get("quality", {}),
             },
             resource_profile=dict(snapshot.get("resource_profile") or {}),
+            flame_profile=dict(snapshot.get("flame_profile") or {}),
         )
 
     # -- data-quality accessors ---------------------------------------
@@ -91,6 +96,8 @@ class RunReport:
             document["data_quality"] = self.data_quality
         if self.resource_profile:
             document["resource_profile"] = self.resource_profile
+        if self.flame_profile:
+            document["flame_profile"] = self.flame_profile
         return document
 
     def to_json(self, indent: int = 2) -> str:
@@ -123,6 +130,16 @@ class RunReport:
                 f"(schema={resource_profile.get('schema')!r}, expected "
                 f"{RESOURCE_PROFILE_SCHEMA!r})"
             )
+        flame_profile = dict(data.get("flame_profile", {}))
+        if (
+            flame_profile
+            and flame_profile.get("schema") != FLAME_SCHEMA
+        ):
+            raise ValueError(
+                "unknown flame-profile section "
+                f"(schema={flame_profile.get('schema')!r}, expected "
+                f"{FLAME_SCHEMA!r})"
+            )
         return cls(
             meta=dict(data.get("meta", {})),
             spans=list(data.get("spans", [])),
@@ -130,6 +147,7 @@ class RunReport:
             gauges=dict(data.get("gauges", {})),
             data_quality=data_quality,
             resource_profile=resource_profile,
+            flame_profile=flame_profile,
         )
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -198,6 +216,10 @@ class RunReport:
             lines.append("")
             lines.append("resource profile:")
             lines.append(render_profile(self.resource_profile, indent="  "))
+        if self.flame_profile:
+            lines.append("")
+            lines.append("flame profile:")
+            lines.append(render_flame(self.flame_profile, top=5, indent="  "))
         if self.counters:
             lines.append("")
             lines.append("counters:")

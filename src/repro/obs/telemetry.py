@@ -45,6 +45,7 @@ from typing import (
 
 from . import events as _events
 from .lineage import FunnelStage, ReasonLike
+from .prof import flame_gauges, merge_flame
 from .quality import QuantileDigest
 from .resources import RESOURCE_PROFILE_SCHEMA, profile_gauges
 
@@ -54,7 +55,7 @@ from .resources import RESOURCE_PROFILE_SCHEMA, profile_gauges
 #: for mixed-version worker pools.
 _SNAPSHOT_SECTIONS = frozenset(
     ["spans", "counters", "gauges", "funnel", "quality",
-     "resource_profile"]
+     "resource_profile", "flame_profile"]
 )
 
 
@@ -153,6 +154,10 @@ class Telemetry:
         #: :class:`repro.obs.resources.ResourceSampler` on stop (None
         #: when the run was not profiled).
         self.resource_profile: Optional[Dict[str, Any]] = None
+        #: ``repro.flame/v1`` document attached by a
+        #: :class:`repro.obs.prof.StackSampler` on stop (None when the
+        #: run's stacks were not sampled).
+        self.flame_profile: Optional[Dict[str, Any]] = None
         # Unknown snapshot sections preserved from merged workers.
         self._extra_sections: Dict[str, Any] = {}
 
@@ -256,6 +261,9 @@ class Telemetry:
         if self.resource_profile is not None:
             snapshot["resource_profile"] = self.resource_profile
             gauges.update(profile_gauges(self.resource_profile))
+        if self.flame_profile is not None:
+            snapshot["flame_profile"] = self.flame_profile
+            gauges.update(flame_gauges(self.flame_profile))
         for key, value in self._extra_sections.items():
             snapshot.setdefault(key, value)
         return snapshot
@@ -307,6 +315,12 @@ class Telemetry:
         profile = snapshot.get("resource_profile")
         if isinstance(profile, dict) and profile:
             self._fold_worker_profile(profile)
+        flame = snapshot.get("flame_profile")
+        if isinstance(flame, dict) and flame:
+            # Worker stack tables fold straight into the host table:
+            # counts add per (stage, stack) key, stage attribution is
+            # preserved, so --workers N still yields one flamegraph.
+            self.flame_profile = merge_flame(self.flame_profile, flame)
         # Forward compatibility: a worker built by a newer version may
         # ship sections this registry does not know.  Preserve them
         # (dicts update, lists extend, anything else last-write-wins)
@@ -400,6 +414,7 @@ class NullTelemetry:
     enabled = False
     current_span_name = ""
     resource_profile = None
+    flame_profile = None
 
     def span(self, name: str) -> _NullSpan:
         return _NULL_SPAN

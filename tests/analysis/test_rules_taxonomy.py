@@ -173,3 +173,26 @@ def test_resource_gauges_match_documentation():
         "ROLLUP_GAUGES together"
     )
     assert ROLLUP_GAUGES == tuple(sorted(ROLLUP_GAUGES))
+
+
+def _doc_flame_gauge_names():
+    """Gauge names from the gauge table's `prof.{...}` row."""
+    text = OBSERVABILITY_DOC.read_text()
+    match = re.search(r"`prof\.\{([a-z_,]+)\}`", text)
+    assert match, (
+        "docs/OBSERVABILITY.md lost its prof.{...} gauge-table row"
+    )
+    return set(match.group(1).split(","))
+
+
+def test_flame_gauges_match_documentation():
+    # And once more for the stack profiler's headline prof.* gauges.
+    from repro.obs.prof import FLAME_GAUGES
+
+    documented = _doc_flame_gauge_names()
+    assert documented == set(FLAME_GAUGES), (
+        f"profiler gauges {sorted(FLAME_GAUGES)} != documented "
+        f"{sorted(documented)}; update docs/OBSERVABILITY.md and "
+        "FLAME_GAUGES together"
+    )
+    assert FLAME_GAUGES == tuple(sorted(FLAME_GAUGES))

@@ -93,3 +93,19 @@ class TestProfileHz:
     def test_rejects_negative_rate(self):
         with pytest.raises(ValueError):
             ParallelConfig(profile_hz=-5.0)
+
+
+class TestFlameHz:
+    def test_defaults_to_off(self):
+        assert ParallelConfig().flame_hz is None
+
+    def test_accepts_positive_rate(self):
+        assert ParallelConfig(workers=2, flame_hz=97.0).flame_hz == 97.0
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(flame_hz=0.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(flame_hz=-97.0)

@@ -243,6 +243,40 @@ class TestStatsDiffResourceGate:
         assert "verdict: ok" in out
         assert "resource drift (" not in out
 
+    def strip_profile(self, report_path, tmp_path, name):
+        data = json.loads(report_path.read_text())
+        data.pop("resource_profile", None)
+        target = tmp_path / name
+        target.write_text(json.dumps(data))
+        return target
+
+    def test_one_sided_profile_exits_two_naming_the_bare_report(
+        self, profiled_run, tmp_path, capsys
+    ):
+        # Diffing a profiled report against one missing the resource
+        # section would silently skip the resource gate; the CLI must
+        # refuse with one actionable line instead.
+        report_path, _ = profiled_run
+        bare = self.strip_profile(report_path, tmp_path, "bare.json")
+        for old, new in (
+            (str(report_path), str(bare)),
+            (str(bare), str(report_path)),
+        ):
+            status = main(["stats", "diff", old, new])
+            assert status == 2
+            err = capsys.readouterr().err
+            assert str(bare) in err
+            assert "regenerate it with --profile-resources" in err
+
+    def test_two_unprofiled_reports_still_diff_cleanly(
+        self, profiled_run, tmp_path, capsys
+    ):
+        report_path, _ = profiled_run
+        bare = self.strip_profile(report_path, tmp_path, "bare2.json")
+        status = main(["stats", "diff", str(bare), str(bare)])
+        assert status == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
 
 class TestCommittedBudgetFile:
     """The committed CI budget document, including the nested chunked-

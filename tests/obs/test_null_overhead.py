@@ -250,3 +250,52 @@ class TestResourceSamplingIsNullSafe:
         assert plain == instrumented
         assert threading.active_count() == before  # no sampler thread
         assert obs.get_telemetry() is obs.NULL
+
+
+class TestStackSamplingIsNullSafe:
+    """The PR 10 stack profiler shares the same budget: with no
+    --flame-out the shared null stack sampler is the only object in
+    play and no sampler thread ever starts."""
+
+    def test_null_stack_sampler_is_slotted_and_stateless(self):
+        from repro.obs.prof import NULL_STACK_SAMPLER, NullStackSampler
+
+        assert NullStackSampler.__slots__ == ()
+        assert not hasattr(NULL_STACK_SAMPLER, "__dict__")
+
+    def test_falsy_hz_yields_the_shared_singleton(self):
+        from repro.obs.prof import NULL_STACK_SAMPLER, sample_stacks
+
+        with sample_stacks(None) as first:
+            with sample_stacks(0.0) as second:
+                assert first is NULL_STACK_SAMPLER
+                assert second is NULL_STACK_SAMPLER
+
+    def test_null_stack_sampling_allocates_no_lasting_memory(self):
+        from repro.obs.prof import NULL_STACK_SAMPLER, sample_stacks
+
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        try:
+            baseline, _ = tracemalloc.get_traced_memory()
+            for _ in range(10_000):
+                with sample_stacks(None):
+                    NULL_STACK_SAMPLER.sample_once()
+            current, _ = tracemalloc.get_traced_memory()
+        finally:
+            if not was_tracing:
+                tracemalloc.stop()
+        assert current - baseline < 4096, (
+            f"null stack sampler leaked {current - baseline} bytes "
+            "over 10k blocks"
+        )
+
+    def test_no_flame_flag_starts_no_sampler_thread(self, capsys):
+        import threading
+
+        before = threading.active_count()
+        assert main(["--seed", "91", "table1"]) == 0
+        capsys.readouterr()
+        assert threading.active_count() == before
+        assert obs.get_telemetry() is obs.NULL

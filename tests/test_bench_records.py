@@ -58,6 +58,14 @@ def test_timing_record_exists_and_is_well_formed(name):
         rollups = record["resources"]
         assert rollups["samples"] == []  # rollups only, bounded size
         assert validate_profile(rollups) == [], record_path
+    # Likewise for the stack profiler's hottest frames (PR 10 onwards):
+    # a bounded ranked list, not a whole stack table.
+    if "frames" in record:
+        frames = record["frames"]
+        assert isinstance(frames, list) and len(frames) <= 10
+        for entry in frames:
+            assert set(entry) >= {"frame", "self", "total", "self_share"}
+            assert entry["self"] <= entry["total"]
 
 
 @pytest.mark.parametrize("name", bench_names())
